@@ -1,0 +1,508 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (\u{00a7}9) on the OCaml substrate.
+
+     dune exec bench/main.exe           -- run everything
+     dune exec bench/main.exe fig5      -- one experiment
+     (experiments: fig5 fig6 fig8 fig9 fig10 tab3 ablation micro)
+
+   Paper-reported numbers are printed alongside the measured ones; the
+   hardware/datasets are simulated (see DESIGN.md), so the comparison
+   targets the *shape* of each result, not absolute values. *)
+
+module Size = Shape.Size
+module Graph = Pgraph.Graph
+module Prim = Pgraph.Prim
+module Zoo = Syno.Zoo
+module Api = Syno.Api
+module Models = Backbones.Models
+
+let section title =
+  Format.printf "@.%s@.%s@." title (String.make (String.length title) '=')
+
+let note fmt = Format.printf ("  " ^^ fmt ^^ "@.")
+
+(* --- Shared accuracy evaluation ------------------------------------------ *)
+
+(* Trained proxy accuracy per operator, cached across experiments (the
+   paper likewise reuses the CIFAR-100 search accuracies). *)
+let accuracy_cache : (string, float) Hashtbl.t = Hashtbl.create 8
+
+(* The standard proxy mirrors the paper's CIFAR-100 regime: trainable
+   operators all converge and the <1% admissibility gate passes them.
+   The hard proxy (larger motifs, more classes, tighter budget) leaves
+   headroom so operator-quality differences show (Fig. 8). *)
+let proxy_data =
+  lazy
+    (let rng = Nd.Rng.create ~seed:1234 in
+     Dataset.Synth_vision.generate rng ~classes:4 ~channels:4 ~size:10 ~train_batches:10
+       ~eval_batches:8 ~batch_size:16 ())
+
+let hard_data =
+  lazy
+    (let rng = Nd.Rng.create ~seed:4321 in
+     Dataset.Synth_vision.generate rng ~classes:6 ~channels:4 ~size:10 ~motif:4
+       ~train_batches:8 ~eval_batches:8 ~batch_size:16 ())
+
+let hard_cache : (string, float) Hashtbl.t = Hashtbl.create 8
+
+let trained_accuracy_on cache data label (entry : Zoo.entry) =
+  match Hashtbl.find_opt cache entry.Zoo.name with
+  | Some acc -> acc
+  | None ->
+      let t0 = Unix.gettimeofday () in
+      let h = Api.train_entry ~rng:(Nd.Rng.create ~seed:55) entry (Lazy.force data) in
+      let acc = h.Nn.Train.final_eval_accuracy in
+      Format.printf "  [train %s] %-16s accuracy %.3f  (%.0fs)@." label entry.Zoo.name acc
+        (Unix.gettimeofday () -. t0);
+      Hashtbl.add cache entry.Zoo.name acc;
+      acc
+
+let trained_accuracy entry = trained_accuracy_on accuracy_cache proxy_data "proxy" entry
+let hard_accuracy entry = trained_accuracy_on hard_cache hard_data "hard" entry
+
+let discovered = [ Zoo.operator1; Zoo.operator2; Zoo.shift_conv ]
+
+(* --- Figure 5: end-to-end speedups --------------------------------------- *)
+
+let fig5 () =
+  section "Figure 5: end-to-end speedup, five vision models (CIFAR-100 proxy)";
+  note "Syno picks the fastest discovered operator within 1%% accuracy loss";
+  let conv_acc = trained_accuracy Zoo.conv2d in
+  let admissible =
+    List.filter (fun e -> trained_accuracy e >= conv_acc -. 0.01) discovered
+  in
+  note "admissible operators: %s"
+    (String.concat ", " (List.map (fun e -> e.Zoo.name) admissible));
+  let geomeans = Hashtbl.create 8 in
+  Format.printf "@.  %-18s" "model";
+  List.iter
+    (fun c ->
+      List.iter
+        (fun p ->
+          Format.printf "%15s"
+            (Printf.sprintf "%s/%s"
+               (if Perf.Compiler_model.name c = "tvm" then "tvm" else "ind")
+               p.Perf.Platform.name))
+        Perf.Platform.all)
+    Perf.Compiler_model.all;
+  Format.printf "@.";
+  List.iter
+    (fun model ->
+      Format.printf "  %-18s" model.Models.name;
+      List.iter
+        (fun compiler ->
+          List.iter
+            (fun platform ->
+              let best =
+                List.fold_left
+                  (fun acc e -> Float.max acc (Api.speedup e model compiler platform))
+                  1.0 admissible
+              in
+              let key = (Perf.Compiler_model.name compiler, platform.Perf.Platform.name) in
+              let sum, n = try Hashtbl.find geomeans key with Not_found -> (0.0, 0) in
+              Hashtbl.replace geomeans key (sum +. log best, n + 1);
+              Format.printf "%14.2fx" best)
+            Perf.Platform.all)
+        Perf.Compiler_model.all;
+      Format.printf "@.")
+    Models.vision_models;
+  Format.printf "  %-18s" "geomean";
+  List.iter
+    (fun compiler ->
+      List.iter
+        (fun platform ->
+          let key = (Perf.Compiler_model.name compiler, platform.Perf.Platform.name) in
+          let sum, n = Hashtbl.find geomeans key in
+          Format.printf "%14.2fx" (exp (sum /. float_of_int n)))
+        Perf.Platform.all)
+    Perf.Compiler_model.all;
+  Format.printf "@.";
+  note "paper geomeans: TVM 2.06x/1.72x/1.47x, TorchInductor 1.37x/1.62x/1.60x";
+  note "(mobile-cpu / mobile-gpu / a100)"
+
+(* --- Figure 6: accuracy-latency Pareto ------------------------------------ *)
+
+let fig6 () =
+  section "Figure 6: accuracy vs inference-time Pareto points (ImageNet proxy)";
+  let conv_acc = trained_accuracy Zoo.conv2d in
+  let points model =
+    let latency = function
+      | None -> Api.model_latency_ms model Perf.Compiler_model.tvm Perf.Platform.mobile_cpu
+      | Some e ->
+          Api.model_latency_ms ~substitute:e model Perf.Compiler_model.tvm
+            Perf.Platform.mobile_cpu
+    in
+    (None, conv_acc, latency None)
+    :: List.map (fun e -> (Some e, trained_accuracy e, latency (Some e))) discovered
+  in
+  List.iter
+    (fun model ->
+      Format.printf "@.  %s (mobile CPU, TVM):@." model.Models.name;
+      let pts = points model in
+      let pareto (me, acc, lat) =
+        not
+          (List.exists
+             (fun (other, acc', lat') ->
+               (match (other, me) with
+               | None, None -> false
+               | Some a, Some b -> a.Zoo.name <> b.Zoo.name
+               | _, _ -> true)
+               && acc' >= acc && lat' < lat)
+             pts)
+      in
+      List.iter
+        (fun ((e, acc, lat) as pt) ->
+          Format.printf "    %-18s acc %.3f (%+.3f)  %8.2f ms %s@."
+            (match e with None -> "baseline" | Some e -> e.Zoo.name)
+            acc (acc -. conv_acc) lat
+            (if pareto pt then "[pareto]" else ""))
+        pts)
+    Models.vision_models;
+  note "";
+  note "paper: Syno points sit below-left of the baselines with 1-2%% accuracy";
+  note "loss and up to 4.73x (TVM) speedup; the fastest admissible point per";
+  note "model reproduces that corner"
+
+(* --- Figure 8: Operator 1 case study -------------------------------------- *)
+
+let fig8 () =
+  section "Figure 8: Operator 1 vs stacked convolution vs INT8 quantization";
+  Format.printf "@.  Operator 1 structure (Fig. 7 / Listing 2):@.";
+  let valuation = Zoo.Vars.conv_valuation ~n:1 ~c_in:64 ~c_out:64 ~hw:28 ~k:3 ~g:2 ~s:2 () in
+  let ep = Lower.Einsum_program.compile Zoo.operator1.Zoo.operator valuation in
+  print_string (Lower.Einsum_program.to_pytorch ep);
+  let conv_acc = hard_accuracy Zoo.conv2d in
+  let op1_acc = hard_accuracy Zoo.operator1 in
+  let stacked_acc = hard_accuracy Zoo.stacked_conv in
+  (* INT8 quantization degrades the baseline by about one point in the
+     paper; we reuse that reported delta (this substrate trains FP32). *)
+  let int8_acc = conv_acc -. 0.012 in
+  let model = Models.resnet18 in
+  let tvm = Perf.Compiler_model.tvm in
+  Format.printf "@.  %-24s %8s  %12s %12s %12s@." "configuration" "accuracy" "mobile-cpu"
+    "mobile-gpu" "a100";
+  let row name acc latency =
+    Format.printf "  %-24s %8.3f  %10.2fms %10.2fms %10.2fms@." name acc
+      (latency Perf.Platform.mobile_cpu)
+      (latency Perf.Platform.mobile_gpu)
+      (latency Perf.Platform.a100)
+  in
+  row "conv (fp32 baseline)" conv_acc (fun p -> Api.model_latency_ms model tvm p);
+  row "operator 1" op1_acc (fun p -> Api.model_latency_ms ~substitute:Zoo.operator1 model tvm p);
+  row "stacked grouped conv" stacked_acc (fun p ->
+      Api.model_latency_ms ~substitute:Zoo.stacked_conv model tvm p);
+  let int8_latency p =
+    List.fold_left
+      (fun acc spec ->
+        let lo = Api.baseline_layer_op spec in
+        acc
+        +. float_of_int spec.Backbones.Convspec.count
+           *. Perf.Roofline.quantized_operator_time_us tvm p lo.Api.op lo.Api.valuation)
+      0.0 model.Models.specs
+    /. 1000.0
+  in
+  row "conv INT8 (paper delta)" int8_acc int8_latency;
+  note "";
+  note "paper shape: Operator 1 keeps accuracy within 1%%; the stacked";
+  note "convolution has similar latency but roughly doubles the degradation;";
+  note "Operator 1 also beats INT8 on CPU latency with better accuracy"
+
+(* --- Figure 9: layer-wise comparison with NAS-PTE ------------------------- *)
+
+let fig9 () =
+  section "Figure 9: layer-wise latency vs NAS-PTE on ResNet-34";
+  let ops =
+    [
+      ("conv", Zoo.conv2d);
+      ("pte-group", Zoo.nas_pte_grouped);
+      ("pte-bneck", Zoo.nas_pte_bottleneck);
+      ("pte-range", Zoo.nas_pte_range_bottleneck);
+      ("syno-op1", Zoo.operator1);
+      ("syno-op2", Zoo.operator2);
+    ]
+  in
+  List.iter
+    (fun compiler ->
+      Format.printf "@.  [%s] latency in us:@." (Perf.Compiler_model.name compiler);
+      Format.printf "  %-12s %-12s" "layer" "platform";
+      List.iter (fun (name, _) -> Format.printf "%11s" name) ops;
+      Format.printf "@.";
+      List.iter
+        (fun spec ->
+          List.iter
+            (fun platform ->
+              Format.printf "  %-12s %-12s" spec.Backbones.Convspec.layer
+                platform.Perf.Platform.name;
+              List.iter
+                (fun (_, e) ->
+                  let lo = Api.substituted_layer_op e spec in
+                  Format.printf "%11.1f"
+                    (Perf.Roofline.operator_time_us compiler platform lo.Api.op
+                       lo.Api.valuation))
+                ops;
+              Format.printf "@.")
+            Perf.Platform.all)
+        Models.resnet34_profile_layers)
+    Perf.Compiler_model.all;
+  Format.printf "@.  FLOPs and parameter reduction of best Syno vs best NAS-PTE:@.";
+  List.iter
+    (fun spec ->
+      let staged e =
+        let lo = Api.substituted_layer_op e spec in
+        (Lower.Staging.optimize lo.Api.op lo.Api.valuation).Lower.Staging.total_flops
+      in
+      let params e =
+        let lo = Api.substituted_layer_op e spec in
+        Pgraph.Flops.params lo.Api.op lo.Api.valuation
+      in
+      let ptes =
+        [ Zoo.nas_pte_grouped; Zoo.nas_pte_bottleneck; Zoo.nas_pte_range_bottleneck ]
+      in
+      let best_pte f = List.fold_left (fun acc e -> min acc (f e)) max_int ptes in
+      let best_syno f = min (f Zoo.operator1) (f Zoo.operator2) in
+      Format.printf "    %-12s flops %5.2fx  params %5.2fx@." spec.Backbones.Convspec.layer
+        (float_of_int (best_pte staged) /. float_of_int (best_syno staged))
+        (float_of_int (best_pte params) /. float_of_int (best_syno params)))
+    Models.resnet34_profile_layers;
+  note "";
+  note "paper: Syno's best ops beat NAS-PTE's best by 2.13x/1.68x/1.63x with";
+  note "TVM (cpu/mobile-gpu/a100), with 1.76-4.32x fewer FLOPs and 1.80-9.50x";
+  note "fewer parameters; with TorchInductor on mobile, NAS-PTE's standard";
+  note "convolutions keep template support while novel operators fall back";
+  note "to ATen, reversing the ranking (0.83x-0.84x)"
+
+(* --- Figure 10: GPT-2 ------------------------------------------------------ *)
+
+let fig10 () =
+  section "Figure 10: GPT-2 perplexity vs training steps";
+  let vocab = 24 and seq_len = 12 and embed = 24 and heads = 2 and layers = 2 in
+  let steps = 150 in
+  let rng = Nd.Rng.create ~seed:3 in
+  let data =
+    Dataset.Synth_lm.generate rng ~vocab ~seq_len ~batches:24 ~batch_size:6 ~branching:3 ()
+  in
+  note "synthetic LM: uniform ppl %.0f, entropy-floor ppl %.2f"
+    (Dataset.Synth_lm.uniform_perplexity data)
+    (Dataset.Synth_lm.floor_perplexity data);
+  let run name make_qkv =
+    let rng = Nd.Rng.create ~seed:99 in
+    let model = Backbones.Gpt2.create rng ~vocab ~seq_len ~embed ~heads ~layers ?make_qkv () in
+    let opt = Nn.Optimizer.adam ~lr:3e-3 () in
+    let batches = Array.of_list data.Dataset.Synth_lm.batches in
+    let curve = ref [] in
+    let t0 = Unix.gettimeofday () in
+    for step = 1 to steps do
+      let inputs, targets = batches.(step mod Array.length batches) in
+      let loss = Backbones.Gpt2.train_step model opt ~inputs ~targets in
+      if step mod 25 = 0 then curve := (step, exp loss) :: !curve
+    done;
+    let wall = Unix.gettimeofday () -. t0 in
+    let final = Backbones.Gpt2.perplexity model data.Dataset.Synth_lm.batches in
+    (name, Backbones.Gpt2.qkv_params model, List.rev !curve, final, wall)
+  in
+  let orig = run "original" None in
+  let grouped rng ~embed =
+    let proj () = Nn.Layer.grouped_linear rng ~features:embed ~groups:4 in
+    (proj (), proj (), proj ())
+  in
+  let substituted = run "syno (grouped QKV)" (Some grouped) in
+  List.iter
+    (fun (name, qkv, curve, final, wall) ->
+      Format.printf "@.  %-20s qkv-params %5d  %.1f ms/step@." name qkv
+        (1000.0 *. wall /. float_of_int steps);
+      List.iter (fun (s, p) -> Format.printf "    step %4d  ppl %7.2f@." s p) curve;
+      Format.printf "    final ppl %.2f@." final)
+    [ orig; substituted ];
+  let _, _, _, p0, w0 = orig and _, _, _, p1, w1 = substituted in
+  note "";
+  note "measured: perplexity %.2f -> %.2f, training speedup %.2fx" p0 p1 (w0 /. w1);
+  note "paper:    perplexity 111 -> 99,  training speedup 1.1x"
+
+(* --- Table 3 + canonicalization ablation ----------------------------------- *)
+
+let search_space_cfg ?(max_prims = 9) () =
+  let open Zoo.Vars in
+  let sz = Size.of_var in
+  let base =
+    Search.Enumerate.default_config
+      ~output_shape:[ sz n; sz c_out; sz h; sz w ]
+      ~desired_shape:[ sz n; sz c_in; sz h; sz w ]
+      ~valuations:Api.default_search_valuations ()
+  in
+  {
+    base with
+    Search.Enumerate.max_prims;
+    coefficient_candidates = [ sz k; sz s; sz g ];
+    reduce_candidates = [ sz c_in; sz k; Size.mul (Size.var_pow s (-1)) (sz c_out) ];
+    frozen_sizes = [ sz n ];
+  }
+
+let tab3 () =
+  section "Table 3 / \u{00a7}9.4: canonicalization ablation";
+  let cfg = search_space_cfg () in
+  let open Zoo.Vars in
+  let sz = Size.of_var in
+  let output = [ sz n; sz c_out; sz h; sz w ] in
+  let rng = Nd.Rng.create ~seed:77 in
+  (* Sample random primitive sequences WITHOUT canonicalization and
+     measure how many replay through the canonicalizer. *)
+  let random_trace len =
+    let rec go g remaining acc =
+      if remaining = 0 then Some (List.rev acc)
+      else
+        let actions =
+          List.filter
+            (fun p -> Result.is_ok (Graph.apply g p))
+            (Search.Enumerate.candidate_actions cfg g)
+        in
+        match actions with
+        | [] -> None
+        | actions ->
+            let p = List.nth actions (Nd.Rng.int rng (List.length actions)) in
+            go (Graph.apply_exn g p) (remaining - 1) (p :: acc)
+    in
+    go (Graph.init output) len []
+  in
+  let paper =
+    [ (2, 100.0); (3, 18.18); (4, 13.97); (5, 4.40); (6, 1.22); (7, 0.08); (8, 0.0) ]
+  in
+  Format.printf "@.  %-6s %12s %12s@." "size" "measured" "paper";
+  let total = ref 0 and canon_total = ref 0 in
+  List.iter
+    (fun (len, paper_rate) ->
+      let samples = 400 in
+      let canonical = ref 0 and drawn = ref 0 in
+      for _ = 1 to samples do
+        match random_trace len with
+        | Some trace ->
+            incr drawn;
+            if Pgraph.Canon.trace_is_canonical cfg.Search.Enumerate.canon output trace then
+              incr canonical
+        | None -> ()
+      done;
+      total := !total + !drawn;
+      canon_total := !canon_total + !canonical;
+      Format.printf "  %-6d %11.2f%% %11.2f%%@." len
+        (100.0 *. float_of_int !canonical /. float_of_int (max 1 !drawn))
+        paper_rate)
+    paper;
+  note "";
+  note "overall: %d of %d random pGraphs canonical (%.0fx redundancy removed)"
+    !canon_total !total
+    (float_of_int !total /. float_of_int (max 1 !canon_total));
+  note "paper: 86 of 6452 samples canonical (more than 70x redundancy)"
+
+(* --- Shape-distance ablation ------------------------------------------------ *)
+
+let ablation () =
+  section "\u{00a7}9.4: shape-distance guidance ablation";
+  let cfg = search_space_cfg ~max_prims:8 () in
+  let trials = 3000 in
+  let run use_distance =
+    let rng = Nd.Rng.create ~seed:5 in
+    let distinct = Hashtbl.create 64 in
+    let successes = ref 0 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to trials do
+      match Search.Enumerate.random_completion cfg rng ~use_distance with
+      | Some op ->
+          incr successes;
+          Hashtbl.replace distinct (Graph.operator_signature op) ()
+      | None -> ()
+    done;
+    (!successes, Hashtbl.length distinct, Unix.gettimeofday () -. t0)
+  in
+  let ok_with, distinct_with, t_with = run true in
+  let ok_without, distinct_without, t_without = run false in
+  Format.printf "@.  %-22s %10s %10s %10s@." "" "successes" "distinct" "seconds";
+  Format.printf "  %-22s %10d %10d %10.2f@." "with shape distance" ok_with distinct_with
+    t_with;
+  Format.printf "  %-22s %10d %10d %10.2f@." "without" ok_without distinct_without t_without;
+  note "";
+  note "paper: 253 distinct operators from 5M guided trials in 68s;";
+  note "500M unguided trials in 181s found none"
+
+(* --- Microbenchmarks --------------------------------------------------------- *)
+
+let micro () =
+  section "Microbenchmarks of the core machinery (Bechamel)";
+  let open Bechamel in
+  let valuations = Api.default_search_valuations in
+  let ctx = Coord.Simplify.ctx valuations in
+  let conv = Zoo.conv2d.Zoo.operator in
+  let expr = List.nth conv.Graph.op_input_exprs 2 in
+  let cfg_canon = Pgraph.Canon.default_config ctx in
+  let open Zoo.Vars in
+  let sz = Size.of_var in
+  let g0 = Graph.init [ sz n; sz c_out; sz h; sz w ] in
+  let g1 = Graph.apply_exn g0 (Prim.Reduce (sz c_in)) in
+  let valuation = Zoo.Vars.conv_valuation ~n:1 ~c_in:8 ~c_out:8 ~hw:8 ~k:3 ~g:2 ~s:2 () in
+  let compiled = Lower.Reference.compile conv valuation in
+  let rng = Nd.Rng.create ~seed:1 in
+  let x = Nd.Tensor.rand_normal rng ~scale:1.0 (Lower.Reference.input_shape compiled) in
+  let conv_weights = Lower.Reference.init_weights compiled rng in
+  let mat_a = Nd.Tensor.rand_normal rng ~scale:1.0 [| 32; 32 |] in
+  let mat_b = Nd.Tensor.rand_normal rng ~scale:1.0 [| 32; 32 |] in
+  let tests =
+    Test.make_grouped ~name:"syno" ~fmt:"%s/%s"
+      [
+        Test.make ~name:"simplify-conv-expr"
+          (Staged.stage (fun () -> Coord.Simplify.simplify ctx expr));
+        Test.make ~name:"canon-check"
+          (Staged.stage (fun () ->
+               Pgraph.Canon.is_canonical cfg_canon g1 (Prim.Unfold (2, 4))));
+        Test.make ~name:"shape-distance"
+          (Staged.stage (fun () ->
+               Pgraph.Distance.distance
+                 (Pgraph.Distance.create ())
+                 ~current:(Graph.frontier_sizes g1)
+                 ~desired:[ sz n; sz c_in; sz h; sz w ]));
+        Test.make ~name:"einsum-32x32-matmul"
+          (Staged.stage (fun () -> Nd.Einsum.einsum "ik,kj->ij" [ mat_a; mat_b ]));
+        Test.make ~name:"reference-conv-8ch-8x8"
+          (Staged.stage (fun () -> Lower.Reference.forward compiled ~input:x ~weights:conv_weights));
+      ]
+  in
+  let benchmark_cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all benchmark_cfg Toolkit.Instance.[ monotonic_clock ] tests in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun key v acc -> (key, v) :: acc) results [] in
+  List.iter
+    (fun (name, est) ->
+      let ns =
+        match Analyze.OLS.estimates est with Some [ t ] -> t | Some _ | None -> nan
+      in
+      Format.printf "  %-32s %12.1f ns/run@." name ns)
+    (List.sort compare rows)
+
+(* --- Driver ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("fig5", fig5);
+    ("fig6", fig6);
+    ("fig8", fig8);
+    ("fig9", fig9);
+    ("fig10", fig10);
+    ("tab3", tab3);
+    ("ablation", ablation);
+    ("micro", micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst experiments
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f -> f ()
+      | None ->
+          Format.printf "unknown experiment %s (available: %s)@." name
+            (String.concat " " (List.map fst experiments)))
+    requested;
+  Format.printf "@.[bench] completed in %.1fs@." (Unix.gettimeofday () -. t0)

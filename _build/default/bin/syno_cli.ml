@@ -1,0 +1,229 @@
+(* The syno command-line tool.
+
+     syno list                         catalog of built-in operators
+     syno describe conv2d              pGraph, generated code, costs
+     syno describe saved.syno          ... same for a saved operator
+     syno search --iterations 2000     run the MCTS synthesis
+     syno latency operator2 --model resnet18
+     syno train operator1 --epochs 8
+
+   Operators are saved and loaded in the Trace_io textual format. *)
+
+module Size = Shape.Size
+module Graph = Pgraph.Graph
+module Trace_io = Pgraph.Trace_io
+module Zoo = Syno.Zoo
+module Api = Syno.Api
+open Cmdliner
+
+let default_valuation ~c_in ~c_out ~hw ~k ~g ~s =
+  Zoo.Vars.conv_valuation ~n:1 ~c_in ~c_out ~hw ~k ~g ~s ()
+
+(* Resolve an operator by zoo name or by file path. *)
+let resolve name =
+  match List.find_opt (fun e -> e.Zoo.name = name) Zoo.all with
+  | Some e -> Ok (e.Zoo.name, e.Zoo.operator)
+  | None ->
+      if Sys.file_exists name then
+        let ic = open_in name in
+        let len = in_channel_length ic in
+        let text = really_input_string ic len in
+        close_in ic;
+        Result.map (fun op -> (Filename.basename name, op)) (Trace_io.of_string text)
+      else Error (Printf.sprintf "no such operator or file: %s" name)
+
+let shape_args =
+  let open Term in
+  let c_in = Arg.(value & opt int 64 & info [ "c-in" ] ~doc:"Input channels.") in
+  let c_out = Arg.(value & opt int 64 & info [ "c-out" ] ~doc:"Output channels.") in
+  let hw = Arg.(value & opt int 28 & info [ "hw" ] ~doc:"Spatial size.") in
+  let k = Arg.(value & opt int 3 & info [ "k" ] ~doc:"Kernel/window size.") in
+  let g = Arg.(value & opt int 2 & info [ "g" ] ~doc:"Group factor.") in
+  let s = Arg.(value & opt int 2 & info [ "s" ] ~doc:"Shrink factor.") in
+  const (fun c_in c_out hw k g s -> default_valuation ~c_in ~c_out ~hw ~k ~g ~s)
+  $ c_in $ c_out $ hw $ k $ g $ s
+
+(* --- list ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    Format.printf "%-28s %s@." "name" "description";
+    List.iter
+      (fun e -> Format.printf "%-28s %s@." e.Zoo.name e.Zoo.description)
+      Zoo.all;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the built-in operator catalog.")
+    Term.(const run $ const ())
+
+(* --- describe ---------------------------------------------------------------- *)
+
+let describe_cmd =
+  let run name valuation =
+    match resolve name with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok (name, op) ->
+        Format.printf "== %s ==@.@.%a@.@." name Graph.pp_operator op;
+        Format.printf "trace: %s@.@."
+          (String.concat "; " (List.map Pgraph.Trace_io.prim_to_string op.Graph.op_trace));
+        (try
+           let ep = Lower.Einsum_program.compile op valuation in
+           Format.printf "PyTorch-style:@.%s@." (Lower.Einsum_program.to_pytorch ep);
+           Format.printf "TVM-TE-style:@.%s@." (Lower.Einsum_program.to_te ep);
+           Format.printf "naive FLOPs %d, params %d@."
+             (Pgraph.Flops.naive_flops op valuation)
+             (Pgraph.Flops.params op valuation);
+           let plan = Lower.Staging.optimize op valuation in
+           Format.printf "staging:@.%a@.@." Lower.Staging.pp_plan plan;
+           Format.printf "%-14s %-14s %12s@." "platform" "compiler" "latency";
+           List.iter
+             (fun platform ->
+               List.iter
+                 (fun compiler ->
+                   Format.printf "%-14s %-14s %10.1fus@." platform.Perf.Platform.name
+                     (Perf.Compiler_model.name compiler)
+                     (Perf.Roofline.operator_time_us compiler platform op valuation))
+                 Perf.Compiler_model.all)
+             Perf.Platform.all
+         with Failure msg ->
+           Format.printf "(cannot instantiate at this valuation: %s)@." msg);
+        0
+  in
+  let name_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"OPERATOR") in
+  Cmd.v
+    (Cmd.info "describe" ~doc:"Show an operator's pGraph, generated code, and costs.")
+    Term.(const run $ name_arg $ shape_args)
+
+(* --- search ------------------------------------------------------------------ *)
+
+let search_cmd =
+  let run iterations max_prims budget_ratio top save seed =
+    let rng = Nd.Rng.create ~seed in
+    let t0 = Unix.gettimeofday () in
+    let candidates =
+      Api.search_conv_operators ~iterations ~max_prims ~flops_budget_ratio:budget_ratio
+        ~rng ~valuations:Api.default_search_valuations ()
+    in
+    Format.printf "found %d distinct canonical operators in %.1fs@.@."
+      (List.length candidates)
+      (Unix.gettimeofday () -. t0);
+    List.iteri
+      (fun i c ->
+        if i < top then begin
+          Format.printf "#%-3d reward %.2f  flops %d  params %d@.     %s@." (i + 1)
+            c.Api.reward c.Api.flops c.Api.params c.Api.signature;
+          match save with
+          | Some dir ->
+              let path = Filename.concat dir (Printf.sprintf "candidate_%02d.syno" (i + 1)) in
+              let oc = open_out path in
+              output_string oc (Trace_io.to_string c.Api.operator);
+              close_out oc;
+              Format.printf "     saved to %s@." path
+          | None -> ()
+        end)
+      candidates;
+    0
+  in
+  let iterations =
+    Arg.(value & opt int 2000 & info [ "iterations" ] ~doc:"MCTS iterations.")
+  in
+  let max_prims = Arg.(value & opt int 8 & info [ "max-prims" ] ~doc:"Maximum pGraph size.") in
+  let budget =
+    Arg.(value & opt float 1.0 & info [ "budget-ratio" ] ~doc:"FLOPs budget vs conv2d.")
+  in
+  let top = Arg.(value & opt int 10 & info [ "top" ] ~doc:"Candidates to print.") in
+  let save =
+    Arg.(value & opt (some dir) None & info [ "save" ] ~doc:"Directory for .syno files.")
+  in
+  let seed = Arg.(value & opt int 2024 & info [ "seed" ] ~doc:"Search RNG seed.") in
+  Cmd.v
+    (Cmd.info "search" ~doc:"Synthesize convolution replacements with MCTS.")
+    Term.(const run $ iterations $ max_prims $ budget $ top $ save $ seed)
+
+(* --- latency ------------------------------------------------------------------ *)
+
+let model_conv =
+  Arg.conv
+    ( (fun s ->
+        match
+          List.find_opt (fun m -> m.Backbones.Models.name = s) Backbones.Models.vision_models
+        with
+        | Some m -> Ok m
+        | None -> Error (`Msg ("unknown model " ^ s))),
+      fun ppf m -> Format.pp_print_string ppf m.Backbones.Models.name )
+
+let latency_cmd =
+  let run name model =
+    match resolve name with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok (name, op) ->
+        let entry = { Zoo.name; description = ""; operator = op } in
+        Format.printf "%s substituted into %s:@.@." name model.Backbones.Models.name;
+        Format.printf "%-14s %-14s %10s %10s %8s@." "platform" "compiler" "baseline" "syno"
+          "speedup";
+        List.iter
+          (fun platform ->
+            List.iter
+              (fun compiler ->
+                let base = Api.model_latency_ms model compiler platform in
+                let sub = Api.model_latency_ms ~substitute:entry model compiler platform in
+                Format.printf "%-14s %-14s %8.2fms %8.2fms %7.2fx@."
+                  platform.Perf.Platform.name
+                  (Perf.Compiler_model.name compiler)
+                  base sub (base /. sub))
+              Perf.Compiler_model.all)
+          Perf.Platform.all;
+        0
+  in
+  let name_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"OPERATOR") in
+  let model_arg =
+    Arg.(value & opt model_conv Backbones.Models.resnet18 & info [ "model" ] ~doc:"Backbone.")
+  in
+  Cmd.v
+    (Cmd.info "latency" ~doc:"End-to-end latency of a backbone with the operator substituted.")
+    Term.(const run $ name_arg $ model_arg)
+
+(* --- train ---------------------------------------------------------------------- *)
+
+let train_cmd =
+  let run name epochs lr seed =
+    match resolve name with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok (name, op) ->
+        let entry = { Zoo.name; description = ""; operator = op } in
+        let rng = Nd.Rng.create ~seed in
+        let data =
+          Dataset.Synth_vision.generate rng ~classes:4 ~channels:4 ~size:10
+            ~train_batches:10 ~eval_batches:8 ~batch_size:16 ()
+        in
+        Format.printf "training %s on the synthetic vision task...@." name;
+        let h =
+          Api.train_entry ~epochs ~lr ~rng:(Nd.Rng.create ~seed:(seed + 1)) entry data
+        in
+        List.iteri
+          (fun i (loss, acc) ->
+            Format.printf "  epoch %2d  loss %.3f  accuracy %.3f@." (i + 1) loss acc)
+          (List.combine h.Nn.Train.epoch_losses h.Nn.Train.epoch_accuracies);
+        Format.printf "final eval accuracy: %.3f@." h.Nn.Train.final_eval_accuracy;
+        0
+  in
+  let name_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"OPERATOR") in
+  let epochs_arg = Arg.(value & opt int 8 & info [ "epochs" ] ~doc:"Training epochs.") in
+  let lr_arg = Arg.(value & opt float 0.1 & info [ "lr" ] ~doc:"Learning rate.") in
+  let seed_arg = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Data/init seed.") in
+  Cmd.v
+    (Cmd.info "train" ~doc:"Train a proxy model with the operator substituted.")
+    Term.(const run $ name_arg $ epochs_arg $ lr_arg $ seed_arg)
+
+let () =
+  let info =
+    Cmd.info "syno" ~version:"1.0"
+      ~doc:"Structured synthesis for neural operators (ASPLOS'25 reproduction)."
+  in
+  exit (Cmd.eval' (Cmd.group info [ list_cmd; describe_cmd; search_cmd; latency_cmd; train_cmd ]))

@@ -1,0 +1,1 @@
+examples/edge_deployment.ml: Backbones Format List Perf Syno

@@ -1,0 +1,1 @@
+examples/gpt2_substitution.ml: Array Backbones Dataset Format Nd Nn Unix

@@ -1,0 +1,1 @@
+examples/gpt2_substitution.mli:

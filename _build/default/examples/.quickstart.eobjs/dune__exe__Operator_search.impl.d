@@ -1,0 +1,1 @@
+examples/operator_search.ml: Backbones Dataset Format List Nd Nn Perf Pgraph Printf Syno Unix

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format List Lower Nd Perf Pgraph Shape String Syno

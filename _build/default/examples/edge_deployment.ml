@@ -1,0 +1,53 @@
+(* Edge deployment study: how the operator zoo performs across the
+   three hardware platforms and two compiler backends of \u{00a7}9.1,
+   including INT8 quantization (Fig. 8's comparison point).
+
+   Run with: dune exec examples/edge_deployment.exe *)
+
+module Api = Syno.Api
+module Zoo = Syno.Zoo
+
+let () =
+  Format.printf "=== End-to-end latency of the five vision backbones ===@.";
+  List.iter
+    (fun model ->
+      Format.printf "@.%s (conv FLOPs %.2f G):@." model.Backbones.Models.name
+        (float_of_int (Backbones.Models.total_flops model) /. 1e9);
+      Format.printf "  %-14s %-12s %10s %10s %10s %10s@." "compiler" "platform" "baseline"
+        "op1" "op2" "shift";
+      List.iter
+        (fun compiler ->
+          List.iter
+            (fun platform ->
+              let base = Api.model_latency_ms model compiler platform in
+              let sub e = Api.model_latency_ms ~substitute:e model compiler platform in
+              Format.printf "  %-14s %-12s %8.2fms %8.2fms %8.2fms %8.2fms@."
+                (Perf.Compiler_model.name compiler)
+                platform.Perf.Platform.name base (sub Zoo.operator1) (sub Zoo.operator2)
+                (sub Zoo.shift_conv))
+            Perf.Platform.all)
+        Perf.Compiler_model.all)
+    Backbones.Models.vision_models;
+
+  Format.printf "@.=== Per-operator kernel study at a ResNet stage shape ===@.";
+  let valuation = Zoo.Vars.conv_valuation ~n:1 ~c_in:128 ~c_out:128 ~hw:28 ~k:3 ~g:2 ~s:4 () in
+  Format.printf "  %-28s %12s %10s %8s@." "operator" "staged flops" "params" "kind";
+  List.iter
+    (fun e ->
+      let k = Perf.Kernel.of_operator e.Zoo.operator valuation in
+      Format.printf "  %-28s %12d %10d %8s@." e.Zoo.name k.Perf.Kernel.flops
+        (k.Perf.Kernel.param_bytes / 4)
+        (if k.Perf.Kernel.grouped then "grouped"
+         else if k.Perf.Kernel.regular then "regular"
+         else "irreg"))
+    Zoo.conv_like;
+
+  Format.printf "@.=== INT8 quantization vs operator synthesis (Fig. 8 axis) ===@.";
+  let cpu = Perf.Platform.mobile_cpu and tvm = Perf.Compiler_model.tvm in
+  let conv = Zoo.conv2d.Zoo.operator in
+  let fp32 = Perf.Roofline.operator_time_us tvm cpu conv valuation in
+  let int8 = Perf.Roofline.quantized_operator_time_us tvm cpu conv valuation in
+  let op1 = Perf.Roofline.operator_time_us tvm cpu Zoo.operator1.Zoo.operator valuation in
+  Format.printf "  conv fp32: %8.1f us@." fp32;
+  Format.printf "  conv int8: %8.1f us (%.2fx)@." int8 (fp32 /. int8);
+  Format.printf "  operator1: %8.1f us (%.2fx) — and the two compose@." op1 (fp32 /. op1)

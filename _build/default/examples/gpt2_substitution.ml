@@ -1,0 +1,50 @@
+(* GPT-2 QKV substitution (\u{00a7}9.3, Fig. 10): train the GPT-2 proxy with
+   its original dense QKV projections and with the grouped projections
+   Syno discovers, and compare perplexity and per-step cost.
+
+   Run with: dune exec examples/gpt2_substitution.exe *)
+
+module Gpt2 = Backbones.Gpt2
+
+let vocab = 24
+let seq_len = 12
+let embed = 24
+let heads = 2
+let layers = 2
+let steps = 120
+
+let train name make_qkv data =
+  let rng = Nd.Rng.create ~seed:99 in
+  let model = Gpt2.create rng ~vocab ~seq_len ~embed ~heads ~layers ?make_qkv () in
+  let opt = Nn.Optimizer.adam ~lr:3e-3 () in
+  Format.printf "@.%s: %d params (%d in QKV)@." name (Gpt2.num_params model)
+    (Gpt2.qkv_params model);
+  let batches = Array.of_list data.Dataset.Synth_lm.batches in
+  let t0 = Unix.gettimeofday () in
+  for step = 1 to steps do
+    let inputs, targets = batches.(step mod Array.length batches) in
+    let loss = Gpt2.train_step model opt ~inputs ~targets in
+    if step mod 30 = 0 || step = 1 then
+      Format.printf "  step %4d  loss %.3f  ppl %.1f@." step loss (exp loss)
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  let ppl = Gpt2.perplexity model data.Dataset.Synth_lm.batches in
+  Format.printf "  final perplexity %.2f  (%.1f ms/step)@." ppl (1000.0 *. wall /. float_of_int steps);
+  (ppl, wall)
+
+let () =
+  let rng = Nd.Rng.create ~seed:3 in
+  let data =
+    Dataset.Synth_lm.generate rng ~vocab ~seq_len ~batches:24 ~batch_size:6 ~branching:3 ()
+  in
+  Format.printf "synthetic LM: vocab %d, uniform ppl %.0f, entropy floor ppl %.2f@." vocab
+    (Dataset.Synth_lm.uniform_perplexity data)
+    (Dataset.Synth_lm.floor_perplexity data);
+  let ppl_orig, wall_orig = train "original (dense QKV)" None data in
+  let grouped rng ~embed =
+    let proj () = Nn.Layer.grouped_linear rng ~features:embed ~groups:4 in
+    (proj (), proj (), proj ())
+  in
+  let ppl_sub, wall_sub = train "Syno-substituted (grouped QKV, g=4)" (Some grouped) data in
+  Format.printf "@.summary: perplexity %.2f -> %.2f, training wall time speedup %.2fx@."
+    ppl_orig ppl_sub (wall_orig /. wall_sub)

@@ -1,0 +1,1 @@
+lib/backbones/convspec.ml: Shape

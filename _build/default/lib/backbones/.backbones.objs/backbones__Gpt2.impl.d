@@ -1,0 +1,1 @@
+lib/backbones/gpt2.ml: Array Grad List Nd Nn Option

@@ -1,0 +1,1 @@
+lib/backbones/gpt2.mli: Nd Nn

@@ -1,0 +1,1 @@
+lib/backbones/models.ml: Convspec List

@@ -1,0 +1,1 @@
+lib/backbones/models.mli: Convspec

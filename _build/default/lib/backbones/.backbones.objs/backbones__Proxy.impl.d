@@ -1,0 +1,1 @@
+lib/backbones/proxy.ml: Nn

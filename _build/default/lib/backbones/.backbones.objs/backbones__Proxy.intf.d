@@ -1,0 +1,1 @@
+lib/backbones/proxy.mli: Nd Nn

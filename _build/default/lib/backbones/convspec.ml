@@ -1,0 +1,20 @@
+type t = {
+  layer : string;
+  in_channels : int;
+  out_channels : int;
+  height : int;
+  width : int;
+  kernel : int;
+  groups : int;
+  count : int;
+}
+
+let flops s =
+  2 * s.out_channels * s.height * s.width * (s.in_channels / s.groups) * s.kernel * s.kernel
+
+let params s = s.out_channels * (s.in_channels / s.groups) * s.kernel * s.kernel
+let substitutable s = s.groups = 1
+
+let valuation ~n ~c_in ~c_out ~h ~w s =
+  Shape.Valuation.of_list
+    [ (n, 1); (c_in, s.in_channels); (c_out, s.out_channels); (h, s.height); (w, s.width) ]

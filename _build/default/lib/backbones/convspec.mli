@@ -1,0 +1,38 @@
+(** Convolution-layer inventories of the evaluation backbones (\u{00a7}9.1).
+
+    A spec records one distinct convolution shape and how many times it
+    occurs in the model; substituting an operator and summing per-spec
+    latencies gives the end-to-end time.  Spatial sizes follow the
+    ImageNet-resolution versions of the models (the paper rescales
+    CIFAR-100 images to ImageNet size so performance is identical). *)
+
+type t = {
+  layer : string;
+  in_channels : int;
+  out_channels : int;
+  height : int;
+  width : int;  (** output spatial size *)
+  kernel : int;
+  groups : int;  (** 1 = dense; [in_channels] = depthwise *)
+  count : int;  (** occurrences in the model *)
+}
+
+val flops : t -> int
+(** MAC-based FLOPs of the standard convolution at this shape. *)
+
+val params : t -> int
+
+val substitutable : t -> bool
+(** Standard (dense, k >= 1) convolutions are substitution targets;
+    depthwise layers are kept as-is, mirroring the paper which replaces
+    "all standard convolutions". *)
+
+val valuation :
+  n:Shape.Var.t ->
+  c_in:Shape.Var.t ->
+  c_out:Shape.Var.t ->
+  h:Shape.Var.t ->
+  w:Shape.Var.t ->
+  t ->
+  Shape.Valuation.t
+(** Bind a spec's concrete sizes to the symbolic conv variables. *)

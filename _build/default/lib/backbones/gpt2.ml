@@ -1,0 +1,81 @@
+module Tensor = Nd.Tensor
+module Tape = Grad.Tape
+module Op = Grad.Op
+
+type t = {
+  vocab : int;
+  seq_len : int;
+  embed : int;
+  token_table : Tensor.t;
+  pos_table : Tensor.t;
+  body : Nn.Layer.t;  (* blocks + final layer norm *)
+  head : Nn.Layer.t;  (* LM head *)
+  qkv_param_count : int;
+}
+
+let create rng ~vocab ~seq_len ~embed ~heads ~layers ?make_qkv () =
+  let token_table = Tensor.rand_normal rng ~scale:0.05 [| vocab; embed |] in
+  let pos_table = Tensor.rand_normal rng ~scale:0.05 [| seq_len; embed |] in
+  let qkv_param_count = ref 0 in
+  let default_qkv rng ~embed =
+    let proj () = Nn.Layer.linear rng ~in_features:embed ~out_features:embed in
+    (proj (), proj (), proj ())
+  in
+  let make_qkv = Option.value make_qkv ~default:default_qkv in
+  let blocks =
+    List.init layers (fun _ ->
+        let ((q, k, v) as qkv) = make_qkv rng ~embed in
+        qkv_param_count :=
+          !qkv_param_count + Nn.Layer.num_params q + Nn.Layer.num_params k
+          + Nn.Layer.num_params v;
+        Nn.Attention.transformer_block rng ~embed ~heads ~qkv ())
+  in
+  let body =
+    Nn.Layer.sequential "gpt2-body" (blocks @ [ Nn.Attention.layer_norm rng ~dim:embed ])
+  in
+  let head = Nn.Layer.linear rng ~in_features:embed ~out_features:vocab in
+  { vocab; seq_len; embed; token_table; pos_table; body; head; qkv_param_count = !qkv_param_count }
+
+let params t = (t.token_table :: t.pos_table :: t.body.Nn.Layer.params) @ t.head.Nn.Layer.params
+
+let num_params t = List.fold_left (fun acc p -> acc + Tensor.numel p) 0 (params t)
+let qkv_params t = t.qkv_param_count
+
+let forward t tape ~inputs =
+  let table_v = Tape.var tape t.token_table in
+  let pos_v = Tape.var tape t.pos_table in
+  let body_params = List.map (Tape.var tape) t.body.Nn.Layer.params in
+  let head_params = List.map (Tape.var tape) t.head.Nn.Layer.params in
+  let x = Op.embedding tape ~table:table_v ~ids:inputs in
+  let x = Op.add_broadcast tape x pos_v in
+  let x = t.body.Nn.Layer.apply tape body_params x in
+  let logits = t.head.Nn.Layer.apply tape head_params x in
+  (logits, (table_v :: pos_v :: body_params) @ head_params)
+
+let batch_loss t tape ~inputs ~targets =
+  let logits, param_vars = forward t tape ~inputs in
+  let b = Array.length inputs and s = t.seq_len in
+  let flat = Op.reshape tape logits [| b * s; t.vocab |] in
+  let labels = Array.concat (Array.to_list targets) in
+  (Op.cross_entropy tape flat ~labels, param_vars)
+
+let train_step t opt ~inputs ~targets =
+  let tape = Tape.create () in
+  let loss, param_vars = batch_loss t tape ~inputs ~targets in
+  Tape.backward tape loss;
+  let grads = List.map Tape.grad param_vars in
+  Nn.Optimizer.step opt ~params:(params t) ~grads;
+  Tensor.flat_get (Tape.data loss) 0
+
+let eval_loss t batches =
+  let total, count =
+    List.fold_left
+      (fun (total, count) (inputs, targets) ->
+        let tape = Tape.create () in
+        let loss, _ = batch_loss t tape ~inputs ~targets in
+        (total +. Tensor.flat_get (Tape.data loss) 0, count + 1))
+      (0.0, 0) batches
+  in
+  total /. float_of_int (max 1 count)
+
+let perplexity t batches = exp (eval_loss t batches)

@@ -1,0 +1,31 @@
+(** A scaled-down GPT-2-shaped language model (\u{00a7}9.3).
+
+    Token + positional embeddings, pre-norm transformer blocks with
+    causal self-attention, final layer norm, and a linear LM head.  The
+    Q/K/V projections are pluggable so Syno-discovered operators can
+    replace them, exactly the substitution evaluated in Fig. 10. *)
+
+type t
+
+val create :
+  Nd.Rng.t ->
+  vocab:int ->
+  seq_len:int ->
+  embed:int ->
+  heads:int ->
+  layers:int ->
+  ?make_qkv:(Nd.Rng.t -> embed:int -> Nn.Layer.t * Nn.Layer.t * Nn.Layer.t) ->
+  unit ->
+  t
+
+val num_params : t -> int
+
+val qkv_params : t -> int
+(** Parameters in the Q/K/V projections only (the substituted part). *)
+
+val train_step :
+  t -> Nn.Optimizer.t -> inputs:int array array -> targets:int array array -> float
+(** One LM step; returns the mean cross-entropy loss (nats/token). *)
+
+val eval_loss : t -> (int array array * int array array) list -> float
+val perplexity : t -> (int array array * int array array) list -> float

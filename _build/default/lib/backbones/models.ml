@@ -1,0 +1,113 @@
+type t = { name : string; specs : Convspec.t list }
+
+let spec layer in_channels out_channels hw kernel ?(groups = 1) count =
+  {
+    Convspec.layer;
+    in_channels;
+    out_channels;
+    height = hw;
+    width = hw;
+    kernel;
+    groups;
+    count;
+  }
+
+(* ResNet-18/34 at ImageNet resolution (224x224 input). *)
+let resnet_stages ~blocks =
+  let b1, b2, b3, b4 = blocks in
+  [
+    spec "conv1" 3 64 112 7 1;
+    spec "stage1" 64 64 56 3 (2 * b1);
+    spec "stage2-down" 64 128 28 3 1;
+    spec "stage2" 128 128 28 3 ((2 * b2) - 1);
+    spec "stage3-down" 128 256 14 3 1;
+    spec "stage3" 256 256 14 3 ((2 * b3) - 1);
+    spec "stage4-down" 256 512 7 3 1;
+    spec "stage4" 512 512 7 3 ((2 * b4) - 1);
+  ]
+
+let resnet18 = { name = "resnet18"; specs = resnet_stages ~blocks:(2, 2, 2, 2) }
+let resnet34 = { name = "resnet34"; specs = resnet_stages ~blocks:(3, 4, 6, 3) }
+
+(* DenseNet-121: growth rate 32; each dense layer is a 1x1 bottleneck to
+   128 then a 3x3 to 32; block sizes 6/12/24/16 with 1x1 transitions.
+   Input channels vary per layer; we bucket them by stage average. *)
+let densenet121 =
+  {
+    name = "densenet121";
+    specs =
+      [
+        spec "conv1" 3 64 112 7 1;
+        spec "block1-1x1" 160 128 56 1 6;
+        spec "block1-3x3" 128 32 56 3 6;
+        spec "trans1" 256 128 28 1 1;
+        spec "block2-1x1" 320 128 28 1 12;
+        spec "block2-3x3" 128 32 28 3 12;
+        spec "trans2" 512 256 14 1 1;
+        spec "block3-1x1" 640 128 14 1 24;
+        spec "block3-3x3" 128 32 14 3 24;
+        spec "trans3" 1024 512 7 1 1;
+        spec "block4-1x1" 768 128 7 1 16;
+        spec "block4-3x3" 128 32 7 3 16;
+      ];
+  }
+
+(* ResNeXt-29 2x64d (CIFAR backbone rescaled to ImageNet-size inputs):
+   3 stages x 3 blocks, each block 1x1 -> grouped 3x3 (2 groups) -> 1x1. *)
+let resnext29_2x64d =
+  {
+    name = "resnext29_2x64d";
+    specs =
+      [
+        spec "conv1" 3 64 224 3 1;
+        spec "stage1-1x1a" 64 128 224 1 3;
+        spec "stage1-3x3" 128 128 224 3 ~groups:2 3;
+        spec "stage1-1x1b" 128 256 224 1 3;
+        spec "stage2-1x1a" 256 256 112 1 3;
+        spec "stage2-3x3" 256 256 112 3 ~groups:2 3;
+        spec "stage2-1x1b" 256 512 112 1 3;
+        spec "stage3-1x1a" 512 512 56 1 3;
+        spec "stage3-3x3" 512 512 56 3 ~groups:2 3;
+        spec "stage3-1x1b" 512 1024 56 1 3;
+      ];
+  }
+
+(* EfficientNetV2-S: fused-MBConv stages (dense 3x3) then MBConv stages
+   (1x1 expand, depthwise 3x3, 1x1 project).  Representative shapes. *)
+let efficientnet_v2_s =
+  {
+    name = "efficientnet_v2_s";
+    specs =
+      [
+        spec "stem" 3 24 112 3 1;
+        spec "fused1" 24 24 112 3 2;
+        spec "fused2-expand" 24 96 56 3 4;
+        spec "fused2-project" 96 48 56 1 4;
+        spec "fused3-expand" 48 192 28 3 4;
+        spec "fused3-project" 192 64 28 1 4;
+        spec "mb4-expand" 64 256 14 1 6;
+        spec "mb4-dw" 256 256 14 3 ~groups:256 6;
+        spec "mb4-project" 256 128 14 1 6;
+        spec "mb5-expand" 128 768 14 1 9;
+        spec "mb5-dw" 768 768 14 3 ~groups:768 9;
+        spec "mb5-project" 768 160 14 1 9;
+        spec "mb6-expand" 160 960 7 1 15;
+        spec "mb6-dw" 960 960 7 3 ~groups:960 15;
+        spec "mb6-project" 960 256 7 1 15;
+        spec "head" 256 1280 7 1 1;
+      ];
+  }
+
+let vision_models = [ resnet18; resnet34; densenet121; resnext29_2x64d; efficientnet_v2_s ]
+
+let total_flops m = List.fold_left (fun acc s -> acc + (Convspec.flops s * s.Convspec.count)) 0 m.specs
+let total_params m =
+  List.fold_left (fun acc s -> acc + (Convspec.params s * s.Convspec.count)) 0 m.specs
+
+let resnet34_profile_layers =
+  [
+    spec "stage1" 64 64 56 3 1;
+    spec "stage2" 128 128 28 3 1;
+    spec "stage3" 256 256 14 3 1;
+    spec "stage4" 512 512 7 3 1;
+  ]

@@ -1,0 +1,17 @@
+type stage_shape = { in_ch : int; out_ch : int; hw : int }
+
+let vision_model rng ~make_op ?(in_channels = 4) ?(channels = 8) ?(classes = 4) ?(size = 12) () =
+  let stage1 = make_op rng { in_ch = in_channels; out_ch = channels; hw = size } in
+  let stage2 = make_op rng { in_ch = channels; out_ch = channels; hw = size } in
+  Nn.Model.of_layer
+    (Nn.Layer.sequential "proxy-vision"
+       [
+         stage1;
+         Nn.Layer.channel_affine rng ~channels;
+         Nn.Layer.relu;
+         stage2;
+         Nn.Layer.channel_affine rng ~channels;
+         Nn.Layer.relu;
+         Nn.Layer.global_avg_pool;
+         Nn.Layer.linear rng ~in_features:channels ~out_features:classes;
+       ])

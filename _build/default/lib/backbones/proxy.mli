@@ -1,0 +1,21 @@
+(** Trainable proxy models.
+
+    The paper trains full models on CIFAR-100 for 100 epochs per
+    candidate; here a scaled-down backbone with the candidate operator
+    substituted into every "conv" position is trained on the synthetic
+    vision task.  The operator builder receives the concrete stage
+    shapes, so one symbolic operator serves every position (\u{00a7}5.4). *)
+
+type stage_shape = { in_ch : int; out_ch : int; hw : int }
+
+val vision_model :
+  Nd.Rng.t ->
+  make_op:(Nd.Rng.t -> stage_shape -> Nn.Layer.t) ->
+  ?in_channels:int ->
+  ?channels:int ->
+  ?classes:int ->
+  ?size:int ->
+  unit ->
+  Nn.Model.t
+(** Two operator stages with ReLU and per-channel affine between them,
+    global average pooling, and a linear classifier. *)

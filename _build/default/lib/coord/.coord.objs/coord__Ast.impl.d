@@ -1,0 +1,1 @@
+lib/coord/ast.ml: Format Hashtbl Int List Shape Stdlib

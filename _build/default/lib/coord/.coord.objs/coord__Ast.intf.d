@@ -1,0 +1,1 @@
+lib/coord/ast.mli: Format Shape

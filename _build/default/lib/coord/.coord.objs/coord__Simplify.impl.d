@@ -1,0 +1,1 @@
+lib/coord/simplify.ml: Ast Int List Option Shape

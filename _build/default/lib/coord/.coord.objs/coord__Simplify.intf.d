@@ -1,0 +1,1 @@
+lib/coord/simplify.mli: Ast Shape

@@ -1,0 +1,147 @@
+module Size = Shape.Size
+
+type role =
+  | Spatial
+  | Reduction
+
+type iter = { id : int; dom : Size.t; role : role }
+
+type t =
+  | Iter of iter
+  | Const of int
+  | Size_const of Size.t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of Size.t * t
+  | Div of t * Size.t
+  | Mod of t * Size.t
+
+let iter i = Iter i
+let const c = Const c
+let add a b = Add (a, b)
+let sub a b = Sub (a, b)
+let mul s e = Mul (s, e)
+let div e s = Div (e, s)
+let modulo e s = Mod (e, s)
+
+let iters e =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  let rec go = function
+    | Iter i ->
+        if not (Hashtbl.mem seen i.id) then begin
+          Hashtbl.add seen i.id ();
+          acc := i :: !acc
+        end
+    | Const _ | Size_const _ -> ()
+    | Add (a, b) | Sub (a, b) ->
+        go a;
+        go b
+    | Mul (_, e) | Div (e, _) | Mod (e, _) -> go e
+  in
+  go e;
+  List.rev !acc
+
+let fdiv a b =
+  if b <= 0 then invalid_arg "Ast.fdiv: non-positive divisor";
+  if a >= 0 then a / b else -((-a + b - 1) / b)
+
+let emod a b =
+  let r = a mod b in
+  if r < 0 then r + b else r
+
+let eval ~env ~lookup e =
+  let rec go = function
+    | Iter i -> env i.id
+    | Const c -> c
+    | Size_const s -> Size.eval s lookup
+    | Add (a, b) -> go a + go b
+    | Sub (a, b) -> go a - go b
+    | Mul (s, e) -> Size.eval s lookup * go e
+    | Div (e, s) -> fdiv (go e) (Size.eval s lookup)
+    | Mod (e, s) -> emod (go e) (Size.eval s lookup)
+  in
+  go e
+
+let bounds ~lookup e =
+  let rec go = function
+    | Iter i -> (0, Size.eval i.dom lookup - 1)
+    | Const c -> (c, c)
+    | Size_const s ->
+        let n = Size.eval s lookup in
+        (n, n)
+    | Add (a, b) ->
+        let la, ha = go a and lb, hb = go b in
+        (la + lb, ha + hb)
+    | Sub (a, b) ->
+        let la, ha = go a and lb, hb = go b in
+        (la - hb, ha - lb)
+    | Mul (s, e) ->
+        let n = Size.eval s lookup in
+        let lo, hi = go e in
+        (n * lo, n * hi)
+    | Div (e, s) ->
+        let n = Size.eval s lookup in
+        let lo, hi = go e in
+        (fdiv lo n, fdiv hi n)
+    | Mod (e, s) ->
+        let n = Size.eval s lookup in
+        let lo, hi = go e in
+        if lo >= 0 && hi < n then (lo, hi) else (0, n - 1)
+  in
+  go e
+
+let compare_iter i j =
+  match Int.compare i.id j.id with
+  | 0 -> (
+      match Size.compare i.dom j.dom with
+      | 0 -> Stdlib.compare i.role j.role
+      | c -> c)
+  | c -> c
+
+let rec compare a b =
+  match (a, b) with
+  | Iter i, Iter j -> compare_iter i j
+  | Iter _, _ -> -1
+  | _, Iter _ -> 1
+  | Const x, Const y -> Int.compare x y
+  | Const _, _ -> -1
+  | _, Const _ -> 1
+  | Size_const x, Size_const y -> Size.compare x y
+  | Size_const _, _ -> -1
+  | _, Size_const _ -> 1
+  | Add (a1, a2), Add (b1, b2) | Sub (a1, a2), Sub (b1, b2) -> (
+      match compare a1 b1 with 0 -> compare a2 b2 | c -> c)
+  | Add _, _ -> -1
+  | _, Add _ -> 1
+  | Sub _, _ -> -1
+  | _, Sub _ -> 1
+  | Mul (s1, e1), Mul (s2, e2) -> (
+      match Size.compare s1 s2 with 0 -> compare e1 e2 | c -> c)
+  | Mul _, _ -> -1
+  | _, Mul _ -> 1
+  | Div (e1, s1), Div (e2, s2) | Mod (e1, s1), Mod (e2, s2) -> (
+      match compare e1 e2 with 0 -> Size.compare s1 s2 | c -> c)
+  | Div _, _ -> -1
+  | _, Div _ -> 1
+
+let equal a b = compare a b = 0
+
+let rec size_of_ast = function
+  | Iter _ | Const _ | Size_const _ -> 1
+  | Add (a, b) | Sub (a, b) -> 1 + size_of_ast a + size_of_ast b
+  | Mul (_, e) | Div (e, _) | Mod (e, _) -> 1 + size_of_ast e
+
+let rec pp ppf = function
+  | Iter i ->
+      let prefix = match i.role with Spatial -> "i" | Reduction -> "r" in
+      Format.fprintf ppf "%s%d" prefix i.id
+  | Const c -> Format.pp_print_int ppf c
+  | Size_const s -> Size.pp ppf s
+  | Add (a, b) -> Format.fprintf ppf "(%a + %a)" pp a pp b
+  | Sub (a, b) -> Format.fprintf ppf "(%a - %a)" pp a pp b
+  | Mul (s, e) -> Format.fprintf ppf "%a*%a" Size.pp s pp e
+  | Div (e, s) -> Format.fprintf ppf "(%a / %a)" pp e Size.pp s
+  | Mod (e, s) -> Format.fprintf ppf "(%a %% %a)" pp e Size.pp s
+
+let to_string e = Format.asprintf "%a" pp e

@@ -1,0 +1,64 @@
+(** Coordinate expressions.
+
+    A coordinate expression indexes a tensor dimension.  It is built
+    from {e iterators} (the output iterators of the operator and the
+    reduction iterators introduced by [Reduce]), integer constants,
+    symbolic size constants, and the arithmetic that Syno primitives
+    generate: addition, multiplication / division / modulo by a
+    symbolic size (Table 1). *)
+
+type role =
+  | Spatial  (** an output iterator; one per output dimension *)
+  | Reduction  (** introduced by a [Reduce]; summed over *)
+
+type iter = { id : int; dom : Shape.Size.t; role : role }
+(** An iterator ranging over [0 .. dom - 1].  [id] is unique within an
+    operator. *)
+
+type t =
+  | Iter of iter
+  | Const of int
+  | Size_const of Shape.Size.t
+      (** A symbolic constant, e.g. the [K] in the [- K/2] centering
+          offset of [Unfold]. *)
+  | Add of t * t
+  | Sub of t * t
+  | Mul of Shape.Size.t * t
+  | Div of t * Shape.Size.t  (** floor division *)
+  | Mod of t * Shape.Size.t  (** Euclidean modulo: result in [[0, s)] *)
+
+val iter : iter -> t
+val const : int -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : Shape.Size.t -> t -> t
+val div : t -> Shape.Size.t -> t
+val modulo : t -> Shape.Size.t -> t
+val compare_iter : iter -> iter -> int
+
+val iters : t -> iter list
+(** All distinct iterators, in order of first occurrence. *)
+
+val eval : env:(int -> int) -> lookup:(Shape.Var.t -> int) -> t -> int
+(** [eval ~env ~lookup e] evaluates [e] with [env id] giving the value
+    of iterator [id] and [lookup] the valuation of size variables.
+    Division is floored; modulo is Euclidean. *)
+
+val bounds : lookup:(Shape.Var.t -> int) -> t -> int * int
+(** Inclusive [(lo, hi)] interval bounds of the expression when every
+    iterator ranges over its full domain. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val size_of_ast : t -> int
+(** Number of AST nodes, used as the simplicity measure by the
+    term-rewriting simplifier. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val fdiv : int -> int -> int
+(** Floored integer division. *)
+
+val emod : int -> int -> int
+(** Euclidean modulo (result in [[0, d)] for [d > 0]). *)

@@ -1,0 +1,1 @@
+lib/dataset/synth_lm.ml: Array Hashtbl List Nd Option

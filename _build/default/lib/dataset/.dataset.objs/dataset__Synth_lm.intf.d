@@ -1,0 +1,1 @@
+lib/dataset/synth_lm.mli: Nd

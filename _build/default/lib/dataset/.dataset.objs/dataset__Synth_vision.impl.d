@@ -1,0 +1,1 @@
+lib/dataset/synth_vision.ml: Array List Nd Nn

@@ -1,0 +1,1 @@
+lib/dataset/synth_vision.mli: Nd Nn

@@ -1,0 +1,73 @@
+module Rng = Nd.Rng
+
+type t = {
+  vocab : int;
+  seq_len : int;
+  batches : (int array array * int array array) list;
+  entropy_floor : float;
+}
+
+(* Build a sparse row-stochastic transition matrix: each token has
+   [branching] successors with geometrically decaying probabilities. *)
+let make_chain rng ~vocab ~branching =
+  Array.init vocab (fun _ ->
+      let successors = Array.init branching (fun _ -> Rng.int rng vocab) in
+      let weights = Array.init branching (fun i -> 0.6 ** float_of_int i) in
+      let z = Array.fold_left ( +. ) 0.0 weights in
+      Array.map2 (fun s w -> (s, w /. z)) successors weights)
+
+let entropy chain =
+  let per_row =
+    Array.map
+      (fun row ->
+        (* merge duplicate successors before computing entropy *)
+        let tbl = Hashtbl.create 4 in
+        Array.iter
+          (fun (s, p) ->
+            Hashtbl.replace tbl s (p +. Option.value ~default:0.0 (Hashtbl.find_opt tbl s)))
+          row;
+        Hashtbl.fold (fun _ p acc -> acc -. (p *. log p)) tbl 0.0)
+      chain
+  in
+  Array.fold_left ( +. ) 0.0 per_row /. float_of_int (Array.length chain)
+
+let sample_next rng row =
+  let u = Rng.float rng in
+  let rec go acc = function
+    | [] -> fst row.(Array.length row - 1)
+    | (s, p) :: rest -> if u < acc +. p then s else go (acc +. p) rest
+  in
+  go 0.0 (Array.to_list row)
+
+let sample_sequence rng chain ~vocab ~len =
+  let seq = Array.make (len + 1) 0 in
+  seq.(0) <- Rng.int rng vocab;
+  for i = 1 to len do
+    seq.(i) <- sample_next rng chain.(seq.(i - 1))
+  done;
+  seq
+
+let generate rng ?(vocab = 32) ?(seq_len = 16) ?(batches = 30) ?(batch_size = 8)
+    ?(branching = 3) () =
+  let chain = make_chain rng ~vocab ~branching in
+  let make_batch () =
+    let inputs = Array.make_matrix batch_size seq_len 0 in
+    let targets = Array.make_matrix batch_size seq_len 0 in
+    for b = 0 to batch_size - 1 do
+      let seq = sample_sequence rng chain ~vocab ~len:seq_len in
+      for i = 0 to seq_len - 1 do
+        inputs.(b).(i) <- seq.(i);
+        targets.(b).(i) <- seq.(i + 1)
+      done
+    done;
+    (inputs, targets)
+  in
+  {
+    vocab;
+    seq_len;
+    batches = List.init batches (fun _ -> make_batch ());
+    entropy_floor = entropy chain;
+  }
+
+let uniform_perplexity t = float_of_int t.vocab
+let floor_perplexity t = exp t.entropy_floor

@@ -1,0 +1,31 @@
+(** Synthetic language modelling data (substitute for lm1b).
+
+    Sequences are sampled from a sparse first-order Markov chain with a
+    few high-probability successors per token, so a model that learns
+    the transition structure achieves a perplexity far below the
+    uniform baseline; the chain's entropy gives the attainable floor. *)
+
+type t = {
+  vocab : int;
+  seq_len : int;
+  batches : (int array array * int array array) list;
+      (** (inputs, targets): targets are inputs shifted by one. *)
+  entropy_floor : float;
+      (** The chain's conditional entropy in nats: exp of it is the
+          best achievable perplexity. *)
+}
+
+val generate :
+  Nd.Rng.t ->
+  ?vocab:int ->
+  ?seq_len:int ->
+  ?batches:int ->
+  ?batch_size:int ->
+  ?branching:int ->
+  unit ->
+  t
+(** Defaults: vocab 32, sequence length 16, 30 batches of 8 sequences,
+    branching factor 3. *)
+
+val uniform_perplexity : t -> float
+val floor_perplexity : t -> float

@@ -1,0 +1,58 @@
+module Tensor = Nd.Tensor
+module Rng = Nd.Rng
+
+type t = {
+  train : Nn.Train.batch list;
+  eval : Nn.Train.batch list;
+  classes : int;
+  channels : int;
+  size : int;
+}
+
+let make_motifs rng ~classes ~channels ~motif =
+  Array.init classes (fun _ ->
+      Tensor.init [| channels; motif; motif |] (fun _ -> 2.0 *. Rng.normal rng))
+
+let stamp image motif ~channels ~size ~m ~y0 ~x0 =
+  for c = 0 to channels - 1 do
+    for dy = 0 to m - 1 do
+      for dx = 0 to m - 1 do
+        let y = y0 + dy and x = x0 + dx in
+        if y < size && x < size then
+          Tensor.set image [| c; y; x |]
+            (Tensor.get image [| c; y; x |] +. Tensor.get motif [| c; dy; dx |])
+      done
+    done
+  done
+
+let make_image rng motifs ~channels ~size ~m label =
+  let image = Tensor.init [| channels; size; size |] (fun _ -> 0.4 *. Rng.normal rng) in
+  let stamps = 2 + Rng.int rng 2 in
+  for _ = 1 to stamps do
+    let y0 = Rng.int rng (max 1 (size - m + 1)) in
+    let x0 = Rng.int rng (max 1 (size - m + 1)) in
+    stamp image motifs.(label) ~channels ~size ~m ~y0 ~x0
+  done;
+  image
+
+let make_batch rng motifs ~classes ~channels ~size ~m ~batch_size =
+  let images = Tensor.create [| batch_size; channels; size; size |] in
+  let labels = Array.make batch_size 0 in
+  for i = 0 to batch_size - 1 do
+    let label = Rng.int rng classes in
+    labels.(i) <- label;
+    let img = make_image rng motifs ~channels ~size ~m label in
+    Tensor.iteri
+      (fun idx v -> Tensor.set images [| i; idx.(0); idx.(1); idx.(2) |] v)
+      img
+  done;
+  { Nn.Train.images; labels }
+
+let generate rng ?(classes = 4) ?(channels = 3) ?(size = 12) ?(motif = 3)
+    ?(train_batches = 12) ?(eval_batches = 4) ?(batch_size = 16) () =
+  let motifs = make_motifs rng ~classes ~channels ~motif in
+  let batches n =
+    List.init n (fun _ ->
+        make_batch rng motifs ~classes ~channels ~size ~m:motif ~batch_size)
+  in
+  { train = batches train_batches; eval = batches eval_batches; classes; channels; size }

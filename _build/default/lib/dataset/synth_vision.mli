@@ -1,0 +1,31 @@
+(** Synthetic vision classification (substitute for CIFAR-100 /
+    ImageNet, see DESIGN.md).
+
+    Each class is defined by a fixed multi-channel spatial motif;
+    images are noise plus the class motif stamped at random positions.
+    Recovering the label requires detecting local spatial patterns, so
+    the task exercises exactly the receptive-field and capacity
+    trade-offs that distinguish synthesized operators — a model whose
+    operator cannot mix spatial information cannot exceed chance. *)
+
+type t = {
+  train : Nn.Train.batch list;
+  eval : Nn.Train.batch list;
+  classes : int;
+  channels : int;
+  size : int;
+}
+
+val generate :
+  Nd.Rng.t ->
+  ?classes:int ->
+  ?channels:int ->
+  ?size:int ->
+  ?motif:int ->
+  ?train_batches:int ->
+  ?eval_batches:int ->
+  ?batch_size:int ->
+  unit ->
+  t
+(** Defaults: 4 classes, 3 channels, 12x12 images, 3x3 motifs, 12 train
+    batches and 4 eval batches of 16 images. *)

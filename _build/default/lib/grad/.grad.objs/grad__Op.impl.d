@@ -1,0 +1,1 @@
+lib/grad/op.ml: Array List Nd String Tape

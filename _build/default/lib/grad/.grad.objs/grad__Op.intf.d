@@ -1,0 +1,1 @@
+lib/grad/op.mli: Tape

@@ -1,0 +1,1 @@
+lib/grad/tape.ml: List Nd

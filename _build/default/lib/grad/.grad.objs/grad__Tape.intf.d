@@ -1,0 +1,1 @@
+lib/grad/tape.mli: Nd

@@ -1,0 +1,357 @@
+module Tensor = Nd.Tensor
+module Einsum = Nd.Einsum
+
+type v = Tape.v
+
+let add t a b =
+  Tape.custom t ~inputs:[ a; b ]
+    ~output:(Tensor.add (Tape.data a) (Tape.data b))
+    ~vjp:(fun ~grad_out -> [ Some grad_out; Some grad_out ])
+
+let sub t a b =
+  Tape.custom t ~inputs:[ a; b ]
+    ~output:(Tensor.sub (Tape.data a) (Tape.data b))
+    ~vjp:(fun ~grad_out -> [ Some grad_out; Some (Tensor.scale (-1.0) grad_out) ])
+
+let mul t a b =
+  Tape.custom t ~inputs:[ a; b ]
+    ~output:(Tensor.mul (Tape.data a) (Tape.data b))
+    ~vjp:(fun ~grad_out ->
+      [ Some (Tensor.mul grad_out (Tape.data b)); Some (Tensor.mul grad_out (Tape.data a)) ])
+
+let scale t s a =
+  Tape.custom t ~inputs:[ a ]
+    ~output:(Tensor.scale s (Tape.data a))
+    ~vjp:(fun ~grad_out -> [ Some (Tensor.scale s grad_out) ])
+
+let relu t a =
+  let x = Tape.data a in
+  Tape.custom t ~inputs:[ a ]
+    ~output:(Tensor.map (fun v -> if v > 0.0 then v else 0.0) x)
+    ~vjp:(fun ~grad_out ->
+      [ Some (Tensor.map2 (fun g xv -> if xv > 0.0 then g else 0.0) grad_out x) ])
+
+let reshape t a shape =
+  let original = Tensor.shape (Tape.data a) in
+  Tape.custom t ~inputs:[ a ]
+    ~output:(Tensor.reshape (Tape.data a) shape)
+    ~vjp:(fun ~grad_out -> [ Some (Tensor.reshape grad_out original) ])
+
+let transpose t a perm =
+  let n = Array.length perm in
+  let inverse = Array.make n 0 in
+  Array.iteri (fun i p -> inverse.(p) <- i) perm;
+  Tape.custom t ~inputs:[ a ]
+    ~output:(Tensor.transpose (Tape.data a) perm)
+    ~vjp:(fun ~grad_out -> [ Some (Tensor.transpose grad_out inverse) ])
+
+let einsum t spec values =
+  let inputs_labels = Einsum.input_labels spec in
+  let out_labels = Einsum.output_labels spec in
+  let tensors = List.map Tape.data values in
+  let output = Einsum.einsum spec tensors in
+  let vjp ~grad_out =
+    List.mapi
+      (fun i _ ->
+        let other_labels =
+          List.filteri (fun j _ -> j <> i) inputs_labels
+        in
+        let other_tensors = List.filteri (fun j _ -> j <> i) tensors in
+        let spec_i =
+          String.concat "," (out_labels :: other_labels) ^ "->" ^ List.nth inputs_labels i
+        in
+        Some (Einsum.einsum spec_i (grad_out :: other_tensors)))
+      values
+  in
+  Tape.custom t ~inputs:values ~output ~vjp
+
+let add_bias t a ~bias ~axis =
+  let x = Tape.data a and b = Tape.data bias in
+  let sh = Tensor.shape x in
+  if Tensor.rank b <> 1 || (Tensor.shape b).(0) <> sh.(axis) then
+    invalid_arg "Op.add_bias: bias must be rank 1 matching the axis";
+  let b_data = Tensor.unsafe_data b in
+  let output =
+    Tensor.init sh (fun idx -> Tensor.get x idx +. b_data.(idx.(axis)))
+  in
+  Tape.custom t ~inputs:[ a; bias ] ~output ~vjp:(fun ~grad_out ->
+      let gb = Tensor.create (Tensor.shape b) in
+      let gb_data = Tensor.unsafe_data gb in
+      Tensor.iteri (fun idx g -> gb_data.(idx.(axis)) <- gb_data.(idx.(axis)) +. g) grad_out;
+      [ Some grad_out; Some gb ])
+
+let add_broadcast t a b =
+  let x = Tape.data a and y = Tape.data b in
+  let shx = Tensor.shape x and shy = Tensor.shape y in
+  let nx = Array.length shx and ny = Array.length shy in
+  if ny > nx || Array.sub shx (nx - ny) ny <> shy then
+    invalid_arg "Op.add_broadcast: second shape must be a suffix of the first";
+  let inner = Tensor.numel y in
+  let repeats = Tensor.numel x / max 1 inner in
+  let xd = Tensor.unsafe_data x and yd = Tensor.unsafe_data y in
+  let out = Tensor.create shx in
+  let od = Tensor.unsafe_data out in
+  for r = 0 to repeats - 1 do
+    let off = r * inner in
+    for i = 0 to inner - 1 do
+      od.(off + i) <- xd.(off + i) +. yd.(i)
+    done
+  done;
+  Tape.custom t ~inputs:[ a; b ] ~output:out ~vjp:(fun ~grad_out ->
+      let gd = Tensor.unsafe_data grad_out in
+      let gy = Tensor.create shy in
+      let gyd = Tensor.unsafe_data gy in
+      for r = 0 to repeats - 1 do
+        let off = r * inner in
+        for i = 0 to inner - 1 do
+          gyd.(i) <- gyd.(i) +. gd.(off + i)
+        done
+      done;
+      [ Some grad_out; Some gy ])
+
+let global_avg_pool t a =
+  let x = Tape.data a in
+  let sh = Tensor.shape x in
+  if Array.length sh < 2 then invalid_arg "Op.global_avg_pool: rank < 2";
+  let batch = sh.(0) and channels = sh.(1) in
+  let spatial = Tensor.numel x / (batch * channels) in
+  let inv = 1.0 /. float_of_int spatial in
+  let flat = Tensor.reshape x [| batch; channels; spatial |] in
+  let out = Tensor.create [| batch; channels |] in
+  for n = 0 to batch - 1 do
+    for c = 0 to channels - 1 do
+      let acc = ref 0.0 in
+      for s = 0 to spatial - 1 do
+        acc := !acc +. Tensor.get flat [| n; c; s |]
+      done;
+      Tensor.set out [| n; c |] (!acc *. inv)
+    done
+  done;
+  Tape.custom t ~inputs:[ a ] ~output:out ~vjp:(fun ~grad_out ->
+      let gx = Tensor.create [| batch; channels; spatial |] in
+      for n = 0 to batch - 1 do
+        for c = 0 to channels - 1 do
+          let g = Tensor.get grad_out [| n; c |] *. inv in
+          for s = 0 to spatial - 1 do
+            Tensor.set gx [| n; c; s |] g
+          done
+        done
+      done;
+      [ Some (Tensor.reshape gx sh) ])
+
+(* Softmax along the last axis; rows processed independently. *)
+let softmax_rows x =
+  let sh = Tensor.shape x in
+  let n = Array.length sh in
+  let cols = sh.(n - 1) in
+  let rows = Tensor.numel x / cols in
+  let data = Tensor.unsafe_data x in
+  let out = Tensor.create sh in
+  let out_data = Tensor.unsafe_data out in
+  for r = 0 to rows - 1 do
+    let off = r * cols in
+    let m = ref neg_infinity in
+    for c = 0 to cols - 1 do
+      if data.(off + c) > !m then m := data.(off + c)
+    done;
+    let z = ref 0.0 in
+    for c = 0 to cols - 1 do
+      let e = exp (data.(off + c) -. !m) in
+      out_data.(off + c) <- e;
+      z := !z +. e
+    done;
+    for c = 0 to cols - 1 do
+      out_data.(off + c) <- out_data.(off + c) /. !z
+    done
+  done;
+  out
+
+let softmax t a =
+  let y = softmax_rows (Tape.data a) in
+  Tape.custom t ~inputs:[ a ] ~output:y ~vjp:(fun ~grad_out ->
+      let sh = Tensor.shape y in
+      let n = Array.length sh in
+      let cols = sh.(n - 1) in
+      let rows = Tensor.numel y / cols in
+      let yd = Tensor.unsafe_data y and gd = Tensor.unsafe_data grad_out in
+      let gx = Tensor.create sh in
+      let gxd = Tensor.unsafe_data gx in
+      for r = 0 to rows - 1 do
+        let off = r * cols in
+        let dot = ref 0.0 in
+        for c = 0 to cols - 1 do
+          dot := !dot +. (gd.(off + c) *. yd.(off + c))
+        done;
+        for c = 0 to cols - 1 do
+          gxd.(off + c) <- yd.(off + c) *. (gd.(off + c) -. !dot)
+        done
+      done;
+      [ Some gx ])
+
+let causal_mask t a =
+  let x = Tape.data a in
+  let sh = Tensor.shape x in
+  let n = Array.length sh in
+  if n < 2 || sh.(n - 1) <> sh.(n - 2) then
+    invalid_arg "Op.causal_mask: expected trailing [T; T] axes";
+  let tt = sh.(n - 1) in
+  let out =
+    Tensor.init sh (fun idx ->
+        let q = idx.(n - 2) and k = idx.(n - 1) in
+        if k > q then -1e9 else Tensor.get x idx)
+  in
+  Tape.custom t ~inputs:[ a ] ~output:out ~vjp:(fun ~grad_out ->
+      let gx =
+        Tensor.init sh (fun idx ->
+            let q = idx.(n - 2) and k = idx.(n - 1) in
+            if k > q then 0.0 else Tensor.get grad_out idx)
+      in
+      ignore tt;
+      [ Some gx ])
+
+let layer_norm t a ~gain ~bias =
+  let eps = 1e-5 in
+  let x = Tape.data a in
+  let sh = Tensor.shape x in
+  let n = Array.length sh in
+  let cols = sh.(n - 1) in
+  let rows = Tensor.numel x / cols in
+  let xd = Tensor.unsafe_data x in
+  let g_data = Tensor.unsafe_data (Tape.data gain) in
+  let b_data = Tensor.unsafe_data (Tape.data bias) in
+  let xhat = Tensor.create sh in
+  let xh = Tensor.unsafe_data xhat in
+  let inv_std = Array.make rows 0.0 in
+  let out = Tensor.create sh in
+  let od = Tensor.unsafe_data out in
+  for r = 0 to rows - 1 do
+    let off = r * cols in
+    let mu = ref 0.0 in
+    for c = 0 to cols - 1 do
+      mu := !mu +. xd.(off + c)
+    done;
+    let mu = !mu /. float_of_int cols in
+    let var = ref 0.0 in
+    for c = 0 to cols - 1 do
+      let d = xd.(off + c) -. mu in
+      var := !var +. (d *. d)
+    done;
+    let istd = 1.0 /. sqrt ((!var /. float_of_int cols) +. eps) in
+    inv_std.(r) <- istd;
+    for c = 0 to cols - 1 do
+      xh.(off + c) <- (xd.(off + c) -. mu) *. istd;
+      od.(off + c) <- (xh.(off + c) *. g_data.(c)) +. b_data.(c)
+    done
+  done;
+  Tape.custom t ~inputs:[ a; gain; bias ] ~output:out ~vjp:(fun ~grad_out ->
+      let gd = Tensor.unsafe_data grad_out in
+      let gx = Tensor.create sh in
+      let gxd = Tensor.unsafe_data gx in
+      let ggain = Tensor.create [| cols |] in
+      let gg = Tensor.unsafe_data ggain in
+      let gbias = Tensor.create [| cols |] in
+      let gb = Tensor.unsafe_data gbias in
+      for r = 0 to rows - 1 do
+        let off = r * cols in
+        let mean_dyg = ref 0.0 and mean_dyg_xh = ref 0.0 in
+        for c = 0 to cols - 1 do
+          let dyg = gd.(off + c) *. g_data.(c) in
+          mean_dyg := !mean_dyg +. dyg;
+          mean_dyg_xh := !mean_dyg_xh +. (dyg *. xh.(off + c));
+          gg.(c) <- gg.(c) +. (gd.(off + c) *. xh.(off + c));
+          gb.(c) <- gb.(c) +. gd.(off + c)
+        done;
+        let fc = float_of_int cols in
+        let m1 = !mean_dyg /. fc and m2 = !mean_dyg_xh /. fc in
+        for c = 0 to cols - 1 do
+          let dyg = gd.(off + c) *. g_data.(c) in
+          gxd.(off + c) <- inv_std.(r) *. (dyg -. m1 -. (xh.(off + c) *. m2))
+        done
+      done;
+      [ Some gx; Some ggain; Some gbias ])
+
+let embedding t ~table ~ids =
+  let tbl = Tape.data table in
+  let v, d =
+    match Tensor.shape tbl with
+    | [| v; d |] -> (v, d)
+    | _ -> invalid_arg "Op.embedding: table must be rank 2"
+  in
+  let batch = Array.length ids in
+  let seq = Array.length ids.(0) in
+  let out = Tensor.create [| batch; seq; d |] in
+  for b = 0 to batch - 1 do
+    for s = 0 to seq - 1 do
+      let tok = ids.(b).(s) in
+      if tok < 0 || tok >= v then invalid_arg "Op.embedding: token out of range";
+      for j = 0 to d - 1 do
+        Tensor.set out [| b; s; j |] (Tensor.get tbl [| tok; j |])
+      done
+    done
+  done;
+  Tape.custom t ~inputs:[ table ] ~output:out ~vjp:(fun ~grad_out ->
+      let gt = Tensor.create [| v; d |] in
+      for b = 0 to batch - 1 do
+        for s = 0 to seq - 1 do
+          let tok = ids.(b).(s) in
+          for j = 0 to d - 1 do
+            Tensor.set gt [| tok; j |]
+              (Tensor.get gt [| tok; j |] +. Tensor.get grad_out [| b; s; j |])
+          done
+        done
+      done;
+      [ Some gt ])
+
+let cross_entropy t logits ~labels =
+  let x = Tape.data logits in
+  let b, c =
+    match Tensor.shape x with
+    | [| b; c |] -> (b, c)
+    | _ -> invalid_arg "Op.cross_entropy: logits must be [B; C]"
+  in
+  if Array.length labels <> b then invalid_arg "Op.cross_entropy: label count";
+  let probs = softmax_rows x in
+  let pd = Tensor.unsafe_data probs in
+  let loss = ref 0.0 in
+  for r = 0 to b - 1 do
+    loss := !loss -. log (max 1e-12 pd.((r * c) + labels.(r)))
+  done;
+  let loss = !loss /. float_of_int b in
+  Tape.custom t ~inputs:[ logits ] ~output:(Tensor.scalar loss) ~vjp:(fun ~grad_out ->
+      let g = Tensor.flat_get grad_out 0 /. float_of_int b in
+      let gx = Tensor.copy probs in
+      let gd = Tensor.unsafe_data gx in
+      for r = 0 to b - 1 do
+        gd.((r * c) + labels.(r)) <- gd.((r * c) + labels.(r)) -. 1.0
+      done;
+      for i = 0 to (b * c) - 1 do
+        gd.(i) <- gd.(i) *. g
+      done;
+      [ Some gx ])
+
+let mean t a =
+  let x = Tape.data a in
+  let n = float_of_int (Tensor.numel x) in
+  Tape.custom t ~inputs:[ a ]
+    ~output:(Tensor.scalar (Tensor.sum x /. n))
+    ~vjp:(fun ~grad_out ->
+      let g = Tensor.flat_get grad_out 0 /. n in
+      [ Some (Tensor.map (fun _ -> g) x) ])
+
+let accuracy logits ~labels =
+  let x = Tape.data logits in
+  let b, c =
+    match Tensor.shape x with
+    | [| b; c |] -> (b, c)
+    | _ -> invalid_arg "Op.accuracy: logits must be [B; C]"
+  in
+  let correct = ref 0 in
+  let d = Tensor.unsafe_data x in
+  for r = 0 to b - 1 do
+    let best = ref 0 in
+    for j = 1 to c - 1 do
+      if d.((r * c) + j) > d.((r * c) + !best) then best := j
+    done;
+    if !best = labels.(r) then incr correct
+  done;
+  float_of_int !correct /. float_of_int b

@@ -1,0 +1,55 @@
+(** Differentiable tensor operations.
+
+    Every function records itself on the tape; gradients flow through
+    {!Tape.backward}.  The einsum op derives each input's cotangent as
+    another einsum (swapping that input's labels with the output's), so
+    attention and linear layers need no bespoke backward code.
+
+    Restriction on {!einsum} specs: every label of an input must also
+    appear in the output or another input (no intra-tensor-only summed
+    labels, e.g. no traces) so the cotangent einsum stays well-formed. *)
+
+type v = Tape.v
+
+val add : Tape.t -> v -> v -> v
+val sub : Tape.t -> v -> v -> v
+val mul : Tape.t -> v -> v -> v
+val scale : Tape.t -> float -> v -> v
+val relu : Tape.t -> v -> v
+val reshape : Tape.t -> v -> int array -> v
+val transpose : Tape.t -> v -> int array -> v
+val einsum : Tape.t -> string -> v list -> v
+
+val add_bias : Tape.t -> v -> bias:v -> axis:int -> v
+(** Broadcast-add a rank-1 bias along [axis] of the value. *)
+
+val add_broadcast : Tape.t -> v -> v -> v
+(** [add_broadcast t x y] where [y]'s shape is a suffix of [x]'s:
+    [y] is repeated over the leading axes (e.g. positional embeddings
+    [[T; E]] added to activations [[B; T; E]]). *)
+
+val global_avg_pool : Tape.t -> v -> v
+(** [N; C; d1; ...; dk] -> [N; C], averaging the trailing axes. *)
+
+val softmax : Tape.t -> v -> v
+(** Along the last axis. *)
+
+val causal_mask : Tape.t -> v -> v
+(** For scores [...; T; T]: positions with key index > query index get
+    a large negative additive constant. *)
+
+val layer_norm : Tape.t -> v -> gain:v -> bias:v -> v
+(** Normalize over the last axis ([gain], [bias] rank 1). *)
+
+val embedding : Tape.t -> table:v -> ids:int array array -> v
+(** [table : [V; D]], [ids : B x T] -> [B; T; D]. *)
+
+val cross_entropy : Tape.t -> v -> labels:int array -> v
+(** Mean softmax cross-entropy of logits [[B; C]]; returns a scalar. *)
+
+val mean : Tape.t -> v -> v
+(** Scalar mean of all elements. *)
+
+val accuracy : v -> labels:int array -> float
+(** Fraction of rows of logits [[B; C]] whose argmax equals the label
+    (not differentiable, reads data only). *)

@@ -1,0 +1,1 @@
+lib/lower/einsum_program.ml: Array Buffer Char Coord Format Lazy List Nd Pgraph Printf Reference Shape String

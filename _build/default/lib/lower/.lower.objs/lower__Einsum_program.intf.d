@@ -1,0 +1,1 @@
+lib/lower/einsum_program.mli: Nd Pgraph Shape

@@ -1,0 +1,1 @@
+lib/lower/reference.ml: Array Coord Float List Nd Pgraph Shape

@@ -1,0 +1,1 @@
+lib/lower/reference.mli: Coord Nd Pgraph Shape

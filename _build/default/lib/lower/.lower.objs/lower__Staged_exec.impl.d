@@ -1,0 +1,1 @@
+lib/lower/staged_exec.ml: Array Coord List Nd Pgraph Reference Shape Staging

@@ -1,0 +1,1 @@
+lib/lower/staged_exec.mli: Nd Pgraph Shape Staging

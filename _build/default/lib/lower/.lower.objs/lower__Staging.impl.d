@@ -1,0 +1,1 @@
+lib/lower/staging.ml: Coord Format List Pgraph Shape

@@ -1,0 +1,1 @@
+lib/lower/staging.mli: Coord Format Pgraph Shape

@@ -1,0 +1,211 @@
+module Size = Shape.Size
+module Valuation = Shape.Valuation
+module Ast = Coord.Ast
+module Graph = Pgraph.Graph
+module Tensor = Nd.Tensor
+
+(* Compile a coordinate expression into a closure over the iterator
+   environment (an int array indexed by iterator id). *)
+let rec compile_expr lookup (e : Ast.t) : int array -> int =
+  match e with
+  | Ast.Iter it ->
+      let id = it.Ast.id in
+      fun env -> env.(id)
+  | Ast.Const c -> fun _ -> c
+  | Ast.Size_const s ->
+      let v = Size.eval s lookup in
+      fun _ -> v
+  | Ast.Add (a, b) ->
+      let fa = compile_expr lookup a and fb = compile_expr lookup b in
+      fun env -> fa env + fb env
+  | Ast.Sub (a, b) ->
+      let fa = compile_expr lookup a and fb = compile_expr lookup b in
+      fun env -> fa env - fb env
+  | Ast.Mul (s, a) ->
+      let n = Size.eval s lookup in
+      let fa = compile_expr lookup a in
+      fun env -> n * fa env
+  | Ast.Div (a, s) ->
+      let n = Size.eval s lookup in
+      let fa = compile_expr lookup a in
+      fun env -> Ast.fdiv (fa env) n
+  | Ast.Mod (a, s) ->
+      let n = Size.eval s lookup in
+      let fa = compile_expr lookup a in
+      fun env -> Ast.emod (fa env) n
+
+type t = {
+  op : Graph.operator;
+  out_shape : int array;
+  in_shape : int array;
+  weight_shapes : int array list;
+  n_env : int;  (* environment size: max iterator id + 1 *)
+  spatial_ids : int array;
+  reduction_ids : int array;
+  reduction_doms : int array;
+  input_indexers : (int array -> int) array;  (* one per input dim *)
+  weight_indexers : int array array;  (* iterator ids per weight group *)
+}
+
+let compile (op : Graph.operator) valuation =
+  let lookup = Valuation.lookup valuation in
+  let eval_size s = Size.eval s lookup in
+  let out_shape = Array.of_list (List.map eval_size op.Graph.op_output_shape) in
+  let in_shape = Array.of_list (List.map eval_size op.Graph.op_input_shape) in
+  let weight_shapes =
+    List.map
+      (fun grp -> Array.of_list (List.map (fun it -> eval_size it.Ast.dom) grp))
+      op.Graph.op_weights
+  in
+  let all_ids =
+    List.map (fun it -> it.Ast.id) op.Graph.op_output_iters
+    @ List.map (fun it -> it.Ast.id) op.Graph.op_reductions
+  in
+  let n_env = 1 + List.fold_left max (-1) all_ids in
+  {
+    op;
+    out_shape;
+    in_shape;
+    weight_shapes;
+    n_env;
+    spatial_ids = Array.of_list (List.map (fun it -> it.Ast.id) op.Graph.op_output_iters);
+    reduction_ids = Array.of_list (List.map (fun it -> it.Ast.id) op.Graph.op_reductions);
+    reduction_doms =
+      Array.of_list (List.map (fun it -> eval_size it.Ast.dom) op.Graph.op_reductions);
+    input_indexers = Array.of_list (List.map (compile_expr lookup) op.Graph.op_input_exprs);
+    weight_indexers =
+      Array.of_list
+        (List.map (fun grp -> Array.of_list (List.map (fun it -> it.Ast.id) grp))
+           op.Graph.op_weights);
+  }
+
+let output_shape t = Array.copy t.out_shape
+let input_shape t = Array.copy t.in_shape
+let weight_shapes t = List.map Array.copy t.weight_shapes
+let operator t = t.op
+
+(* Same convention as {!Pgraph.Flops.naive_flops}: the product of the
+   spatial and reduction loop extents, two FLOPs per point. *)
+let flops t =
+  let out = Array.fold_left ( * ) 1 t.out_shape in
+  let red = Array.fold_left ( * ) 1 t.reduction_doms in
+  2 * out * red
+
+(* Each accumulated term multiplies the input by one element of every
+   weight group, so the variance budget 2/fan_in (Kaiming, with fan_in
+   the reduction-space extent) is split evenly across the groups:
+   prod_g var(w_g) = 2 / red. *)
+let init_weights t rng =
+  let red = float_of_int (Array.fold_left ( * ) 1 t.reduction_doms) in
+  let n_groups = List.length t.weight_shapes in
+  if n_groups = 0 then []
+  else
+    let scale = (2.0 /. Float.max 1.0 red) ** (1.0 /. (2.0 *. float_of_int n_groups)) in
+    List.map (fun sh -> Tensor.rand_normal rng ~scale sh) t.weight_shapes
+
+(* Iterate [body env] over every (output x reduction) assignment.  The
+   environment array is reused across iterations. *)
+let loop_nest t body =
+  let env = Array.make (max 1 t.n_env) 0 in
+  let n_out = Array.length t.out_shape in
+  let n_red = Array.length t.reduction_ids in
+  let out_total = Array.fold_left ( * ) 1 t.out_shape in
+  let red_total = Array.fold_left ( * ) 1 t.reduction_doms in
+  for flat_out = 0 to out_total - 1 do
+    let rem = ref flat_out in
+    for i = n_out - 1 downto 0 do
+      env.(t.spatial_ids.(i)) <- !rem mod t.out_shape.(i);
+      rem := !rem / t.out_shape.(i)
+    done;
+    for flat_red = 0 to red_total - 1 do
+      let rem = ref flat_red in
+      for i = n_red - 1 downto 0 do
+        env.(t.reduction_ids.(i)) <- !rem mod t.reduction_doms.(i);
+        rem := !rem / t.reduction_doms.(i)
+      done;
+      body flat_out env
+    done
+  done
+
+(* Input flat offset for the current environment; [-1] when clipped. *)
+let input_offset t env =
+  let n = Array.length t.in_shape in
+  let off = ref 0 in
+  let ok = ref true in
+  (try
+     for i = 0 to n - 1 do
+       let v = t.input_indexers.(i) env in
+       if v < 0 || v >= t.in_shape.(i) then begin
+         ok := false;
+         raise Exit
+       end;
+       off := (!off * t.in_shape.(i)) + v
+     done
+   with Exit -> ());
+  if !ok then !off else -1
+
+let weight_offset ids shape env =
+  let off = ref 0 in
+  Array.iteri (fun i id -> off := (!off * shape.(i)) + env.(id)) ids;
+  !off
+
+let iter_points t f = loop_nest t (fun _ env -> f (input_offset t env))
+
+let forward t ~input ~weights =
+  if Tensor.shape input <> t.in_shape then invalid_arg "Reference.forward: input shape";
+  let w_datas = Array.of_list (List.map Tensor.unsafe_data weights) in
+  let w_shapes = Array.of_list t.weight_shapes in
+  let w_ids = t.weight_indexers in
+  let n_w = Array.length w_ids in
+  let in_data = Tensor.unsafe_data input in
+  let out = Tensor.create t.out_shape in
+  let out_data = Tensor.unsafe_data out in
+  loop_nest t (fun flat_out env ->
+      let off = input_offset t env in
+      if off >= 0 then begin
+        let v = ref in_data.(off) in
+        for g = 0 to n_w - 1 do
+          v := !v *. w_datas.(g).(weight_offset w_ids.(g) w_shapes.(g) env)
+        done;
+        out_data.(flat_out) <- out_data.(flat_out) +. !v
+      end);
+  out
+
+let backward t ~input ~weights ~grad_out =
+  if Tensor.shape grad_out <> t.out_shape then invalid_arg "Reference.backward: grad shape";
+  let w_datas = Array.of_list (List.map Tensor.unsafe_data weights) in
+  let w_shapes = Array.of_list t.weight_shapes in
+  let w_ids = t.weight_indexers in
+  let n_w = Array.length w_ids in
+  let in_data = Tensor.unsafe_data input in
+  let go_data = Tensor.unsafe_data grad_out in
+  let grad_in = Tensor.create t.in_shape in
+  let gi_data = Tensor.unsafe_data grad_in in
+  let grad_ws = List.map Tensor.create t.weight_shapes in
+  let gw_datas = Array.of_list (List.map Tensor.unsafe_data grad_ws) in
+  let w_offs = Array.make n_w 0 in
+  loop_nest t (fun flat_out env ->
+      let off = input_offset t env in
+      if off >= 0 then begin
+        let g_out = go_data.(flat_out) in
+        if g_out <> 0.0 then begin
+          let w_prod = ref 1.0 in
+          for g = 0 to n_w - 1 do
+            w_offs.(g) <- weight_offset w_ids.(g) w_shapes.(g) env;
+            w_prod := !w_prod *. w_datas.(g).(w_offs.(g))
+          done;
+          (* d input *)
+          gi_data.(off) <- gi_data.(off) +. (g_out *. !w_prod);
+          (* d weights: product of all factors except the one being
+             differentiated *)
+          let x = in_data.(off) in
+          for g = 0 to n_w - 1 do
+            let others = ref (g_out *. x) in
+            for g' = 0 to n_w - 1 do
+              if g' <> g then others := !others *. w_datas.(g').(w_offs.(g'))
+            done;
+            gw_datas.(g).(w_offs.(g)) <- gw_datas.(g).(w_offs.(g)) +. !others
+          done
+        end
+      end);
+  (grad_in, grad_ws)

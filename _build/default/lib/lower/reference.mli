@@ -1,0 +1,48 @@
+(** Reference execution of complete operators: the exact loop-nest
+    semantics of a pGraph, with analytically derived gradients.
+
+    [out[o] = sum over r of in[f(o, r)] * prod_g w_g[idx_g(o, r)]]
+
+    where [f] are the input coordinate expressions and out-of-bounds
+    input accesses contribute zero (the clipping semantics of [Unfold]
+    in Table 1).  This is the ground truth that the faster lowered
+    programs are differential-tested against, and the executor used for
+    training synthesized operators inside real models. *)
+
+type t
+
+val compile_expr : (Shape.Var.t -> int) -> Coord.Ast.t -> int array -> int
+(** Compile a coordinate expression into a closure over the iterator
+    environment (indexed by iterator id), with sizes resolved through
+    the lookup.  Shared with {!Staged_exec}. *)
+
+val compile : Pgraph.Graph.operator -> Shape.Valuation.t -> t
+
+val output_shape : t -> int array
+val input_shape : t -> int array
+val weight_shapes : t -> int array list
+val operator : t -> Pgraph.Graph.operator
+
+val init_weights : t -> Nd.Rng.t -> Nd.Tensor.t list
+(** Kaiming-style initialization generalized to weight products: the
+    variance budget [2 / reduction extent] is split evenly across the
+    weight groups so the accumulated output keeps unit-order scale. *)
+
+val forward : t -> input:Nd.Tensor.t -> weights:Nd.Tensor.t list -> Nd.Tensor.t
+
+val backward :
+  t ->
+  input:Nd.Tensor.t ->
+  weights:Nd.Tensor.t list ->
+  grad_out:Nd.Tensor.t ->
+  Nd.Tensor.t * Nd.Tensor.t list
+(** [(grad_input, grad_weights)]. *)
+
+val flops : t -> int
+(** Naive loop-nest FLOPs (no staging). *)
+
+val iter_points : t -> (int -> unit) -> unit
+(** Enumerate the (output, reduction) iteration space in row-major
+    order — outputs outermost — passing the flat input offset of each
+    point, or [-1] when the access is clipped out of bounds.  Used by
+    the gather step of {!Einsum_program}. *)

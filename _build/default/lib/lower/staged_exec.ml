@@ -1,0 +1,258 @@
+module Size = Shape.Size
+module Valuation = Shape.Valuation
+module Ast = Coord.Ast
+module Simplify = Coord.Simplify
+module Graph = Pgraph.Graph
+module Tensor = Nd.Tensor
+
+(* A runtime factor dimension: the coordinate expression that indexes
+   it (over the not-yet-reduced iterators), its extent, and the value
+   corresponding to index 0.  Accesses outside [lo, lo + extent) clip
+   to zero (the Unfold boundary semantics). *)
+type fdim = { expr : Ast.t; extent : int; lo : int }
+
+type factor = { dims : fdim list; data : Tensor.t }
+
+type t = {
+  reference : Reference.t;  (* for shapes and the iterator layout *)
+  op : Graph.operator;
+  valuation : Valuation.t;
+  plan : Staging.plan;
+}
+
+let compile op valuation =
+  {
+    reference = Reference.compile op valuation;
+    op;
+    valuation;
+    plan = Staging.optimize op valuation;
+  }
+
+let plan t = t.plan
+let num_stages t = List.length t.plan.Staging.stages
+
+let iter_in it e = List.exists (fun j -> j.Ast.id = it.Ast.id) (Ast.iters e)
+let factor_has it f = List.exists (fun d -> iter_in it d.expr) f.dims
+
+let residual it e =
+  let rec strip e =
+    match e with
+    | Ast.Add (a, b) -> Ast.add (strip a) (strip b)
+    | Ast.Sub (a, b) -> Ast.sub (strip a) (strip b)
+    | Ast.Iter j when j.Ast.id = it.Ast.id -> Ast.const 0
+    | Ast.Mul (_, Ast.Iter j) when j.Ast.id = it.Ast.id -> Ast.const 0
+    | e -> e
+  in
+  Simplify.flatten (strip e)
+
+(* The linear coefficient of [it] in [e]: e = residual + c * it. *)
+let coefficient lookup it e =
+  let res = residual it e in
+  let env1 id = if id = it.Ast.id then 1 else 0 in
+  let env0 _ = 0 in
+  Ast.eval ~env:env1 ~lookup e - Ast.eval ~env:env1 ~lookup res
+  - (Ast.eval ~env:env0 ~lookup e - Ast.eval ~env:env0 ~lookup res)
+
+(* Materialize the sum over [it] of the product of the participating
+   factors into a new tensor factor. *)
+let materialize lookup it dom factors =
+  let participating, others = List.partition (factor_has it) factors in
+  (* Build the new dim list with, per participating-factor dim, its slot
+     in the new tensor and its c coefficient. *)
+  let new_dims : fdim list ref = ref [] in
+  let slot_of dim =
+    let rec find i = function
+      | [] -> None
+      | d :: _ when Ast.equal d.expr dim.expr -> Some i
+      | _ :: tl -> find (i + 1) tl
+    in
+    find 0 (List.rev !new_dims)
+  in
+  let mapped =
+    List.map
+      (fun f ->
+        let dims_with_slots =
+          List.filter_map
+            (fun d ->
+              let affected = iter_in it d.expr in
+              let c = if affected then coefficient lookup it d.expr else 0 in
+              let target =
+                if affected then
+                  let res = residual it d.expr in
+                  match res with
+                  | Ast.Const base -> `Consumed base (* only the reduction indexes it *)
+                  | res ->
+                      (* The executor indexes materialized dims by VALUE,
+                         so the extent is the dense range — unlike the
+                         cost model, which counts distinct values for
+                         strided residuals. *)
+                      let lo, hi = Ast.bounds ~lookup res in
+                      `Dim { expr = res; extent = hi - lo + 1; lo }
+                else `Dim d
+              in
+              match target with
+              | `Consumed base -> Some (d, -1, c, base)
+              | `Dim nd -> (
+                  match slot_of nd with
+                  | Some slot -> Some (d, slot, c, 0)
+                  | None ->
+                      new_dims := nd :: !new_dims;
+                      Some (d, List.length !new_dims - 1, c, 0)))
+            f.dims
+        in
+        (f, dims_with_slots))
+      participating
+  in
+  let dims = List.rev !new_dims in
+  let extents = Array.of_list (List.map (fun d -> d.extent) dims) in
+  let tensor = Tensor.create (if extents = [||] then [||] else extents) in
+  let data = Tensor.unsafe_data tensor in
+  let n_dims = Array.length extents in
+  let pos = Array.make n_dims 0 in
+  let total = Array.fold_left ( * ) 1 extents in
+  let lows = Array.of_list (List.map (fun d -> d.lo) dims) in
+  for flat = 0 to total - 1 do
+    let rem = ref flat in
+    for i = n_dims - 1 downto 0 do
+      pos.(i) <- !rem mod extents.(i);
+      rem := !rem / extents.(i)
+    done;
+    let acc = ref 0.0 in
+    for r = 0 to dom - 1 do
+      let product = ref 1.0 in
+      (try
+         List.iter
+           (fun (f, dims_with_slots) ->
+             let fdata = Tensor.unsafe_data f.data in
+             let fextents = List.map (fun d -> d.extent) f.dims in
+             let off = ref 0 in
+             List.iter2
+               (fun (d, slot, c, base) fext ->
+                 let value =
+                   (if slot >= 0 then pos.(slot) + lows.(slot) else base) + (c * r)
+                 in
+                 let idx = value - d.lo in
+                 if idx < 0 || idx >= fext then begin
+                   product := 0.0;
+                   raise Exit
+                 end;
+                 off := (!off * fext) + idx)
+               dims_with_slots fextents;
+             product := !product *. fdata.(!off))
+           mapped
+       with Exit -> ());
+      acc := !acc +. !product
+    done;
+    data.(flat) <- !acc
+  done;
+  ({ dims; data = tensor }, others)
+
+let initial_factors t ~input ~weights =
+  let lookup = Valuation.lookup t.valuation in
+  let input_factor =
+    {
+      dims =
+        List.map2
+          (fun e s -> { expr = e; extent = Size.eval s lookup; lo = 0 })
+          t.op.Graph.op_input_exprs t.op.Graph.op_input_shape;
+      data = input;
+    }
+  in
+  let weight_factors =
+    List.map2
+      (fun grp w ->
+        {
+          dims =
+            List.map
+              (fun it -> { expr = Ast.iter it; extent = Size.eval it.Ast.dom lookup; lo = 0 })
+              grp;
+          data = w;
+        })
+      t.op.Graph.op_weights weights
+  in
+  input_factor :: weight_factors
+
+let forward t ~input ~weights =
+  if Tensor.shape input <> Reference.input_shape t.reference then
+    invalid_arg "Staged_exec.forward: input shape";
+  let lookup = Valuation.lookup t.valuation in
+  (* Early stages in plan order. *)
+  let factors, reduced_ids =
+    List.fold_left
+      (fun (factors, done_ids) stage ->
+        let it = stage.Staging.reduced in
+        let dom = Size.eval it.Ast.dom lookup in
+        let t', others = materialize lookup it dom factors in
+        (t' :: others, it.Ast.id :: done_ids))
+      (initial_factors t ~input ~weights, [])
+      t.plan.Staging.stages
+  in
+  (* Final stage: loop over outputs and the remaining reductions. *)
+  let remaining =
+    List.filter (fun it -> not (List.mem it.Ast.id reduced_ids)) t.op.Graph.op_reductions
+  in
+  let out_shape = Reference.output_shape t.reference in
+  let out = Tensor.create out_shape in
+  let out_data = Tensor.unsafe_data out in
+  let spatial = t.op.Graph.op_output_iters in
+  let n_env =
+    1
+    + List.fold_left max (-1)
+        (List.map (fun it -> it.Ast.id) (spatial @ t.op.Graph.op_reductions))
+  in
+  let env = Array.make (max 1 n_env) 0 in
+  (* Pre-compile factor accesses. *)
+  let compiled_factors =
+    List.map
+      (fun f ->
+        let fdata = Tensor.unsafe_data f.data in
+        let accessors =
+          List.map
+            (fun d ->
+              let eval = Reference.compile_expr lookup d.expr in
+              (eval, d.lo, d.extent))
+            f.dims
+        in
+        fun env ->
+          let off = ref 0 in
+          let ok = ref true in
+          (try
+             List.iter
+               (fun (eval, lo, extent) ->
+                 let idx = eval env - lo in
+                 if idx < 0 || idx >= extent then begin
+                   ok := false;
+                   raise Exit
+                 end;
+                 off := (!off * extent) + idx)
+               accessors
+           with Exit -> ());
+          if !ok then fdata.(!off) else 0.0)
+      factors
+  in
+  let out_dims = Array.of_list (List.map (fun it -> Size.eval it.Ast.dom lookup) spatial) in
+  let spatial_ids = Array.of_list (List.map (fun it -> it.Ast.id) spatial) in
+  let red_dims = Array.of_list (List.map (fun it -> Size.eval it.Ast.dom lookup) remaining) in
+  let red_ids = Array.of_list (List.map (fun it -> it.Ast.id) remaining) in
+  let out_total = Array.fold_left ( * ) 1 out_dims in
+  let red_total = Array.fold_left ( * ) 1 red_dims in
+  for flat_out = 0 to out_total - 1 do
+    let rem = ref flat_out in
+    for i = Array.length out_dims - 1 downto 0 do
+      env.(spatial_ids.(i)) <- !rem mod out_dims.(i);
+      rem := !rem / out_dims.(i)
+    done;
+    let acc = ref 0.0 in
+    for flat_red = 0 to red_total - 1 do
+      let rem = ref flat_red in
+      for i = Array.length red_dims - 1 downto 0 do
+        env.(red_ids.(i)) <- !rem mod red_dims.(i);
+        rem := !rem / red_dims.(i)
+      done;
+      let product = ref 1.0 in
+      List.iter (fun access -> product := !product *. access env) compiled_factors;
+      acc := !acc +. !product
+    done;
+    out_data.(flat_out) <- !acc
+  done;
+  out

@@ -1,0 +1,23 @@
+(** Execution of materialized-reduction plans (\u{00a7}8).
+
+    {!Staging.optimize} chooses which reductions to materialize early;
+    this module actually runs that schedule on [nd] tensors: each stage
+    sums one reduction iterator into an intermediate tensor indexed by
+    the residual coordinate expressions, and the final stage contracts
+    what remains over the output/remaining-reduction loops.
+
+    The result is numerically identical to {!Reference.forward} (up to
+    floating-point association) and is differential-tested against it —
+    the staging cost model is thereby validated semantically, not just
+    arithmetically. *)
+
+type t
+
+val compile : Pgraph.Graph.operator -> Shape.Valuation.t -> t
+(** Compiles the operator together with its optimal staging plan. *)
+
+val plan : t -> Staging.plan
+val num_stages : t -> int
+(** Materialized stages (0 = plain loop nest). *)
+
+val forward : t -> input:Nd.Tensor.t -> weights:Nd.Tensor.t list -> Nd.Tensor.t

@@ -1,0 +1,172 @@
+module Size = Shape.Size
+module Valuation = Shape.Valuation
+module Ast = Coord.Ast
+module Simplify = Coord.Simplify
+module Graph = Pgraph.Graph
+
+type stage = { reduced : Ast.iter; extent : int; flops : int }
+
+type plan = {
+  stages : stage list;
+  final_flops : int;
+  total_flops : int;
+  naive_flops : int;
+}
+
+(* A factor of the product being summed: one dimension of a tensor
+   access, with its coordinate expression and concrete extent.  Factors
+   group dims belonging to one tensor. *)
+type fdim = { fexpr : Ast.t; fextent : int }
+type factor = { fdims : fdim list }
+
+let iter_in it e = List.exists (fun j -> j.Ast.id = it.Ast.id) (Ast.iters e)
+let factor_has it f = List.exists (fun d -> iter_in it d.fexpr) f.fdims
+
+(* [r] occurs "linearly at top level" in [e] iff every additive term of
+   [e] containing [r] is exactly [r] or [c * r]. *)
+let linear_occurrence it e =
+  let rec terms sign acc = function
+    | Ast.Add (a, b) -> terms sign (terms sign acc b) a
+    | Ast.Sub (a, b) -> terms sign (terms (-sign) acc b) a
+    | t -> (sign, t) :: acc
+  in
+  List.for_all
+    (fun (_, t) ->
+      match t with
+      | Ast.Iter _ | Ast.Mul (_, Ast.Iter _) -> true
+      | t -> not (iter_in it t))
+    (terms 1 [] e)
+
+(* Remove the [r]-terms from [e]. *)
+let residual it e =
+  let rec strip e =
+    match e with
+    | Ast.Add (a, b) -> Ast.add (strip a) (strip b)
+    | Ast.Sub (a, b) -> Ast.sub (strip a) (strip b)
+    | Ast.Iter j when j.Ast.id = it.Ast.id -> Ast.const 0
+    | Ast.Mul (_, Ast.Iter j) when j.Ast.id = it.Ast.id -> Ast.const 0
+    | e -> e
+  in
+  Simplify.flatten (strip e)
+
+(* Materialize the early reduction of [it] over the participating
+   factors; returns the replacement factor, or [None] if [it] occurs
+   non-linearly somewhere. *)
+let materialize lookup it factors =
+  let participating, others = List.partition (factor_has it) factors in
+  let ok =
+    List.for_all
+      (fun f ->
+        List.for_all
+          (fun d -> (not (iter_in it d.fexpr)) || linear_occurrence it d.fexpr)
+          f.fdims)
+      participating
+  in
+  if not ok then None
+  else
+    let new_dims =
+      List.concat_map
+        (fun f ->
+          List.filter_map
+            (fun d ->
+              if iter_in it d.fexpr then
+                let res = residual it d.fexpr in
+                match res with
+                | Ast.Const _ -> None (* dimension fully consumed *)
+                | res ->
+                    (* Distinct index values are bounded both by the
+                       value range and by the number of iterator
+                       assignments (a strided residual like (C/g)*r has
+                       only dom(r) values across a wide range). *)
+                    let lo, hi = Ast.bounds ~lookup res in
+                    let assignments =
+                      List.fold_left
+                        (fun acc it -> acc * Size.eval it.Ast.dom lookup)
+                        1 (Ast.iters res)
+                    in
+                    Some { fexpr = res; fextent = min (hi - lo + 1) assignments }
+              else Some d)
+            f.fdims)
+        participating
+    in
+    (* Deduplicate dims indexed by syntactically identical expressions
+       (e.g. an iterator shared between two weights). *)
+    let dedup =
+      List.fold_left
+        (fun acc d ->
+          if List.exists (fun d' -> Ast.equal d'.fexpr d.fexpr) acc then acc else d :: acc)
+        [] new_dims
+    in
+    Some ({ fdims = List.rev dedup }, others)
+
+let factor_extent f = List.fold_left (fun acc d -> acc * d.fextent) 1 f.fdims
+
+let initial_factors lookup (op : Graph.operator) =
+  let input =
+    {
+      fdims =
+        List.map2
+          (fun e s -> { fexpr = e; fextent = Size.eval s lookup })
+          op.Graph.op_input_exprs op.Graph.op_input_shape;
+    }
+  in
+  let weights =
+    List.map
+      (fun grp ->
+        {
+          fdims =
+            List.map
+              (fun it -> { fexpr = Ast.iter it; fextent = Size.eval it.Ast.dom lookup })
+              grp;
+        })
+      op.Graph.op_weights
+  in
+  input :: weights
+
+let optimize (op : Graph.operator) valuation =
+  let lookup = Valuation.lookup valuation in
+  let out_elems =
+    List.fold_left (fun acc s -> acc * Size.eval s lookup) 1 op.Graph.op_output_shape
+  in
+  let dom it = Size.eval it.Ast.dom lookup in
+  let naive =
+    2 * out_elems * List.fold_left (fun acc it -> acc * dom it) 1 op.Graph.op_reductions
+  in
+  (* DFS over sequences of early-materialized reductions. *)
+  let best = ref (naive, []) in
+  let rec explore factors remaining spent stages =
+    let final =
+      2 * out_elems * List.fold_left (fun acc it -> acc * dom it) 1 remaining
+    in
+    let total = spent + final in
+    if total < fst !best then best := (total, List.rev stages);
+    List.iter
+      (fun it ->
+        match materialize lookup it factors with
+        | None -> ()
+        | Some (t, others) ->
+            let extent = factor_extent t in
+            let cost = 2 * extent * dom it in
+            if spent + cost < fst !best then
+              explore (t :: others)
+                (List.filter (fun j -> j.Ast.id <> it.Ast.id) remaining)
+                (spent + cost)
+                ({ reduced = it; extent; flops = cost } :: stages))
+      remaining
+  in
+  explore (initial_factors lookup op) op.Graph.op_reductions 0 [];
+  let total, stages = !best in
+  let spent = List.fold_left (fun acc s -> acc + s.flops) 0 stages in
+  { stages; final_flops = total - spent; total_flops = total; naive_flops = naive }
+
+let speedup p = float_of_int p.naive_flops /. float_of_int (max 1 p.total_flops)
+
+let pp_plan ppf p =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "materialize sum over r%d: %d elements, %d flops@," s.reduced.Ast.id
+        s.extent s.flops)
+    p.stages;
+  Format.fprintf ppf "final stage: %d flops@,total %d (naive %d, %.2fx)@]" p.final_flops
+    p.total_flops p.naive_flops (speedup p)

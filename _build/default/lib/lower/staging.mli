@@ -1,0 +1,34 @@
+(** Materialized reduction (\u{00a7}8, Fig. 4).
+
+    A naive lowering evaluates the whole loop nest at once, so a
+    [Reduce] performed after a 1-to-many primitive (e.g. [Unfold])
+    recomputes its sum once per window element.  Materializing the
+    partial reduction as an intermediate tensor removes the
+    duplication: [Z[i'] = sum_is X[i' + s*is]] followed by
+    [Y[i] = sum_ik Z[i + ik - k/2]] costs [(1 + k/s) * H] instead of
+    [k * H] multiply-accumulates.
+
+    [optimize] enumerates the orders in which reduction iterators can
+    be materialized early (each must occur only as a top-level linear
+    term of the input coordinate expressions) and returns the cheapest
+    staging. *)
+
+type stage = {
+  reduced : Coord.Ast.iter;  (** the reduction summed by this stage *)
+  extent : int;  (** elements of the materialized tensor *)
+  flops : int;  (** 2 * extent * dom(reduced) *)
+}
+
+type plan = {
+  stages : stage list;  (** early-materialized reductions, in order *)
+  final_flops : int;  (** the concluding stage over the remaining loops *)
+  total_flops : int;
+  naive_flops : int;
+}
+
+val optimize : Pgraph.Graph.operator -> Shape.Valuation.t -> plan
+
+val speedup : plan -> float
+(** [naive / total], >= 1. *)
+
+val pp_plan : Format.formatter -> plan -> unit

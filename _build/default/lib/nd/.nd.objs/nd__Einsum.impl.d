@@ -1,0 +1,1 @@
+lib/nd/einsum.ml: Array Char Hashtbl List Printf String Tensor

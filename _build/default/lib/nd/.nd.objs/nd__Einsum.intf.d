@@ -1,0 +1,1 @@
+lib/nd/einsum.mli: Tensor

@@ -1,0 +1,1 @@
+lib/nd/rng.ml: Array Float Int64 List

@@ -1,0 +1,1 @@
+lib/nd/rng.mli:

@@ -1,0 +1,1 @@
+lib/nd/tensor.ml: Array Float Format List Rng String

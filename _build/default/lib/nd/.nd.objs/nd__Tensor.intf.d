@@ -1,0 +1,1 @@
+lib/nd/tensor.mli: Format Rng

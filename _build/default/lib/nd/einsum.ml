@@ -1,0 +1,138 @@
+let parse spec =
+  match String.index_opt spec '-' with
+  | Some i when i + 1 < String.length spec && spec.[i + 1] = '>' ->
+      let lhs = String.sub spec 0 i in
+      let rhs = String.sub spec (i + 2) (String.length spec - i - 2) in
+      (String.split_on_char ',' lhs, rhs)
+  | Some _ | None -> invalid_arg "Einsum: spec must contain '->'"
+
+let input_labels spec = fst (parse spec)
+let output_labels spec = snd (parse spec)
+
+type plan = {
+  out_shape : int array;
+  out_extents : int array;  (* extents of output labels *)
+  sum_extents : int array;  (* extents of summed labels *)
+  (* Per input: strides indexed by (output label position, summed label
+     position) so a flat offset is a dot product with the current
+     assignment. *)
+  in_out_strides : int array array;
+  in_sum_strides : int array array;
+  in_shapes : int array list;
+}
+
+let plan spec shapes =
+  let inputs, out = parse spec in
+  if List.length inputs <> List.length shapes then
+    invalid_arg "Einsum.plan: input count mismatch";
+  let extents = Hashtbl.create 16 in
+  List.iter2
+    (fun labels shape ->
+      if String.length labels <> Array.length shape then
+        invalid_arg
+          (Printf.sprintf "Einsum.plan: labels %s do not match rank %d" labels
+             (Array.length shape));
+      String.iteri
+        (fun i c ->
+          match Hashtbl.find_opt extents c with
+          | None -> Hashtbl.add extents c shape.(i)
+          | Some e ->
+              if e <> shape.(i) then
+                invalid_arg (Printf.sprintf "Einsum.plan: inconsistent extent for '%c'" c))
+        labels)
+    inputs shapes;
+  String.iter
+    (fun c ->
+      if not (Hashtbl.mem extents c) then
+        invalid_arg (Printf.sprintf "Einsum.plan: output label '%c' unbound" c))
+    out;
+  let all_labels =
+    List.sort_uniq Char.compare
+      (List.concat_map (fun l -> List.init (String.length l) (String.get l)) inputs)
+  in
+  let summed =
+    List.filter (fun c -> not (String.contains out c)) all_labels
+  in
+  let out_list = List.init (String.length out) (String.get out) in
+  let extent c = Hashtbl.find extents c in
+  let strides_for labels shape =
+    (* stride of each axis in its tensor *)
+    let n = Array.length shape in
+    let strides = Array.make n 1 in
+    for i = n - 2 downto 0 do
+      strides.(i) <- strides.(i + 1) * shape.(i + 1)
+    done;
+    (* label -> total stride (a label may repeat within one input, e.g.
+       a trace; strides then add) *)
+    fun c ->
+      let total = ref 0 in
+      String.iteri (fun i c' -> if c' = c then total := !total + strides.(i)) labels;
+      !total
+  in
+  let per_input f = List.map2 (fun labels shape -> f (strides_for labels shape)) inputs shapes in
+  {
+    out_shape = Array.of_list (List.map extent out_list);
+    out_extents = Array.of_list (List.map extent out_list);
+    sum_extents = Array.of_list (List.map extent summed);
+    in_out_strides =
+      Array.of_list (per_input (fun stride -> Array.of_list (List.map stride out_list)));
+    in_sum_strides =
+      Array.of_list (per_input (fun stride -> Array.of_list (List.map stride summed)));
+    in_shapes = shapes;
+  }
+
+let run p tensors =
+  List.iter2
+    (fun t sh ->
+      if Tensor.shape t <> sh then invalid_arg "Einsum.run: tensor shape changed since plan")
+    tensors p.in_shapes;
+  let datas = Array.of_list (List.map Tensor.unsafe_data tensors) in
+  let n_inputs = Array.length datas in
+  let out = Tensor.create (if Array.length p.out_shape = 0 then [||] else p.out_shape) in
+  let out_data = Tensor.unsafe_data out in
+  let n_out = Array.length p.out_extents in
+  let n_sum = Array.length p.sum_extents in
+  let out_idx = Array.make n_out 0 in
+  let sum_idx = Array.make n_sum 0 in
+  let offsets = Array.make n_inputs 0 in
+  let total_out = Array.fold_left ( * ) 1 p.out_extents in
+  let total_sum = Array.fold_left ( * ) 1 p.sum_extents in
+  for flat_out = 0 to total_out - 1 do
+    (* decode output assignment *)
+    let rem = ref flat_out in
+    for i = n_out - 1 downto 0 do
+      out_idx.(i) <- !rem mod p.out_extents.(i);
+      rem := !rem / p.out_extents.(i)
+    done;
+    (* base offsets from output labels *)
+    for k = 0 to n_inputs - 1 do
+      let off = ref 0 in
+      let strides = p.in_out_strides.(k) in
+      for i = 0 to n_out - 1 do
+        off := !off + (strides.(i) * out_idx.(i))
+      done;
+      offsets.(k) <- !off
+    done;
+    let acc = ref 0.0 in
+    for flat_sum = 0 to total_sum - 1 do
+      let rem = ref flat_sum in
+      for i = n_sum - 1 downto 0 do
+        sum_idx.(i) <- !rem mod p.sum_extents.(i);
+        rem := !rem / p.sum_extents.(i)
+      done;
+      let product = ref 1.0 in
+      for k = 0 to n_inputs - 1 do
+        let off = ref offsets.(k) in
+        let strides = p.in_sum_strides.(k) in
+        for i = 0 to n_sum - 1 do
+          off := !off + (strides.(i) * sum_idx.(i))
+        done;
+        product := !product *. datas.(k).(!off)
+      done;
+      acc := !acc +. !product
+    done;
+    out_data.(flat_out) <- !acc
+  done;
+  out
+
+let einsum spec tensors = run (plan spec (List.map Tensor.shape tensors)) tensors

@@ -1,0 +1,22 @@
+(** Einstein-summation contraction over dense tensors.
+
+    This is the general contraction engine that the einsum-program code
+    generator targets (\u{00a7}8: "each contraction primitive is lowered to an
+    einsum expression").  Specs use the familiar notation, e.g.
+    ["nchw,dc->ndhw"]: repeated labels on the input side that do not
+    appear in the output are summed over. *)
+
+val einsum : string -> Tensor.t list -> Tensor.t
+(** [einsum spec inputs].  Raises [Invalid_argument] on malformed specs,
+    rank mismatches, or inconsistent label extents. *)
+
+type plan
+
+val plan : string -> int array list -> plan
+(** Pre-compile a spec for repeated execution on tensors of the given
+    shapes. *)
+
+val run : plan -> Tensor.t list -> Tensor.t
+
+val output_labels : string -> string
+val input_labels : string -> string list

@@ -1,0 +1,177 @@
+type t = { shape : int array; data : float array }
+
+let numel_of shape = Array.fold_left ( * ) 1 shape
+
+let create shape =
+  Array.iter (fun d -> if d <= 0 then invalid_arg "Tensor.create: non-positive dim") shape;
+  { shape = Array.copy shape; data = Array.make (numel_of shape) 0.0 }
+
+let scalar v = { shape = [||]; data = [| v |] }
+
+let of_array shape data =
+  if Array.length data <> numel_of shape then
+    invalid_arg "Tensor.of_array: data length mismatch";
+  { shape = Array.copy shape; data = Array.copy data }
+
+let shape t = Array.copy t.shape
+let numel t = Array.length t.data
+let rank t = Array.length t.shape
+
+let ravel_index shape idx =
+  let n = Array.length shape in
+  if Array.length idx <> n then invalid_arg "Tensor.ravel_index: rank mismatch";
+  let off = ref 0 in
+  for i = 0 to n - 1 do
+    if idx.(i) < 0 || idx.(i) >= shape.(i) then invalid_arg "Tensor.ravel_index: out of bounds";
+    off := (!off * shape.(i)) + idx.(i)
+  done;
+  !off
+
+let unravel_index shape flat =
+  let n = Array.length shape in
+  let idx = Array.make n 0 in
+  let rem = ref flat in
+  for i = n - 1 downto 0 do
+    idx.(i) <- !rem mod shape.(i);
+    rem := !rem / shape.(i)
+  done;
+  idx
+
+let get t idx = t.data.(ravel_index t.shape idx)
+let set t idx v = t.data.(ravel_index t.shape idx) <- v
+let fill t v = Array.fill t.data 0 (Array.length t.data) v
+let unsafe_data t = t.data
+let flat_get t i = t.data.(i)
+let flat_set t i v = t.data.(i) <- v
+let copy t = { shape = Array.copy t.shape; data = Array.copy t.data }
+
+let init shape f =
+  let t = create shape in
+  let n = Array.length t.data in
+  for flat = 0 to n - 1 do
+    t.data.(flat) <- f (unravel_index shape flat)
+  done;
+  t
+
+let reshape t shape =
+  if numel_of shape <> Array.length t.data then invalid_arg "Tensor.reshape: element count mismatch";
+  { shape = Array.copy shape; data = Array.copy t.data }
+
+let transpose t perm =
+  let n = rank t in
+  if Array.length perm <> n then invalid_arg "Tensor.transpose: bad permutation";
+  let out_shape = Array.map (fun p -> t.shape.(p)) perm in
+  let out = create out_shape in
+  let idx_in = Array.make n 0 in
+  let total = Array.length t.data in
+  for flat = 0 to total - 1 do
+    let out_idx = unravel_index out_shape flat in
+    for i = 0 to n - 1 do
+      idx_in.(perm.(i)) <- out_idx.(i)
+    done;
+    out.data.(flat) <- t.data.(ravel_index t.shape idx_in)
+  done;
+  out
+
+let map f t = { shape = Array.copy t.shape; data = Array.map f t.data }
+
+let map2 f a b =
+  if a.shape <> b.shape then invalid_arg "Tensor.map2: shape mismatch";
+  { shape = Array.copy a.shape; data = Array.map2 f a.data b.data }
+
+let add a b = map2 ( +. ) a b
+let sub a b = map2 ( -. ) a b
+let mul a b = map2 ( *. ) a b
+let scale s t = map (fun x -> s *. x) t
+
+let add_ dst src =
+  if dst.shape <> src.shape then invalid_arg "Tensor.add_: shape mismatch";
+  for i = 0 to Array.length dst.data - 1 do
+    dst.data.(i) <- dst.data.(i) +. src.data.(i)
+  done
+
+let axpy_ a x y =
+  if x.shape <> y.shape then invalid_arg "Tensor.axpy_: shape mismatch";
+  for i = 0 to Array.length y.data - 1 do
+    y.data.(i) <- y.data.(i) +. (a *. x.data.(i))
+  done
+
+let sum t = Array.fold_left ( +. ) 0.0 t.data
+let mean t = sum t /. float_of_int (max 1 (numel t))
+let max_value t = Array.fold_left max neg_infinity t.data
+
+let argmax t =
+  let best = ref 0 in
+  for i = 1 to Array.length t.data - 1 do
+    if t.data.(i) > t.data.(!best) then best := i
+  done;
+  !best
+
+let iteri_aux t f =
+  let sh = t.shape in
+  let total = Array.length t.data in
+  for flat = 0 to total - 1 do
+    f (unravel_index sh flat) t.data.(flat)
+  done
+
+let iteri f t = iteri_aux t f
+
+let sum_axis t axis =
+  let n = rank t in
+  if axis < 0 || axis >= n then invalid_arg "Tensor.sum_axis: bad axis";
+  let out_shape = Array.of_list (List.filteri (fun i _ -> i <> axis) (Array.to_list t.shape)) in
+  let out = create out_shape in
+  let idx_out = Array.make (n - 1) 0 in
+  iteri_aux t (fun idx v ->
+      let j = ref 0 in
+      for i = 0 to n - 1 do
+        if i <> axis then begin
+          idx_out.(!j) <- idx.(i);
+          incr j
+        end
+      done;
+      let o = ravel_index out_shape idx_out in
+      out.data.(o) <- out.data.(o) +. v);
+  out
+
+let matmul a b =
+  match (a.shape, b.shape) with
+  | [| m; k |], [| k'; n |] when k = k' ->
+      let out = create [| m; n |] in
+      for i = 0 to m - 1 do
+        for l = 0 to k - 1 do
+          let av = a.data.((i * k) + l) in
+          if av <> 0.0 then
+            let boff = l * n in
+            let ooff = i * n in
+            for j = 0 to n - 1 do
+              out.data.(ooff + j) <- out.data.(ooff + j) +. (av *. b.data.(boff + j))
+            done
+        done
+      done;
+      out
+  | _ -> invalid_arg "Tensor.matmul: expected compatible 2-D tensors"
+
+let rand_normal rng ~scale shape =
+  let t = create shape in
+  for i = 0 to Array.length t.data - 1 do
+    t.data.(i) <- scale *. Rng.normal rng
+  done;
+  t
+
+let rand_uniform rng ~lo ~hi shape =
+  let t = create shape in
+  for i = 0 to Array.length t.data - 1 do
+    t.data.(i) <- Rng.uniform rng ~lo ~hi
+  done;
+  t
+
+let equal ?(eps = 1e-9) a b =
+  a.shape = b.shape
+  && Array.for_all2 (fun x y -> Float.abs (x -. y) <= eps) a.data b.data
+
+let pp ppf t =
+  Format.fprintf ppf "tensor%a"
+    (fun ppf sh ->
+      Format.fprintf ppf "[%s]" (String.concat "x" (Array.to_list (Array.map string_of_int sh))))
+    t.shape

@@ -1,0 +1,74 @@
+(** Dense row-major float tensors.
+
+    This is the substrate standing in for PyTorch's tensor library: the
+    einsum-program code generator lowers synthesized operators onto
+    these tensors, and the [grad]/[nn] libraries train real models on
+    them.  Tensors are always contiguous; views copy. *)
+
+type t
+
+val create : int array -> t
+(** Zero-filled tensor of the given shape.  A [| |] shape is a scalar. *)
+
+val init : int array -> (int array -> float) -> t
+val scalar : float -> t
+val of_array : int array -> float array -> t
+(** Raises [Invalid_argument] if the data length mismatches. *)
+
+val shape : t -> int array
+val numel : t -> int
+val rank : t -> int
+
+val get : t -> int array -> float
+val set : t -> int array -> float -> unit
+val fill : t -> float -> unit
+
+val unsafe_data : t -> float array
+(** The flat backing store in row-major order (shared, not a copy). *)
+
+val flat_get : t -> int -> float
+val flat_set : t -> int -> float -> unit
+
+val copy : t -> t
+val reshape : t -> int array -> t
+(** Same element count; shares no storage (copies). *)
+
+val transpose : t -> int array -> t
+(** [transpose t perm] permutes axes: output axis [i] is input axis
+    [perm.(i)]. *)
+
+val map : (float -> float) -> t -> t
+val map2 : (float -> float -> float) -> t -> t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val scale : float -> t -> t
+val add_ : t -> t -> unit
+(** In-place accumulate: [add_ dst src]. *)
+
+val axpy_ : float -> t -> t -> unit
+(** [axpy_ a x y] performs [y <- a*x + y] in place. *)
+
+val sum : t -> float
+val mean : t -> float
+val max_value : t -> float
+val argmax : t -> int
+(** Flat index of the maximum element. *)
+
+val sum_axis : t -> int -> t
+(** Sum over one axis, removing it. *)
+
+val matmul : t -> t -> t
+(** 2-D matrix multiplication. *)
+
+val rand_normal : Rng.t -> scale:float -> int array -> t
+val rand_uniform : Rng.t -> lo:float -> hi:float -> int array -> t
+
+val ravel_index : int array -> int array -> int
+(** [ravel_index shape idx] is the row-major flat offset. *)
+
+val unravel_index : int array -> int -> int array
+
+val iteri : (int array -> float -> unit) -> t -> unit
+val equal : ?eps:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/nn/attention.ml: Array Grad Layer List Nd Printf

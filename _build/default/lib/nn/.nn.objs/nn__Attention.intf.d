@@ -1,0 +1,1 @@
+lib/nn/attention.mli: Layer Nd

@@ -1,0 +1,1 @@
+lib/nn/layer.ml: Array Grad List Lower Nd Printf

@@ -1,0 +1,1 @@
+lib/nn/model.ml: Grad Layer List Nd Optimizer

@@ -1,0 +1,1 @@
+lib/nn/train.ml: Array List Model Nd Optimizer

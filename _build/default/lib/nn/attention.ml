@@ -1,0 +1,75 @@
+module Tensor = Nd.Tensor
+module Tape = Grad.Tape
+module Op = Grad.Op
+
+let layer_norm rng ~dim =
+  ignore rng;
+  let gain = Tensor.init [| dim |] (fun _ -> 1.0) in
+  let bias = Tensor.create [| dim |] in
+  {
+    Layer.name = Printf.sprintf "ln(%d)" dim;
+    params = [ gain; bias ];
+    apply =
+      (fun tape params x ->
+        match params with
+        | [ g; b ] -> Op.layer_norm tape x ~gain:g ~bias:b
+        | _ -> invalid_arg "layer_norm: params");
+  }
+
+let causal_self_attention rng ~embed ~heads ?qkv () =
+  if embed mod heads <> 0 then invalid_arg "attention: embed must divide by heads";
+  let head_dim = embed / heads in
+  let proj () = Layer.linear rng ~in_features:embed ~out_features:embed in
+  let q_l, k_l, v_l = match qkv with Some t -> t | None -> (proj (), proj (), proj ()) in
+  let out_l = proj () in
+  let layers = [ q_l; k_l; v_l; out_l ] in
+  {
+    Layer.name = Printf.sprintf "attn(e=%d,h=%d)" embed heads;
+    params = List.concat_map (fun l -> l.Layer.params) layers;
+    apply =
+      (fun tape params x ->
+        let split_params =
+          let rec go acc remaining = function
+            | [] -> List.rev acc
+            | l :: rest ->
+                let n = List.length l.Layer.params in
+                let mine = List.filteri (fun i _ -> i < n) remaining in
+                let others = List.filteri (fun i _ -> i >= n) remaining in
+                go ((l, mine) :: acc) others rest
+          in
+          go [] params layers
+        in
+        let apply_l l x =
+          let _, mine = List.find (fun (l', _) -> l' == l) split_params in
+          l.Layer.apply tape mine x
+        in
+        let sh = Tensor.shape (Tape.data x) in
+        let b, t = (sh.(0), sh.(1)) in
+        let heads4 v = Op.reshape tape v [| b; t; heads; head_dim |] in
+        let q = heads4 (apply_l q_l x) in
+        let k = heads4 (apply_l k_l x) in
+        let v = heads4 (apply_l v_l x) in
+        let scores = Op.einsum tape "bqhd,bkhd->bhqk" [ q; k ] in
+        let scores = Op.scale tape (1.0 /. sqrt (float_of_int head_dim)) scores in
+        let scores = Op.causal_mask tape scores in
+        let probs = Op.softmax tape scores in
+        let ctx = Op.einsum tape "bhqk,bkhd->bqhd" [ probs; v ] in
+        let ctx = Op.reshape tape ctx [| b; t; embed |] in
+        apply_l out_l ctx);
+  }
+
+let mlp rng ~embed ~hidden =
+  Layer.sequential "mlp"
+    [
+      Layer.linear rng ~in_features:embed ~out_features:hidden;
+      Layer.relu;
+      Layer.linear rng ~in_features:hidden ~out_features:embed;
+    ]
+
+let transformer_block rng ~embed ~heads ?qkv () =
+  let attn = causal_self_attention rng ~embed ~heads ?qkv () in
+  Layer.sequential "block"
+    [
+      Layer.residual "attn-res" [ layer_norm rng ~dim:embed; attn ];
+      Layer.residual "mlp-res" [ layer_norm rng ~dim:embed; mlp rng ~embed ~hidden:(4 * embed) ];
+    ]

@@ -1,0 +1,153 @@
+module Tensor = Nd.Tensor
+module Tape = Grad.Tape
+module Op = Grad.Op
+
+type t = {
+  name : string;
+  params : Tensor.t list;
+  apply : Tape.t -> Op.v list -> Op.v -> Op.v;
+}
+
+let take n l =
+  let rec go n acc = function
+    | rest when n = 0 -> (List.rev acc, rest)
+    | x :: rest -> go (n - 1) (x :: acc) rest
+    | [] -> invalid_arg "Layer.take"
+  in
+  go n [] l
+
+let linear rng ~in_features ~out_features =
+  let scale = sqrt (2.0 /. float_of_int in_features) in
+  let w = Tensor.rand_normal rng ~scale [| in_features; out_features |] in
+  let b = Tensor.create [| out_features |] in
+  {
+    name = Printf.sprintf "linear(%d->%d)" in_features out_features;
+    params = [ w; b ];
+    apply =
+      (fun tape params x ->
+        match params with
+        | [ wv; bv ] ->
+            let sh = Tensor.shape (Tape.data x) in
+            let rank = Array.length sh in
+            let lead = Array.sub sh 0 (rank - 1) in
+            let rows = Array.fold_left ( * ) 1 lead in
+            let x2 = Op.reshape tape x [| rows; in_features |] in
+            let y = Op.einsum tape "bi,io->bo" [ x2; wv ] in
+            let y = Op.add_bias tape y ~bias:bv ~axis:1 in
+            Op.reshape tape y (Array.append lead [| out_features |])
+        | _ -> invalid_arg "linear: params");
+  }
+
+let grouped_linear rng ~features ~groups =
+  if features mod groups <> 0 then invalid_arg "grouped_linear: groups must divide features";
+  let block = features / groups in
+  let scale = sqrt (2.0 /. float_of_int block) in
+  let w = Tensor.rand_normal rng ~scale [| groups; block; block |] in
+  let b = Tensor.create [| features |] in
+  {
+    name = Printf.sprintf "grouped_linear(%d,g=%d)" features groups;
+    params = [ w; b ];
+    apply =
+      (fun tape params x ->
+        match params with
+        | [ wv; bv ] ->
+            let sh = Tensor.shape (Tape.data x) in
+            let rank = Array.length sh in
+            let lead = Array.sub sh 0 (rank - 1) in
+            let rows = Array.fold_left ( * ) 1 lead in
+            let xg = Op.reshape tape x [| rows; groups; block |] in
+            let y = Op.einsum tape "rge,gef->rgf" [ xg; wv ] in
+            let y = Op.reshape tape y [| rows; features |] in
+            let y = Op.add_bias tape y ~bias:bv ~axis:1 in
+            Op.reshape tape y (Array.append lead [| features |])
+        | _ -> invalid_arg "grouped_linear: params");
+  }
+
+let relu =
+  { name = "relu"; params = []; apply = (fun tape _ x -> Op.relu tape x) }
+
+let global_avg_pool =
+  { name = "gap"; params = []; apply = (fun tape _ x -> Op.global_avg_pool tape x) }
+
+let flatten =
+  {
+    name = "flatten";
+    params = [];
+    apply =
+      (fun tape _ x ->
+        let sh = Tensor.shape (Tape.data x) in
+        let rest = Tensor.numel (Tape.data x) / sh.(0) in
+        Op.reshape tape x [| sh.(0); rest |]);
+  }
+
+let channel_affine rng ~channels =
+  ignore rng;
+  let g = Tensor.init [| channels |] (fun _ -> 1.0) in
+  let b = Tensor.create [| channels |] in
+  {
+    name = Printf.sprintf "chaffine(%d)" channels;
+    params = [ g; b ];
+    apply =
+      (fun tape params x ->
+        match params with
+        | [ gv; bv ] ->
+            let sh = Tensor.shape (Tape.data x) in
+            let gx =
+              (* scale per channel: use einsum broadcast via reshape *)
+              let rank = Array.length sh in
+              if rank < 2 then invalid_arg "channel_affine: rank < 2";
+              let spatial = Tensor.numel (Tape.data x) / (sh.(0) * sh.(1)) in
+              let x3 = Op.reshape tape x [| sh.(0); sh.(1); spatial |] in
+              let y = Op.einsum tape "ncs,c->ncs" [ x3; gv ] in
+              let y = Op.add_bias tape y ~bias:bv ~axis:1 in
+              Op.reshape tape y sh
+            in
+            gx
+        | _ -> invalid_arg "channel_affine: params");
+  }
+
+let of_operator rng ~name compiled =
+  let weights = Lower.Reference.init_weights compiled rng in
+  {
+    name;
+    params = weights;
+    apply =
+      (fun tape params x ->
+        let input = Tape.data x in
+        let weight_tensors = List.map Tape.data params in
+        let output = Lower.Reference.forward compiled ~input ~weights:weight_tensors in
+        Tape.custom tape ~inputs:(x :: params) ~output ~vjp:(fun ~grad_out ->
+            let gi, gws =
+              Lower.Reference.backward compiled ~input ~weights:weight_tensors ~grad_out
+            in
+            Some gi :: List.map (fun g -> Some g) gws));
+  }
+
+let apply_chain layers tape params x =
+  let v = ref x and remaining = ref params in
+  List.iter
+    (fun l ->
+      let mine, rest = take (List.length l.params) !remaining in
+      remaining := rest;
+      v := l.apply tape mine !v)
+    layers;
+  !v
+
+let sequential name layers =
+  {
+    name;
+    params = List.concat_map (fun l -> l.params) layers;
+    apply = (fun tape params x -> apply_chain layers tape params x);
+  }
+
+let residual name layers =
+  {
+    name;
+    params = List.concat_map (fun l -> l.params) layers;
+    apply =
+      (fun tape params x ->
+        let y = apply_chain layers tape params x in
+        Op.add tape x y);
+  }
+
+let num_params l = List.fold_left (fun acc p -> acc + Tensor.numel p) 0 l.params

@@ -1,0 +1,39 @@
+module Tensor = Nd.Tensor
+module Tape = Grad.Tape
+module Op = Grad.Op
+
+type t = { root : Layer.t }
+
+let of_layer root = { root }
+let params t = t.root.Layer.params
+let num_params t = Layer.num_params t.root
+
+let forward t tape x =
+  let param_vars = List.map (Tape.var tape) t.root.Layer.params in
+  let y = t.root.Layer.apply tape param_vars x in
+  (y, param_vars)
+
+let logits t input =
+  let tape = Tape.create () in
+  let x = Tape.constant tape input in
+  let y, _ = forward t tape x in
+  Tape.data y
+
+type step_stats = { loss : float; accuracy : float }
+
+let train_step t opt ~images ~labels =
+  let tape = Tape.create () in
+  let x = Tape.constant tape images in
+  let y, param_vars = forward t tape x in
+  let loss = Op.cross_entropy tape y ~labels in
+  Tape.backward tape loss;
+  let grads = List.map Tape.grad param_vars in
+  Optimizer.step opt ~params:(params t) ~grads;
+  { loss = Tensor.flat_get (Tape.data loss) 0; accuracy = Op.accuracy y ~labels }
+
+let evaluate t ~images ~labels =
+  let tape = Tape.create () in
+  let x = Tape.constant tape images in
+  let y, _ = forward t tape x in
+  let loss = Op.cross_entropy tape y ~labels in
+  { loss = Tensor.flat_get (Tape.data loss) 0; accuracy = Op.accuracy y ~labels }

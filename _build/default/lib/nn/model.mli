@@ -1,0 +1,25 @@
+(** A model is a root layer plus the bookkeeping to run training steps:
+    wrap parameters on a fresh tape, forward, loss, backward, and
+    collect gradients in parameter order. *)
+
+type t
+
+val of_layer : Layer.t -> t
+val params : t -> Nd.Tensor.t list
+val num_params : t -> int
+
+val forward : t -> Grad.Tape.t -> Grad.Op.v -> Grad.Op.v * Grad.Op.v list
+(** Returns the output value and the tape variables of the parameters
+    (aligned with {!params}), so callers can read gradients. *)
+
+val logits : t -> Nd.Tensor.t -> Nd.Tensor.t
+(** Inference-only forward. *)
+
+type step_stats = { loss : float; accuracy : float }
+
+val train_step :
+  t -> Optimizer.t -> images:Nd.Tensor.t -> labels:int array -> step_stats
+(** One supervised classification step: cross-entropy on the model
+    output interpreted as logits [[B; C]]. *)
+
+val evaluate : t -> images:Nd.Tensor.t -> labels:int array -> step_stats

@@ -1,0 +1,64 @@
+module Tensor = Nd.Tensor
+
+type algo =
+  | Sgd of { momentum : float; weight_decay : float }
+  | Adam of { beta1 : float; beta2 : float; weight_decay : float }
+
+type t = {
+  algo : algo;
+  mutable lr : float;
+  mutable step_count : int;
+  state : (int, Tensor.t * Tensor.t) Hashtbl.t;
+      (* per-param (momentum/m, second-moment/v); SGD uses the first only *)
+}
+
+let sgd ?(momentum = 0.9) ?(weight_decay = 0.0) ~lr () =
+  { algo = Sgd { momentum; weight_decay }; lr; step_count = 0; state = Hashtbl.create 16 }
+
+let adam ?(beta1 = 0.9) ?(beta2 = 0.999) ?(weight_decay = 0.0) ~lr () =
+  { algo = Adam { beta1; beta2; weight_decay }; lr; step_count = 0; state = Hashtbl.create 16 }
+
+let set_lr t lr = t.lr <- lr
+let lr t = t.lr
+
+let buffers t key shape =
+  match Hashtbl.find_opt t.state key with
+  | Some pair -> pair
+  | None ->
+      let pair = (Tensor.create shape, Tensor.create shape) in
+      Hashtbl.add t.state key pair;
+      pair
+
+let step t ~params ~grads =
+  if List.length params <> List.length grads then invalid_arg "Optimizer.step: arity";
+  t.step_count <- t.step_count + 1;
+  List.iteri
+    (fun key (p, g) ->
+      let pd = Tensor.unsafe_data p and gd = Tensor.unsafe_data g in
+      let n = Array.length pd in
+      match t.algo with
+      | Sgd { momentum; weight_decay } ->
+          let m, _ = buffers t key (Tensor.shape p) in
+          let md = Tensor.unsafe_data m in
+          for i = 0 to n - 1 do
+            let grad = gd.(i) +. (weight_decay *. pd.(i)) in
+            md.(i) <- (momentum *. md.(i)) +. grad;
+            pd.(i) <- pd.(i) -. (t.lr *. md.(i))
+          done
+      | Adam { beta1; beta2; weight_decay } ->
+          let m, v = buffers t key (Tensor.shape p) in
+          let md = Tensor.unsafe_data m and vd = Tensor.unsafe_data v in
+          let t1 = 1.0 -. (beta1 ** float_of_int t.step_count) in
+          let t2 = 1.0 -. (beta2 ** float_of_int t.step_count) in
+          for i = 0 to n - 1 do
+            let grad = gd.(i) +. (weight_decay *. pd.(i)) in
+            md.(i) <- (beta1 *. md.(i)) +. ((1.0 -. beta1) *. grad);
+            vd.(i) <- (beta2 *. vd.(i)) +. ((1.0 -. beta2) *. grad *. grad);
+            let mhat = md.(i) /. t1 and vhat = vd.(i) /. t2 in
+            pd.(i) <- pd.(i) -. (t.lr *. mhat /. (sqrt vhat +. 1e-8))
+          done)
+    (List.combine params grads)
+
+let cosine_lr ~base ~total_steps step =
+  let progress = float_of_int (min step total_steps) /. float_of_int (max 1 total_steps) in
+  base *. 0.5 *. (1.0 +. cos (Float.pi *. progress))

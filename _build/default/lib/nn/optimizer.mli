@@ -1,0 +1,19 @@
+(** In-place parameter optimizers (SGD with momentum, Adam).
+
+    State (momentum buffers, Adam moments) is keyed by the position of
+    the parameter in the list, so the same optimizer instance must
+    always be stepped with the same parameter list. *)
+
+type t
+
+val sgd : ?momentum:float -> ?weight_decay:float -> lr:float -> unit -> t
+val adam : ?beta1:float -> ?beta2:float -> ?weight_decay:float -> lr:float -> unit -> t
+
+val set_lr : t -> float -> unit
+val lr : t -> float
+
+val step : t -> params:Nd.Tensor.t list -> grads:Nd.Tensor.t list -> unit
+(** Update parameters in place. *)
+
+val cosine_lr : base:float -> total_steps:int -> int -> float
+(** Cosine decay schedule value at the given step. *)

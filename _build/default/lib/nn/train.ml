@@ -1,0 +1,51 @@
+type batch = { images : Nd.Tensor.t; labels : int array }
+
+type history = {
+  epoch_losses : float list;
+  epoch_accuracies : float list;
+  final_train_accuracy : float;
+  final_eval_accuracy : float;
+}
+
+let evaluate model batches =
+  let total, correct =
+    List.fold_left
+      (fun (total, correct) { images; labels } ->
+        let stats = Model.evaluate model ~images ~labels in
+        let n = Array.length labels in
+        (total + n, correct +. (stats.Model.accuracy *. float_of_int n)))
+      (0, 0.0) batches
+  in
+  if total = 0 then 0.0 else correct /. float_of_int total
+
+let fit ?log model opt ~epochs ~train ~eval =
+  let base_lr = Optimizer.lr opt in
+  let steps_per_epoch = List.length train in
+  let total_steps = epochs * steps_per_epoch in
+  let step = ref 0 in
+  let losses = ref [] and accs = ref [] in
+  for epoch = 1 to epochs do
+    let loss_sum = ref 0.0 and acc_sum = ref 0.0 in
+    List.iter
+      (fun { images; labels } ->
+        Optimizer.set_lr opt (Optimizer.cosine_lr ~base:base_lr ~total_steps !step);
+        incr step;
+        let stats = Model.train_step model opt ~images ~labels in
+        loss_sum := !loss_sum +. stats.Model.loss;
+        acc_sum := !acc_sum +. stats.Model.accuracy)
+      train;
+    let n = float_of_int (max 1 steps_per_epoch) in
+    let epoch_loss = !loss_sum /. n and epoch_acc = !acc_sum /. n in
+    losses := epoch_loss :: !losses;
+    accs := epoch_acc :: !accs;
+    match log with
+    | Some f -> f ~epoch ~loss:epoch_loss ~accuracy:epoch_acc
+    | None -> ()
+  done;
+  Optimizer.set_lr opt base_lr;
+  {
+    epoch_losses = List.rev !losses;
+    epoch_accuracies = List.rev !accs;
+    final_train_accuracy = (match !accs with a :: _ -> a | [] -> 0.0);
+    final_eval_accuracy = evaluate model eval;
+  }

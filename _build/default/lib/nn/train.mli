@@ -1,0 +1,23 @@
+(** Supervised training loops for the vision proxy task. *)
+
+type batch = { images : Nd.Tensor.t; labels : int array }
+
+type history = {
+  epoch_losses : float list;
+  epoch_accuracies : float list;
+  final_train_accuracy : float;
+  final_eval_accuracy : float;
+}
+
+val fit :
+  ?log:(epoch:int -> loss:float -> accuracy:float -> unit) ->
+  Model.t ->
+  Optimizer.t ->
+  epochs:int ->
+  train:batch list ->
+  eval:batch list ->
+  history
+(** Cosine learning-rate schedule over the full run; returns per-epoch
+    training stats plus the final evaluation accuracy. *)
+
+val evaluate : Model.t -> batch list -> float

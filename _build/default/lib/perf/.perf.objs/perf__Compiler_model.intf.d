@@ -1,0 +1,1 @@
+lib/perf/compiler_model.mli: Kernel Platform

@@ -1,0 +1,1 @@
+lib/perf/kernel.ml: Coord Format List Lower Pgraph

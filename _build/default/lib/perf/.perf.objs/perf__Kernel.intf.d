@@ -1,0 +1,1 @@
+lib/perf/kernel.mli: Format Pgraph Shape

@@ -1,0 +1,1 @@
+lib/perf/platform.ml: List

@@ -1,0 +1,1 @@
+lib/perf/roofline.ml: Compiler_model Float Kernel List Pgraph Platform Shape

@@ -1,0 +1,1 @@
+lib/perf/roofline.mli: Compiler_model Kernel Pgraph Platform Shape

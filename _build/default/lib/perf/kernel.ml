@@ -1,0 +1,80 @@
+module Ast = Coord.Ast
+module Graph = Pgraph.Graph
+module Flops = Pgraph.Flops
+
+type t = {
+  flops : int;
+  naive_flops : int;
+  stages : int;
+  input_bytes : int;
+  output_bytes : int;
+  param_bytes : int;
+  regular : bool;
+  grouped : bool;
+  arithmetic_intensity : float;
+}
+
+(* Division of a pure constant (e.g. the K/2 centering offset) does not
+   make the access pattern irregular; division of an iterator does. *)
+let is_dynamic e = Ast.iters e <> []
+
+let rec irregular_expr = function
+  | Ast.Div (e, _) | Ast.Mod (e, _) -> is_dynamic e
+  | Ast.Add (a, b) | Ast.Sub (a, b) -> irregular_expr a || irregular_expr b
+  | Ast.Mul (_, e) -> irregular_expr e
+  | Ast.Iter _ | Ast.Const _ | Ast.Size_const _ -> false
+
+let of_operator (op : Graph.operator) valuation =
+  let plan = Lower.Staging.optimize op valuation in
+  let bytes_per = 4 in
+  let input_bytes = bytes_per * Flops.input_elems op valuation in
+  let output_bytes = bytes_per * Flops.output_elems op valuation in
+  let param_bytes = bytes_per * Flops.params op valuation in
+  let irregular = List.exists irregular_expr op.Graph.op_input_exprs in
+  (* Depthwise/grouped character: a weight dimension indexed by a
+     spatial iterator that also indexes the input (per-channel weights).
+     Multiple weight groups alone are fine — they lower to separate
+     regular contraction stages. *)
+  let spatial_weight_sharing =
+    List.exists
+      (List.exists (fun it ->
+           it.Ast.role = Ast.Spatial
+           && List.exists
+                (fun e -> List.exists (fun j -> j.Ast.id = it.Ast.id) (Ast.iters e))
+                op.Graph.op_input_exprs))
+      op.Graph.op_weights
+  in
+  let grouped = irregular || spatial_weight_sharing in
+  let flops = plan.Lower.Staging.total_flops in
+  let total_bytes = input_bytes + output_bytes + param_bytes in
+  {
+    flops;
+    naive_flops = plan.Lower.Staging.naive_flops;
+    stages = 1 + List.length plan.Lower.Staging.stages;
+    input_bytes;
+    output_bytes;
+    param_bytes;
+    regular = not irregular;
+    grouped;
+    arithmetic_intensity = float_of_int flops /. float_of_int (max 1 total_bytes);
+  }
+
+let quantize_int8 k =
+  {
+    k with
+    flops = k.flops / 2;
+    naive_flops = k.naive_flops / 2;
+    input_bytes = k.input_bytes / 4;
+    output_bytes = k.output_bytes / 4;
+    param_bytes = k.param_bytes / 4;
+    arithmetic_intensity =
+      float_of_int (k.flops / 2)
+      /. float_of_int (max 1 ((k.input_bytes + k.output_bytes + k.param_bytes) / 4));
+  }
+
+let pp ppf k =
+  Format.fprintf ppf "kernel{flops=%d (naive %d, %d stages), bytes=%d+%d+%d, %s%s, ai=%.2f}"
+    k.flops k.naive_flops k.stages k.input_bytes k.output_bytes k.param_bytes
+    (if k.regular then "regular" else "irregular")
+    (if k.grouped then ",grouped" else "")
+    k.arithmetic_intensity

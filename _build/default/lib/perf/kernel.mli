@@ -1,0 +1,26 @@
+(** Characterization of an operator instance as a kernel for the
+    performance model: FLOPs (after materialized-reduction staging),
+    memory traffic, and access-pattern regularity flags that decide how
+    well each compiler handles it. *)
+
+type t = {
+  flops : int;  (** staged (materialized-reduction) FLOPs *)
+  naive_flops : int;
+  stages : int;  (** number of kernels after staging *)
+  input_bytes : int;
+  output_bytes : int;
+  param_bytes : int;
+  regular : bool;
+      (** no division/modulo indexing: contiguous matmul/conv-like *)
+  grouped : bool;
+      (** grouped/depthwise character: div/mod channel indexing or
+          multiple weight tensors *)
+  arithmetic_intensity : float;  (** flops / total bytes *)
+}
+
+val of_operator : Pgraph.Graph.operator -> Shape.Valuation.t -> t
+val quantize_int8 : t -> t
+(** INT8 variant: quarter-size data and parameters, and effectively
+    double compute throughput (modelled as halved FLOPs). *)
+
+val pp : Format.formatter -> t -> unit

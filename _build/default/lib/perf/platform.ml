@@ -1,0 +1,51 @@
+type t = {
+  name : string;
+  peak_gflops : float;
+  tensor_core_gflops : float option;
+  mem_bw_gbps : float;
+  cache_bytes : int;
+  launch_overhead_us : float;
+}
+
+(* 6x Cortex-A78AE @ ~1.5 GHz, 2x128-bit NEON FMA: ~6*1.5*16 = 144;
+   derated to sustained ~72 GFLOPs.  Shared LPDDR5 at 34 GB/s. *)
+let mobile_cpu =
+  {
+    name = "mobile-cpu";
+    peak_gflops = 72.0;
+    tensor_core_gflops = None;
+    mem_bw_gbps = 34.0;
+    cache_bytes = 4 * 1024 * 1024;
+    launch_overhead_us = 2.0;
+  }
+
+(* Orin Nano GPU: 1024 CUDA cores @ 0.625 GHz * 2 = 1.28 TFLOPs FP32;
+   same 34 GB/s LPDDR5; small L2. *)
+let mobile_gpu =
+  {
+    name = "mobile-gpu";
+    peak_gflops = 1280.0;
+    tensor_core_gflops = Some 2560.0;
+    mem_bw_gbps = 34.0;
+    cache_bytes = 2 * 1024 * 1024;
+    launch_overhead_us = 8.0;
+  }
+
+(* A100-40GB: 19.5 TFLOPs FP32, 156 TFLOPs TF32 tensor cores,
+   1555 GB/s HBM2, 40 MB L2. *)
+let a100 =
+  {
+    name = "a100";
+    peak_gflops = 19500.0;
+    tensor_core_gflops = Some 156000.0;
+    mem_bw_gbps = 1555.0;
+    cache_bytes = 40 * 1024 * 1024;
+    launch_overhead_us = 1.0;
+  }
+
+let all = [ mobile_cpu; mobile_gpu; a100 ]
+
+let by_name name =
+  match List.find_opt (fun p -> p.name = name) all with
+  | Some p -> p
+  | None -> invalid_arg ("Platform.by_name: unknown platform " ^ name)

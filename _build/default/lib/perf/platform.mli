@@ -1,0 +1,25 @@
+(** Hardware platform models (\u{00a7}9.1).
+
+    The paper evaluates on an NVIDIA Jetson Orin Nano (6-core
+    Cortex-A78AE CPU and a 1024-core Ampere GPU) and an A100.  We model
+    each as a roofline: peak FP32 throughput, DRAM bandwidth, a
+    last-level cache capacity that decides whether weights stay
+    resident, and a per-kernel launch overhead.  Numbers come from
+    public datasheets; only latency {e ratios} matter downstream. *)
+
+type t = {
+  name : string;
+  peak_gflops : float;  (** FP32 peak *)
+  tensor_core_gflops : float option;
+      (** TF32 tensor-core peak, exploitable only by compilers that
+          emit tensor-core code (TorchInductor, not TVM in FP32). *)
+  mem_bw_gbps : float;
+  cache_bytes : int;
+  launch_overhead_us : float;
+}
+
+val mobile_cpu : t
+val mobile_gpu : t
+val a100 : t
+val all : t list
+val by_name : string -> t

@@ -1,0 +1,38 @@
+let kernel_time_us compiler platform (k : Kernel.t) =
+  let open Platform in
+  let gflops = Compiler_model.effective_gflops compiler platform k in
+  let compute_us = float_of_int k.Kernel.flops /. (gflops *. 1e3) in
+  (* Weights that exceed the cache are streamed from DRAM repeatedly;
+     charge them a reuse factor.  This is what makes parameter-light
+     operators (Operator 2) win big on edge devices. *)
+  let param_traffic =
+    if k.Kernel.param_bytes <= platform.cache_bytes then float_of_int k.Kernel.param_bytes
+    else float_of_int k.Kernel.param_bytes *. 6.0
+  in
+  let bytes =
+    float_of_int (k.Kernel.input_bytes + k.Kernel.output_bytes) +. param_traffic
+  in
+  let memory_us = bytes /. (platform.mem_bw_gbps *. 1e3) in
+  Float.max compute_us memory_us
+  +. (float_of_int k.Kernel.stages *. platform.launch_overhead_us)
+
+let operator_time_us compiler platform op valuation =
+  kernel_time_us compiler platform (Kernel.of_operator op valuation)
+
+let quantized_operator_time_us compiler platform op valuation =
+  kernel_time_us compiler platform (Kernel.quantize_int8 (Kernel.of_operator op valuation))
+
+type layer_instance = {
+  li_operator : Pgraph.Graph.operator;
+  li_valuation : Shape.Valuation.t;
+  li_count : int;
+}
+
+let model_time_ms compiler platform layers =
+  List.fold_left
+    (fun acc li ->
+      acc
+      +. float_of_int li.li_count
+         *. operator_time_us compiler platform li.li_operator li.li_valuation)
+    0.0 layers
+  /. 1000.0

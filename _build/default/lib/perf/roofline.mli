@@ -1,0 +1,24 @@
+(** Roofline latency estimation.
+
+    A kernel's time is the maximum of its compute time (staged FLOPs at
+    the compiler's sustained rate) and its memory time (data traffic at
+    DRAM bandwidth, with weights that overflow the last-level cache
+    charged multiple times), plus per-kernel launch overhead for each
+    stage.  End-to-end model latency sums the per-layer kernels. *)
+
+val kernel_time_us : Compiler_model.t -> Platform.t -> Kernel.t -> float
+
+val operator_time_us :
+  Compiler_model.t -> Platform.t -> Pgraph.Graph.operator -> Shape.Valuation.t -> float
+
+val quantized_operator_time_us :
+  Compiler_model.t -> Platform.t -> Pgraph.Graph.operator -> Shape.Valuation.t -> float
+(** INT8-quantized execution of the same operator (Fig. 8 baseline). *)
+
+type layer_instance = {
+  li_operator : Pgraph.Graph.operator;
+  li_valuation : Shape.Valuation.t;
+  li_count : int;  (** occurrences of this layer shape in the model *)
+}
+
+val model_time_ms : Compiler_model.t -> Platform.t -> layer_instance list -> float

@@ -1,0 +1,1 @@
+lib/pgraph/canon.ml: Coord Format Graph List Prim Result Shape

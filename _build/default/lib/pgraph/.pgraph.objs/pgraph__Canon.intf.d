@@ -1,0 +1,1 @@
+lib/pgraph/canon.mli: Coord Graph Prim Shape

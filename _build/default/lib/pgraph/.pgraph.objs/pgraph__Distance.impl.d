@@ -1,0 +1,1 @@
+lib/pgraph/distance.ml: Hashtbl List Option Shape String

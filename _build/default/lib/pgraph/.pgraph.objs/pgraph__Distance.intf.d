@@ -1,0 +1,1 @@
+lib/pgraph/distance.mli: Shape

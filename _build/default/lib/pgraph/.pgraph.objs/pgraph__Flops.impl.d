@@ -1,0 +1,1 @@
+lib/pgraph/flops.ml: Coord Graph List Shape

@@ -1,0 +1,1 @@
+lib/pgraph/flops.mli: Graph Shape

@@ -1,0 +1,1 @@
+lib/pgraph/graph.ml: Coord Format List Prim Printf Result Shape

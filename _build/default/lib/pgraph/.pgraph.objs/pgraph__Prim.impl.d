@@ -1,0 +1,1 @@
+lib/pgraph/prim.ml: Format Shape Stdlib

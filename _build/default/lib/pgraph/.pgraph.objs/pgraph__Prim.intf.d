@@ -1,0 +1,1 @@
+lib/pgraph/prim.mli: Format Shape

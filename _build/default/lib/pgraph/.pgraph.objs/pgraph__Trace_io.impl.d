@@ -1,0 +1,1 @@
+lib/pgraph/trace_io.ml: Format Graph List Prim Printf Result Shape String

@@ -1,0 +1,1 @@
+lib/pgraph/trace_io.mli: Graph Prim Shape

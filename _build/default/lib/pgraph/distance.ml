@@ -1,0 +1,203 @@
+module Size = Shape.Size
+module Var = Shape.Var
+
+type side =
+  | Current
+  | Desired
+
+(* Exact divisibility without introducing denominators. *)
+let div_exact a b =
+  match Size.div a b with
+  | Some q when not (Size.has_negative_exponent q) -> Some q
+  | Some _ | None -> None
+
+let multiset_equal a b =
+  List.length a = List.length b
+  &&
+  let sa = List.sort Size.compare a and sb = List.sort Size.compare b in
+  List.for_all2 Size.equal sa sb
+
+(* Cost of one reshape group.  [None] = infeasible group. *)
+let group_cost lhs rhs =
+  if multiset_equal lhs rhs then Some 0
+  else
+    match (lhs, rhs) with
+    (* Desired dims with no current counterpart need a Reduce to
+       introduce the missing variables, then regrouping: one step for
+       the Reduce plus (1 + #rhs - 2) reshapes. *)
+    | [], _ :: _ -> Some (List.length rhs)
+    | [], [] -> Some 0
+    | _ :: _, _ -> (
+        match div_exact (Size.product lhs) (Size.product rhs) with
+        | None -> None
+        | Some ratio ->
+            (* When the group's product shrinks, at least one
+               eliminating primitive (Unfold window, Expand, Match) is
+               required.  A single Unfold both regroups and eliminates,
+               so the two requirements overlap: the bound is their
+               maximum, not their sum. *)
+            let elim = if Size.is_one ratio then 0 else 1 in
+            let reshapes =
+              match rhs with
+              | [] -> max 0 (List.length lhs - 1)
+              | _ :: _ -> max 0 (List.length lhs + List.length rhs - 2)
+            in
+            Some (max reshapes elim))
+
+(* --- Grouping enumeration ---------------------------------------------- *)
+
+(* Dimensions sharing a primary variable must live in the same group;
+   we union-find primary variables, turning the dims into "units", then
+   enumerate set partitions of the units and attachments of the
+   coefficient-only dims. *)
+
+let primary_vars size = List.filter Var.is_primary (Size.vars size)
+
+let units_of dims =
+  (* dims : (side * Size.t) list.  Returns unit list, each a list of
+     (side * Size.t), plus the coefficient-only dims. *)
+  let with_primary, coeff_only =
+    List.partition (fun (_, s) -> primary_vars s <> []) dims
+  in
+  (* Union-find over primary variable names. *)
+  let parent = Hashtbl.create 16 in
+  let rec find v =
+    match Hashtbl.find_opt parent v with
+    | None -> v
+    | Some p ->
+        let root = find p in
+        if root <> p then Hashtbl.replace parent v root;
+        root
+  in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then Hashtbl.replace parent ra rb
+  in
+  List.iter
+    (fun (_, s) ->
+      match List.map Var.name (primary_vars s) with
+      | [] -> ()
+      | first :: rest -> List.iter (union first) rest)
+    with_primary;
+  let buckets = Hashtbl.create 16 in
+  List.iter
+    (fun ((_, s) as dim) ->
+      let root = find (Var.name (List.hd (primary_vars s))) in
+      let existing = try Hashtbl.find buckets root with Not_found -> [] in
+      Hashtbl.replace buckets root (dim :: existing))
+    with_primary;
+  let units = Hashtbl.fold (fun _ dims acc -> dims :: acc) buckets [] in
+  (units, coeff_only)
+
+(* All set partitions of [items], capped. *)
+let rec partitions items =
+  match items with
+  | [] -> [ [] ]
+  | x :: rest ->
+      List.concat_map
+        (fun parts ->
+          (* x joins each existing block, or starts a new one. *)
+          let joined =
+            List.mapi
+              (fun i _ -> List.mapi (fun j b -> if i = j then x :: b else b) parts)
+              parts
+          in
+          ([ x ] :: parts) :: joined)
+        (partitions rest)
+
+(* Attach each coefficient-only dim to one of the blocks, or (for
+   current-side dims) to a fresh elimination block. *)
+let rec attachments coeff_dims blocks =
+  match coeff_dims with
+  | [] -> [ blocks ]
+  | ((side, _) as dim) :: rest ->
+      let with_join =
+        List.concat_map
+          (fun blocks' ->
+            List.mapi
+              (fun i _ -> List.mapi (fun j b -> if i = j then dim :: b else b) blocks')
+              blocks')
+          (attachments rest blocks)
+      in
+      let with_own =
+        match side with
+        | Current -> List.map (fun blocks' -> [ dim ] :: blocks') (attachments rest blocks)
+        | Desired -> []
+      in
+      with_own @ with_join
+
+let max_schemes = 20_000
+
+let raw_distance ~current ~desired =
+  if multiset_equal current desired then Some 0
+  else
+    let dims =
+      List.map (fun s -> (Current, s)) current @ List.map (fun s -> (Desired, s)) desired
+    in
+    let units, coeff_only = units_of dims in
+    let unit_partitions = partitions (List.map (fun u -> u) units) in
+    let best = ref None in
+    let count = ref 0 in
+    (try
+       List.iter
+         (fun unit_part ->
+           (* Each block of the unit partition is a list of units; flatten
+              to dims, then attach coefficient-only dims. *)
+           let blocks = List.map List.concat unit_part in
+           List.iter
+             (fun blocks' ->
+               incr count;
+               if !count > max_schemes then raise Exit;
+               let cost =
+                 List.fold_left
+                   (fun acc block ->
+                     match acc with
+                     | None -> None
+                     | Some acc ->
+                         let lhs =
+                           List.filter_map
+                             (fun (side, s) -> if side = Current then Some s else None)
+                             block
+                         in
+                         let rhs =
+                           List.filter_map
+                             (fun (side, s) -> if side = Desired then Some s else None)
+                             block
+                         in
+                         Option.map (fun c -> acc + c) (group_cost lhs rhs))
+                   (Some 0) blocks'
+               in
+               match cost with
+               | None -> ()
+               | Some total -> (
+                   match !best with
+                   | Some b when b <= total -> ()
+                   | Some _ | None -> best := Some total))
+             (attachments coeff_only blocks))
+         unit_partitions
+     with Exit -> ());
+    !best
+
+(* --- Memoization -------------------------------------------------------- *)
+
+type t = (string, int option) Hashtbl.t
+
+let create () = Hashtbl.create 1024
+
+let key ~current ~desired =
+  let part dims =
+    String.concat ";" (List.map Size.to_string (List.sort Size.compare dims))
+  in
+  part current ^ "|" ^ part desired
+
+let distance t ~current ~desired =
+  let k = key ~current ~desired in
+  match Hashtbl.find_opt t k with
+  | Some d -> d
+  | None ->
+      let d = raw_distance ~current ~desired in
+      Hashtbl.add t k d;
+      d
+
+let within t ~current ~desired ~budget =
+  match distance t ~current ~desired with Some d -> d <= budget | None -> false

@@ -1,0 +1,30 @@
+(** Shape distance (\u{00a7}7.1): a lower bound on the number of primitives
+    that must still be applied to a partial pGraph before its frontier
+    can match the desired input shape.
+
+    The metric partitions the current and desired dimensions into
+    {e reshape groups} — future primitives only act within a group —
+    and charges each group [#lhs + #rhs - 2] regrouping steps
+    (Merge/Split), plus one global step when the total domains differ
+    (at least one 1-to-many primitive is then required).  Groupings are
+    enumerated (dimensions sharing a primary variable are forced
+    together; coefficient-only dimensions float) and the minimum bound
+    is returned.
+
+    The bound never overestimates, so pruning with it (Algorithm 1,
+    line 20) cannot discard a reachable completion. *)
+
+type t
+
+val create : unit -> t
+(** A distance calculator with an internal memo table. *)
+
+val distance :
+  t -> current:Shape.Size.t list -> desired:Shape.Size.t list -> int option
+(** [None] when no grouping scheme is feasible, i.e. the desired shape
+    is unreachable with the helpful primitives (Merge, Split, Unfold,
+    Expand) alone. *)
+
+val within :
+  t -> current:Shape.Size.t list -> desired:Shape.Size.t list -> budget:int -> bool
+(** [within ~budget] iff the distance exists and is [<= budget]. *)

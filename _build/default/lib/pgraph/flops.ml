@@ -1,0 +1,37 @@
+module Size = Shape.Size
+module Valuation = Shape.Valuation
+module Ast = Coord.Ast
+
+let prod_sizes valuation sizes =
+  List.fold_left (fun acc s -> acc * Valuation.size valuation s) 1 sizes
+
+let output_elems (op : Graph.operator) valuation =
+  prod_sizes valuation op.Graph.op_output_shape
+
+let input_elems (op : Graph.operator) valuation =
+  prod_sizes valuation op.Graph.op_input_shape
+
+let reduction_elems (op : Graph.operator) valuation =
+  prod_sizes valuation (List.map (fun it -> it.Ast.dom) op.Graph.op_reductions)
+
+(* The paper (\u{00a7}8): "the FLOPs depend only on the output iterators and
+   the Reduces ... the number of iterations is their product". *)
+let naive_flops (op : Graph.operator) valuation =
+  2 * output_elems op valuation * reduction_elems op valuation
+
+let params (op : Graph.operator) valuation =
+  List.fold_left
+    (fun acc group -> acc + prod_sizes valuation (List.map (fun it -> it.Ast.dom) group))
+    0 op.Graph.op_weights
+
+let memory_footprint op valuation =
+  input_elems op valuation + output_elems op valuation + params op valuation
+
+let within_budgets ?max_flops ?max_params ?max_memory op valuations =
+  let le limit v = match limit with None -> true | Some l -> v <= l in
+  List.for_all
+    (fun valuation ->
+      le max_flops (naive_flops op valuation)
+      && le max_params (params op valuation)
+      && le max_memory (memory_footprint op valuation))
+    valuations

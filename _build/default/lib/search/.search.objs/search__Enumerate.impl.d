@@ -1,0 +1,1 @@
+lib/search/enumerate.ml: Array Coord Hashtbl List Nd Pgraph Shape

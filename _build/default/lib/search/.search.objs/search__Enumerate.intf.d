@@ -1,0 +1,1 @@
+lib/search/enumerate.mli: Nd Pgraph Shape

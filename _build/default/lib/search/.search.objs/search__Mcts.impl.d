@@ -1,0 +1,1 @@
+lib/search/mcts.ml: Array Enumerate Float Hashtbl List Pgraph

@@ -1,0 +1,1 @@
+lib/search/mcts.mli: Enumerate Nd Pgraph

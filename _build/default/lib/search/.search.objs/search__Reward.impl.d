@@ -1,0 +1,1 @@
+lib/search/reward.ml: Coord Float List Pgraph

@@ -1,0 +1,1 @@
+lib/search/reward.mli: Pgraph Shape

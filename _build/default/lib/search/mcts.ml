@@ -1,0 +1,117 @@
+module Graph = Pgraph.Graph
+module Distance = Pgraph.Distance
+
+type config = { iterations : int; exploration : float; rollout_depth : int }
+
+let default_config ?(iterations = 300) () =
+  { iterations; exploration = sqrt 2.0; rollout_depth = 12 }
+
+type result = { operator : Graph.operator; reward : float; visits : int }
+
+type node = {
+  state : Graph.t;
+  depth : int;
+  mutable children : (Pgraph.Prim.t * node) array option;  (* None = unexpanded *)
+  mutable visits : int;
+  mutable total : float;
+}
+
+let make_node state depth = { state; depth; children = None; visits = 0; total = 0.0 }
+
+let search ?(config = default_config ()) enum_cfg ~reward ~rng () =
+  let dist = Distance.create () in
+  let found : (string, Graph.operator * float * int) Hashtbl.t = Hashtbl.create 64 in
+  let record op r =
+    let key = Graph.operator_signature op in
+    match Hashtbl.find_opt found key with
+    | None -> Hashtbl.add found key (op, r, 1)
+    | Some (op0, r0, n) -> Hashtbl.replace found key (op0, Float.max r0 r, n + 1)
+  in
+  let evaluate op =
+    let r = reward op in
+    record op r;
+    r
+  in
+  (* Rollout: random guided walk from the node's state.  Every complete
+     state along the way is evaluated and recorded (Algorithm 1 keeps
+     enumerating past a match); the rollout's value is the best reward
+     seen. *)
+  let rollout node =
+    let rec go depth g best =
+      let best =
+        match Enumerate.try_complete enum_cfg g with
+        | Some op -> Float.max best (evaluate op)
+        | None -> best
+      in
+      if depth >= enum_cfg.Enumerate.max_prims then best
+      else
+        match
+          Enumerate.guided_children enum_cfg dist g
+            ~budget:(enum_cfg.Enumerate.max_prims - depth - 1)
+        with
+        | [] -> best
+        | options -> go (depth + 1) (Enumerate.pick_guided rng options) best
+    in
+    go node.depth node.state 0.0
+  in
+  let expand node =
+    match node.children with
+    | Some c -> c
+    | None ->
+        let kids =
+          List.filter
+            (fun (_, g') ->
+              Distance.within dist
+                ~current:(Graph.frontier_sizes g')
+                ~desired:enum_cfg.Enumerate.desired_shape
+                ~budget:(enum_cfg.Enumerate.max_prims - node.depth - 1))
+            (Enumerate.children enum_cfg node.state)
+        in
+        let arr =
+          Array.of_list (List.map (fun (p, g') -> (p, make_node g' (node.depth + 1))) kids)
+        in
+        node.children <- Some arr;
+        arr
+  in
+  let ucb parent_visits child =
+    if child.visits = 0 then infinity
+    else
+      (child.total /. float_of_int child.visits)
+      +. (config.exploration
+          *. sqrt (log (float_of_int (max 1 parent_visits)) /. float_of_int child.visits))
+  in
+  let rec simulate node =
+    node.visits <- node.visits + 1;
+    (* Terminal reward opportunity at this node. *)
+    let r =
+      let kids = expand node in
+      if Array.length kids = 0 then
+        match Enumerate.try_complete enum_cfg node.state with
+        | Some op -> evaluate op
+        | None -> 0.0
+      else begin
+        (* pick by UCB; unvisited children first *)
+        let best = ref 0 in
+        for i = 1 to Array.length kids - 1 do
+          let _, ci = kids.(i) and _, cb = kids.(!best) in
+          if ucb node.visits ci > ucb node.visits cb then best := i
+        done;
+        let _, child = kids.(!best) in
+        if child.visits = 0 then begin
+          child.visits <- 1;
+          let r = rollout child in
+          child.total <- child.total +. r;
+          r
+        end
+        else simulate child
+      end
+    in
+    node.total <- node.total +. r;
+    r
+  in
+  let root = make_node (Graph.init enum_cfg.Enumerate.output_shape) 0 in
+  for _ = 1 to config.iterations do
+    ignore (simulate root)
+  done;
+  Hashtbl.fold (fun _ (op, r, n) acc -> { operator = op; reward = r; visits = n } :: acc) found []
+  |> List.sort (fun a b -> compare b.reward a.reward)

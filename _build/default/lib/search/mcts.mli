@@ -1,0 +1,33 @@
+(** Monte Carlo Tree Search over partial pGraphs (\u{00a7}7.2).
+
+    The search space is a Markov decision process whose states are
+    partial pGraphs and whose actions are canonical primitive
+    applications; terminal states are complete operators.  Selection
+    uses UCB1; rollouts sample shape-distance-guided random completions;
+    rewards come from a caller-provided evaluator (the accuracy proxy or
+    real training).  All completed operators seen during the search are
+    recorded and returned with their best observed reward. *)
+
+type config = {
+  iterations : int;
+  exploration : float;  (** UCB1 constant, default sqrt 2 *)
+  rollout_depth : int;  (** unused actions beyond this fail the rollout *)
+}
+
+val default_config : ?iterations:int -> unit -> config
+
+type result = {
+  operator : Pgraph.Graph.operator;
+  reward : float;
+  visits : int;  (** times this operator was reached *)
+}
+
+val search :
+  ?config:config ->
+  Enumerate.config ->
+  reward:(Pgraph.Graph.operator -> float) ->
+  rng:Nd.Rng.t ->
+  unit ->
+  result list
+(** Results sorted by decreasing reward, deduplicated by operator
+    signature. *)

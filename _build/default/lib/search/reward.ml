@@ -1,0 +1,84 @@
+module Ast = Coord.Ast
+module Graph = Pgraph.Graph
+module Flops = Pgraph.Flops
+
+type features = {
+  spatial_mixing : bool;
+  channel_mixing : bool;
+  channel_diversity : bool;
+  params : int;
+  flops : int;
+  weight_groups : int;
+  uses_expand : bool;
+}
+
+let features (op : Graph.operator) valuation =
+  let has_role role e = List.exists (fun it -> it.Ast.role = role) (Ast.iters e) in
+  let spatial_mixing =
+    List.exists
+      (fun e ->
+        (has_role Ast.Spatial e && has_role Ast.Reduction e)
+        ||
+        (* a Shift also mixes spatial information *)
+        let rec shifted = function
+          | Ast.Mod (inner, _) -> Ast.iters inner <> [] && has_role Ast.Spatial inner
+          | Ast.Add (a, b) | Ast.Sub (a, b) -> shifted a || shifted b
+          | Ast.Mul (_, e) | Ast.Div (e, _) -> shifted e
+          | Ast.Iter _ | Ast.Const _ | Ast.Size_const _ -> false
+        in
+        shifted e)
+      op.Graph.op_input_exprs
+  in
+  let channel_mixing =
+    List.exists
+      (fun grp ->
+        List.exists
+          (fun it ->
+            it.Ast.role = Ast.Reduction
+            && List.exists
+                 (fun e -> List.exists (fun j -> j.Ast.id = it.Ast.id) (Ast.iters e))
+                 op.Graph.op_input_exprs)
+          grp)
+      op.Graph.op_weights
+  in
+  (* An output iterator that indexes a weight but not the input gives
+     each output channel its own learned filter; without one, channels
+     are replicas up to views (the low-quality i_Co/2 pattern of \u{00a7}5.1). *)
+  let channel_diversity =
+    List.exists
+      (fun grp ->
+        List.exists
+          (fun it ->
+            it.Ast.role = Ast.Spatial
+            && not
+                 (List.exists
+                    (fun e -> List.exists (fun j -> j.Ast.id = it.Ast.id) (Ast.iters e))
+                    op.Graph.op_input_exprs))
+          grp)
+      op.Graph.op_weights
+  in
+  {
+    spatial_mixing;
+    channel_mixing;
+    channel_diversity;
+    params = Flops.params op valuation;
+    flops = Flops.naive_flops op valuation;
+    weight_groups = List.length op.Graph.op_weights;
+    uses_expand = List.exists (fun p -> Pgraph.Prim.kind p = Pgraph.Prim.K_expand) op.Graph.op_trace;
+  }
+
+let score ?flops_budget op valuation =
+  let f = features op valuation in
+  match flops_budget with
+  | Some budget when f.flops > budget -> 0.0
+  | Some _ | None ->
+      let base = 0.15 in
+      let mixing =
+        (if f.spatial_mixing then 0.25 else 0.0)
+        +. (if f.channel_mixing then 0.25 else 0.0)
+        +. if f.channel_diversity then 0.2 else 0.0
+      in
+      (* Diminishing returns on parameter capacity. *)
+      let capacity = Float.min 0.15 (0.025 *. log (1.0 +. float_of_int f.params)) in
+      let penalty = if f.uses_expand && not f.spatial_mixing then 0.1 else 0.0 in
+      Float.max 0.0 (Float.min 1.0 (base +. mixing +. capacity -. penalty))

@@ -1,0 +1,1 @@
+lib/shape/size.ml: Format Hashtbl Int List Var

@@ -1,0 +1,1 @@
+lib/shape/size.mli: Format Var

@@ -1,0 +1,1 @@
+lib/shape/valuation.ml: Format List Map Size Var

@@ -1,0 +1,1 @@
+lib/shape/valuation.mli: Format Size Var

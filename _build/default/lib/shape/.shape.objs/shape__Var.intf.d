@@ -1,0 +1,1 @@
+lib/shape/var.mli: Format

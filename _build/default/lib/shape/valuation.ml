@@ -1,0 +1,31 @@
+module Var_map = Map.Make (Var)
+
+type t = int Var_map.t
+
+let empty = Var_map.empty
+
+let add v n t =
+  if n <= 0 then invalid_arg "Valuation.add: non-positive value";
+  Var_map.add v n t
+
+let of_list l = List.fold_left (fun t (v, n) -> add v n t) empty l
+
+let find t v = Var_map.find v t
+let find_opt t v = Var_map.find_opt v t
+let mem t v = Var_map.mem v t
+let bindings t = Var_map.bindings t
+
+let lookup t v =
+  match Var_map.find_opt v t with
+  | Some n -> n
+  | None -> failwith ("Valuation.lookup: unbound variable " ^ Var.to_string v)
+
+let size t s = Size.eval s (lookup t)
+let size_opt t s = Size.eval_opt s (lookup t)
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf (v, n) -> Format.fprintf ppf "%a=%d" Var.pp v n))
+    (bindings t)

@@ -1,0 +1,29 @@
+(** Concrete valuations of symbolic variables.
+
+    Syno synthesizes on symbolic shapes and substitutes concrete sizes
+    at code-generation time (\u{00a7}5.4).  A valuation maps every variable
+    appearing in an operator to a positive integer. *)
+
+type t
+
+val empty : t
+val add : Var.t -> int -> t -> t
+(** Raises [Invalid_argument] on a non-positive value. *)
+
+val of_list : (Var.t * int) list -> t
+val find : t -> Var.t -> int
+(** Raises [Not_found] when the variable is unbound. *)
+
+val find_opt : t -> Var.t -> int option
+val mem : t -> Var.t -> bool
+val bindings : t -> (Var.t * int) list
+val lookup : t -> Var.t -> int
+(** Like [find] but raises [Failure] with the variable name, for use as
+    the callback of {!Size.eval}. *)
+
+val size : t -> Size.t -> int
+(** [size t s] evaluates [s] under [t]; raises [Failure] if not a
+    positive integer. *)
+
+val size_opt : t -> Size.t -> int option
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,30 @@
+type kind =
+  | Primary
+  | Coefficient
+
+type t = { kind : kind; name : string }
+
+let make kind name =
+  if String.length name = 0 then invalid_arg "Var.make: empty name";
+  { kind; name }
+
+let primary name = make Primary name
+let coefficient name = make Coefficient name
+let name v = v.name
+let kind v = v.kind
+
+let is_primary v =
+  match v.kind with
+  | Primary -> true
+  | Coefficient -> false
+
+let is_coefficient v = not (is_primary v)
+
+let compare a b =
+  match compare a.kind b.kind with
+  | 0 -> String.compare a.name b.name
+  | c -> c
+
+let equal a b = compare a b = 0
+let pp ppf v = Format.pp_print_string ppf v.name
+let to_string v = v.name

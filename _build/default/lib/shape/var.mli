@@ -1,0 +1,35 @@
+(** Symbolic size variables.
+
+    Syno (\u{00a7}5.4) distinguishes two classes of variables:
+    {ul
+    {- {e primary} variables stand for input/output dimensions of the
+       operator being synthesized (e.g. [C_out], [H]).  They are assumed
+       relatively large and may never appear in the denominator of a
+       size or coordinate expression;}
+    {- {e coefficient} variables are introduced by primitive parameters
+       (e.g. the kernel size [k] of an [Unfold]).  They are assumed
+       relatively small and may appear in denominators.}} *)
+
+type kind =
+  | Primary
+  | Coefficient
+
+type t
+
+val make : kind -> string -> t
+(** [make kind name] creates a variable.  Variables are compared
+    structurally: two calls with the same kind and name yield equal
+    variables. *)
+
+val primary : string -> t
+val coefficient : string -> t
+
+val name : t -> string
+val kind : t -> kind
+val is_primary : t -> bool
+val is_coefficient : t -> bool
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/syno/api.ml: Backbones Dataset List Lower Nn Option Perf Pgraph Search Shape Zoo

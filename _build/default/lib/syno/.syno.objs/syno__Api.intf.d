@@ -1,0 +1,1 @@
+lib/syno/api.mli: Backbones Dataset Nd Nn Perf Pgraph Shape Zoo

@@ -1,0 +1,1 @@
+lib/syno/zoo.ml: Pgraph Printf Shape

@@ -1,0 +1,1 @@
+lib/syno/zoo.mli: Pgraph Shape

@@ -1,0 +1,183 @@
+module Size = Shape.Size
+module Valuation = Shape.Valuation
+module Graph = Pgraph.Graph
+module Flops = Pgraph.Flops
+module Convspec = Backbones.Convspec
+
+type layer_op = { op : Graph.operator; valuation : Valuation.t }
+
+(* Pick coefficient values that divide the layer's channel sizes. *)
+let pick_divisor candidates n = List.find_opt (fun d -> n mod d = 0) candidates
+
+let spec_valuation ?(g = 1) ?(s = 1) (spec : Convspec.t) =
+  Zoo.Vars.conv_valuation ~n:1 ~c_in:spec.Convspec.in_channels
+    ~c_out:spec.Convspec.out_channels ~hw:spec.Convspec.height
+    ~k:(max 1 spec.Convspec.kernel) ~g ~s ()
+
+let baseline_layer_op (spec : Convspec.t) =
+  if spec.Convspec.groups = 1 then
+    { op = Zoo.conv2d.Zoo.operator; valuation = spec_valuation spec }
+  else if spec.Convspec.groups = spec.Convspec.in_channels then
+    { op = Zoo.depthwise_conv.Zoo.operator; valuation = spec_valuation spec }
+  else
+    { op = Zoo.grouped_conv.Zoo.operator; valuation = spec_valuation ~g:spec.Convspec.groups spec }
+
+(* An instantiation is usable if every size in the operator evaluates
+   to a positive integer under the valuation. *)
+let instantiable op valuation =
+  match Flops.naive_flops op valuation + Flops.params op valuation with
+  | (_ : int) -> true
+  | exception Failure _ -> false
+
+let substituted_layer_op entry (spec : Convspec.t) =
+  if not (Convspec.substitutable spec) then baseline_layer_op spec
+  else
+    let g =
+      Option.value ~default:1
+        (pick_divisor [ 2; 4 ]
+           (let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+            gcd spec.Convspec.in_channels spec.Convspec.out_channels))
+    in
+    let candidates =
+      [
+        spec_valuation ~g ~s:4 spec;
+        spec_valuation ~g ~s:2 spec;
+        spec_valuation ~g ~s:1 spec;
+        spec_valuation ~g:1 ~s:1 spec;
+      ]
+    in
+    let op = entry.Zoo.operator in
+    match List.find_opt (fun v -> instantiable op v) candidates with
+    | Some valuation -> { op; valuation }
+    | None -> baseline_layer_op spec
+
+let layer_instances ?substitute (model : Backbones.Models.t) =
+  List.map
+    (fun spec ->
+      let { op; valuation } =
+        match substitute with
+        | Some entry -> substituted_layer_op entry spec
+        | None -> baseline_layer_op spec
+      in
+      {
+        Perf.Roofline.li_operator = op;
+        li_valuation = valuation;
+        li_count = spec.Convspec.count;
+      })
+    model.Backbones.Models.specs
+
+let model_latency_ms ?substitute model compiler platform =
+  Perf.Roofline.model_time_ms compiler platform (layer_instances ?substitute model)
+
+let model_flops ?substitute model =
+  List.fold_left
+    (fun acc li ->
+      let plan = Lower.Staging.optimize li.Perf.Roofline.li_operator li.li_valuation in
+      acc + (plan.Lower.Staging.total_flops * li.li_count))
+    0
+    (layer_instances ?substitute model)
+
+let model_params ?substitute model =
+  List.fold_left
+    (fun acc li ->
+      acc + (Flops.params li.Perf.Roofline.li_operator li.li_valuation * li.li_count))
+    0
+    (layer_instances ?substitute model)
+
+let speedup entry model compiler platform =
+  model_latency_ms model compiler platform
+  /. model_latency_ms ~substitute:entry model compiler platform
+
+(* --- Proxy training ------------------------------------------------------ *)
+
+let proxy_batch_size = 16
+
+let proxy_layer entry rng (stage : Backbones.Proxy.stage_shape) =
+  let valuation =
+    Zoo.Vars.conv_valuation ~n:proxy_batch_size ~c_in:stage.Backbones.Proxy.in_ch
+      ~c_out:stage.Backbones.Proxy.out_ch ~hw:stage.Backbones.Proxy.hw ~k:3 ~g:2 ~s:2 ()
+  in
+  let compiled = Lower.Reference.compile entry.Zoo.operator valuation in
+  Nn.Layer.of_operator rng ~name:entry.Zoo.name compiled
+
+let train_entry ?(epochs = 8) ?(lr = 0.1) ~rng entry (data : Dataset.Synth_vision.t) =
+  let model =
+    Backbones.Proxy.vision_model rng
+      ~make_op:(fun rng stage -> proxy_layer entry rng stage)
+      ~in_channels:data.Dataset.Synth_vision.channels ~channels:8
+      ~classes:data.Dataset.Synth_vision.classes
+      ~size:data.Dataset.Synth_vision.size ()
+  in
+  let opt = Nn.Optimizer.sgd ~momentum:0.9 ~weight_decay:1e-4 ~lr () in
+  Nn.Train.fit model opt ~epochs ~train:data.Dataset.Synth_vision.train
+    ~eval:data.Dataset.Synth_vision.eval
+
+(* --- Search --------------------------------------------------------------- *)
+
+type candidate = {
+  operator : Graph.operator;
+  signature : string;
+  reward : float;
+  flops : int;
+  params : int;
+}
+
+let default_search_valuations =
+  [
+    Zoo.Vars.conv_valuation ~n:1 ~c_in:16 ~c_out:16 ~hw:16 ~k:3 ~g:2 ~s:2 ();
+    Zoo.Vars.conv_valuation ~n:1 ~c_in:32 ~c_out:64 ~hw:8 ~k:3 ~g:2 ~s:2 ();
+  ]
+
+let search_conv_operators ?(iterations = 2000) ?(max_prims = 9) ?(flops_budget_ratio = 1.0)
+    ~rng ~valuations () =
+  let open Zoo.Vars in
+  let sz = Size.of_var in
+  let output_shape = [ sz n; sz c_out; sz h; sz w ] in
+  let desired_shape = [ sz n; sz c_in; sz h; sz w ] in
+  let conv_flops =
+    List.fold_left
+      (fun acc v -> max acc (Flops.naive_flops Zoo.conv2d.Zoo.operator v))
+      0 valuations
+  in
+  let budget =
+    int_of_float (flops_budget_ratio *. float_of_int conv_flops)
+  in
+  let base = Search.Enumerate.default_config ~output_shape ~desired_shape ~valuations () in
+  let cfg =
+    {
+      base with
+      Search.Enumerate.max_prims;
+      coefficient_candidates = [ sz k; sz s; sz g ];
+      reduce_candidates =
+        [
+          sz c_in;
+          Size.mul (Size.var_pow g (-1)) (sz c_in);
+          Size.mul (Size.var_pow g (-1)) (Size.mul (Size.var_pow s (-1)) (sz c_out));
+          Size.mul (Size.var_pow s (-1)) (sz c_out);
+          sz k;
+        ];
+      max_flops = Some budget;
+      frozen_sizes = [ sz n ];
+    }
+  in
+  let reward op =
+    let r =
+      List.fold_left
+        (fun acc v -> acc +. Search.Reward.score ~flops_budget:budget op v)
+        0.0 valuations
+    in
+    r /. float_of_int (max 1 (List.length valuations))
+  in
+  let mcts_cfg = Search.Mcts.default_config ~iterations () in
+  let results = Search.Mcts.search ~config:mcts_cfg cfg ~reward ~rng () in
+  let v0 = List.hd valuations in
+  List.map
+    (fun r ->
+      {
+        operator = r.Search.Mcts.operator;
+        signature = Graph.operator_signature r.Search.Mcts.operator;
+        reward = r.Search.Mcts.reward;
+        flops = Flops.naive_flops r.Search.Mcts.operator v0;
+        params = Flops.params r.Search.Mcts.operator v0;
+      })
+    results

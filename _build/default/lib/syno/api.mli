@@ -1,0 +1,73 @@
+(** End-to-end Syno facade: substitute operators into backbones, model
+    their latency, train them on the proxy task, and run the MCTS
+    search of Algorithm 1. *)
+
+type layer_op = { op : Pgraph.Graph.operator; valuation : Shape.Valuation.t }
+
+val baseline_layer_op : Backbones.Convspec.t -> layer_op
+(** The standard operator at this layer: dense, grouped, or depthwise
+    convolution according to the spec. *)
+
+val substituted_layer_op : Zoo.entry -> Backbones.Convspec.t -> layer_op
+(** The candidate operator instantiated at this layer's shape, falling
+    back to the baseline when the layer is not a substitution target
+    (depthwise/grouped) or the candidate's coefficient sizes do not
+    divide the layer's dimensions — mirroring the paper, which replaces
+    only the standard convolutions. *)
+
+val model_latency_ms :
+  ?substitute:Zoo.entry ->
+  Backbones.Models.t ->
+  Perf.Compiler_model.t ->
+  Perf.Platform.t ->
+  float
+
+val model_flops : ?substitute:Zoo.entry -> Backbones.Models.t -> int
+(** Staged (materialized-reduction) FLOPs over all layers. *)
+
+val model_params : ?substitute:Zoo.entry -> Backbones.Models.t -> int
+
+val speedup :
+  Zoo.entry -> Backbones.Models.t -> Perf.Compiler_model.t -> Perf.Platform.t -> float
+(** Baseline latency / substituted latency. *)
+
+(** {1 Accuracy evaluation on the synthetic proxy task} *)
+
+val proxy_layer :
+  Zoo.entry -> Nd.Rng.t -> Backbones.Proxy.stage_shape -> Nn.Layer.t
+(** Compile the entry at a proxy stage shape as a trainable layer. *)
+
+val train_entry :
+  ?epochs:int ->
+  ?lr:float ->
+  rng:Nd.Rng.t ->
+  Zoo.entry ->
+  Dataset.Synth_vision.t ->
+  Nn.Train.history
+(** Train the proxy backbone with the entry substituted into both
+    operator stages. *)
+
+(** {1 Search} *)
+
+type candidate = {
+  operator : Pgraph.Graph.operator;
+  signature : string;
+  reward : float;
+  flops : int;
+  params : int;
+}
+
+val search_conv_operators :
+  ?iterations:int ->
+  ?max_prims:int ->
+  ?flops_budget_ratio:float ->
+  rng:Nd.Rng.t ->
+  valuations:Shape.Valuation.t list ->
+  unit ->
+  candidate list
+(** MCTS over the convolution signature
+    [[N, C_out, H, W] -> [N, C_in, H, W]] with the analytic accuracy
+    proxy as reward and a FLOPs budget relative to the standard
+    convolution (default 1.0x).  Returns candidates sorted by reward. *)
+
+val default_search_valuations : Shape.Valuation.t list

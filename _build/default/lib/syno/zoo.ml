@@ -1,0 +1,375 @@
+module Var = Shape.Var
+module Size = Shape.Size
+module Valuation = Shape.Valuation
+module Graph = Pgraph.Graph
+module Prim = Pgraph.Prim
+
+module Vars = struct
+  let n = Var.primary "N"
+  let c_in = Var.primary "C_in"
+  let c_out = Var.primary "C_out"
+  let h = Var.primary "H"
+  let w = Var.primary "W"
+  let m = Var.primary "M"
+  let nd = Var.primary "Nd"
+  let kd = Var.primary "Kd"
+  let k = Var.coefficient "k"
+  let g = Var.coefficient "g"
+  let s = Var.coefficient "s"
+
+  let conv_valuation ?(n = 1) ~c_in ~c_out ~hw ?(k = 3) ?(g = 2) ?(s = 2) () =
+    Valuation.of_list
+      [
+        (Var.primary "N", n);
+        (Var.primary "C_in", c_in);
+        (Var.primary "C_out", c_out);
+        (Var.primary "H", hw);
+        (Var.primary "W", hw);
+        (Var.coefficient "k", k);
+        (Var.coefficient "g", g);
+        (Var.coefficient "s", s);
+      ]
+
+  let matmul_valuation ~m ~n ~k =
+    Valuation.of_list [ (Var.primary "M", m); (Var.primary "Nd", n); (Var.primary "Kd", k) ]
+end
+
+open Vars
+
+let sz = Size.of_var
+let inv v = Size.var_pow v (-1)
+
+type entry = { name : string; description : string; operator : Graph.operator }
+
+let build ?allow_strided name description ~output ~desired trace =
+  let g = Graph.init output in
+  match Graph.apply_all g trace with
+  | Error msg -> invalid_arg (Printf.sprintf "Zoo.%s: %s" name msg)
+  | Ok g -> (
+      match Graph.complete ?allow_strided g ~desired with
+      | Error msg -> invalid_arg (Printf.sprintf "Zoo.%s (complete): %s" name msg)
+      | Ok operator -> { name; description; operator })
+
+let conv_io = ([ sz n; sz c_out; sz h; sz w ], [ sz n; sz c_in; sz h; sz w ])
+
+(* out[n,co,h,w] += in[n,ci,h+kh-k/2,w+kw-k/2] * W[ci,kh,kw,co] *)
+let conv2d =
+  let output, desired = conv_io in
+  build "conv2d" "standard KxK convolution (Fig. 2)" ~output ~desired
+    [
+      Prim.Reduce (sz c_in);
+      Prim.Reduce (sz k);
+      Prim.Reduce (sz k);
+      (* frontier: N co H W ci kh kw *)
+      Prim.Share (4, Prim.New_group);
+      Prim.Share (5, Prim.Current_group);
+      Prim.Unfold (2, 5);
+      Prim.Share (5, Prim.Current_group);
+      Prim.Unfold (3, 5);
+      Prim.Match 1;
+    ]
+
+let conv1x1 =
+  let output, desired = conv_io in
+  build "conv1x1" "pointwise convolution: channel mixing only" ~output ~desired
+    [
+      Prim.Reduce (sz c_in);
+      Prim.Share (4, Prim.New_group);
+      Prim.Match 1;
+    ]
+
+(* out[n,co,h,w] += in[n,(C_in/g)*(co/(C_out/g))+ci',h+kh,w+kw] * W[co,ci',kh,kw] *)
+let grouped_conv =
+  let output, desired = conv_io in
+  build "grouped_conv" "KxK convolution in g channel groups" ~output ~desired
+    [
+      Prim.Reduce (Size.mul (inv g) (sz c_in));
+      (* ci' : C_in/g at 4 *)
+      Prim.Reduce (sz k);
+      (* kh at 5 *)
+      Prim.Reduce (sz k);
+      (* kw at 6 *)
+      Prim.Share (1, Prim.New_group);
+      (* co indexes input group and weight *)
+      Prim.Share (4, Prim.Current_group);
+      Prim.Share (5, Prim.Current_group);
+      Prim.Unfold (2, 5);
+      Prim.Share (5, Prim.Current_group);
+      Prim.Unfold (3, 5);
+      (* frontier: N co H' W' ci' *)
+      Prim.Merge (1, Size.mul (inv g) (sz c_out));
+      (* co -> [co/B : g, co%B : C_out/g] at 1,2 *)
+      Prim.Expand 2;
+      (* weight handles co%B; input ignores it *)
+      (* frontier: N q H' W' ci' with q = co/(C_out/g) : g *)
+      Prim.Split (1, 4);
+      (* (C_in/g)*q + ci' : C_in *)
+    ]
+
+(* out[n,c,h,w] += in[n,c,h+kh,w+kw] * W[c,kh,kw]; C_out = C_in *)
+let depthwise_conv =
+  let output = [ sz n; sz c_in; sz h; sz w ] in
+  let desired = [ sz n; sz c_in; sz h; sz w ] in
+  build "depthwise_conv" "per-channel KxK convolution" ~output ~desired
+    [
+      Prim.Reduce (sz k);
+      Prim.Reduce (sz k);
+      Prim.Share (1, Prim.New_group);
+      Prim.Share (4, Prim.Current_group);
+      Prim.Unfold (2, 4);
+      Prim.Share (4, Prim.Current_group);
+      Prim.Unfold (3, 4);
+    ]
+
+let matmul =
+  build "matmul" "torch.mm: out[i,j] += in[i,r] * w[r,j]"
+    ~output:[ sz m; sz nd ]
+    ~desired:[ sz m; sz kd ]
+    [ Prim.Reduce (sz kd); Prim.Share (2, Prim.New_group); Prim.Match 1 ]
+
+let avgpool =
+  build "avgpool" "AvgPool1d(s) along H (sum-pooling; the 1/s factor is affine)"
+    ~output:[ Size.mul (inv s) (sz h) ]
+    ~desired:[ sz h ]
+    [ Prim.Reduce (sz s); Prim.Split (0, 1) ]
+
+let pixel_shuffle =
+  build "pixel_shuffle" "PixelShuffle(s) along H: in[(H/s)*(i%s) + i/s]"
+    ~output:[ sz h ] ~desired:[ sz h ]
+    [ Prim.Merge (0, sz s); Prim.Split (1, 0) ]
+
+(* Operator 1 (Fig. 7 / Listing 2).  Stage 1: a 1D grouped convolution
+   whose window k1w is Shared with the stage-1 weight but NOT reduced;
+   stage 2 contracts the surviving window together with the H window.
+   w1 = [d, g', ci', k1w] ~ [C_out/(g*s), C_in, k1]
+   w2 = [k1h, co, d, g', k1w] ~ [C_out, k1*k1*C_out/s] *)
+let operator1 =
+  let output, desired = conv_io in
+  let d_size = Size.mul (sz c_out) (Size.mul (inv g) (inv s)) in
+  build "operator1"
+    "Syno discovery: two-stage conv passing the unfolded window to stage 2" ~output
+    ~desired
+    [
+      Prim.Reduce d_size;
+      (* d at 4 *)
+      Prim.Reduce (sz g);
+      (* g' at 5 *)
+      Prim.Reduce (Size.mul (inv g) (sz c_in));
+      (* ci' at 6 *)
+      Prim.Reduce (sz k);
+      (* k1h at 7 *)
+      Prim.Reduce (sz k);
+      (* k1w at 8 *)
+      Prim.Share (4, Prim.New_group);
+      Prim.Share (5, Prim.Current_group);
+      Prim.Share (6, Prim.Current_group);
+      Prim.Share (8, Prim.Current_group);
+      (* w1 = [d, g', ci', k1w] *)
+      Prim.Share (7, Prim.New_group);
+      (* w2 = [k1h] *)
+      Prim.Match 1;
+      (* + co ; frontier: N H W d g' ci' k1h k1w *)
+      Prim.Match 3;
+      (* + d  ; frontier: N H W g' ci' k1h k1w *)
+      Prim.Share (3, Prim.Current_group);
+      (* + g' *)
+      Prim.Share (6, Prim.Current_group);
+      (* + k1w: w2 = [k1h, co, d, g', k1w] *)
+      Prim.Split (3, 4);
+      (* (C_in/g)*g' + ci' : C_in at 3 *)
+      Prim.Unfold (1, 4);
+      (* h + k1h - k/2 *)
+      Prim.Unfold (2, 4);
+      (* w + k1w - k/2 *)
+    ]
+
+(* Operator 2: low-rank pair of 1D convolutions with Share-connected
+   weights.  w1 = [d, ci, k1w], w2 = [k1h, co, d] with d : C_out/s. *)
+let operator2 =
+  let output, desired = conv_io in
+  let d_size = Size.mul (inv s) (sz c_out) in
+  build "operator2" "Syno discovery: low-rank two-1D-conv with shared rank dimension"
+    ~output ~desired
+    [
+      Prim.Reduce d_size;
+      (* d at 4 *)
+      Prim.Reduce (sz c_in);
+      (* ci at 5 *)
+      Prim.Reduce (sz k);
+      (* k1h at 6 *)
+      Prim.Reduce (sz k);
+      (* k1w at 7 *)
+      Prim.Share (4, Prim.New_group);
+      Prim.Share (5, Prim.Current_group);
+      Prim.Share (7, Prim.Current_group);
+      (* w1 = [d, ci, k1w] *)
+      Prim.Share (6, Prim.New_group);
+      (* w2 = [k1h] *)
+      Prim.Match 1;
+      (* + co; frontier: N H W d ci k1h k1w *)
+      Prim.Match 3;
+      (* + d;  frontier: N H W ci k1h k1w *)
+      Prim.Unfold (1, 4);
+      (* h + k1h *)
+      Prim.Unfold (2, 4);
+      (* w + k1w *)
+    ]
+
+(* Fig. 8 baseline: two stacked grouped convolutions — stage 1's window
+   is fully reduced inside stage 1 and stage 2 unfolds fresh windows, so
+   the W receptive field grows to 2k-1. *)
+let stacked_conv =
+  let output, desired = conv_io in
+  let d_size = Size.mul (sz c_out) (Size.mul (inv g) (inv s)) in
+  build "stacked_conv" "two stacked grouped convolutions (Fig. 8 baseline)" ~output
+    ~desired
+    [
+      Prim.Reduce d_size;
+      (* d at 4 *)
+      Prim.Reduce (sz g);
+      (* g' at 5 *)
+      Prim.Reduce (Size.mul (inv g) (sz c_in));
+      (* ci' at 6 *)
+      Prim.Reduce (sz k);
+      (* k1w at 7 *)
+      Prim.Reduce (sz k);
+      (* k2h at 8 *)
+      Prim.Reduce (sz k);
+      (* k2w at 9 *)
+      Prim.Share (4, Prim.New_group);
+      Prim.Share (5, Prim.Current_group);
+      Prim.Share (6, Prim.Current_group);
+      Prim.Share (7, Prim.Current_group);
+      (* w1 = [d, g', ci', k1w] *)
+      Prim.Share (8, Prim.New_group);
+      Prim.Share (9, Prim.Current_group);
+      (* w2 = [k2h, k2w] *)
+      Prim.Match 1;
+      (* + co; frontier: N H W d g' ci' k1w k2h k2w *)
+      Prim.Match 3;
+      (* + d;  frontier: N H W g' ci' k1w k2h k2w *)
+      Prim.Share (3, Prim.Current_group);
+      (* + g': w2 = [k2h, k2w, co, d, g'] *)
+      Prim.Split (3, 4);
+      (* C_in dim at 3; frontier: N H W Cin k1w k2h k2w *)
+      Prim.Unfold (2, 4);
+      (* w + k1w *)
+      Prim.Unfold (1, 4);
+      (* h + k2h *)
+      Prim.Unfold (2, 4);
+      (* (w + k1w) + k2w *)
+    ]
+
+(* ShiftNet-style pattern: the W-axis Unfold replaced by a Shift. *)
+let shift_conv =
+  let output, desired = conv_io in
+  build "shift_conv" "1D conv on H with a Shift mixing W (ShiftNet-like)" ~output
+    ~desired
+    [
+      Prim.Reduce (sz c_in);
+      Prim.Reduce (sz k);
+      Prim.Share (4, Prim.New_group);
+      Prim.Share (5, Prim.Current_group);
+      Prim.Unfold (2, 5);
+      Prim.Shift 3;
+      Prim.Match 1;
+    ]
+
+let nas_pte_grouped =
+  { grouped_conv with name = "nas_pte_grouped"; description = "NAS-PTE loop grouping" }
+
+(* Bottleneck: 1x1 down to C_in/s channels then KxK conv, fused as one
+   operator (the 1x1 is pointwise so the fusion is exact). *)
+let nas_pte_bottleneck =
+  let output, desired = conv_io in
+  let d_size = Size.mul (inv s) (sz c_in) in
+  build "nas_pte_bottleneck" "NAS-PTE bottlenecking: 1x1 reduce then KxK conv" ~output
+    ~desired
+    [
+      Prim.Reduce d_size;
+      (* d at 4 *)
+      Prim.Reduce (sz c_in);
+      (* ci at 5 *)
+      Prim.Reduce (sz k);
+      (* kh at 6 *)
+      Prim.Reduce (sz k);
+      (* kw at 7 *)
+      Prim.Share (4, Prim.New_group);
+      Prim.Share (5, Prim.Current_group);
+      (* w1 = [d, ci] *)
+      Prim.Share (6, Prim.New_group);
+      Prim.Share (7, Prim.Current_group);
+      (* w2 = [kh, kw] *)
+      Prim.Match 1;
+      (* + co; frontier: N H W d ci kh kw *)
+      Prim.Match 3;
+      (* + d: w2 = [kh, kw, co, d]; frontier: N H W ci kh kw *)
+      Prim.Unfold (1, 4);
+      Prim.Unfold (2, 4);
+    ]
+
+(* NAS-PTE's "bottleneck the loop range": the channel reduction only
+   reads every s-th input channel — a strided, element-discarding
+   access outside Syno's quality space (which is exactly why NAS-PTE
+   operators lose more accuracy). *)
+let nas_pte_range_bottleneck =
+  let output, desired = conv_io in
+  build ~allow_strided:true "nas_pte_range_bottleneck"
+    "NAS-PTE loop-range bottleneck: subsample input channels by s" ~output ~desired
+    [
+      Prim.Reduce (Size.mul (inv s) (sz c_in));
+      (* ci' at 4 *)
+      Prim.Reduce (sz k);
+      (* kh at 5 *)
+      Prim.Reduce (sz k);
+      (* kw at 6 *)
+      Prim.Share (4, Prim.New_group);
+      Prim.Share (5, Prim.Current_group);
+      Prim.Unfold (2, 5);
+      Prim.Share (5, Prim.Current_group);
+      Prim.Unfold (3, 5);
+      Prim.Match 1;
+      (* w = [ci', kh, kw, co]; frontier: N H' W' ci' *)
+      Prim.Stride (3, sz s);
+      (* input channel = s * ci' : C_in *)
+    ]
+
+let nas_pte_depthwise_separable =
+  let output, desired = conv_io in
+  build "nas_pte_depthwise_separable" "depthwise KxK then pointwise, fused" ~output
+    ~desired
+    [
+      Prim.Reduce (sz c_in);
+      (* c at 4 *)
+      Prim.Reduce (sz k);
+      (* kh at 5 *)
+      Prim.Reduce (sz k);
+      (* kw at 6 *)
+      Prim.Share (4, Prim.New_group);
+      Prim.Share (5, Prim.Current_group);
+      Prim.Share (6, Prim.Current_group);
+      (* wd = [c, kh, kw] *)
+      Prim.Share (4, Prim.New_group);
+      (* wp = [c] *)
+      Prim.Match 1;
+      (* wp = [c, co] *)
+      Prim.Unfold (1, 4);
+      Prim.Unfold (2, 4);
+    ]
+
+let conv_like =
+  [
+    conv2d;
+    conv1x1;
+    grouped_conv;
+    operator1;
+    operator2;
+    stacked_conv;
+    shift_conv;
+    nas_pte_grouped;
+    nas_pte_bottleneck;
+    nas_pte_range_bottleneck;
+    nas_pte_depthwise_separable;
+  ]
+
+let all = conv_like @ [ depthwise_conv; matmul; avgpool; pixel_shuffle ]

@@ -1,0 +1,93 @@
+(** Operator catalog: the Table 2 examples, the standard operators they
+    replace, the two case-study operators of \u{00a7}9.2 (Fig. 7 / Listing 2),
+    and the baselines (stacked grouped convolution, NAS-PTE's
+    loop-transformation operators).
+
+    All operators are built over one shared set of symbolic variables
+    ({!Vars}), so a single pGraph instantiates at every layer shape of a
+    backbone by changing the valuation (\u{00a7}5.4). *)
+
+module Vars : sig
+  val n : Shape.Var.t  (** batch *)
+
+  val c_in : Shape.Var.t
+  val c_out : Shape.Var.t
+  val h : Shape.Var.t
+  val w : Shape.Var.t
+  val m : Shape.Var.t  (** matmul rows *)
+
+  val nd : Shape.Var.t  (** matmul cols *)
+
+  val kd : Shape.Var.t  (** matmul contraction *)
+
+  val k : Shape.Var.t  (** kernel/window size (coefficient) *)
+
+  val g : Shape.Var.t  (** group count (coefficient) *)
+
+  val s : Shape.Var.t  (** shrink/stride factor (coefficient) *)
+
+  val conv_valuation :
+    ?n:int -> c_in:int -> c_out:int -> hw:int -> ?k:int -> ?g:int -> ?s:int -> unit ->
+    Shape.Valuation.t
+
+  val matmul_valuation : m:int -> n:int -> k:int -> Shape.Valuation.t
+end
+
+type entry = {
+  name : string;
+  description : string;
+  operator : Pgraph.Graph.operator;
+}
+
+val conv2d : entry
+(** Standard KxK convolution (Fig. 2). *)
+
+val conv1x1 : entry
+(** Pointwise convolution (channel mixing only). *)
+
+val grouped_conv : entry
+(** KxK convolution in [g] channel groups. *)
+
+val depthwise_conv : entry
+(** Per-channel KxK convolution ([C_in = C_out] assumed). *)
+
+val matmul : entry
+val avgpool : entry
+(** Table 2's AvgPool1d along H with factor [s]. *)
+
+val pixel_shuffle : entry
+(** Table 2's PixelShuffle along H with block [s]. *)
+
+val operator1 : entry
+(** The Fig. 7 / Listing 2 discovery: two stages where the stage-1
+    window is Shared with both weights rather than reduced. *)
+
+val operator2 : entry
+(** The low-rank two-1D-convolutions variant with Share-connected
+    weights (rank [C_out/s]). *)
+
+val stacked_conv : entry
+(** The Fig. 8 baseline: two stacked grouped convolutions with the
+    stage-1 window reduced in stage 1 and fresh windows in stage 2. *)
+
+val shift_conv : entry
+(** The ShiftNet-like pattern \u{00a7}9.2 reports: one spatial Unfold replaced
+    by a Shift. *)
+
+val nas_pte_grouped : entry
+val nas_pte_bottleneck : entry
+(** NAS-PTE's loop-grouping and bottlenecking transformations applied
+    to convolution (Turner et al., used as the Fig. 9 baselines). *)
+
+val nas_pte_range_bottleneck : entry
+(** NAS-PTE's loop-range bottleneck: the channel reduction reads only
+    every s-th input channel — discards data, so it sits outside Syno's
+    quality-constrained space. *)
+
+val nas_pte_depthwise_separable : entry
+
+val conv_like : entry list
+(** All operators with conv-shaped input/output, for substitution into
+    the vision backbones. *)
+
+val all : entry list

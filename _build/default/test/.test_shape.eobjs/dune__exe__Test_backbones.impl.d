@@ -1,0 +1,1 @@
+test/test_backbones.ml: Alcotest Array Backbones Dataset Float Grad List Nd Nn Printf

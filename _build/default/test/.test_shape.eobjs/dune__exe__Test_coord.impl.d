@@ -1,0 +1,1 @@
+test/test_coord.ml: Alcotest Coord List QCheck QCheck_alcotest Shape

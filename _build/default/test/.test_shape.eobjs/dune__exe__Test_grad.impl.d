@@ -1,0 +1,1 @@
+test/test_grad.ml: Alcotest Array Float Grad List Nd Printf

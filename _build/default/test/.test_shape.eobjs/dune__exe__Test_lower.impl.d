@@ -1,0 +1,1 @@
+test/test_lower.ml: Alcotest Array Astring Coord Float List Lower Nd Pgraph Shape

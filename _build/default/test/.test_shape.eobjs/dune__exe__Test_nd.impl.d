@@ -1,0 +1,1 @@
+test/test_nd.ml: Alcotest Array Float List Nd QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_nn.ml: Alcotest Array Backbones Dataset Float Grad List Lower Nd Nn Printf Syno

@@ -1,0 +1,1 @@
+test/test_pgraph.ml: Alcotest Coord List Pgraph Shape

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest List Lower Nd Pgraph QCheck QCheck_alcotest Result Search Shape Syno

@@ -1,0 +1,1 @@
+test/test_search.ml: Alcotest Coord List Nd Pgraph Printf Search Shape Syno

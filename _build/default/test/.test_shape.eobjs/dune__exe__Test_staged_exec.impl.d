@@ -1,0 +1,1 @@
+test/test_staged_exec.ml: Alcotest Array Float List Lower Nd Pgraph QCheck QCheck_alcotest Search Shape Syno

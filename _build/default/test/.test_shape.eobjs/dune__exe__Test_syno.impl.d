@@ -1,0 +1,1 @@
+test/test_syno.ml: Alcotest Array Backbones Coord Float List Lower Nd Perf Pgraph Printf Shape String Syno

@@ -1,0 +1,1 @@
+test/test_trace_io.ml: Alcotest List Nd Pgraph QCheck QCheck_alcotest Search Shape Syno

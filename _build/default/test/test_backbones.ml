@@ -1,0 +1,168 @@
+(* Tests for the backbone inventories and the GPT-2 proxy. *)
+
+module Models = Backbones.Models
+module Convspec = Backbones.Convspec
+module Gpt2 = Backbones.Gpt2
+module Rng = Nd.Rng
+
+let test_spec_flops () =
+  let s =
+    {
+      Convspec.layer = "t";
+      in_channels = 64;
+      out_channels = 128;
+      height = 28;
+      width = 28;
+      kernel = 3;
+      groups = 1;
+      count = 2;
+    }
+  in
+  Alcotest.(check int) "conv flops" (2 * 128 * 28 * 28 * 64 * 9) (Convspec.flops s);
+  Alcotest.(check int) "conv params" (128 * 64 * 9) (Convspec.params s);
+  Alcotest.(check bool) "dense substitutable" true (Convspec.substitutable s);
+  let dw = { s with groups = 64; out_channels = 64 } in
+  Alcotest.(check bool) "depthwise not substitutable" false (Convspec.substitutable dw);
+  Alcotest.(check int) "depthwise params" (64 * 9) (Convspec.params dw)
+
+let test_resnet_totals () =
+  (* ResNet-18's conv FLOPs at 224x224 are ~3.6 GFLOPs (2x 1.8 GMACs). *)
+  let f18 = Models.total_flops Models.resnet18 in
+  Alcotest.(check bool)
+    (Printf.sprintf "resnet18 flops plausible (%d)" f18)
+    true
+    (f18 > 3_000_000_000 && f18 < 4_200_000_000);
+  let f34 = Models.total_flops Models.resnet34 in
+  Alcotest.(check bool) "resnet34 bigger" true (f34 > f18);
+  (* ResNet-18 conv params ~11M. *)
+  let p18 = Models.total_params Models.resnet18 in
+  Alcotest.(check bool)
+    (Printf.sprintf "resnet18 params plausible (%d)" p18)
+    true
+    (p18 > 9_000_000 && p18 < 13_000_000)
+
+let test_five_models () =
+  Alcotest.(check int) "five vision models" 5 (List.length Models.vision_models);
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) (m.Models.name ^ " nonempty") true (m.Models.specs <> []);
+      Alcotest.(check bool) (m.Models.name ^ " positive flops") true (Models.total_flops m > 0))
+    Models.vision_models;
+  (* EfficientNet has depthwise layers that are not substituted. *)
+  Alcotest.(check bool) "efficientnet has depthwise" true
+    (List.exists
+       (fun s -> s.Convspec.groups > 1)
+       Models.efficientnet_v2_s.Models.specs)
+
+let test_profile_layers () =
+  Alcotest.(check int) "four fig9 layers" 4 (List.length Models.resnet34_profile_layers)
+
+let lm_data rng = Dataset.Synth_lm.generate rng ~vocab:12 ~seq_len:8 ~batches:6 ~batch_size:4 ()
+
+let test_gpt2_shapes () =
+  let rng = Rng.create ~seed:21 in
+  let model = Gpt2.create rng ~vocab:12 ~seq_len:8 ~embed:16 ~heads:2 ~layers:2 () in
+  Alcotest.(check bool) "has params" true (Gpt2.num_params model > 0);
+  (* QKV params: 2 layers x 3 projections x (16*16 + 16). *)
+  Alcotest.(check int) "qkv params" (2 * 3 * ((16 * 16) + 16)) (Gpt2.qkv_params model)
+
+let test_gpt2_initial_loss () =
+  let rng = Rng.create ~seed:22 in
+  let model = Gpt2.create rng ~vocab:12 ~seq_len:8 ~embed:16 ~heads:2 ~layers:1 () in
+  let data = lm_data rng in
+  let loss = Gpt2.eval_loss model data.Dataset.Synth_lm.batches in
+  (* Untrained loss should be near log(vocab). *)
+  Alcotest.(check bool)
+    (Printf.sprintf "initial loss near uniform (%.2f vs %.2f)" loss (log 12.0))
+    true
+    (loss > 1.5 && loss < log 12.0 +. 1.2)
+
+let test_gpt2_learns () =
+  let rng = Rng.create ~seed:23 in
+  let model = Gpt2.create rng ~vocab:12 ~seq_len:8 ~embed:16 ~heads:2 ~layers:1 () in
+  let data = lm_data rng in
+  let before = Gpt2.perplexity model data.Dataset.Synth_lm.batches in
+  let opt = Nn.Optimizer.adam ~lr:3e-3 () in
+  for _ = 1 to 3 do
+    List.iter
+      (fun (inputs, targets) -> ignore (Gpt2.train_step model opt ~inputs ~targets))
+      data.Dataset.Synth_lm.batches
+  done;
+  let after = Gpt2.perplexity model data.Dataset.Synth_lm.batches in
+  Alcotest.(check bool)
+    (Printf.sprintf "perplexity improves (%.1f -> %.1f)" before after)
+    true (after < before)
+
+let test_gpt2_custom_qkv () =
+  (* Substituting a grouped QKV projection must change the parameter
+     count and still run. *)
+  let rng = Rng.create ~seed:24 in
+  let make_qkv rng ~embed =
+    (* two groups: block-diagonal projection with half the params *)
+    let grouped () =
+      let half = embed / 2 in
+      Nn.Layer.sequential "grouped-proj"
+        [
+          (let l1 = Nn.Layer.linear rng ~in_features:half ~out_features:half in
+           let l2 = Nn.Layer.linear rng ~in_features:half ~out_features:half in
+           {
+             Nn.Layer.name = "block-diag";
+             params = l1.Nn.Layer.params @ l2.Nn.Layer.params;
+             apply =
+               (fun tape params x ->
+                 let n1 = List.length l1.Nn.Layer.params in
+                 let p1 = List.filteri (fun i _ -> i < n1) params in
+                 let p2 = List.filteri (fun i _ -> i >= n1) params in
+                 let sh = Nd.Tensor.shape (Grad.Tape.data x) in
+                 let b = sh.(0) and t = sh.(1) in
+                 let x1 =
+                   Grad.Op.einsum tape "bte,ef->btf"
+                     [ x; Grad.Tape.constant tape (Nd.Tensor.init [| embed; half |] (fun i -> if i.(0) = i.(1) then 1.0 else 0.0)) ]
+                 in
+                 let x2 =
+                   Grad.Op.einsum tape "bte,ef->btf"
+                     [ x; Grad.Tape.constant tape (Nd.Tensor.init [| embed; half |] (fun i -> if i.(0) = i.(1) + half then 1.0 else 0.0)) ]
+                 in
+                 let y1 = l1.Nn.Layer.apply tape p1 x1 in
+                 let y2 = l2.Nn.Layer.apply tape p2 x2 in
+                 (* concatenate along the feature axis via einsum sums *)
+                 let pad1 =
+                   Grad.Op.einsum tape "btf,fe->bte"
+                     [ y1; Grad.Tape.constant tape (Nd.Tensor.init [| half; embed |] (fun i -> if i.(1) = i.(0) then 1.0 else 0.0)) ]
+                 in
+                 let pad2 =
+                   Grad.Op.einsum tape "btf,fe->bte"
+                     [ y2; Grad.Tape.constant tape (Nd.Tensor.init [| half; embed |] (fun i -> if i.(1) = i.(0) + half then 1.0 else 0.0)) ]
+                 in
+                 ignore (b, t);
+                 Grad.Op.add tape pad1 pad2);
+           });
+        ]
+    in
+    (grouped (), grouped (), grouped ())
+  in
+  let model = Gpt2.create rng ~vocab:12 ~seq_len:8 ~embed:16 ~heads:2 ~layers:1 ~make_qkv () in
+  let default = Gpt2.create rng ~vocab:12 ~seq_len:8 ~embed:16 ~heads:2 ~layers:1 () in
+  Alcotest.(check bool) "fewer qkv params" true (Gpt2.qkv_params model < Gpt2.qkv_params default);
+  let data = lm_data rng in
+  let loss = Gpt2.eval_loss model data.Dataset.Synth_lm.batches in
+  Alcotest.(check bool) "finite loss" true (Float.is_finite loss)
+
+let () =
+  Alcotest.run "backbones"
+    [
+      ( "specs",
+        [
+          Alcotest.test_case "flops/params" `Quick test_spec_flops;
+          Alcotest.test_case "resnet totals" `Quick test_resnet_totals;
+          Alcotest.test_case "five models" `Quick test_five_models;
+          Alcotest.test_case "profile layers" `Quick test_profile_layers;
+        ] );
+      ( "gpt2",
+        [
+          Alcotest.test_case "shapes" `Quick test_gpt2_shapes;
+          Alcotest.test_case "initial loss" `Quick test_gpt2_initial_loss;
+          Alcotest.test_case "learns" `Slow test_gpt2_learns;
+          Alcotest.test_case "custom qkv" `Quick test_gpt2_custom_qkv;
+        ] );
+    ]

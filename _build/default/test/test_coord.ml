@@ -1,0 +1,223 @@
+(* Tests for coordinate expressions and the TRS simplifier (\u{00a7}6). *)
+
+module Var = Shape.Var
+module Size = Shape.Size
+module Valuation = Shape.Valuation
+module Ast = Coord.Ast
+module Simplify = Coord.Simplify
+
+let va = Var.primary "A"
+let vb = Var.coefficient "b"
+let vc = Var.coefficient "c"
+let vk = Var.coefficient "k"
+
+let a = Size.of_var va
+let b = Size.of_var vb
+let c = Size.of_var vc
+let k = Size.of_var vk
+
+(* Two valuations so that "for all valuations" is non-trivial. *)
+let val1 = Valuation.of_list [ (va, 24); (vb, 4); (vc, 6); (vk, 3) ]
+let val2 = Valuation.of_list [ (va, 48); (vb, 4); (vc, 6); (vk, 3) ]
+let exact_ctx = Simplify.ctx ~approx_factor:None [ val1; val2 ]
+let approx_ctx = Simplify.ctx ~approx_factor:(Some 2) [ val1; val2 ]
+
+let it id dom = { Ast.id; dom; role = Ast.Spatial }
+let expr = Alcotest.testable Ast.pp Ast.equal
+
+let test_fdiv_emod () =
+  Alcotest.(check int) "fdiv pos" 2 (Ast.fdiv 7 3);
+  Alcotest.(check int) "fdiv neg" (-3) (Ast.fdiv (-7) 3);
+  Alcotest.(check int) "emod pos" 1 (Ast.emod 7 3);
+  Alcotest.(check int) "emod neg" 2 (Ast.emod (-7) 3);
+  Alcotest.(check int) "emod zero" 0 (Ast.emod (-6) 3)
+
+let test_eval () =
+  let i = it 0 a in
+  let e = Ast.modulo (Ast.add (Ast.iter i) (Ast.const 1)) a in
+  let env _ = 23 in
+  Alcotest.(check int) "shift wraps" 0 (Ast.eval ~env ~lookup:(Valuation.lookup val1) e)
+
+let test_bounds () =
+  let i = it 0 b in
+  let e = Ast.sub (Ast.iter i) (Ast.div (Ast.Size_const k) (Size.of_int 2)) in
+  let lo, hi = Ast.bounds ~lookup:(Valuation.lookup val1) e in
+  Alcotest.(check (pair int int)) "unfold offset bounds" (-1, 2) (lo, hi)
+
+let simp e = Simplify.simplify exact_ctx e
+
+let test_mul_mod_factor () =
+  (* (B*i) % (B*C) = B * (i % C) *)
+  let i = it 0 (Size.mul a c) in
+  let lhs = Ast.modulo (Ast.mul b (Ast.iter i)) (Size.mul b c) in
+  let rhs = Ast.mul b (Ast.modulo (Ast.iter i) c) in
+  Alcotest.check expr "factor out of mod" (simp rhs) (simp lhs)
+
+let test_mul_div_factor () =
+  (* (B*i) / (B*C) = i / C *)
+  let i = it 0 (Size.mul a c) in
+  let lhs = Ast.div (Ast.mul b (Ast.iter i)) (Size.mul b c) in
+  let rhs = Ast.div (Ast.iter i) c in
+  Alcotest.check expr "factor out of div" (simp rhs) (simp lhs)
+
+let test_split_merge_identity () =
+  (* B*(i/B) + i%B = i *)
+  let i = it 0 (Size.mul a b) in
+  let e = Ast.add (Ast.mul b (Ast.div (Ast.iter i) b)) (Ast.modulo (Ast.iter i) b) in
+  Alcotest.check expr "split of merge collapses" (Ast.iter i) (simp e)
+
+let test_mod_collapse () =
+  (* i % N = i when dom(i) <= N under every valuation. *)
+  let i = it 0 b in
+  Alcotest.check expr "mod collapses" (Ast.iter i) (simp (Ast.modulo (Ast.iter i) (Size.mul b c)));
+  (* ... but not when it can wrap. *)
+  let j = it 1 (Size.mul b c) in
+  let e = Ast.modulo (Ast.iter j) b in
+  Alcotest.check expr "mod stays" e (simp e)
+
+let test_div_collapse () =
+  let i = it 0 b in
+  Alcotest.check expr "div collapses to 0" (Ast.const 0)
+    (simp (Ast.div (Ast.iter i) (Size.mul b c)))
+
+let test_fig3a () =
+  (* (C*i + j) / (B*C) = i / B and (C*i + j) % (B*C) = C*(i%B) + j,
+     with dom(i) = A*B, dom(j) = C (Fig. 3(a)). *)
+  let i = it 0 (Size.mul a b) and j = it 1 c in
+  let top = Ast.add (Ast.mul c (Ast.iter i)) (Ast.iter j) in
+  let div = simp (Ast.div top (Size.mul b c)) in
+  let md = simp (Ast.modulo top (Size.mul b c)) in
+  Alcotest.check expr "div side" (simp (Ast.div (Ast.iter i) b)) div;
+  Alcotest.check expr "mod side"
+    (simp (Ast.add (Ast.mul c (Ast.modulo (Ast.iter i) b)) (Ast.iter j)))
+    md
+
+let test_exact_multiple_extraction () =
+  (* (B*C*x + y) / C = B*x + y/C for any y. *)
+  let x = it 0 a and y = it 1 (Size.mul a b) in
+  let e = Ast.div (Ast.add (Ast.mul (Size.mul b c) (Ast.iter x)) (Ast.iter y)) c in
+  let expected = simp (Ast.add (Ast.mul b (Ast.iter x)) (Ast.div (Ast.iter y) c)) in
+  Alcotest.check expr "multiple pulled out" expected (simp e)
+
+let test_approx_fig3c () =
+  (* (i + j - k/2) / B = i / B when dom(j), k << B: approximate rule. *)
+  let bigb = Size.mul b c in
+  (* B = 24 under both valuations *)
+  let i = it 0 (Size.mul a bigb) and j = it 1 (Size.of_int 3) in
+  let e =
+    Ast.div
+      (Ast.add (Ast.iter i) (Ast.sub (Ast.iter j) (Ast.div (Ast.Size_const (Size.of_int 3)) (Size.of_int 2))))
+      bigb
+  in
+  let approx = Simplify.simplify approx_ctx e in
+  Alcotest.check expr "perturbation dropped" (Ast.div (Ast.iter i) bigb) approx;
+  (* The exact context must keep it. *)
+  let exact = Simplify.simplify exact_ctx e in
+  Alcotest.(check bool) "exact keeps perturbation" false (Ast.equal exact (Ast.div (Ast.iter i) bigb))
+
+let test_constant_folding () =
+  let e = Ast.add (Ast.const 3) (Ast.sub (Ast.const 10) (Ast.const 5)) in
+  Alcotest.check expr "constants fold" (Ast.const 8) (simp e);
+  Alcotest.check expr "size const folds" (Ast.const 12)
+    (simp (Ast.mul (Size.of_int 4) (Ast.const 3)))
+
+let test_nested_div () =
+  let i = it 0 (Size.mul (Size.mul a b) c) in
+  let e = Ast.div (Ast.div (Ast.iter i) b) c in
+  Alcotest.check expr "divisions combine" (Ast.div (Ast.iter i) (Size.mul b c)) (simp e)
+
+(* --- Differential property: simplify preserves semantics --------------- *)
+
+let iters_pool = [ it 0 a; it 1 b; it 2 c; it 3 (Size.mul b c) ]
+let sizes_pool = [ b; c; Size.of_int 2; Size.of_int 3; Size.mul b c ]
+
+let gen_expr =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [ map Ast.iter (oneofl iters_pool); map Ast.const (int_range 0 5) ]
+  in
+  let rec go n =
+    if n = 0 then leaf
+    else
+      frequency
+        [
+          (2, leaf);
+          (2, map2 Ast.add (go (n - 1)) (go (n - 1)));
+          (1, map2 Ast.sub (go (n - 1)) (go (n - 1)));
+          (2, map2 Ast.mul (oneofl sizes_pool) (go (n - 1)));
+          (2, map2 Ast.div (go (n - 1)) (oneofl sizes_pool));
+          (2, map2 Ast.modulo (go (n - 1)) (oneofl sizes_pool));
+        ]
+  in
+  go 4
+
+let arb_expr = QCheck.make ~print:Ast.to_string gen_expr
+
+let eval_everywhere valuation e =
+  (* Evaluate at a pseudo-random sample of iterator assignments. *)
+  let lookup = Valuation.lookup valuation in
+  let dims = List.map (fun i -> Size.eval i.Ast.dom lookup) iters_pool in
+  let seed = ref 12345 in
+  let next bound =
+    seed := (!seed * 1103515245) + 12345;
+    abs !seed mod bound
+  in
+  List.init 40 (fun _ ->
+      let assignment = List.map next dims in
+      let env id = List.nth assignment id in
+      Ast.eval ~env ~lookup e)
+
+let prop_simplify_preserves_eval =
+  QCheck.Test.make ~name:"simplify preserves evaluation (exact rules)" ~count:300 arb_expr
+    (fun e ->
+      let e' = Simplify.simplify exact_ctx e in
+      List.for_all2 ( = ) (eval_everywhere val1 e) (eval_everywhere val1 e')
+      && List.for_all2 ( = ) (eval_everywhere val2 e) (eval_everywhere val2 e'))
+
+let prop_simplify_idempotent =
+  QCheck.Test.make ~name:"simplify idempotent" ~count:300 arb_expr (fun e ->
+      let once = Simplify.simplify exact_ctx e in
+      Ast.equal once (Simplify.simplify exact_ctx once))
+
+let prop_simplify_no_growth =
+  QCheck.Test.make ~name:"simplify never grows much" ~count:300 arb_expr (fun e ->
+      Ast.size_of_ast (Simplify.simplify exact_ctx e) <= (3 * Ast.size_of_ast e) + 4)
+
+let prop_bounds_sound =
+  QCheck.Test.make ~name:"bounds contain all evaluations" ~count:300 arb_expr (fun e ->
+      let lookup = Valuation.lookup val1 in
+      let lo, hi = Ast.bounds ~lookup e in
+      List.for_all (fun v -> lo <= v && v <= hi) (eval_everywhere val1 e))
+
+let () =
+  Alcotest.run "coord"
+    [
+      ( "ast",
+        [
+          Alcotest.test_case "fdiv/emod" `Quick test_fdiv_emod;
+          Alcotest.test_case "eval" `Quick test_eval;
+          Alcotest.test_case "bounds" `Quick test_bounds;
+        ] );
+      ( "simplify",
+        [
+          Alcotest.test_case "(B*i)%(B*C)" `Quick test_mul_mod_factor;
+          Alcotest.test_case "(B*i)/(B*C)" `Quick test_mul_div_factor;
+          Alcotest.test_case "split-merge identity" `Quick test_split_merge_identity;
+          Alcotest.test_case "mod collapse" `Quick test_mod_collapse;
+          Alcotest.test_case "div collapse" `Quick test_div_collapse;
+          Alcotest.test_case "fig3a" `Quick test_fig3a;
+          Alcotest.test_case "exact multiple extraction" `Quick test_exact_multiple_extraction;
+          Alcotest.test_case "fig3c approximate" `Quick test_approx_fig3c;
+          Alcotest.test_case "constant folding" `Quick test_constant_folding;
+          Alcotest.test_case "nested div" `Quick test_nested_div;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_simplify_preserves_eval;
+            prop_simplify_idempotent;
+            prop_simplify_no_growth;
+            prop_bounds_sound;
+          ] );
+    ]

@@ -1,0 +1,147 @@
+(* Tests for the synthetic datasets. *)
+
+module Tensor = Nd.Tensor
+module Rng = Nd.Rng
+
+let test_vision_shapes () =
+  let rng = Rng.create ~seed:1 in
+  let d =
+    Dataset.Synth_vision.generate rng ~classes:5 ~channels:2 ~size:10 ~train_batches:3
+      ~eval_batches:2 ~batch_size:4 ()
+  in
+  Alcotest.(check int) "train batches" 3 (List.length d.Dataset.Synth_vision.train);
+  Alcotest.(check int) "eval batches" 2 (List.length d.Dataset.Synth_vision.eval);
+  List.iter
+    (fun b ->
+      Alcotest.(check (array int)) "image shape" [| 4; 2; 10; 10 |]
+        (Tensor.shape b.Nn.Train.images);
+      Array.iter
+        (fun l -> Alcotest.(check bool) "label range" true (l >= 0 && l < 5))
+        b.Nn.Train.labels)
+    d.Dataset.Synth_vision.train
+
+let test_vision_deterministic () =
+  let gen () =
+    let rng = Rng.create ~seed:42 in
+    Dataset.Synth_vision.generate rng ~train_batches:2 ~eval_batches:1 ~batch_size:4 ()
+  in
+  let a = gen () and b = gen () in
+  let ba = List.hd a.Dataset.Synth_vision.train and bb = List.hd b.Dataset.Synth_vision.train in
+  Alcotest.(check bool) "same images" true (Tensor.equal ba.Nn.Train.images bb.Nn.Train.images);
+  Alcotest.(check bool) "same labels" true (ba.Nn.Train.labels = bb.Nn.Train.labels)
+
+let test_vision_classes_distinct () =
+  (* Images of different classes must differ more (on average) than
+     repeated draws of the same class: the motifs carry signal. *)
+  let rng = Rng.create ~seed:3 in
+  let d =
+    Dataset.Synth_vision.generate rng ~classes:2 ~channels:3 ~size:12 ~train_batches:10
+      ~eval_batches:1 ~batch_size:16 ()
+  in
+  (* mean image per class *)
+  let sums = Array.init 2 (fun _ -> Tensor.create [| 3; 12; 12 |]) in
+  let counts = Array.make 2 0 in
+  List.iter
+    (fun b ->
+      Array.iteri
+        (fun i label ->
+          counts.(label) <- counts.(label) + 1;
+          Tensor.iteri
+            (fun idx v ->
+              if idx.(0) = i then
+                let pos = [| idx.(1); idx.(2); idx.(3) |] in
+                Tensor.set sums.(label) pos (Tensor.get sums.(label) pos +. v))
+            b.Nn.Train.images)
+        b.Nn.Train.labels)
+    d.Dataset.Synth_vision.train;
+  (* Class means should differ somewhere notably. *)
+  let m0 = Tensor.scale (1.0 /. float_of_int counts.(0)) sums.(0) in
+  let m1 = Tensor.scale (1.0 /. float_of_int counts.(1)) sums.(1) in
+  let diff = Tensor.max_value (Tensor.map Float.abs (Tensor.sub m0 m1)) in
+  Alcotest.(check bool) (Printf.sprintf "class means differ (%.3f)" diff) true (diff > 0.3)
+
+let test_lm_shapes () =
+  let rng = Rng.create ~seed:5 in
+  let d = Dataset.Synth_lm.generate rng ~vocab:16 ~seq_len:8 ~batches:4 ~batch_size:3 () in
+  Alcotest.(check int) "batches" 4 (List.length d.Dataset.Synth_lm.batches);
+  List.iter
+    (fun (inputs, targets) ->
+      Alcotest.(check int) "batch size" 3 (Array.length inputs);
+      Alcotest.(check int) "seq len" 8 (Array.length inputs.(0));
+      (* targets are inputs shifted by one *)
+      for b = 0 to 2 do
+        for i = 0 to 6 do
+          Alcotest.(check int) "shift" inputs.(b).(i + 1) targets.(b).(i)
+        done;
+        Array.iter
+          (fun tok -> Alcotest.(check bool) "token range" true (tok >= 0 && tok < 16))
+          inputs.(b)
+      done)
+    d.Dataset.Synth_lm.batches
+
+let test_lm_entropy () =
+  let rng = Rng.create ~seed:6 in
+  let d = Dataset.Synth_lm.generate rng ~vocab:32 ~branching:3 () in
+  let floor = Dataset.Synth_lm.floor_perplexity d in
+  let uniform = Dataset.Synth_lm.uniform_perplexity d in
+  Alcotest.(check bool) "floor below uniform" true (floor < uniform);
+  Alcotest.(check bool) "floor above 1" true (floor > 1.0);
+  (* branching 3 with geometric weights: perplexity well under 4 *)
+  Alcotest.(check bool) "floor sane" true (floor < 4.0)
+
+let test_lm_learnable () =
+  (* A bigram count model should achieve near-floor perplexity,
+     confirming the data really has first-order structure. *)
+  let rng = Rng.create ~seed:7 in
+  let d = Dataset.Synth_lm.generate rng ~vocab:8 ~seq_len:16 ~batches:60 ~batch_size:8 () in
+  let counts = Array.make_matrix 8 8 1.0 in
+  let train, eval =
+    let rec split n acc = function
+      | rest when n = 0 -> (List.rev acc, rest)
+      | x :: rest -> split (n - 1) (x :: acc) rest
+      | [] -> (List.rev acc, [])
+    in
+    split 50 [] d.Dataset.Synth_lm.batches
+  in
+  List.iter
+    (fun (inputs, targets) ->
+      Array.iteri
+        (fun b row ->
+          Array.iteri (fun i tok -> counts.(tok).(targets.(b).(i)) <- counts.(tok).(targets.(b).(i)) +. 1.0) row)
+        inputs)
+    train;
+  let row_sums = Array.map (Array.fold_left ( +. ) 0.0) counts in
+  let nll = ref 0.0 and n = ref 0 in
+  List.iter
+    (fun (inputs, targets) ->
+      Array.iteri
+        (fun b row ->
+          Array.iteri
+            (fun i tok ->
+              let p = counts.(tok).(targets.(b).(i)) /. row_sums.(tok) in
+              nll := !nll -. log p;
+              incr n)
+            row)
+        inputs)
+    eval;
+  let ppl = exp (!nll /. float_of_int !n) in
+  Alcotest.(check bool)
+    (Printf.sprintf "bigram model near floor (%.2f vs uniform 8)" ppl)
+    true (ppl < 4.0)
+
+let () =
+  Alcotest.run "dataset"
+    [
+      ( "vision",
+        [
+          Alcotest.test_case "shapes" `Quick test_vision_shapes;
+          Alcotest.test_case "deterministic" `Quick test_vision_deterministic;
+          Alcotest.test_case "classes distinct" `Quick test_vision_classes_distinct;
+        ] );
+      ( "lm",
+        [
+          Alcotest.test_case "shapes" `Quick test_lm_shapes;
+          Alcotest.test_case "entropy" `Quick test_lm_entropy;
+          Alcotest.test_case "learnable" `Quick test_lm_learnable;
+        ] );
+    ]

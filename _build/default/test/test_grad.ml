@@ -1,0 +1,217 @@
+(* Finite-difference validation of every differentiable op. *)
+
+module Tensor = Nd.Tensor
+module Rng = Nd.Rng
+module Tape = Grad.Tape
+module Op = Grad.Op
+
+let rng = Rng.create ~seed:99
+
+(* Numeric gradient of [f] (a scalar function of the tensor) at [x]. *)
+let numeric_grad f x =
+  let eps = 1e-4 in
+  let data = Tensor.unsafe_data x in
+  let g = Tensor.create (Tensor.shape x) in
+  let gd = Tensor.unsafe_data g in
+  for i = 0 to Array.length data - 1 do
+    let saved = data.(i) in
+    data.(i) <- saved +. eps;
+    let l1 = f () in
+    data.(i) <- saved -. eps;
+    let l0 = f () in
+    data.(i) <- saved;
+    gd.(i) <- (l1 -. l0) /. (2.0 *. eps)
+  done;
+  g
+
+let check_close name a b =
+  let da = Tensor.unsafe_data a and db = Tensor.unsafe_data b in
+  Array.iteri
+    (fun i x ->
+      if Float.abs (x -. db.(i)) > 1e-2 *. (1.0 +. Float.abs x) then
+        Alcotest.failf "%s[%d]: numeric %.6f vs analytic %.6f" name i x db.(i))
+    da
+
+(* Generic harness: loss = mean of (elementwise square of output). *)
+let gradcheck name build inputs =
+  let forward () =
+    let tape = Tape.create () in
+    let vars = List.map (Tape.var tape) inputs in
+    let out = build tape vars in
+    Tensor.mean (Tensor.mul (Tape.data out) (Tape.data out))
+  in
+  let tape = Tape.create () in
+  let vars = List.map (Tape.var tape) inputs in
+  let out = build tape vars in
+  let loss =
+    Op.mean tape (Op.mul tape out out)
+  in
+  Tape.backward tape loss;
+  List.iteri
+    (fun i x ->
+      let analytic = Tape.grad (List.nth vars i) in
+      let numeric = numeric_grad forward x in
+      check_close (Printf.sprintf "%s input %d" name i) numeric analytic)
+    inputs
+
+let t shape = Tensor.rand_normal rng ~scale:1.0 shape
+
+let test_add_mul () =
+  gradcheck "add" (fun tp -> function [ a; b ] -> Op.add tp a b | _ -> assert false)
+    [ t [| 3; 2 |]; t [| 3; 2 |] ];
+  gradcheck "mul" (fun tp -> function [ a; b ] -> Op.mul tp a b | _ -> assert false)
+    [ t [| 4 |]; t [| 4 |] ];
+  gradcheck "sub+scale"
+    (fun tp -> function [ a; b ] -> Op.scale tp 2.5 (Op.sub tp a b) | _ -> assert false)
+    [ t [| 2; 2 |]; t [| 2; 2 |] ]
+
+let test_relu () =
+  gradcheck "relu" (fun tp -> function [ a ] -> Op.relu tp a | _ -> assert false) [ t [| 10 |] ]
+
+let test_einsum_matmul () =
+  gradcheck "einsum mm"
+    (fun tp -> function [ a; b ] -> Op.einsum tp "ik,kj->ij" [ a; b ] | _ -> assert false)
+    [ t [| 3; 4 |]; t [| 4; 2 |] ]
+
+let test_einsum_three () =
+  gradcheck "einsum 3-way"
+    (fun tp -> function
+      | [ a; b; c ] -> Op.einsum tp "bi,io,o->bo" [ a; b; c ]
+      | _ -> assert false)
+    [ t [| 2; 3 |]; t [| 3; 4 |]; t [| 4 |] ]
+
+let test_einsum_attention_shape () =
+  gradcheck "einsum attention scores"
+    (fun tp -> function
+      | [ q; k ] -> Op.einsum tp "bqhd,bkhd->bhqk" [ q; k ]
+      | _ -> assert false)
+    [ t [| 2; 3; 2; 2 |]; t [| 2; 3; 2; 2 |] ]
+
+let test_reshape_transpose () =
+  gradcheck "reshape"
+    (fun tp -> function [ a ] -> Op.reshape tp a [| 6 |] | _ -> assert false)
+    [ t [| 2; 3 |] ];
+  gradcheck "transpose"
+    (fun tp -> function [ a ] -> Op.transpose tp a [| 1; 0 |] | _ -> assert false)
+    [ t [| 2; 3 |] ]
+
+let test_bias_broadcast () =
+  gradcheck "add_bias"
+    (fun tp -> function [ a; b ] -> Op.add_bias tp a ~bias:b ~axis:1 | _ -> assert false)
+    [ t [| 2; 3 |]; t [| 3 |] ];
+  gradcheck "add_broadcast"
+    (fun tp -> function [ a; b ] -> Op.add_broadcast tp a b | _ -> assert false)
+    [ t [| 2; 3; 2 |]; t [| 3; 2 |] ]
+
+let test_pool_softmax () =
+  gradcheck "global_avg_pool"
+    (fun tp -> function [ a ] -> Op.global_avg_pool tp a | _ -> assert false)
+    [ t [| 2; 3; 2; 2 |] ];
+  gradcheck "softmax"
+    (fun tp -> function [ a ] -> Op.softmax tp a | _ -> assert false)
+    [ t [| 3; 4 |] ]
+
+let test_layer_norm () =
+  gradcheck "layer_norm"
+    (fun tp -> function
+      | [ x; g; b ] -> Op.layer_norm tp x ~gain:g ~bias:b
+      | _ -> assert false)
+    [ t [| 3; 5 |]; t [| 5 |]; t [| 5 |] ]
+
+let test_causal_mask () =
+  (* The mask output contains -1e9 entries; square loss would explode,
+     so test the gradient structure directly. *)
+  let tape = Tape.create () in
+  let x = Tape.var tape (t [| 1; 1; 3; 3 |]) in
+  let y = Op.causal_mask tape x in
+  (let d = Tensor.unsafe_data (Tape.data y) in
+   Alcotest.(check bool) "upper triangle masked" true (d.(1) < -1e8 && d.(2) < -1e8 && d.(5) < -1e8));
+  Tape.backward tape (Op.mean tape y);
+  let g = Tensor.unsafe_data (Tape.grad x) in
+  Alcotest.(check (float 1e-9)) "masked grad zero" 0.0 g.(1);
+  Alcotest.(check bool) "kept grad nonzero" true (g.(0) > 0.0)
+
+let test_embedding () =
+  let table = t [| 5; 3 |] in
+  let ids = [| [| 0; 2 |]; [| 2; 4 |] |] in
+  let forward () =
+    let tape = Tape.create () in
+    let tv = Tape.var tape table in
+    let out = Op.embedding tape ~table:tv ~ids in
+    Tensor.mean (Tensor.mul (Tape.data out) (Tape.data out))
+  in
+  let tape = Tape.create () in
+  let tv = Tape.var tape table in
+  let out = Op.embedding tape ~table:tv ~ids in
+  let loss = Op.mean tape (Op.mul tape out out) in
+  Tape.backward tape loss;
+  check_close "embedding" (numeric_grad forward table) (Tape.grad tv)
+
+let test_cross_entropy () =
+  let logits = t [| 4; 3 |] in
+  let labels = [| 0; 2; 1; 2 |] in
+  let forward () =
+    let tape = Tape.create () in
+    let lv = Tape.var tape logits in
+    let loss = Op.cross_entropy tape lv ~labels in
+    Tensor.flat_get (Tape.data loss) 0
+  in
+  let tape = Tape.create () in
+  let lv = Tape.var tape logits in
+  let loss = Op.cross_entropy tape lv ~labels in
+  Tape.backward tape loss;
+  check_close "cross_entropy" (numeric_grad forward logits) (Tape.grad lv);
+  (* loss of uniform logits is log C *)
+  let tape = Tape.create () in
+  let u = Tape.var tape (Tensor.create [| 2; 4 |]) in
+  let l = Op.cross_entropy tape u ~labels:[| 1; 3 |] in
+  Alcotest.(check (float 1e-6)) "uniform loss" (log 4.0) (Tensor.flat_get (Tape.data l) 0)
+
+let test_accuracy () =
+  let tape = Tape.create () in
+  let logits =
+    Tape.constant tape (Tensor.of_array [| 2; 3 |] [| 0.1; 0.9; 0.0; 0.8; 0.1; 0.1 |])
+  in
+  Alcotest.(check (float 1e-9)) "accuracy" 0.5 (Op.accuracy logits ~labels:[| 1; 2 |])
+
+let test_grad_accumulation () =
+  (* A value used twice accumulates both contributions. *)
+  let tape = Tape.create () in
+  let x = Tape.var tape (Tensor.of_array [| 2 |] [| 1.0; 2.0 |]) in
+  let y = Op.add tape x x in
+  Tape.backward tape (Op.mean tape y);
+  let g = Tensor.unsafe_data (Tape.grad x) in
+  Alcotest.(check (float 1e-9)) "2/n" 1.0 g.(0)
+
+let test_constant_no_grad () =
+  let tape = Tape.create () in
+  let x = Tape.constant tape (t [| 2 |]) in
+  let y = Op.scale tape 2.0 x in
+  Tape.backward tape (Op.mean tape y);
+  Alcotest.(check (float 0.0)) "constant grad stays zero" 0.0 (Tensor.sum (Tape.grad x))
+
+let () =
+  Alcotest.run "grad"
+    [
+      ( "ops",
+        [
+          Alcotest.test_case "add/mul/sub/scale" `Quick test_add_mul;
+          Alcotest.test_case "relu" `Quick test_relu;
+          Alcotest.test_case "einsum matmul" `Quick test_einsum_matmul;
+          Alcotest.test_case "einsum 3-way" `Quick test_einsum_three;
+          Alcotest.test_case "einsum attention" `Quick test_einsum_attention_shape;
+          Alcotest.test_case "reshape/transpose" `Quick test_reshape_transpose;
+          Alcotest.test_case "bias/broadcast" `Quick test_bias_broadcast;
+          Alcotest.test_case "pool/softmax" `Quick test_pool_softmax;
+          Alcotest.test_case "layer_norm" `Quick test_layer_norm;
+          Alcotest.test_case "causal mask" `Quick test_causal_mask;
+          Alcotest.test_case "embedding" `Quick test_embedding;
+          Alcotest.test_case "cross entropy" `Quick test_cross_entropy;
+          Alcotest.test_case "accuracy" `Quick test_accuracy;
+        ] );
+      ( "tape",
+        [
+          Alcotest.test_case "accumulation" `Quick test_grad_accumulation;
+          Alcotest.test_case "constants" `Quick test_constant_no_grad;
+        ] );
+    ]

@@ -1,0 +1,186 @@
+(* Tests for layers, optimizers, attention, and the training loop. *)
+
+module Tensor = Nd.Tensor
+module Rng = Nd.Rng
+module Tape = Grad.Tape
+module Op = Grad.Op
+
+let rng () = Rng.create ~seed:7
+
+let test_linear_shapes () =
+  let l = Nn.Layer.linear (rng ()) ~in_features:4 ~out_features:3 in
+  Alcotest.(check int) "params" ((4 * 3) + 3) (Nn.Layer.num_params l);
+  let tape = Tape.create () in
+  let params = List.map (Tape.var tape) l.Nn.Layer.params in
+  let x = Tape.constant tape (Tensor.create [| 2; 4 |]) in
+  let y = l.Nn.Layer.apply tape params x in
+  Alcotest.(check (array int)) "output shape" [| 2; 3 |] (Tensor.shape (Tape.data y));
+  (* higher-rank input maps over the last axis *)
+  let x3 = Tape.constant tape (Tensor.create [| 2; 5; 4 |]) in
+  let y3 = l.Nn.Layer.apply tape params x3 in
+  Alcotest.(check (array int)) "rank-3 shape" [| 2; 5; 3 |] (Tensor.shape (Tape.data y3))
+
+let test_sequential_residual () =
+  let r = rng () in
+  let body = Nn.Layer.sequential "s" [ Nn.Layer.relu; Nn.Layer.relu ] in
+  Alcotest.(check int) "no params" 0 (Nn.Layer.num_params body);
+  let res = Nn.Layer.residual "r" [ body ] in
+  let tape = Tape.create () in
+  let x = Tape.constant tape (Tensor.of_array [| 2 |] [| -1.0; 2.0 |]) in
+  let y = res.Nn.Layer.apply tape [] x in
+  (* residual: x + relu(relu x) *)
+  Alcotest.(check (float 1e-9)) "neg passes via skip" (-1.0) (Tensor.get (Tape.data y) [| 0 |]);
+  Alcotest.(check (float 1e-9)) "pos doubled" 4.0 (Tensor.get (Tape.data y) [| 1 |]);
+  ignore r
+
+let quadratic_descent make_opt =
+  (* minimize ||p - target||^2 by gradient steps *)
+  let p = Tensor.of_array [| 2 |] [| 5.0; -3.0 |] in
+  let target = Tensor.of_array [| 2 |] [| 1.0; 2.0 |] in
+  let opt = make_opt () in
+  for _ = 1 to 200 do
+    let grad = Tensor.scale 2.0 (Tensor.sub p target) in
+    Nn.Optimizer.step opt ~params:[ p ] ~grads:[ grad ]
+  done;
+  Tensor.sum (Tensor.map Float.abs (Tensor.sub p target))
+
+let test_sgd () =
+  let err = quadratic_descent (fun () -> Nn.Optimizer.sgd ~momentum:0.9 ~lr:0.05 ()) in
+  Alcotest.(check bool) "sgd converges" true (err < 1e-3)
+
+let test_adam () =
+  let err = quadratic_descent (fun () -> Nn.Optimizer.adam ~lr:0.1 ()) in
+  Alcotest.(check bool) "adam converges" true (err < 1e-2)
+
+let test_cosine_schedule () =
+  Alcotest.(check (float 1e-9)) "start" 1.0 (Nn.Optimizer.cosine_lr ~base:1.0 ~total_steps:100 0);
+  Alcotest.(check (float 1e-9)) "end" 0.0 (Nn.Optimizer.cosine_lr ~base:1.0 ~total_steps:100 100);
+  let mid = Nn.Optimizer.cosine_lr ~base:1.0 ~total_steps:100 50 in
+  Alcotest.(check (float 1e-9)) "mid" 0.5 mid
+
+let test_linear_model_learns () =
+  (* Separable 2-class problem in 4 features. *)
+  let r = rng () in
+  let model =
+    Nn.Model.of_layer
+      (Nn.Layer.sequential "clf"
+         [ Nn.Layer.linear r ~in_features:4 ~out_features:2 ])
+  in
+  let make_batch () =
+    let images = Tensor.create [| 16; 4 |] in
+    let labels = Array.make 16 0 in
+    for i = 0 to 15 do
+      let cls = Rng.int r 2 in
+      labels.(i) <- cls;
+      for j = 0 to 3 do
+        let mean = if cls = 0 then 1.0 else -1.0 in
+        Tensor.set images [| i; j |] (mean +. (0.5 *. Rng.normal r))
+      done
+    done;
+    { Nn.Train.images; labels }
+  in
+  let train = List.init 10 (fun _ -> make_batch ()) in
+  let eval = List.init 3 (fun _ -> make_batch ()) in
+  let opt = Nn.Optimizer.sgd ~lr:0.1 () in
+  let h = Nn.Train.fit model opt ~epochs:5 ~train ~eval in
+  Alcotest.(check bool) "learns separable task" true (h.Nn.Train.final_eval_accuracy > 0.95)
+
+let test_attention_shapes () =
+  let r = rng () in
+  let attn = Nn.Attention.causal_self_attention r ~embed:8 ~heads:2 () in
+  let tape = Tape.create () in
+  let params = List.map (Tape.var tape) attn.Nn.Layer.params in
+  let x = Tape.constant tape (Tensor.rand_normal r ~scale:1.0 [| 2; 5; 8 |]) in
+  let y = attn.Nn.Layer.apply tape params x in
+  Alcotest.(check (array int)) "shape preserved" [| 2; 5; 8 |] (Tensor.shape (Tape.data y))
+
+let test_attention_causality () =
+  (* Changing a future token must not change earlier outputs. *)
+  let r = rng () in
+  let attn = Nn.Attention.causal_self_attention r ~embed:4 ~heads:1 () in
+  let x0 = Tensor.rand_normal r ~scale:1.0 [| 1; 4; 4 |] in
+  let x1 = Tensor.copy x0 in
+  for j = 0 to 3 do
+    Tensor.set x1 [| 0; 3; j |] 9.0
+  done;
+  let run x =
+    let tape = Tape.create () in
+    let params = List.map (Tape.var tape) attn.Nn.Layer.params in
+    Tape.data (attn.Nn.Layer.apply tape params (Tape.constant tape x))
+  in
+  let y0 = run x0 and y1 = run x1 in
+  for t = 0 to 2 do
+    for j = 0 to 3 do
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "t=%d j=%d unchanged" t j)
+        (Tensor.get y0 [| 0; t; j |])
+        (Tensor.get y1 [| 0; t; j |])
+    done
+  done;
+  Alcotest.(check bool) "last position changed" true
+    (Float.abs (Tensor.get y0 [| 0; 3; 0 |] -. Tensor.get y1 [| 0; 3; 0 |]) > 1e-9)
+
+let test_transformer_block () =
+  let r = rng () in
+  let block = Nn.Attention.transformer_block r ~embed:8 ~heads:2 () in
+  let tape = Tape.create () in
+  let params = List.map (Tape.var tape) block.Nn.Layer.params in
+  let x = Tape.constant tape (Tensor.rand_normal r ~scale:1.0 [| 1; 3; 8 |]) in
+  let y = block.Nn.Layer.apply tape params x in
+  Alcotest.(check (array int)) "block preserves shape" [| 1; 3; 8 |] (Tensor.shape (Tape.data y))
+
+let test_operator_layer_trains () =
+  (* A Syno conv operator substituted as a layer learns the synthetic
+     vision task clearly above chance. *)
+  let r = rng () in
+  let data =
+    Dataset.Synth_vision.generate r ~classes:3 ~channels:4 ~size:8 ~motif:3
+      ~train_batches:8 ~eval_batches:3 ~batch_size:16 ()
+  in
+  let make_op rng (stage : Backbones.Proxy.stage_shape) =
+    let valuation =
+      Syno.Zoo.Vars.conv_valuation ~n:16 ~c_in:stage.Backbones.Proxy.in_ch
+        ~c_out:stage.Backbones.Proxy.out_ch ~hw:stage.Backbones.Proxy.hw ~k:3 ~g:2 ~s:2 ()
+    in
+    Nn.Layer.of_operator rng ~name:"conv"
+      (Lower.Reference.compile Syno.Zoo.conv2d.Syno.Zoo.operator valuation)
+  in
+  let model =
+    Backbones.Proxy.vision_model r ~make_op ~in_channels:4 ~channels:8 ~classes:3 ~size:8 ()
+  in
+  let opt = Nn.Optimizer.sgd ~momentum:0.9 ~lr:0.05 () in
+  let h =
+    Nn.Train.fit model opt ~epochs:10 ~train:data.Dataset.Synth_vision.train
+      ~eval:data.Dataset.Synth_vision.eval
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "above chance (got %.2f)" h.Nn.Train.final_eval_accuracy)
+    true
+    (h.Nn.Train.final_eval_accuracy > 0.5)
+
+let () =
+  Alcotest.run "nn"
+    [
+      ( "layers",
+        [
+          Alcotest.test_case "linear shapes" `Quick test_linear_shapes;
+          Alcotest.test_case "sequential/residual" `Quick test_sequential_residual;
+        ] );
+      ( "optimizers",
+        [
+          Alcotest.test_case "sgd" `Quick test_sgd;
+          Alcotest.test_case "adam" `Quick test_adam;
+          Alcotest.test_case "cosine" `Quick test_cosine_schedule;
+        ] );
+      ( "training",
+        [
+          Alcotest.test_case "linear model learns" `Quick test_linear_model_learns;
+          Alcotest.test_case "operator layer trains" `Slow test_operator_layer_trains;
+        ] );
+      ( "attention",
+        [
+          Alcotest.test_case "shapes" `Quick test_attention_shapes;
+          Alcotest.test_case "causality" `Quick test_attention_causality;
+          Alcotest.test_case "transformer block" `Quick test_transformer_block;
+        ] );
+    ]

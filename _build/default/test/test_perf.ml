@@ -1,0 +1,144 @@
+(* Tests for the hardware/compiler performance models. *)
+
+module Platform = Perf.Platform
+module Kernel = Perf.Kernel
+module Compiler = Perf.Compiler_model
+module Roofline = Perf.Roofline
+module Zoo = Syno.Zoo
+
+let valuation = Zoo.Vars.conv_valuation ~n:1 ~c_in:64 ~c_out:64 ~hw:56 ~k:3 ~g:2 ~s:2 ()
+let kernel e = Kernel.of_operator e.Zoo.operator valuation
+
+let test_platforms () =
+  Alcotest.(check int) "three platforms" 3 (List.length Platform.all);
+  let cpu = Platform.by_name "mobile-cpu" in
+  let a100 = Platform.by_name "a100" in
+  Alcotest.(check bool) "a100 faster" true (a100.Platform.peak_gflops > cpu.Platform.peak_gflops);
+  Alcotest.(check bool) "a100 has tensor cores" true (a100.Platform.tensor_core_gflops <> None);
+  Alcotest.(check bool) "cpu has none" true (cpu.Platform.tensor_core_gflops = None);
+  Alcotest.check_raises "unknown platform"
+    (Invalid_argument "Platform.by_name: unknown platform x") (fun () ->
+      ignore (Platform.by_name "x"))
+
+let test_kernel_characterization () =
+  let conv = kernel Zoo.conv2d in
+  Alcotest.(check bool) "conv regular" true conv.Kernel.regular;
+  Alcotest.(check bool) "conv not grouped" false conv.Kernel.grouped;
+  let grouped = kernel Zoo.grouped_conv in
+  Alcotest.(check bool) "grouped_conv irregular" false grouped.Kernel.regular;
+  Alcotest.(check bool) "grouped_conv grouped" true grouped.Kernel.grouped;
+  let dw = kernel Zoo.depthwise_conv in
+  Alcotest.(check bool) "depthwise grouped" true dw.Kernel.grouped;
+  Alcotest.(check bool) "depthwise regular indexing" true dw.Kernel.regular;
+  let op2 = kernel Zoo.operator2 in
+  Alcotest.(check bool) "operator2 regular" true op2.Kernel.regular;
+  Alcotest.(check bool) "operator2 staged" true (op2.Kernel.stages > 1)
+
+let test_kernel_flops () =
+  let conv = kernel Zoo.conv2d in
+  (* 2 * C_out*H*W * C_in*k*k *)
+  Alcotest.(check int) "conv flops" (2 * 64 * 56 * 56 * 64 * 9) conv.Kernel.flops;
+  Alcotest.(check int) "conv params bytes" (64 * 64 * 9 * 4) conv.Kernel.param_bytes;
+  let op2 = kernel Zoo.operator2 in
+  Alcotest.(check bool) "op2 fewer flops" true (op2.Kernel.flops < conv.Kernel.flops);
+  Alcotest.(check bool) "op2 fewer params" true
+    (op2.Kernel.param_bytes < conv.Kernel.param_bytes)
+
+let test_quantize () =
+  let conv = kernel Zoo.conv2d in
+  let q = Kernel.quantize_int8 conv in
+  Alcotest.(check int) "quarter param bytes" (conv.Kernel.param_bytes / 4) q.Kernel.param_bytes;
+  Alcotest.(check int) "half flops" (conv.Kernel.flops / 2) q.Kernel.flops
+
+let test_roofline_monotonic () =
+  let conv = kernel Zoo.conv2d in
+  let small = Kernel.of_operator Zoo.conv2d.Zoo.operator
+      (Zoo.Vars.conv_valuation ~n:1 ~c_in:16 ~c_out:16 ~hw:14 ~k:3 ~g:2 ~s:2 ())
+  in
+  List.iter
+    (fun p ->
+      let tb = Roofline.kernel_time_us Compiler.tvm p conv in
+      let ts = Roofline.kernel_time_us Compiler.tvm p small in
+      Alcotest.(check bool) (p.Platform.name ^ " bigger is slower") true (tb > ts))
+    Platform.all
+
+let test_compiler_contrast () =
+  let conv = kernel Zoo.conv2d in
+  let a100 = Platform.a100 in
+  (* Inductor uses tensor cores on regular kernels on A100: faster than
+     FP32 TVM. *)
+  Alcotest.(check bool) "inductor TC beats tvm on a100 regular" true
+    (Compiler.effective_gflops Compiler.torchinductor a100 conv
+    > Compiler.effective_gflops Compiler.tvm a100 conv);
+  (* On the mobile CPU for a grouped kernel, TVM's generic codegen wins
+     (ATen fallback story). *)
+  let dw = kernel Zoo.depthwise_conv in
+  let cpu = Platform.mobile_cpu in
+  Alcotest.(check bool) "tvm beats inductor on mobile grouped" true
+    (Compiler.effective_gflops Compiler.tvm cpu dw
+    > Compiler.effective_gflops Compiler.torchinductor cpu dw)
+
+let test_cache_spill () =
+  (* A parameter-heavy kernel on the cache-limited CPU pays a traffic
+     penalty that a parameter-light kernel avoids. *)
+  let cpu = Platform.mobile_cpu in
+  let heavy = Kernel.of_operator Zoo.conv2d.Zoo.operator
+      (Zoo.Vars.conv_valuation ~n:1 ~c_in:512 ~c_out:512 ~hw:7 ~k:3 ~g:2 ~s:2 ())
+  in
+  Alcotest.(check bool) "big weights exceed cache" true
+    (heavy.Kernel.param_bytes > cpu.Platform.cache_bytes);
+  let t_heavy = Roofline.kernel_time_us Compiler.tvm cpu heavy in
+  (* memory-bound estimate without the spill factor *)
+  let naive_mem =
+    float_of_int (heavy.Kernel.input_bytes + heavy.Kernel.output_bytes + heavy.Kernel.param_bytes)
+    /. (cpu.Platform.mem_bw_gbps *. 1e3)
+  in
+  Alcotest.(check bool) "spill penalty applies" true (t_heavy > naive_mem)
+
+let test_model_time () =
+  let lis =
+    [
+      {
+        Roofline.li_operator = Zoo.conv2d.Zoo.operator;
+        li_valuation = valuation;
+        li_count = 4;
+      };
+    ]
+  in
+  let one =
+    Roofline.operator_time_us Compiler.tvm Platform.mobile_cpu Zoo.conv2d.Zoo.operator
+      valuation
+  in
+  Alcotest.(check (float 1e-6)) "sums counts" (4.0 *. one /. 1000.0)
+    (Roofline.model_time_ms Compiler.tvm Platform.mobile_cpu lis)
+
+let test_quantized_time_faster () =
+  let t =
+    Roofline.operator_time_us Compiler.tvm Platform.mobile_cpu Zoo.conv2d.Zoo.operator
+      valuation
+  in
+  let tq =
+    Roofline.quantized_operator_time_us Compiler.tvm Platform.mobile_cpu
+      Zoo.conv2d.Zoo.operator valuation
+  in
+  Alcotest.(check bool) "int8 faster" true (tq < t)
+
+let () =
+  Alcotest.run "perf"
+    [
+      ("platforms", [ Alcotest.test_case "catalog" `Quick test_platforms ]);
+      ( "kernels",
+        [
+          Alcotest.test_case "characterization" `Quick test_kernel_characterization;
+          Alcotest.test_case "flops" `Quick test_kernel_flops;
+          Alcotest.test_case "quantize" `Quick test_quantize;
+        ] );
+      ( "roofline",
+        [
+          Alcotest.test_case "monotonic" `Quick test_roofline_monotonic;
+          Alcotest.test_case "compiler contrast" `Quick test_compiler_contrast;
+          Alcotest.test_case "cache spill" `Quick test_cache_spill;
+          Alcotest.test_case "model time" `Quick test_model_time;
+          Alcotest.test_case "quantized" `Quick test_quantized_time_faster;
+        ] );
+    ]

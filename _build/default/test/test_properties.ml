@@ -1,0 +1,179 @@
+(* Cross-cutting property tests on randomly synthesized operators.
+
+   These exercise the paper's core invariants end to end: the search
+   only emits canonical operators; the shape-distance bound never
+   overestimates along a real synthesis path (so Algorithm 1's pruning
+   is sound); staging never exceeds the naive cost; and every
+   synthesized operator is a *linear* map, as \u{00a7}4 requires. *)
+
+module Size = Shape.Size
+module Graph = Pgraph.Graph
+module Prim = Pgraph.Prim
+module Distance = Pgraph.Distance
+module Tensor = Nd.Tensor
+module Rng = Nd.Rng
+module Zoo = Syno.Zoo
+
+let conv_cfg ?(max_prims = 7) () =
+  let open Zoo.Vars in
+  let sz = Size.of_var in
+  let valuations = [ Zoo.Vars.conv_valuation ~n:1 ~c_in:8 ~c_out:8 ~hw:8 ~k:3 ~g:2 ~s:2 () ] in
+  let base =
+    Search.Enumerate.default_config
+      ~output_shape:[ sz n; sz c_out; sz h; sz w ]
+      ~desired_shape:[ sz n; sz c_in; sz h; sz w ]
+      ~valuations ()
+  in
+  {
+    base with
+    Search.Enumerate.max_prims;
+    coefficient_candidates = [ sz k; sz s ];
+    reduce_candidates = [ sz c_in; sz k ];
+    frozen_sizes = [ sz n ];
+  }
+
+let sample_operator seed =
+  let cfg = conv_cfg () in
+  let rng = Rng.create ~seed in
+  (cfg, Search.Enumerate.random_completion cfg rng ~use_distance:true)
+
+let small_valuation = Zoo.Vars.conv_valuation ~n:1 ~c_in:8 ~c_out:8 ~hw:8 ~k:3 ~g:2 ~s:2 ()
+
+let seed_arb = QCheck.(int_range 0 1_000_000)
+
+(* 1. Everything the guided random synthesis emits replays through the
+      canonicalizer: the search space is canonical by construction. *)
+let prop_search_output_canonical =
+  QCheck.Test.make ~name:"search output is canonical" ~count:40 seed_arb (fun seed ->
+      match sample_operator seed with
+      | _, None -> true
+      | cfg, Some op ->
+          Pgraph.Canon.trace_is_canonical cfg.Search.Enumerate.canon
+            cfg.Search.Enumerate.output_shape op.Graph.op_trace)
+
+(* 2. Shape-distance admissibility along real synthesis paths: at every
+      prefix, the bound is at most the number of primitives the path
+      actually still used. *)
+let prop_distance_admissible =
+  QCheck.Test.make ~name:"shape distance never overestimates" ~count:120 seed_arb
+    (fun seed ->
+      match sample_operator seed with
+      | _, None -> true
+      | cfg, Some op ->
+          let dist = Distance.create () in
+          let total = List.length op.Graph.op_trace in
+          let rec check g i = function
+            | [] -> true
+            | p :: rest ->
+                let ok =
+                  match
+                    Distance.distance dist ~current:(Graph.frontier_sizes g)
+                      ~desired:cfg.Search.Enumerate.desired_shape
+                  with
+                  | Some d -> d <= total - i
+                  | None -> false
+                in
+                ok && check (Graph.apply_exn g p) (i + 1) rest
+          in
+          check (Graph.init cfg.Search.Enumerate.output_shape) 0 op.Graph.op_trace)
+
+(* 3. Staging never exceeds the naive cost, and its stage costs add up. *)
+let prop_staging_bounded =
+  QCheck.Test.make ~name:"staged flops <= naive flops" ~count:40 seed_arb (fun seed ->
+      match sample_operator seed with
+      | _, None -> true
+      | _, Some op ->
+          let plan = Lower.Staging.optimize op small_valuation in
+          let stage_sum =
+            List.fold_left (fun acc s -> acc + s.Lower.Staging.flops) 0 plan.Lower.Staging.stages
+          in
+          plan.Lower.Staging.total_flops <= plan.Lower.Staging.naive_flops
+          && stage_sum + plan.Lower.Staging.final_flops = plan.Lower.Staging.total_flops)
+
+(* 4. Synthesized operators are linear in the input (\u{00a7}4: Syno searches
+      for linear operators): f(ax + by) = a f(x) + b f(y). *)
+let prop_linearity =
+  QCheck.Test.make ~name:"operators are linear maps" ~count:25 seed_arb (fun seed ->
+      match sample_operator seed with
+      | _, None -> true
+      | _, Some op ->
+          let r = Lower.Reference.compile op small_valuation in
+          let rng = Rng.create ~seed:(seed + 7) in
+          let shape = Lower.Reference.input_shape r in
+          let x = Tensor.rand_normal rng ~scale:1.0 shape in
+          let y = Tensor.rand_normal rng ~scale:1.0 shape in
+          let weights = Lower.Reference.init_weights r rng in
+          let f t = Lower.Reference.forward r ~input:t ~weights in
+          let a = 1.7 and b = -0.6 in
+          let combo = Tensor.add (Tensor.scale a x) (Tensor.scale b y) in
+          let lhs = f combo in
+          let rhs = Tensor.add (Tensor.scale a (f x)) (Tensor.scale b (f y)) in
+          Tensor.equal ~eps:1e-4 lhs rhs)
+
+(* 5. Homogeneity in each weight group: scaling one group scales the
+      output by the same factor (multilinearity of the contraction). *)
+let prop_weight_multilinearity =
+  QCheck.Test.make ~name:"output is multilinear in the weights" ~count:25 seed_arb
+    (fun seed ->
+      match sample_operator seed with
+      | _, None -> true
+      | _, Some op ->
+          let r = Lower.Reference.compile op small_valuation in
+          let rng = Rng.create ~seed:(seed + 13) in
+          let x = Tensor.rand_normal rng ~scale:1.0 (Lower.Reference.input_shape r) in
+          let weights = Lower.Reference.init_weights r rng in
+          (match weights with
+          | [] -> true
+          | w0 :: rest ->
+              let base = Lower.Reference.forward r ~input:x ~weights in
+              let scaled =
+                Lower.Reference.forward r ~input:x ~weights:(Tensor.scale 3.0 w0 :: rest)
+              in
+              Tensor.equal ~eps:1e-4 scaled (Tensor.scale 3.0 base)))
+
+(* 6. Operator FLOPs and params evaluate consistently across the two
+      independent implementations (Flops vs Reference). *)
+let prop_flops_consistent =
+  QCheck.Test.make ~name:"flops accounting agrees with the compiled loop nest" ~count:40
+    seed_arb (fun seed ->
+      match sample_operator seed with
+      | _, None -> true
+      | _, Some op ->
+          let r = Lower.Reference.compile op small_valuation in
+          Lower.Reference.flops r = Pgraph.Flops.naive_flops op small_valuation)
+
+(* 7. Completion shape contract: input expressions evaluate within the
+      declared input bounds... except where Unfold clipping applies, in
+      which case they may stray by less than the window radius. *)
+let prop_signature_deterministic =
+  QCheck.Test.make ~name:"operator signature is deterministic" ~count:40 seed_arb
+    (fun seed ->
+      match sample_operator seed with
+      | _, None -> true
+      | cfg, Some op -> (
+          (* rebuilding from the same trace gives the same signature *)
+          match
+            Result.bind
+              (Graph.apply_all (Graph.init cfg.Search.Enumerate.output_shape) op.Graph.op_trace)
+              (fun g -> Graph.complete g ~desired:cfg.Search.Enumerate.desired_shape)
+          with
+          | Ok op' -> Graph.operator_signature op = Graph.operator_signature op'
+          | Error _ -> false))
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "search-invariants",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_search_output_canonical;
+            prop_distance_admissible;
+            prop_signature_deterministic;
+          ] );
+      ( "cost-invariants",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_staging_bounded; prop_flops_consistent ] );
+      ( "semantics-invariants",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_linearity; prop_weight_multilinearity ] );
+    ]

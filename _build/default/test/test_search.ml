@@ -1,0 +1,176 @@
+(* Tests for guided enumeration, MCTS, and the reward proxy. *)
+
+module Var = Shape.Var
+module Size = Shape.Size
+module Valuation = Shape.Valuation
+module Graph = Pgraph.Graph
+module Prim = Pgraph.Prim
+module Enumerate = Search.Enumerate
+module Mcts = Search.Mcts
+module Reward = Search.Reward
+
+let m = Var.primary "M"
+let nd_ = Var.primary "Nd"
+let kd = Var.primary "Kd"
+let sz = Size.of_var
+
+let matmul_valuations =
+  [
+    Valuation.of_list [ (m, 8); (nd_, 8); (kd, 8) ];
+    Valuation.of_list [ (m, 16); (nd_, 4); (kd, 8) ];
+  ]
+
+let matmul_cfg ?(max_prims = 4) () =
+  let base =
+    Enumerate.default_config ~output_shape:[ sz m; sz nd_ ] ~desired_shape:[ sz m; sz kd ]
+      ~valuations:matmul_valuations ()
+  in
+  { base with Enumerate.max_prims; reduce_candidates = [ sz kd ] }
+
+let test_children_are_canonical () =
+  let cfg = matmul_cfg () in
+  let g = Graph.init [ sz m; sz nd_ ] in
+  let kids = Enumerate.children cfg g in
+  Alcotest.(check bool) "has children" true (kids <> []);
+  (* no duplicate actions *)
+  let prims = List.map fst kids in
+  Alcotest.(check int) "no duplicates" (List.length prims)
+    (List.length (List.sort_uniq Prim.compare prims))
+
+let test_synthesize_finds_matmul () =
+  let cfg = matmul_cfg () in
+  let stats = Enumerate.make_stats () in
+  let ops = Enumerate.synthesize ~max_results:200 ~max_visits:100_000 ~stats cfg in
+  Alcotest.(check bool) "found operators" true (ops <> []);
+  (* One of them must be exactly matmul: one weight [Kd, Nd] group. *)
+  let is_matmul op =
+    match op.Graph.op_weights with
+    | [ [ a; b ] ] ->
+        Size.equal a.Coord.Ast.dom (sz kd) && Size.equal b.Coord.Ast.dom (sz nd_)
+    | _ -> false
+  in
+  Alcotest.(check bool) "matmul among results" true (List.exists is_matmul ops);
+  Alcotest.(check bool) "distance pruning fired" true (stats.Enumerate.pruned_by_distance > 0)
+
+let test_synthesized_ops_valid () =
+  let cfg = matmul_cfg () in
+  let ops = Enumerate.synthesize ~max_results:30 ~max_visits:30_000 cfg in
+  List.iter
+    (fun op ->
+      (* every result must satisfy the completion contract *)
+      Alcotest.(check int) "input dims" 2 (List.length op.Graph.op_input_exprs);
+      List.iter2
+        (fun s d -> Alcotest.(check bool) "shape" true (Size.equal s d))
+        op.Graph.op_input_shape [ sz m; sz kd ])
+    ops
+
+let test_flops_budget_respected () =
+  let cfg = matmul_cfg () in
+  let budget = 2 * 8 * 8 * 8 in
+  let cfg = { cfg with Enumerate.max_flops = Some budget } in
+  let ops = Enumerate.synthesize ~max_results:30 ~max_visits:30_000 cfg in
+  List.iter
+    (fun op ->
+      List.iter
+        (fun v ->
+          Alcotest.(check bool) "within budget" true
+            (Pgraph.Flops.naive_flops op v <= budget))
+        matmul_valuations)
+    ops
+
+(* --- Random trials: the shape-distance ablation mechanism -------------- *)
+
+let test_random_completion_guided () =
+  let cfg = matmul_cfg ~max_prims:4 () in
+  let rng = Nd.Rng.create ~seed:11 in
+  let successes = ref 0 in
+  for _ = 1 to 60 do
+    match Enumerate.random_completion cfg rng ~use_distance:true with
+    | Some _ -> incr successes
+    | None -> ()
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "guided trials succeed often (%d/60)" !successes)
+    true (!successes > 8)
+
+let test_random_completion_unguided_worse () =
+  let cfg = matmul_cfg ~max_prims:4 () in
+  let rng_g = Nd.Rng.create ~seed:12 in
+  let rng_u = Nd.Rng.create ~seed:12 in
+  let count use_distance rng =
+    let successes = ref 0 in
+    for _ = 1 to 60 do
+      if Enumerate.random_completion cfg rng ~use_distance <> None then incr successes
+    done;
+    !successes
+  in
+  let guided = count true rng_g in
+  let unguided = count false rng_u in
+  Alcotest.(check bool)
+    (Printf.sprintf "guided (%d) > unguided (%d)" guided unguided)
+    true (guided > unguided)
+
+(* --- MCTS ---------------------------------------------------------------- *)
+
+let test_mcts_finds_operators () =
+  let cfg = matmul_cfg () in
+  let rng = Nd.Rng.create ~seed:13 in
+  let reward op = Reward.score op (List.hd matmul_valuations) in
+  let results =
+    Mcts.search ~config:(Mcts.default_config ~iterations:120 ()) cfg ~reward ~rng ()
+  in
+  Alcotest.(check bool) "found some" true (results <> []);
+  (* sorted by decreasing reward *)
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a.Mcts.reward >= b.Mcts.reward && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "sorted" true (sorted results);
+  let best = List.hd results in
+  Alcotest.(check bool) "best positive" true (best.Mcts.reward > 0.0)
+
+(* --- Reward features ------------------------------------------------------ *)
+
+let conv_valuation = Syno.Zoo.Vars.conv_valuation ~n:1 ~c_in:16 ~c_out:16 ~hw:8 ()
+
+let test_reward_features () =
+  let f e = Reward.features e.Syno.Zoo.operator conv_valuation in
+  let conv = f Syno.Zoo.conv2d in
+  Alcotest.(check bool) "conv mixes spatially" true conv.Reward.spatial_mixing;
+  Alcotest.(check bool) "conv mixes channels" true conv.Reward.channel_mixing;
+  let pw = f Syno.Zoo.conv1x1 in
+  Alcotest.(check bool) "1x1 no spatial mixing" false pw.Reward.spatial_mixing;
+  Alcotest.(check bool) "1x1 channel mixing" true pw.Reward.channel_mixing;
+  let shift = f Syno.Zoo.shift_conv in
+  Alcotest.(check bool) "shift counts as spatial mixing" true shift.Reward.spatial_mixing
+
+let test_reward_ordering () =
+  let score e = Reward.score e.Syno.Zoo.operator conv_valuation in
+  Alcotest.(check bool) "conv scores higher than 1x1" true
+    (score Syno.Zoo.conv2d > score Syno.Zoo.conv1x1);
+  let budget = 100 in
+  Alcotest.(check (float 0.0)) "over budget scores zero" 0.0
+    (Reward.score ~flops_budget:budget Syno.Zoo.conv2d.Syno.Zoo.operator conv_valuation)
+
+let () =
+  Alcotest.run "search"
+    [
+      ( "enumerate",
+        [
+          Alcotest.test_case "children canonical" `Quick test_children_are_canonical;
+          Alcotest.test_case "finds matmul" `Quick test_synthesize_finds_matmul;
+          Alcotest.test_case "results valid" `Quick test_synthesized_ops_valid;
+          Alcotest.test_case "flops budget" `Quick test_flops_budget_respected;
+        ] );
+      ( "random-trials",
+        [
+          Alcotest.test_case "guided succeeds" `Quick test_random_completion_guided;
+          Alcotest.test_case "guided beats unguided" `Quick test_random_completion_unguided_worse;
+        ] );
+      ("mcts", [ Alcotest.test_case "finds operators" `Quick test_mcts_finds_operators ]);
+      ( "reward",
+        [
+          Alcotest.test_case "features" `Quick test_reward_features;
+          Alcotest.test_case "ordering" `Quick test_reward_ordering;
+        ] );
+    ]

@@ -1,0 +1,160 @@
+(* Unit and property tests for the symbolic size algebra. *)
+
+module Var = Shape.Var
+module Size = Shape.Size
+module Valuation = Shape.Valuation
+
+let h = Var.primary "H"
+let w = Var.primary "W"
+let c_in = Var.primary "C_in"
+let k = Var.coefficient "k"
+let s = Var.coefficient "s"
+
+let valuation = Valuation.of_list [ (h, 32); (w, 32); (c_in, 64); (k, 3); (s, 2) ]
+let lookup = Valuation.lookup valuation
+
+let size = Alcotest.testable Size.pp Size.equal
+
+let test_var_kinds () =
+  Alcotest.(check bool) "H primary" true (Var.is_primary h);
+  Alcotest.(check bool) "k coefficient" true (Var.is_coefficient k);
+  Alcotest.(check bool) "same name same var" true (Var.equal h (Var.primary "H"));
+  Alcotest.(check bool) "kind distinguishes" false (Var.equal h (Var.coefficient "H"))
+
+let test_mul_eval () =
+  let hw = Size.mul (Size.of_var h) (Size.of_var w) in
+  Alcotest.(check int) "H*W" 1024 (Size.eval hw lookup);
+  let s2 = Size.mul (Size.of_int 2) (Size.of_var h) in
+  Alcotest.(check int) "2*H" 64 (Size.eval s2 lookup)
+
+let test_div () =
+  let hw = Size.mul (Size.of_var h) (Size.of_var w) in
+  (match Size.div hw (Size.of_var w) with
+  | Some q -> Alcotest.check size "HW/W = H" (Size.of_var h) q
+  | None -> Alcotest.fail "HW/W should divide");
+  (* Primary variable may not end up in a denominator. *)
+  Alcotest.(check bool)
+    "H/W invalid" true
+    (Size.div (Size.of_var h) (Size.of_var w) = None);
+  (* Coefficient variable may. *)
+  (match Size.div (Size.of_var h) (Size.of_var s) with
+  | Some q -> Alcotest.(check int) "H/s = 16" 16 (Size.eval q lookup)
+  | None -> Alcotest.fail "H/s should be allowed")
+
+let test_div_constants () =
+  Alcotest.(check bool) "6/4 fails" true (Size.div (Size.of_int 6) (Size.of_int 4) = None);
+  match Size.div (Size.of_int 6) (Size.of_int 2) with
+  | Some q -> Alcotest.check size "6/2" (Size.of_int 3) q
+  | None -> Alcotest.fail "6/2 should divide"
+
+let test_negative_exponent () =
+  let inv_s_h = Size.mul (Size.var_pow s (-1)) (Size.of_var h) in
+  Alcotest.(check int) "s^-1*H = 16" 16 (Size.eval inv_s_h lookup);
+  Alcotest.(check bool) "has negative exponent" true (Size.has_negative_exponent inv_s_h);
+  (* Evaluation that is non-integer must be rejected. *)
+  let bad = Valuation.of_list [ (h, 31); (s, 2) ] in
+  Alcotest.(check bool)
+    "non-divisible eval" true
+    (Size.eval_opt inv_s_h (Valuation.lookup bad) = None)
+
+let test_primary_denominator_rejected () =
+  Alcotest.check_raises "var_pow primary negative"
+    (Invalid_argument "Size.var_pow: negative power of a primary variable") (fun () ->
+      ignore (Size.var_pow h (-1)))
+
+let test_parts () =
+  let m = Size.mul (Size.of_int 2) (Size.mul (Size.of_var h) (Size.var_pow k 2)) in
+  Alcotest.check size "primary part" (Size.of_var h) (Size.primary_part m);
+  Alcotest.check size "coefficient part"
+    (Size.mul (Size.of_int 2) (Size.var_pow k 2))
+    (Size.coefficient_part m)
+
+let test_gcd () =
+  let a = Size.mul (Size.of_int 6) (Size.mul (Size.of_var h) (Size.of_var k)) in
+  let b = Size.mul (Size.of_int 4) (Size.mul (Size.of_var h) (Size.of_var s)) in
+  Alcotest.check size "gcd" (Size.mul (Size.of_int 2) (Size.of_var h)) (Size.gcd a b)
+
+let test_product () =
+  let sizes = [ Size.of_var h; Size.of_var w; Size.of_int 3 ] in
+  Alcotest.(check int) "product" (32 * 32 * 3) (Size.eval (Size.product sizes) lookup)
+
+let test_valuation () =
+  Alcotest.(check int) "find" 3 (Valuation.find valuation k);
+  Alcotest.(check bool) "mem" false (Valuation.mem valuation (Var.primary "Z"));
+  Alcotest.check_raises "non-positive rejected"
+    (Invalid_argument "Valuation.add: non-positive value") (fun () ->
+      ignore (Valuation.add h 0 Valuation.empty))
+
+(* --- Property tests ---------------------------------------------------- *)
+
+let gen_size =
+  let open QCheck.Gen in
+  let var =
+    oneofl [ Size.of_var h; Size.of_var w; Size.of_var c_in; Size.of_var k; Size.of_var s ]
+  in
+  let rec go n =
+    if n = 0 then oneof [ var; map Size.of_int (int_range 1 6) ]
+    else
+      frequency
+        [ (2, var); (1, map Size.of_int (int_range 1 6)); (3, map2 Size.mul (go (n - 1)) (go (n - 1))) ]
+  in
+  go 3
+
+let arb_size = QCheck.make ~print:Size.to_string gen_size
+
+let prop_mul_commutative =
+  QCheck.Test.make ~name:"mul commutative" ~count:200 (QCheck.pair arb_size arb_size)
+    (fun (a, b) -> Size.equal (Size.mul a b) (Size.mul b a))
+
+let prop_mul_assoc =
+  QCheck.Test.make ~name:"mul associative" ~count:200
+    (QCheck.triple arb_size arb_size arb_size)
+    (fun (a, b, c) ->
+      Size.equal (Size.mul a (Size.mul b c)) (Size.mul (Size.mul a b) c))
+
+let prop_div_mul_roundtrip =
+  QCheck.Test.make ~name:"(a*b)/b = a" ~count:200 (QCheck.pair arb_size arb_size)
+    (fun (a, b) ->
+      match Size.div (Size.mul a b) b with Some q -> Size.equal q a | None -> false)
+
+let prop_eval_mul_homomorphic =
+  QCheck.Test.make ~name:"eval (a*b) = eval a * eval b" ~count:200
+    (QCheck.pair arb_size arb_size) (fun (a, b) ->
+      Size.eval (Size.mul a b) lookup = Size.eval a lookup * Size.eval b lookup)
+
+let prop_gcd_divides =
+  QCheck.Test.make ~name:"gcd divides both" ~count:200 (QCheck.pair arb_size arb_size)
+    (fun (a, b) ->
+      let g = Size.gcd a b in
+      Size.div a g <> None && Size.div b g <> None)
+
+let () =
+  Alcotest.run "shape"
+    [
+      ( "var",
+        [
+          Alcotest.test_case "kinds" `Quick test_var_kinds;
+          Alcotest.test_case "valuation" `Quick test_valuation;
+        ] );
+      ( "size",
+        [
+          Alcotest.test_case "mul and eval" `Quick test_mul_eval;
+          Alcotest.test_case "div" `Quick test_div;
+          Alcotest.test_case "div constants" `Quick test_div_constants;
+          Alcotest.test_case "negative exponent" `Quick test_negative_exponent;
+          Alcotest.test_case "primary denominator rejected" `Quick
+            test_primary_denominator_rejected;
+          Alcotest.test_case "primary/coefficient parts" `Quick test_parts;
+          Alcotest.test_case "gcd" `Quick test_gcd;
+          Alcotest.test_case "product" `Quick test_product;
+        ] );
+      ( "size-properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_mul_commutative;
+            prop_mul_assoc;
+            prop_div_mul_roundtrip;
+            prop_eval_mul_homomorphic;
+            prop_gcd_divides;
+          ] );
+    ]
