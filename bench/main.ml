@@ -3,7 +3,7 @@
 
      dune exec bench/main.exe           -- run everything
      dune exec bench/main.exe fig5      -- one experiment
-     (experiments: fig5 fig6 fig8 fig9 fig10 tab3 ablation micro)
+     (experiments: fig5 fig6 fig8 fig9 fig10 tab3 ablation micro par par-smoke)
 
    Paper-reported numbers are printed alongside the measured ones; the
    hardware/datasets are simulated (see DESIGN.md), so the comparison
@@ -476,6 +476,119 @@ let micro () =
       Format.printf "  %-32s %12.1f ns/run@." name ns)
     (List.sort compare rows)
 
+(* --- Parallel evaluation engine ---------------------------------------------- *)
+
+(* Throughput of the two hot paths at 1 domain vs N domains, verifying
+   that the parallel results are exactly the sequential ones, and
+   emitting the measurements as a BENCH_par.json trajectory file.  The
+   smoke variant (bench-smoke alias, run from CI) uses tiny iteration
+   counts so the emission path is exercised on every test run. *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let par_bench ~smoke () =
+  section
+    (Printf.sprintf "Parallel evaluation engine (Domains)%s" (if smoke then " [smoke]" else ""));
+  let n_domains = max 4 (Par.Pool.num_domains ()) in
+  note "pool sizes: 1 vs %d (detected %d)" n_domains (Par.Pool.num_domains ());
+  let pool1 = Par.Pool.create ~domains:1 () in
+  let pooln = Par.Pool.create ~domains:n_domains () in
+  let rng = Nd.Rng.create ~seed:2025 in
+  (* Einsum: the default bench shapes. *)
+  let iters = if smoke then 2 else 20 in
+  let einsum_cases =
+    [
+      ("matmul-128", "ik,kj->ij", [ [| 128; 128 |]; [| 128; 128 |] ]);
+      ("batched-matmul", "bik,kj->bij", [ [| 8; 64; 64 |]; [| 64; 64 |] ]);
+      ("pointwise-conv", "nchw,dc->ndhw", [ [| 2; 32; 24; 24 |]; [| 32; 32 |] ]);
+    ]
+  in
+  let einsum_rows =
+    List.map
+      (fun (name, spec, shapes) ->
+        let tensors =
+          List.map (fun sh -> Nd.Tensor.rand_normal rng ~scale:1.0 sh) shapes
+        in
+        let p = Nd.Einsum.plan spec shapes in
+        let run pool =
+          let out = ref (Nd.Einsum.run ~pool p tensors) in
+          let (), t =
+            time (fun () ->
+                for _ = 2 to iters do
+                  out := Nd.Einsum.run ~pool p tensors
+                done)
+          in
+          (!out, t +. 1e-12)
+        in
+        let out1, t1 = run pool1 in
+        let outn, tn = run pooln in
+        let identical = Nd.Tensor.unsafe_data out1 = Nd.Tensor.unsafe_data outn in
+        note "einsum %-16s %-16s 1-domain %8.1f runs/s  %d-domain %8.1f runs/s  %5.2fx  %s"
+          name spec
+          (float_of_int (iters - 1) /. t1)
+          n_domains
+          (float_of_int (iters - 1) /. tn)
+          (t1 /. tn)
+          (if identical then "bit-identical" else "MISMATCH");
+        (name, spec, t1, tn, identical))
+      einsum_cases
+  in
+  (* MCTS: root-parallel trees at 1 domain vs N domains. *)
+  let trees = 4 in
+  let mcts_iterations = if smoke then 8 else 150 in
+  let cfg = search_space_cfg ~max_prims:(if smoke then 5 else 7) () in
+  let mcts_cfg = Search.Mcts.default_config ~iterations:mcts_iterations () in
+  let reward op = Search.Reward.score op (List.hd Api.default_search_valuations) in
+  let run_search pool =
+    time (fun () ->
+        Search.Mcts.search_parallel ~config:mcts_cfg ~pool ~trees cfg ~reward
+          ~rng:(Nd.Rng.create ~seed:41) ())
+  in
+  let res1, mt1 = run_search pool1 in
+  let resn, mtn = run_search pooln in
+  let sigs rs = List.map (fun r -> Graph.operator_signature r.Search.Mcts.operator) rs in
+  let rewards rs = List.map (fun r -> r.Search.Mcts.reward) rs in
+  let mcts_identical = sigs res1 = sigs resn && rewards res1 = rewards resn in
+  note "mcts   %d trees x %d iters    1-domain %7.2fs  %d-domain %7.2fs  %5.2fx  %s"
+    trees mcts_iterations mt1 n_domains mtn (mt1 /. mtn)
+    (if mcts_identical then
+       Printf.sprintf "same %d operators" (List.length res1)
+     else "MISMATCH");
+  Par.Pool.shutdown pool1;
+  Par.Pool.shutdown pooln;
+  (* Trajectory file. *)
+  let oc = open_out "BENCH_par.json" in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"smoke\": %b,\n" smoke;
+  out "  \"domains\": %d,\n" n_domains;
+  out "  \"einsum_iterations\": %d,\n" iters;
+  out "  \"einsum\": [\n";
+  List.iteri
+    (fun i (name, spec, t1, tn, identical) ->
+      out
+        "    {\"name\": \"%s\", \"spec\": \"%s\", \"seconds_1domain\": %.6f, \
+         \"seconds_ndomain\": %.6f, \"speedup\": %.3f, \"bit_identical\": %b}%s\n"
+        name spec t1 tn (t1 /. tn) identical
+        (if i = List.length einsum_rows - 1 then "" else ","))
+    einsum_rows;
+  out "  ],\n";
+  out
+    "  \"mcts\": {\"trees\": %d, \"iterations_per_tree\": %d, \"operators\": %d, \
+     \"seconds_1domain\": %.6f, \"seconds_ndomain\": %.6f, \"speedup\": %.3f, \
+     \"identical_results\": %b}\n"
+    trees mcts_iterations (List.length res1) mt1 mtn (mt1 /. mtn) mcts_identical;
+  out "}\n";
+  close_out oc;
+  note "wrote BENCH_par.json";
+  if not (mcts_identical && List.for_all (fun (_, _, _, _, id) -> id) einsum_rows) then begin
+    prerr_endline "parallel results diverged from sequential results";
+    exit 1
+  end
+
 (* --- Driver ------------------------------------------------------------------ *)
 
 let experiments =
@@ -488,13 +601,15 @@ let experiments =
     ("tab3", tab3);
     ("ablation", ablation);
     ("micro", micro);
+    ("par", par_bench ~smoke:false);
+    ("par-smoke", par_bench ~smoke:true);
   ]
 
 let () =
   let requested =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst experiments
+    | _ -> List.filter (fun n -> n <> "par-smoke") (List.map fst experiments)
   in
   let t0 = Unix.gettimeofday () in
   List.iter

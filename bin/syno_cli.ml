@@ -32,6 +32,14 @@ let resolve name =
         Result.map (fun op -> (Filename.basename name, op)) (Trace_io.of_string text)
       else Error (Printf.sprintf "no such operator or file: %s" name)
 
+(* Shared --domains flag: sizes the search's root-parallel pool and the
+   default pool used by the einsum executor (0 = auto-detect). *)
+let domains_arg =
+  let doc = "Worker domains for parallel evaluation (0 = auto-detect)." in
+  Arg.(value & opt int 1 & info [ "domains" ] ~doc)
+
+let resolve_domains d = if d <= 0 then Par.Pool.num_domains () else d
+
 let shape_args =
   let open Term in
   let c_in = Arg.(value & opt int 64 & info [ "c-in" ] ~doc:"Input channels.") in
@@ -99,16 +107,18 @@ let describe_cmd =
 (* --- search ------------------------------------------------------------------ *)
 
 let search_cmd =
-  let run iterations max_prims budget_ratio top save seed =
+  let run iterations max_prims budget_ratio top save seed domains =
+    let domains = resolve_domains domains in
     let rng = Nd.Rng.create ~seed in
     let t0 = Unix.gettimeofday () in
     let candidates =
       Api.search_conv_operators ~iterations ~max_prims ~flops_budget_ratio:budget_ratio
-        ~rng ~valuations:Api.default_search_valuations ()
+        ~domains ~rng ~valuations:Api.default_search_valuations ()
     in
-    Format.printf "found %d distinct canonical operators in %.1fs@.@."
+    Format.printf "found %d distinct canonical operators in %.1fs (%d domains)@.@."
       (List.length candidates)
-      (Unix.gettimeofday () -. t0);
+      (Unix.gettimeofday () -. t0)
+      domains;
     List.iteri
       (fun i c ->
         if i < top then begin
@@ -140,7 +150,7 @@ let search_cmd =
   let seed = Arg.(value & opt int 2024 & info [ "seed" ] ~doc:"Search RNG seed.") in
   Cmd.v
     (Cmd.info "search" ~doc:"Synthesize convolution replacements with MCTS.")
-    Term.(const run $ iterations $ max_prims $ budget $ top $ save $ seed)
+    Term.(const run $ iterations $ max_prims $ budget $ top $ save $ seed $ domains_arg)
 
 (* --- latency ------------------------------------------------------------------ *)
 
@@ -190,12 +200,13 @@ let latency_cmd =
 (* --- train ---------------------------------------------------------------------- *)
 
 let train_cmd =
-  let run name epochs lr seed =
+  let run name epochs lr seed domains =
     match resolve name with
     | Error e ->
         prerr_endline e;
         1
     | Ok (name, op) ->
+        Par.Pool.set_default_domains (resolve_domains domains);
         let entry = { Zoo.name; description = ""; operator = op } in
         let rng = Nd.Rng.create ~seed in
         let data =
@@ -219,7 +230,7 @@ let train_cmd =
   let seed_arg = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Data/init seed.") in
   Cmd.v
     (Cmd.info "train" ~doc:"Train a proxy model with the operator substituted.")
-    Term.(const run $ name_arg $ epochs_arg $ lr_arg $ seed_arg)
+    Term.(const run $ name_arg $ epochs_arg $ lr_arg $ seed_arg $ domains_arg)
 
 let () =
   let info =

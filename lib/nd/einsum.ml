@@ -41,10 +41,14 @@ let plan spec shapes =
                 invalid_arg (Printf.sprintf "Einsum.plan: inconsistent extent for '%c'" c))
         labels)
     inputs shapes;
-  String.iter
-    (fun c ->
+  String.iteri
+    (fun i c ->
       if not (Hashtbl.mem extents c) then
-        invalid_arg (Printf.sprintf "Einsum.plan: output label '%c' unbound" c))
+        invalid_arg (Printf.sprintf "Einsum.plan: output label '%c' unbound" c);
+      (* A repeated output label ("ij->ii") would silently produce a full
+         dense output with wrong semantics; numpy rejects it too. *)
+      if String.index out c <> i then
+        invalid_arg (Printf.sprintf "Einsum.plan: repeated output label '%c'" c))
     out;
   let all_labels =
     List.sort_uniq Char.compare
@@ -81,58 +85,74 @@ let plan spec shapes =
     in_shapes = shapes;
   }
 
-let run p tensors =
+(* Below this many scalar multiply-adds the loop runs sequentially even
+   on a large pool: domain wakeup costs more than the contraction. *)
+let par_threshold = 1 lsl 14
+
+let run ?pool p tensors =
   List.iter2
     (fun t sh ->
       if Tensor.shape t <> sh then invalid_arg "Einsum.run: tensor shape changed since plan")
     tensors p.in_shapes;
   let datas = Array.of_list (List.map Tensor.unsafe_data tensors) in
   let n_inputs = Array.length datas in
-  let out = Tensor.create (if Array.length p.out_shape = 0 then [||] else p.out_shape) in
+  let out = Tensor.create p.out_shape in
   let out_data = Tensor.unsafe_data out in
   let n_out = Array.length p.out_extents in
   let n_sum = Array.length p.sum_extents in
-  let out_idx = Array.make n_out 0 in
-  let sum_idx = Array.make n_sum 0 in
-  let offsets = Array.make n_inputs 0 in
   let total_out = Array.fold_left ( * ) 1 p.out_extents in
   let total_sum = Array.fold_left ( * ) 1 p.sum_extents in
-  for flat_out = 0 to total_out - 1 do
-    (* decode output assignment *)
-    let rem = ref flat_out in
-    for i = n_out - 1 downto 0 do
-      out_idx.(i) <- !rem mod p.out_extents.(i);
-      rem := !rem / p.out_extents.(i)
-    done;
-    (* base offsets from output labels *)
-    for k = 0 to n_inputs - 1 do
-      let off = ref 0 in
-      let strides = p.in_out_strides.(k) in
-      for i = 0 to n_out - 1 do
-        off := !off + (strides.(i) * out_idx.(i))
+  (* Each chunk of output elements gets private scratch, so domains
+     share nothing mutable except disjoint slices of [out_data]; the
+     per-element accumulation order is unchanged, making the result
+     bit-identical at any pool size. *)
+  let body lo hi =
+    let out_idx = Array.make n_out 0 in
+    let sum_idx = Array.make n_sum 0 in
+    let offsets = Array.make n_inputs 0 in
+    for flat_out = lo to hi - 1 do
+      (* decode output assignment *)
+      let rem = ref flat_out in
+      for i = n_out - 1 downto 0 do
+        out_idx.(i) <- !rem mod p.out_extents.(i);
+        rem := !rem / p.out_extents.(i)
       done;
-      offsets.(k) <- !off
-    done;
-    let acc = ref 0.0 in
-    for flat_sum = 0 to total_sum - 1 do
-      let rem = ref flat_sum in
-      for i = n_sum - 1 downto 0 do
-        sum_idx.(i) <- !rem mod p.sum_extents.(i);
-        rem := !rem / p.sum_extents.(i)
-      done;
-      let product = ref 1.0 in
+      (* base offsets from output labels *)
       for k = 0 to n_inputs - 1 do
-        let off = ref offsets.(k) in
-        let strides = p.in_sum_strides.(k) in
-        for i = 0 to n_sum - 1 do
-          off := !off + (strides.(i) * sum_idx.(i))
+        let off = ref 0 in
+        let strides = p.in_out_strides.(k) in
+        for i = 0 to n_out - 1 do
+          off := !off + (strides.(i) * out_idx.(i))
         done;
-        product := !product *. datas.(k).(!off)
+        offsets.(k) <- !off
       done;
-      acc := !acc +. !product
-    done;
-    out_data.(flat_out) <- !acc
-  done;
+      let acc = ref 0.0 in
+      for flat_sum = 0 to total_sum - 1 do
+        let rem = ref flat_sum in
+        for i = n_sum - 1 downto 0 do
+          sum_idx.(i) <- !rem mod p.sum_extents.(i);
+          rem := !rem / p.sum_extents.(i)
+        done;
+        let product = ref 1.0 in
+        for k = 0 to n_inputs - 1 do
+          let off = ref offsets.(k) in
+          let strides = p.in_sum_strides.(k) in
+          for i = 0 to n_sum - 1 do
+            off := !off + (strides.(i) * sum_idx.(i))
+          done;
+          product := !product *. datas.(k).(!off)
+        done;
+        acc := !acc +. !product
+      done;
+      out_data.(flat_out) <- !acc
+    done
+  in
+  let work = total_out * total_sum * max 1 n_inputs in
+  if work < par_threshold then body 0 total_out
+  else begin
+    let pool = match pool with Some p -> p | None -> Par.Pool.get_default () in
+    Par.Pool.parallel_for pool ~n:total_out body
+  end;
   out
 
-let einsum spec tensors = run (plan spec (List.map Tensor.shape tensors)) tensors
+let einsum ?pool spec tensors = run ?pool (plan spec (List.map Tensor.shape tensors)) tensors

@@ -6,9 +6,10 @@
     ["nchw,dc->ndhw"]: repeated labels on the input side that do not
     appear in the output are summed over. *)
 
-val einsum : string -> Tensor.t list -> Tensor.t
+val einsum : ?pool:Par.Pool.t -> string -> Tensor.t list -> Tensor.t
 (** [einsum spec inputs].  Raises [Invalid_argument] on malformed specs,
-    rank mismatches, or inconsistent label extents. *)
+    rank mismatches, inconsistent label extents, or repeated output
+    labels (["ij->ii"] is rejected, as in numpy). *)
 
 type plan
 
@@ -16,7 +17,11 @@ val plan : string -> int array list -> plan
 (** Pre-compile a spec for repeated execution on tensors of the given
     shapes. *)
 
-val run : plan -> Tensor.t list -> Tensor.t
+val run : ?pool:Par.Pool.t -> plan -> Tensor.t list -> Tensor.t
+(** Execute a plan.  Large contractions chunk the output elements
+    across [pool] (default: [Par.Pool.get_default ()]); each chunk uses
+    private scratch, so the result is bit-identical at any pool size.
+    Small contractions always run sequentially. *)
 
 val output_labels : string -> string
 val input_labels : string -> string list

@@ -1,0 +1,175 @@
+let num_domains () =
+  match Sys.getenv_opt "SYNO_DOMAINS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+(* One in-flight loop at a time.  Chunks are claimed under [mutex];
+   [generation] distinguishes successive loops so sleeping workers never
+   re-run a drained one. *)
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable body : (int -> int -> unit) option;
+  mutable bounds : (int * int) array;
+  mutable next_chunk : int;
+  mutable completed : int;
+  mutable generation : int;
+  mutable error : exn option;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+  mutable worker_ids : Domain.id list;
+}
+
+let size t = t.size
+
+(* Claim and run chunks until none remain.  Called and returns with
+   [t.mutex] held. *)
+let drain t body =
+  let rec go () =
+    if t.next_chunk < Array.length t.bounds then begin
+      let c = t.next_chunk in
+      t.next_chunk <- c + 1;
+      Mutex.unlock t.mutex;
+      let lo, hi = t.bounds.(c) in
+      let err = match body lo hi with () -> None | exception e -> Some e in
+      Mutex.lock t.mutex;
+      (match err with
+      | Some e when t.error = None -> t.error <- Some e
+      | Some _ | None -> ());
+      t.completed <- t.completed + 1;
+      if t.completed = Array.length t.bounds then Condition.broadcast t.work_done;
+      go ()
+    end
+  in
+  go ()
+
+let worker_main t () =
+  let last_gen = ref 0 in
+  Mutex.lock t.mutex;
+  let rec loop () =
+    if t.stop then Mutex.unlock t.mutex
+    else if t.generation <> !last_gen then begin
+      last_gen := t.generation;
+      (match t.body with Some body -> drain t body | None -> ());
+      loop ()
+    end
+    else begin
+      Condition.wait t.work_ready t.mutex;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?domains () =
+  let size = max 1 (match domains with Some d -> d | None -> num_domains ()) in
+  let t =
+    {
+      size;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      body = None;
+      bounds = [||];
+      next_chunk = 0;
+      completed = 0;
+      generation = 0;
+      error = None;
+      stop = false;
+      workers = [];
+      worker_ids = [];
+    }
+  in
+  t.workers <- List.init (size - 1) (fun _ -> Domain.spawn (worker_main t));
+  t.worker_ids <- List.map Domain.get_id t.workers;
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- [];
+  t.worker_ids <- []
+
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let inside_pool t = List.mem (Domain.self ()) t.worker_ids
+
+let parallel_for t ~n ?chunks body =
+  if n <= 0 then ()
+  else if t.size <= 1 || n = 1 || inside_pool t then body 0 n
+  else begin
+    let n_chunks = min n (max 1 (match chunks with Some c -> c | None -> 4 * t.size)) in
+    let bounds = Array.init n_chunks (fun i -> (i * n / n_chunks, (i + 1) * n / n_chunks)) in
+    Mutex.lock t.mutex;
+    if t.body <> None then begin
+      (* another domain already drives a loop on this pool *)
+      Mutex.unlock t.mutex;
+      body 0 n
+    end
+    else begin
+      t.body <- Some body;
+      t.bounds <- bounds;
+      t.next_chunk <- 0;
+      t.completed <- 0;
+      t.error <- None;
+      t.generation <- t.generation + 1;
+      Condition.broadcast t.work_ready;
+      drain t body;
+      while t.completed < Array.length t.bounds do
+        Condition.wait t.work_done t.mutex
+      done;
+      t.body <- None;
+      let err = t.error in
+      t.error <- None;
+      Mutex.unlock t.mutex;
+      match err with Some e -> raise e | None -> ()
+    end
+  end
+
+let map t f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    parallel_for t ~n ~chunks:n (fun lo hi ->
+        for i = lo to hi - 1 do
+          out.(i) <- Some (f arr.(i))
+        done);
+    Array.map (function Some x -> x | None -> assert false) out
+  end
+
+(* --- Default pool -------------------------------------------------------- *)
+
+let default_mutex = Mutex.create ()
+let default_pool = ref None
+let default_size = ref None
+
+let get_default () =
+  Mutex.lock default_mutex;
+  let pool =
+    match !default_pool with
+    | Some p -> p
+    | None ->
+        let p = create ?domains:!default_size () in
+        default_pool := Some p;
+        p
+  in
+  Mutex.unlock default_mutex;
+  pool
+
+let set_default_domains n =
+  Mutex.lock default_mutex;
+  let old = !default_pool in
+  default_size := Some (max 1 n);
+  default_pool := None;
+  Mutex.unlock default_mutex;
+  match old with Some p -> shutdown p | None -> ()

@@ -1,0 +1,57 @@
+(** Fixed pool of worker domains for data-parallel loops.
+
+    The pool is built on [Domain], [Mutex], and [Condition] only — no
+    external dependencies.  A pool of size [n] owns [n - 1] worker
+    domains; the calling domain participates in every loop, so size 1
+    degenerates to a plain sequential loop with no synchronization.
+
+    Work is handed out as index chunks claimed under the pool mutex, so
+    scheduling is dynamic, but each loop body receives a disjoint range
+    and parallel results are deterministic whenever the body writes only
+    to its own range (the einsum and root-parallel-MCTS callers are
+    designed that way; see DESIGN.md). *)
+
+type t
+
+val num_domains : unit -> int
+(** Detected parallelism: the [SYNO_DOMAINS] environment variable when
+    set to a positive integer, otherwise
+    [Domain.recommended_domain_count ()]. *)
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns a pool of total size [max 1 domains]
+    ([domains - 1] worker domains).  Default: [num_domains ()]. *)
+
+val size : t -> int
+(** Total parallelism of the pool (workers + calling domain). *)
+
+val parallel_for : t -> n:int -> ?chunks:int -> (int -> int -> unit) -> unit
+(** [parallel_for pool ~n body] runs [body lo hi] over disjoint
+    subranges covering [0, n).  [chunks] controls the number of
+    subranges (default [4 * size], capped at [n]).  Runs sequentially
+    as [body 0 n] when the pool has size 1, when [n <= 1], or when
+    called from inside one of the pool's own workers (nested calls do
+    not deadlock).  The first exception raised by a body is re-raised
+    in the caller after the loop drains. *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map pool f arr] is [Array.map f arr] with elements computed on the
+    pool, one chunk per element.  Order is preserved. *)
+
+val shutdown : t -> unit
+(** Join and free the worker domains.  Idempotent; the pool must not be
+    used afterwards. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] on a fresh pool and shuts it down afterwards,
+    including on exceptions. *)
+
+val get_default : unit -> t
+(** A process-wide shared pool, created lazily at [num_domains ()] (or
+    the size set by [set_default_domains]).  Library code that wants
+    parallelism without threading a pool through its API (e.g.
+    [Nd.Einsum.run]) uses this. *)
+
+val set_default_domains : int -> unit
+(** Fix the size of the default pool, shutting down any existing one.
+    This is what the [--domains] CLI flag calls. *)

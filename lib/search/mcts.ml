@@ -18,32 +18,39 @@ type node = {
 
 let make_node state depth = { state; depth; children = None; visits = 0; total = 0.0 }
 
-let search ?(config = default_config ()) enum_cfg ~reward ~rng () =
+(* One tree, one domain.  All mutable state (the tree, the distance
+   memo, the found/reward table) is private to the call, so trees can
+   run on separate domains as long as [reward] itself is pure. *)
+let run_tree ~config ~enum_cfg ~reward ~rng =
   let dist = Distance.create () in
   let found : (string, Graph.operator * float * int) Hashtbl.t = Hashtbl.create 64 in
-  let record op r =
+  (* [found] doubles as the reward memo: a signature already recorded is
+     never re-scored, it only has its visit counter bumped. *)
+  let evaluate op =
     let key = Graph.operator_signature op in
     match Hashtbl.find_opt found key with
-    | None -> Hashtbl.add found key (op, r, 1)
-    | Some (op0, r0, n) -> Hashtbl.replace found key (op0, Float.max r0 r, n + 1)
-  in
-  let evaluate op =
-    let r = reward op in
-    record op r;
-    r
+    | Some (op0, r, n) ->
+        Hashtbl.replace found key (op0, r, n + 1);
+        r
+    | None ->
+        let r = reward op in
+        Hashtbl.add found key (op, r, 1);
+        r
   in
   (* Rollout: random guided walk from the node's state.  Every complete
      state along the way is evaluated and recorded (Algorithm 1 keeps
      enumerating past a match); the rollout's value is the best reward
-     seen. *)
+     seen.  The walk stops after [rollout_depth] actions or at the
+     global primitive cap, whichever comes first. *)
   let rollout node =
+    let horizon = min enum_cfg.Enumerate.max_prims (node.depth + config.rollout_depth) in
     let rec go depth g best =
       let best =
         match Enumerate.try_complete enum_cfg g with
         | Some op -> Float.max best (evaluate op)
         | None -> best
       in
-      if depth >= enum_cfg.Enumerate.max_prims then best
+      if depth >= horizon then best
       else
         match
           Enumerate.guided_children enum_cfg dist g
@@ -113,5 +120,43 @@ let search ?(config = default_config ()) enum_cfg ~reward ~rng () =
   for _ = 1 to config.iterations do
     ignore (simulate root)
   done;
-  Hashtbl.fold (fun _ (op, r, n) acc -> { operator = op; reward = r; visits = n } :: acc) found []
-  |> List.sort (fun a b -> compare b.reward a.reward)
+  found
+
+(* Sort by decreasing reward, breaking ties on the signature so the
+   ordering is independent of hash-table iteration order. *)
+let to_results found =
+  Hashtbl.fold (fun key (op, r, n) acc -> (key, { operator = op; reward = r; visits = n }) :: acc)
+    found []
+  |> List.sort (fun (ka, a) (kb, b) ->
+         match compare b.reward a.reward with 0 -> compare ka kb | c -> c)
+  |> List.map snd
+
+let search ?(config = default_config ()) enum_cfg ~reward ~rng () =
+  to_results (run_tree ~config ~enum_cfg ~reward ~rng)
+
+let search_parallel ?(config = default_config ()) ?pool ~trees enum_cfg ~reward ~rng () =
+  let trees = max 1 trees in
+  (* Derive the per-tree generators up front, sequentially, so the set
+     of trees (and hence the merged result) depends only on [rng] and
+     [trees], never on how the pool schedules them. *)
+  let rngs = Array.make trees rng in
+  for i = 0 to trees - 1 do
+    rngs.(i) <- Nd.Rng.split rng
+  done;
+  let run rng = run_tree ~config ~enum_cfg ~reward ~rng in
+  let tables =
+    match pool with
+    | Some pool -> Par.Pool.map pool run rngs
+    | None -> Par.Pool.map (Par.Pool.get_default ()) run rngs
+  in
+  let merged : (string, Graph.operator * float * int) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun tbl ->
+      Hashtbl.iter
+        (fun key (op, r, n) ->
+          match Hashtbl.find_opt merged key with
+          | None -> Hashtbl.add merged key (op, r, n)
+          | Some (op0, r0, n0) -> Hashtbl.replace merged key (op0, Float.max r0 r, n0 + n))
+        tbl)
+    tables;
+  to_results merged

@@ -9,9 +9,12 @@
     recorded and returned with their best observed reward. *)
 
 type config = {
-  iterations : int;
+  iterations : int;  (** per tree *)
   exploration : float;  (** UCB1 constant, default sqrt 2 *)
-  rollout_depth : int;  (** unused actions beyond this fail the rollout *)
+  rollout_depth : int;
+      (** maximum actions per rollout: the walk is cut off after this
+          many steps even when the global primitive budget would allow
+          more *)
 }
 
 val default_config : ?iterations:int -> unit -> config
@@ -29,5 +32,25 @@ val search :
   rng:Nd.Rng.t ->
   unit ->
   result list
-(** Results sorted by decreasing reward, deduplicated by operator
-    signature. *)
+(** Results sorted by decreasing reward (ties broken on the operator
+    signature), deduplicated by operator signature.  [reward] is called
+    at most once per distinct signature; repeat encounters reuse the
+    memoized score and only bump the visit counter. *)
+
+val search_parallel :
+  ?config:config ->
+  ?pool:Par.Pool.t ->
+  trees:int ->
+  Enumerate.config ->
+  reward:(Pgraph.Graph.operator -> float) ->
+  rng:Nd.Rng.t ->
+  unit ->
+  result list
+(** Root-parallel MCTS: [trees] independent trees, each running
+    [config.iterations] iterations with its own generator split off
+    [rng] up front, scheduled across [pool] (default:
+    [Par.Pool.get_default ()]).  The per-tree found tables are merged
+    by operator signature (best reward, summed visits), so for a fixed
+    [rng] and [trees] the result is identical at any pool size.
+    [reward] must be safe to call from multiple domains — the analytic
+    proxy of {!Reward} is. *)

@@ -129,7 +129,7 @@ let default_search_valuations =
   ]
 
 let search_conv_operators ?(iterations = 2000) ?(max_prims = 9) ?(flops_budget_ratio = 1.0)
-    ~rng ~valuations () =
+    ?(domains = 1) ?trees ~rng ~valuations () =
   let open Zoo.Vars in
   let sz = Size.of_var in
   let output_shape = [ sz n; sz c_out; sz h; sz w ] in
@@ -168,8 +168,18 @@ let search_conv_operators ?(iterations = 2000) ?(max_prims = 9) ?(flops_budget_r
     in
     r /. float_of_int (max 1 (List.length valuations))
   in
-  let mcts_cfg = Search.Mcts.default_config ~iterations () in
-  let results = Search.Mcts.search ~config:mcts_cfg cfg ~reward ~rng () in
+  let trees = max 1 (match trees with Some t -> t | None -> max 1 domains) in
+  let results =
+    if trees = 1 && domains <= 1 then
+      let mcts_cfg = Search.Mcts.default_config ~iterations () in
+      Search.Mcts.search ~config:mcts_cfg cfg ~reward ~rng ()
+    else
+      (* Root-parallel: the iteration budget is split across the trees
+         so --domains changes wall-clock, not total search effort. *)
+      let mcts_cfg = Search.Mcts.default_config ~iterations:(max 1 (iterations / trees)) () in
+      Par.Pool.with_pool ~domains (fun pool ->
+          Search.Mcts.search_parallel ~config:mcts_cfg ~pool ~trees cfg ~reward ~rng ())
+  in
   let v0 = List.hd valuations in
   List.map
     (fun r ->

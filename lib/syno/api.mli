@@ -61,6 +61,8 @@ val search_conv_operators :
   ?iterations:int ->
   ?max_prims:int ->
   ?flops_budget_ratio:float ->
+  ?domains:int ->
+  ?trees:int ->
   rng:Nd.Rng.t ->
   valuations:Shape.Valuation.t list ->
   unit ->
@@ -68,6 +70,13 @@ val search_conv_operators :
 (** MCTS over the convolution signature
     [[N, C_out, H, W] -> [N, C_in, H, W]] with the analytic accuracy
     proxy as reward and a FLOPs budget relative to the standard
-    convolution (default 1.0x).  Returns candidates sorted by reward. *)
+    convolution (default 1.0x).  Returns candidates sorted by reward.
+
+    [domains] (default 1) sizes a private domain pool; [trees] (default
+    [max 1 domains]) selects root-parallel search with that many
+    independent trees, splitting [iterations] evenly across them.  With
+    [domains = 1] and [trees = 1] this is the original sequential
+    search.  For fixed [trees] and [rng] the candidate set does not
+    depend on [domains]. *)
 
 val default_search_valuations : Shape.Valuation.t list

@@ -128,6 +128,32 @@ let test_einsum_errors () =
     Alcotest.fail "rank"
   with Invalid_argument _ -> ()
 
+let test_einsum_repeated_output_label () =
+  (* "ij->ii" used to silently produce a dense rank-2 output with wrong
+     semantics; numpy rejects it and so do we. *)
+  let a = Tensor.create [| 3; 3 |] in
+  (try
+     ignore (Einsum.einsum "ij->ii" [ a ]);
+     Alcotest.fail "repeated output label accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Einsum.plan "ii->ii" [ [| 3; 3 |] ]);
+     Alcotest.fail "repeated output label accepted in plan"
+   with Invalid_argument _ -> ());
+  (* a repeated *input* label stays legal (trace semantics) *)
+  let t = Tensor.init [| 3; 3 |] (fun idx -> if idx.(0) = idx.(1) then 2.0 else 9.0) in
+  Alcotest.check tensor "trace still works" (Tensor.scalar 6.0) (Einsum.einsum "ii->" [ t ])
+
+let test_einsum_scalar_output () =
+  let b = Tensor.of_array [| 3 |] [| 3.; 4.; 5. |] in
+  let c = Tensor.of_array [| 3 |] [| 1.; 1.; 2. |] in
+  let p = Einsum.plan "i,i->" [ [| 3 |]; [| 3 |] ] in
+  let out = Einsum.run p [ b; c ] in
+  Alcotest.(check (array int)) "rank-0 shape" [||] (Tensor.shape out);
+  Alcotest.check tensor "dot product" (Tensor.scalar 17.0) out;
+  (* a second run of the same plan must be independent of the first *)
+  Alcotest.check tensor "replay" (Tensor.scalar 17.0) (Einsum.run p [ b; c ])
+
 (* --- Properties ----------------------------------------------------------- *)
 
 let arb_shape =
@@ -189,6 +215,8 @@ let () =
           Alcotest.test_case "batched" `Quick test_einsum_batched;
           Alcotest.test_case "trace/sum" `Quick test_einsum_trace_sum;
           Alcotest.test_case "errors" `Quick test_einsum_errors;
+          Alcotest.test_case "repeated output label" `Quick test_einsum_repeated_output_label;
+          Alcotest.test_case "scalar output" `Quick test_einsum_scalar_output;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

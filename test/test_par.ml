@@ -1,0 +1,144 @@
+(* Tests for the domain pool and the parallel einsum hot path. *)
+
+module Pool = Par.Pool
+module Rng = Nd.Rng
+module Tensor = Nd.Tensor
+module Einsum = Nd.Einsum
+
+let with_pools f =
+  Pool.with_pool ~domains:1 (fun p1 -> Pool.with_pool ~domains:4 (fun p4 -> f p1 p4))
+
+let test_parallel_for_matches_sequential () =
+  with_pools (fun p1 p4 ->
+      let n = 10_000 in
+      let fill pool =
+        let out = Array.make n 0 in
+        Pool.parallel_for pool ~n (fun lo hi ->
+            for i = lo to hi - 1 do
+              out.(i) <- (i * i) + 7
+            done);
+        out
+      in
+      Alcotest.(check bool) "1-domain = 4-domain" true (fill p1 = fill p4);
+      Alcotest.(check int) "covers all" ((9999 * 9999) + 7) (fill p4).(n - 1))
+
+let test_parallel_for_edge_cases () =
+  with_pools (fun _ p4 ->
+      let hits = ref [] in
+      Pool.parallel_for p4 ~n:0 (fun lo hi -> hits := (lo, hi) :: !hits);
+      Alcotest.(check int) "n=0 never calls body" 0 (List.length !hits);
+      let out = Array.make 1 0 in
+      Pool.parallel_for p4 ~n:1 (fun lo hi ->
+          for i = lo to hi - 1 do
+            out.(i) <- 42
+          done);
+      Alcotest.(check int) "n=1 runs" 42 out.(0);
+      (* more chunks than elements *)
+      let out = Array.make 3 0 in
+      Pool.parallel_for p4 ~n:3 ~chunks:64 (fun lo hi ->
+          for i = lo to hi - 1 do
+            out.(i) <- i + 1
+          done);
+      Alcotest.(check (array int)) "chunks capped at n" [| 1; 2; 3 |] out)
+
+let test_map_preserves_order () =
+  with_pools (fun p1 p4 ->
+      let arr = Array.init 37 (fun i -> i) in
+      let seq = Array.map (fun i -> i * 3) arr in
+      Alcotest.(check (array int)) "1-domain map" seq (Pool.map p1 (fun i -> i * 3) arr);
+      Alcotest.(check (array int)) "4-domain map" seq (Pool.map p4 (fun i -> i * 3) arr);
+      Alcotest.(check (array int)) "empty" [||] (Pool.map p4 (fun i -> i * 3) [||]))
+
+let test_exception_propagates () =
+  with_pools (fun _ p4 ->
+      match
+        Pool.parallel_for p4 ~n:1000 (fun lo _ -> if lo > 0 then failwith "boom")
+      with
+      | () -> Alcotest.fail "expected exception"
+      | exception Failure msg -> Alcotest.(check string) "payload" "boom" msg)
+
+let test_nested_calls_do_not_deadlock () =
+  with_pools (fun _ p4 ->
+      (* parallel_for from inside a worker of the same pool must fall
+         back to a sequential loop instead of deadlocking. *)
+      let outer = Array.make 8 0 in
+      Pool.parallel_for p4 ~n:8 ~chunks:8 (fun lo hi ->
+          for i = lo to hi - 1 do
+            let acc = ref 0 in
+            Pool.parallel_for p4 ~n:100 (fun lo' hi' ->
+                for j = lo' to hi' - 1 do
+                  acc := !acc + j
+                done);
+            outer.(i) <- !acc
+          done);
+      Alcotest.(check (array int)) "inner sums" (Array.make 8 4950) outer)
+
+let test_num_domains_positive () =
+  Alcotest.(check bool) "detection >= 1" true (Pool.num_domains () >= 1);
+  Pool.with_pool ~domains:0 (fun p -> Alcotest.(check int) "clamped to 1" 1 (Pool.size p))
+
+(* --- Einsum determinism across pool sizes -------------------------------- *)
+
+(* Bit-identical means exactly equal float arrays, not within-epsilon. *)
+let bits t = Array.map Int64.bits_of_float (Tensor.unsafe_data t)
+
+let einsum_specs =
+  [
+    ("ik,kj->ij", [ [| 24; 17 |]; [| 17; 31 |] ]);
+    ("bik,kj->bij", [ [| 3; 14; 9 |]; [| 9; 21 |] ]);
+    ("nchw,dc->ndhw", [ [| 2; 6; 7; 7 |]; [| 5; 6 |] ]);
+    ("i,i->", [ [| 257 |]; [| 257 |] ]);
+    ("ij->j", [ [| 33; 19 |] ]);
+    ("abc,cd,db->a", [ [| 5; 6; 7 |]; [| 7; 8 |]; [| 8; 6 |] ]);
+  ]
+
+let test_einsum_bit_identical () =
+  with_pools (fun p1 p4 ->
+      let rng = Rng.create ~seed:99 in
+      List.iter
+        (fun (spec, shapes) ->
+          (* a batch of random instances per spec *)
+          for _ = 1 to 3 do
+            let tensors =
+              List.map (fun sh -> Tensor.rand_normal rng ~scale:1.0 sh) shapes
+            in
+            let a = Einsum.einsum ~pool:p1 spec tensors in
+            let b = Einsum.einsum ~pool:p4 spec tensors in
+            Alcotest.(check (array int64))
+              (spec ^ " bit-identical") (bits a) (bits b);
+            Alcotest.(check (array int))
+              (spec ^ " same shape") (Tensor.shape a) (Tensor.shape b)
+          done)
+        einsum_specs)
+
+let test_einsum_large_parallel_path () =
+  (* Big enough to cross the sequential-work threshold, so the 4-domain
+     run really exercises chunked execution. *)
+  with_pools (fun p1 p4 ->
+      let rng = Rng.create ~seed:5 in
+      let a = Tensor.rand_normal rng ~scale:1.0 [| 64; 48 |] in
+      let b = Tensor.rand_normal rng ~scale:1.0 [| 48; 64 |] in
+      let p = Einsum.plan "ik,kj->ij" [ [| 64; 48 |]; [| 48; 64 |] ] in
+      let r1 = Einsum.run ~pool:p1 p [ a; b ] in
+      let r4 = Einsum.run ~pool:p4 p [ a; b ] in
+      Alcotest.(check (array int64)) "matmul bit-identical" (bits r1) (bits r4))
+
+let () =
+  Alcotest.run "par"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "parallel_for = sequential" `Quick
+            test_parallel_for_matches_sequential;
+          Alcotest.test_case "edge cases" `Quick test_parallel_for_edge_cases;
+          Alcotest.test_case "map order" `Quick test_map_preserves_order;
+          Alcotest.test_case "exception propagation" `Quick test_exception_propagates;
+          Alcotest.test_case "nested calls" `Quick test_nested_calls_do_not_deadlock;
+          Alcotest.test_case "num_domains" `Quick test_num_domains_positive;
+        ] );
+      ( "einsum",
+        [
+          Alcotest.test_case "random specs bit-identical" `Quick test_einsum_bit_identical;
+          Alcotest.test_case "large parallel path" `Quick test_einsum_large_parallel_path;
+        ] );
+    ]

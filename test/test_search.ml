@@ -129,6 +129,86 @@ let test_mcts_finds_operators () =
   let best = List.hd results in
   Alcotest.(check bool) "best positive" true (best.Mcts.reward > 0.0)
 
+let test_mcts_rollout_depth_honored () =
+  (* Regression: rollout_depth used to be declared but never read, so
+     any value produced the same search.  A zero horizon pins rollouts
+     to their start state and must find strictly fewer operators than
+     the default horizon under the same seed. *)
+  let cfg = matmul_cfg () in
+  let reward op = Reward.score op (List.hd matmul_valuations) in
+  let run rollout_depth =
+    let base = Mcts.default_config ~iterations:80 () in
+    let results =
+      Mcts.search
+        ~config:{ base with Mcts.rollout_depth }
+        cfg ~reward ~rng:(Nd.Rng.create ~seed:21) ()
+    in
+    List.map (fun r -> Graph.operator_signature r.Mcts.operator) results
+  in
+  let shallow = run 0 in
+  let deep = run 12 in
+  Alcotest.(check bool)
+    (Printf.sprintf "depth 0 (%d ops) finds fewer than depth 12 (%d ops)"
+       (List.length shallow) (List.length deep))
+    true
+    (List.length shallow < List.length deep)
+
+let test_mcts_reward_memoized () =
+  (* Each distinct operator signature is scored exactly once; duplicate
+     encounters only bump the visit counter. *)
+  let cfg = matmul_cfg () in
+  let calls = ref 0 in
+  let reward op =
+    incr calls;
+    Reward.score op (List.hd matmul_valuations)
+  in
+  let results =
+    Mcts.search ~config:(Mcts.default_config ~iterations:150 ()) cfg ~reward
+      ~rng:(Nd.Rng.create ~seed:13) ()
+  in
+  let revisits = List.fold_left (fun acc r -> acc + r.Mcts.visits) 0 results in
+  Alcotest.(check int) "one reward call per distinct operator" (List.length results) !calls;
+  Alcotest.(check bool)
+    (Printf.sprintf "duplicates occurred (%d visits, %d distinct)" revisits !calls)
+    true (revisits > !calls)
+
+let test_mcts_parallel_matches_sequential_pool () =
+  (* Root-parallel with fixed per-tree seeds: the merged result must not
+     depend on the pool size. *)
+  let cfg = matmul_cfg () in
+  let reward op = Reward.score op (List.hd matmul_valuations) in
+  let run pool_size =
+    Par.Pool.with_pool ~domains:pool_size (fun pool ->
+        Mcts.search_parallel
+          ~config:(Mcts.default_config ~iterations:60 ())
+          ~pool ~trees:3 cfg ~reward ~rng:(Nd.Rng.create ~seed:17) ())
+  in
+  let seq = run 1 and par = run 3 in
+  Alcotest.(check int) "same count" (List.length seq) (List.length par);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check string) "same operator"
+        (Graph.operator_signature a.Mcts.operator)
+        (Graph.operator_signature b.Mcts.operator);
+      Alcotest.(check (float 0.0)) "same reward" a.Mcts.reward b.Mcts.reward;
+      Alcotest.(check int) "same visits" a.Mcts.visits b.Mcts.visits)
+    seq par
+
+let test_mcts_parallel_merges_trees () =
+  (* More trees never lose operators relative to any single tree. *)
+  let cfg = matmul_cfg () in
+  let reward op = Reward.score op (List.hd matmul_valuations) in
+  let merged =
+    Par.Pool.with_pool ~domains:2 (fun pool ->
+        Mcts.search_parallel
+          ~config:(Mcts.default_config ~iterations:60 ())
+          ~pool ~trees:4 cfg ~reward ~rng:(Nd.Rng.create ~seed:29) ())
+  in
+  Alcotest.(check bool) "found operators" true (merged <> []);
+  let sigs = List.map (fun r -> Graph.operator_signature r.Mcts.operator) merged in
+  Alcotest.(check int) "deduplicated" (List.length sigs)
+    (List.length (List.sort_uniq compare sigs))
+
 (* --- Reward features ------------------------------------------------------ *)
 
 let conv_valuation = Syno.Zoo.Vars.conv_valuation ~n:1 ~c_in:16 ~c_out:16 ~hw:8 ()
@@ -167,7 +247,15 @@ let () =
           Alcotest.test_case "guided succeeds" `Quick test_random_completion_guided;
           Alcotest.test_case "guided beats unguided" `Quick test_random_completion_unguided_worse;
         ] );
-      ("mcts", [ Alcotest.test_case "finds operators" `Quick test_mcts_finds_operators ]);
+      ( "mcts",
+        [
+          Alcotest.test_case "finds operators" `Quick test_mcts_finds_operators;
+          Alcotest.test_case "rollout depth honored" `Quick test_mcts_rollout_depth_honored;
+          Alcotest.test_case "reward memoized" `Quick test_mcts_reward_memoized;
+          Alcotest.test_case "parallel = sequential" `Quick
+            test_mcts_parallel_matches_sequential_pool;
+          Alcotest.test_case "parallel merges trees" `Quick test_mcts_parallel_merges_trees;
+        ] );
       ( "reward",
         [
           Alcotest.test_case "features" `Quick test_reward_features;
