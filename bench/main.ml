@@ -589,6 +589,137 @@ let par_bench ~smoke () =
     exit 1
   end
 
+(* --- Fault-tolerant evaluation ------------------------------------------------ *)
+
+(* Measures what robustness costs: Robust.Guard wrapping overhead per
+   reward call, checkpoint write cost, and end-to-end validation that a
+   fault-injected search (with retries) and a kill/resume cycle both
+   reproduce the fault-free results.  Emits BENCH_robust.json; the
+   smoke variant runs inside `dune runtest` via the bench-smoke alias. *)
+
+let robust_bench ~smoke () =
+  section
+    (Printf.sprintf "Fault-tolerant candidate evaluation (Robust)%s"
+       (if smoke then " [smoke]" else ""));
+  (* 1) Guard overhead on a cheap thunk: the worst case, since a real
+     reward evaluation dwarfs the wrapper. *)
+  let calls = if smoke then 20_000 else 2_000_000 in
+  let acc = ref 0.0 in
+  let thunk i () = Float.of_int (i land 1023) *. 0.5 in
+  let (), t_raw =
+    time (fun () ->
+        for i = 1 to calls do
+          acc := !acc +. (thunk i) ()
+        done)
+  in
+  let policy = Robust.Guard.policy ~retries:2 () in
+  let (), t_guarded =
+    time (fun () ->
+        for i = 1 to calls do
+          let out = Robust.Guard.run ~policy ~key:"k" (thunk i) in
+          match out.Robust.Guard.result with Ok r -> acc := !acc +. r | Error _ -> ()
+        done)
+  in
+  ignore !acc;
+  let ns t = 1e9 *. t /. float_of_int calls in
+  note "guard overhead: raw %6.1f ns/call, guarded %6.1f ns/call (%.2fx)" (ns t_raw)
+    (ns t_guarded)
+    (t_guarded /. Float.max 1e-12 t_raw);
+  (* 2) A real search, three ways: fault-free, fault-injected with
+     retries, and killed + resumed.  All three must agree. *)
+  let iterations = if smoke then 150 else 600 in
+  let max_prims = 6 in
+  let seed = 2024 in
+  let run ?guard ?inject ?checkpoint ?resume label =
+    let r, t =
+      time (fun () ->
+          Api.search_conv_operators_run ~iterations ~max_prims ?guard ?inject ?checkpoint
+            ~checkpoint_every:10 ?resume ~rng:(Nd.Rng.create ~seed)
+            ~valuations:Api.default_search_valuations ())
+    in
+    note "%-24s %3d operators, %4d evaluations, %4d attempts, %5.2fs" label
+      (List.length r.Api.candidates)
+      r.Api.failures.Search.Mcts.evaluations r.Api.failures.Search.Mcts.attempts t;
+    (r, t)
+  in
+  let sigs r = List.map (fun (c : Api.candidate) -> (c.Api.signature, c.Api.reward)) r.Api.candidates in
+  let clean, t_clean = run "fault-free" in
+  let inject = Robust.Inject.create ~seed:7 ~rate:0.25 ~max_failures:2 () in
+  let faulted, t_faulted =
+    run ~guard:(Robust.Guard.policy ~retries:3 ()) ~inject "injected (rate 0.25)"
+  in
+  let injected_delivered = Robust.Inject.injected_count inject in
+  let injected_recorded =
+    Option.value ~default:0
+      (List.assoc_opt "injected" faulted.Api.failures.Search.Mcts.failed_attempts)
+  in
+  let faulted_ok = sigs clean = sigs faulted in
+  let accounted = injected_delivered = injected_recorded in
+  note "injected faults delivered %d, recorded %d (%s); results %s" injected_delivered
+    injected_recorded
+    (if accounted then "accounted" else "LOST")
+    (if faulted_ok then "identical to fault-free" else "DIVERGED");
+  (* Kill/resume: a truncated run checkpoints, then a full run resumes
+     from the snapshot and must replay to the fault-free results. *)
+  let ckpt = Filename.temp_file "syno_bench" ".ckpt" in
+  let (_ : Api.search_run), _ =
+    time (fun () ->
+        Api.search_conv_operators_run ~iterations:(max 1 (iterations / 3)) ~max_prims
+          ~checkpoint:ckpt ~checkpoint_every:5 ~rng:(Nd.Rng.create ~seed)
+          ~valuations:Api.default_search_valuations ())
+  in
+  let entries =
+    match Search.Checkpoint.load ~path:ckpt with
+    | Ok es -> es
+    | Error msg -> failwith ("checkpoint load failed: " ^ msg)
+  in
+  let resumed, t_resumed = run ~resume:ckpt "resumed after kill" in
+  let resumed_ok = sigs clean = sigs resumed in
+  note "kill/resume: %d entries preloaded, %d fresh evaluations; results %s"
+    (List.length entries) resumed.Api.failures.Search.Mcts.evaluations
+    (if resumed_ok then "identical to uninterrupted" else "DIVERGED");
+  (* 3) Checkpoint write cost at the final table size. *)
+  let writes = if smoke then 5 else 50 in
+  let (), t_save =
+    time (fun () ->
+        for _ = 1 to writes do
+          Search.Checkpoint.save ~path:ckpt entries
+        done)
+  in
+  let bytes = (Unix.stat ckpt).Unix.st_size in
+  note "checkpoint: %d entries, %d bytes, %.2f ms/write" (List.length entries) bytes
+    (1000.0 *. t_save /. float_of_int writes);
+  Sys.remove ckpt;
+  (* Trajectory file. *)
+  let oc = open_out "BENCH_robust.json" in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"smoke\": %b,\n" smoke;
+  out "  \"guard\": {\"calls\": %d, \"raw_ns_per_call\": %.2f, \"guarded_ns_per_call\": %.2f, \
+       \"overhead\": %.3f},\n"
+    calls (ns t_raw) (ns t_guarded)
+    (t_guarded /. Float.max 1e-12 t_raw);
+  out "  \"search\": {\"iterations\": %d, \"operators\": %d, \"seconds_clean\": %.6f, \
+       \"seconds_injected\": %.6f, \"seconds_resumed\": %.6f},\n"
+    iterations
+    (List.length clean.Api.candidates)
+    t_clean t_faulted t_resumed;
+  out "  \"faults\": {\"rate\": 0.25, \"delivered\": %d, \"recorded\": %d, \"accounted\": %b, \
+       \"identical_results\": %b},\n"
+    injected_delivered injected_recorded accounted faulted_ok;
+  out "  \"resume\": {\"entries\": %d, \"fresh_evaluations\": %d, \"identical_results\": %b},\n"
+    (List.length entries) resumed.Api.failures.Search.Mcts.evaluations resumed_ok;
+  out "  \"checkpoint\": {\"entries\": %d, \"bytes\": %d, \"ms_per_write\": %.4f}\n"
+    (List.length entries) bytes
+    (1000.0 *. t_save /. float_of_int writes);
+  out "}\n";
+  close_out oc;
+  note "wrote BENCH_robust.json";
+  if not (faulted_ok && resumed_ok && accounted) then begin
+    prerr_endline "fault-injected or resumed results diverged from the fault-free run";
+    exit 1
+  end
+
 (* --- Driver ------------------------------------------------------------------ *)
 
 let experiments =
@@ -603,13 +734,18 @@ let experiments =
     ("micro", micro);
     ("par", par_bench ~smoke:false);
     ("par-smoke", par_bench ~smoke:true);
+    ("robust", robust_bench ~smoke:false);
+    ("robust-smoke", robust_bench ~smoke:true);
   ]
 
 let () =
   let requested =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as names) -> names
-    | _ -> List.filter (fun n -> n <> "par-smoke") (List.map fst experiments)
+    | _ ->
+        List.filter
+          (fun n -> n <> "par-smoke" && n <> "robust-smoke")
+          (List.map fst experiments)
   in
   let t0 = Unix.gettimeofday () in
   List.iter

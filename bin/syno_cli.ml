@@ -107,23 +107,44 @@ let describe_cmd =
 (* --- search ------------------------------------------------------------------ *)
 
 let search_cmd =
-  let run iterations max_prims budget_ratio top save seed domains =
+  let run iterations max_prims budget_ratio top save seed domains retries timeout fault_rate
+      fault_seed checkpoint checkpoint_every resume =
     let domains = resolve_domains domains in
     let rng = Nd.Rng.create ~seed in
-    let t0 = Unix.gettimeofday () in
-    let candidates =
-      Api.search_conv_operators ~iterations ~max_prims ~flops_budget_ratio:budget_ratio
-        ~domains ~rng ~valuations:Api.default_search_valuations ()
+    let guard = Robust.Guard.policy ~retries ?timeout () in
+    let inject =
+      if fault_rate > 0.0 then
+        Robust.Inject.create ~seed:fault_seed ~rate:fault_rate ()
+      else Robust.Inject.none
     in
-    Format.printf "found %d distinct canonical operators in %.1fs (%d domains)@.@."
+    let t0 = Unix.gettimeofday () in
+    let { Api.candidates; failures } =
+      Api.search_conv_operators_run ~iterations ~max_prims ~flops_budget_ratio:budget_ratio
+        ~domains ~guard ~inject ?checkpoint ~checkpoint_every ?resume ~rng
+        ~valuations:Api.default_search_valuations ()
+    in
+    Format.printf "found %d distinct canonical operators in %.1fs (%d domains)@."
       (List.length candidates)
       (Unix.gettimeofday () -. t0)
       domains;
+    let open Search.Mcts in
+    Format.printf
+      "evaluations %d (quarantined %d), attempts %d (retries %d)%s, checkpoint writes %d@.@."
+      failures.evaluations failures.quarantined failures.attempts failures.retries
+      (match failures.failed_attempts with
+      | [] -> ""
+      | kinds ->
+          Printf.sprintf ", failed: %s"
+            (String.concat ", "
+               (List.map (fun (k, n) -> Printf.sprintf "%s %d" k n) kinds)))
+      failures.checkpoint_writes;
     List.iteri
       (fun i c ->
         if i < top then begin
-          Format.printf "#%-3d reward %.2f  flops %d  params %d@.     %s@." (i + 1)
-            c.Api.reward c.Api.flops c.Api.params c.Api.signature;
+          Format.printf "#%-3d reward %.2f  flops %d  params %d%s@.     %s@." (i + 1)
+            c.Api.reward c.Api.flops c.Api.params
+            (if c.Api.quarantined then "  [quarantined]" else "")
+            c.Api.signature;
           match save with
           | Some dir ->
               let path = Filename.concat dir (Printf.sprintf "candidate_%02d.syno" (i + 1)) in
@@ -148,9 +169,40 @@ let search_cmd =
     Arg.(value & opt (some dir) None & info [ "save" ] ~doc:"Directory for .syno files.")
   in
   let seed = Arg.(value & opt int 2024 & info [ "seed" ] ~doc:"Search RNG seed.") in
+  let retries =
+    Arg.(value & opt int 2 & info [ "retries" ] ~doc:"Retries per failed candidate evaluation.")
+  in
+  let timeout =
+    Arg.(value & opt (some float) None
+         & info [ "eval-timeout" ] ~doc:"Per-candidate wall-clock budget in seconds.")
+  in
+  let fault_rate =
+    Arg.(value & opt float 0.0
+         & info [ "fault-rate" ]
+             ~doc:"Inject deterministic transient faults into this fraction of candidates.")
+  in
+  let fault_seed =
+    Arg.(value & opt int 0 & info [ "fault-seed" ] ~doc:"Fault injection seed.")
+  in
+  let checkpoint =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint" ] ~docv:"FILE"
+             ~doc:"Serialize the reward memo to $(docv) during the search.")
+  in
+  let checkpoint_every =
+    Arg.(value & opt int 50
+         & info [ "checkpoint-every" ] ~doc:"New evaluations between checkpoint writes.")
+  in
+  let resume =
+    Arg.(value & opt (some string) None
+         & info [ "resume" ] ~docv:"FILE"
+             ~doc:"Preload a checkpoint written by --checkpoint; a missing file starts fresh.")
+  in
   Cmd.v
     (Cmd.info "search" ~doc:"Synthesize convolution replacements with MCTS.")
-    Term.(const run $ iterations $ max_prims $ budget $ top $ save $ seed $ domains_arg)
+    Term.(const run $ iterations $ max_prims $ budget $ top $ save $ seed $ domains_arg
+          $ retries $ timeout $ fault_rate $ fault_seed $ checkpoint $ checkpoint_every
+          $ resume)
 
 (* --- latency ------------------------------------------------------------------ *)
 

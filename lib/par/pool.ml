@@ -8,7 +8,11 @@ let num_domains () =
 
 (* One in-flight loop at a time.  Chunks are claimed under [mutex];
    [generation] distinguishes successive loops so sleeping workers never
-   re-run a drained one. *)
+   re-run a drained one.  A loop is finished when every chunk has been
+   claimed ([next_chunk] exhausted) and none is still running
+   ([outstanding] zero) — tracking claims and completions separately is
+   what lets an erroring chunk cancel the unclaimed remainder without
+   wedging the completion wait. *)
 type t = {
   size : int;
   mutex : Mutex.t;
@@ -17,7 +21,7 @@ type t = {
   mutable body : (int -> int -> unit) option;
   mutable bounds : (int * int) array;
   mutable next_chunk : int;
-  mutable completed : int;
+  mutable outstanding : int;
   mutable generation : int;
   mutable error : exn option;
   mutable stop : bool;
@@ -28,21 +32,28 @@ type t = {
 let size t = t.size
 
 (* Claim and run chunks until none remain.  Called and returns with
-   [t.mutex] held. *)
+   [t.mutex] held.  The first exception is recorded and aborts the
+   loop: chunks not yet claimed are skipped (by any domain — the claim
+   cursor is pushed past the end), chunks already running elsewhere
+   drain normally, and the pool is left reusable. *)
 let drain t body =
   let rec go () =
     if t.next_chunk < Array.length t.bounds then begin
       let c = t.next_chunk in
       t.next_chunk <- c + 1;
+      t.outstanding <- t.outstanding + 1;
       Mutex.unlock t.mutex;
       let lo, hi = t.bounds.(c) in
       let err = match body lo hi with () -> None | exception e -> Some e in
       Mutex.lock t.mutex;
+      t.outstanding <- t.outstanding - 1;
       (match err with
-      | Some e when t.error = None -> t.error <- Some e
-      | Some _ | None -> ());
-      t.completed <- t.completed + 1;
-      if t.completed = Array.length t.bounds then Condition.broadcast t.work_done;
+      | Some e ->
+          if t.error = None then t.error <- Some e;
+          t.next_chunk <- Array.length t.bounds
+      | None -> ());
+      if t.next_chunk >= Array.length t.bounds && t.outstanding = 0 then
+        Condition.broadcast t.work_done;
       go ()
     end
   in
@@ -76,7 +87,7 @@ let create ?domains () =
       body = None;
       bounds = [||];
       next_chunk = 0;
-      completed = 0;
+      outstanding = 0;
       generation = 0;
       error = None;
       stop = false;
@@ -119,15 +130,20 @@ let parallel_for t ~n ?chunks body =
       t.body <- Some body;
       t.bounds <- bounds;
       t.next_chunk <- 0;
-      t.completed <- 0;
+      t.outstanding <- 0;
       t.error <- None;
       t.generation <- t.generation + 1;
       Condition.broadcast t.work_ready;
       drain t body;
-      while t.completed < Array.length t.bounds do
+      while not (t.next_chunk >= Array.length t.bounds && t.outstanding = 0) do
         Condition.wait t.work_done t.mutex
       done;
+      (* Reset the loop state before re-raising: the pool must come out
+         of a failed loop as reusable as it went in, so a later call
+         never observes a stale body, bounds, or error. *)
       t.body <- None;
+      t.bounds <- [||];
+      t.next_chunk <- 0;
       let err = t.error in
       t.error <- None;
       Mutex.unlock t.mutex;

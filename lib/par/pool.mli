@@ -31,8 +31,13 @@ val parallel_for : t -> n:int -> ?chunks:int -> (int -> int -> unit) -> unit
     subranges (default [4 * size], capped at [n]).  Runs sequentially
     as [body 0 n] when the pool has size 1, when [n <= 1], or when
     called from inside one of the pool's own workers (nested calls do
-    not deadlock).  The first exception raised by a body is re-raised
-    in the caller after the loop drains. *)
+    not deadlock).
+
+    A raising body aborts the loop: chunks not yet claimed are skipped,
+    chunks already in flight on other domains drain normally, and the
+    first exception is re-raised in the caller once the loop has
+    drained.  The failure is fully contained — the pool stays usable
+    for subsequent loops, and waiting submitters are never stranded. *)
 
 val map : t -> ('a -> 'b) -> 'a array -> 'b array
 (** [map pool f arr] is [Array.map f arr] with elements computed on the

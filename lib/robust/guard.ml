@@ -1,0 +1,78 @@
+type kind =
+  | Eval_error of string
+  | Non_finite
+  | Timeout
+  | Injected
+
+let kind_label = function
+  | Eval_error _ -> "eval_error"
+  | Non_finite -> "non_finite"
+  | Timeout -> "timeout"
+  | Injected -> "injected"
+
+type policy = {
+  retries : int;
+  backoff : float;
+  backoff_factor : float;
+  max_backoff : float;
+  timeout : float option;
+}
+
+let default_policy =
+  { retries = 2; backoff = 0.0; backoff_factor = 2.0; max_backoff = 1.0; timeout = None }
+
+let policy ?(retries = default_policy.retries) ?(backoff = default_policy.backoff)
+    ?(backoff_factor = default_policy.backoff_factor)
+    ?(max_backoff = default_policy.max_backoff) ?timeout () =
+  { retries = max 0 retries; backoff; backoff_factor; max_backoff; timeout }
+
+let delay p ~retry =
+  if p.backoff <= 0.0 || retry < 1 then 0.0
+  else Float.min p.max_backoff (p.backoff *. (p.backoff_factor ** float_of_int (retry - 1)))
+
+let delays p = List.init (max 0 p.retries) (fun i -> delay p ~retry:(i + 1))
+
+type outcome = {
+  result : (float, kind) Stdlib.result;
+  attempts : int;
+  failures : kind list;
+  slept : float;
+}
+
+let run ?(policy = default_policy) ?(inject = Inject.none) ?(sleep = Unix.sleepf)
+    ?(now = Unix.gettimeofday) ~key f =
+  let attempt_once attempt =
+    if Inject.should_fail inject ~key ~attempt then begin
+      Inject.note inject;
+      Error Injected
+    end
+    else
+      let t0 = match policy.timeout with Some _ -> now () | None -> 0.0 in
+      match f () with
+      | exception Inject.Fault _ ->
+          Inject.note inject;
+          Error Injected
+      | exception e -> Error (Eval_error (Printexc.to_string e))
+      | r -> (
+          match policy.timeout with
+          | Some budget when now () -. t0 > budget -> Error Timeout
+          | Some _ | None -> if Float.is_finite r then Ok r else Error Non_finite)
+  in
+  let retries = max 0 policy.retries in
+  let rec go attempt failures slept =
+    let slept =
+      if attempt = 0 then slept
+      else begin
+        let d = delay policy ~retry:attempt in
+        if d > 0.0 then sleep d;
+        slept +. d
+      end
+    in
+    match attempt_once attempt with
+    | Ok r -> { result = Ok r; attempts = attempt + 1; failures = List.rev failures; slept }
+    | Error k ->
+        if attempt >= retries then
+          { result = Error k; attempts = attempt + 1; failures = List.rev (k :: failures); slept }
+        else go (attempt + 1) (k :: failures) slept
+  in
+  go 0 [] 0.0

@@ -1,0 +1,75 @@
+(** Exception containment for candidate evaluation.
+
+    The search evaluates thousands of synthesized candidates, and in
+    the real system (tuning frameworks such as AutoTVM, or Syno's own
+    distributed search) individual evaluations routinely fail — invalid
+    lowerings raise, training diverges to NaN, measurements time out —
+    without aborting the run.  [Guard.run] wraps one evaluation thunk
+    with that policy: every failure is caught and classified, failed
+    attempts are retried a bounded number of times with deterministic
+    exponential backoff, and the final outcome reports exactly what
+    happened so callers can quarantine the candidate and keep going. *)
+
+(** Why an attempt failed. *)
+type kind =
+  | Eval_error of string  (** the thunk raised; payload is [Printexc.to_string] *)
+  | Non_finite  (** the thunk returned NaN or an infinity *)
+  | Timeout  (** the attempt exceeded the wall-clock budget *)
+  | Injected  (** a fault delivered by {!Inject} *)
+
+val kind_label : kind -> string
+(** Stable short name ([eval_error], [non_finite], [timeout],
+    [injected]) for aggregation and serialization. *)
+
+type policy = {
+  retries : int;  (** additional attempts after the first; >= 0 *)
+  backoff : float;  (** seconds before the first retry; 0 = no waiting *)
+  backoff_factor : float;  (** multiplier between consecutive retries *)
+  max_backoff : float;  (** cap on any single delay, seconds *)
+  timeout : float option;  (** per-attempt wall-clock budget, seconds *)
+}
+
+val default_policy : policy
+(** 2 retries, no backoff delay, no timeout. *)
+
+val policy :
+  ?retries:int ->
+  ?backoff:float ->
+  ?backoff_factor:float ->
+  ?max_backoff:float ->
+  ?timeout:float ->
+  unit ->
+  policy
+(** {!default_policy} with fields overridden. *)
+
+val delay : policy -> retry:int -> float
+(** Seconds slept before retry number [retry] (numbered from 1):
+    [min max_backoff (backoff *. backoff_factor ^ (retry - 1))].
+    Pure, so the whole backoff schedule is deterministic. *)
+
+val delays : policy -> float list
+(** The full schedule: [delay] for retries [1 .. retries]. *)
+
+type outcome = {
+  result : (float, kind) Stdlib.result;
+      (** the first successful value, or the last failure *)
+  attempts : int;  (** total attempts made, >= 1 *)
+  failures : kind list;  (** one entry per failed attempt, oldest first *)
+  slept : float;  (** total backoff seconds *)
+}
+
+val run :
+  ?policy:policy ->
+  ?inject:Inject.t ->
+  ?sleep:(float -> unit) ->
+  ?now:(unit -> float) ->
+  key:string ->
+  (unit -> float) ->
+  outcome
+(** [run ~key f] evaluates [f] under the policy.  [key] identifies the
+    candidate for fault injection.  No exception from [f] escapes: it
+    is recorded as [Eval_error] (or [Injected] for {!Inject.Fault}) and
+    retried.  [sleep] (default [Unix.sleepf]) and [now] (default
+    [Unix.gettimeofday]) are injectable so tests can verify the backoff
+    schedule and the timeout classification without real waiting.
+    [now] is only consulted when the policy has a timeout. *)

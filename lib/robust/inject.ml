@@ -1,0 +1,56 @@
+exception Fault of string
+
+type t = {
+  rate : float;
+  seed : int;
+  max_failures : int;
+  injected : int Atomic.t;
+}
+
+let none = { rate = 0.0; seed = 0; max_failures = 1; injected = Atomic.make 0 }
+
+let create ?(seed = 0) ?(max_failures = 2) ~rate () =
+  if not (rate >= 0.0 && rate <= 1.0) then
+    invalid_arg "Inject.create: rate must be in [0, 1]";
+  { rate; seed; max_failures = max 1 max_failures; injected = Atomic.make 0 }
+
+let active t = t.rate > 0.0
+
+(* splitmix64 finalizer: the same mixer the nd PRNG uses, re-implemented
+   here so the library stays dependency-free. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let hash_key t key =
+  let h = ref (mix64 (Int64.of_int ((t.seed * 0x9e3779b9) lxor 0x6a09e667))) in
+  String.iter
+    (fun c ->
+      h := mix64 (Int64.add (Int64.mul !h 0x100000001b3L) (Int64.of_int (Char.code c))))
+    key;
+  !h
+
+(* Top 53 bits of the hash as a uniform float in [0, 1). *)
+let to_unit_float h =
+  Int64.to_float (Int64.shift_right_logical h 11) *. (1.0 /. 9007199254740992.0)
+
+let failures_planned t ~key =
+  if t.rate <= 0.0 then 0
+  else
+    let h = hash_key t key in
+    if to_unit_float h >= t.rate then 0
+    else 1 + Int64.to_int (Int64.rem (Int64.shift_right_logical (mix64 h) 17)
+                             (Int64.of_int t.max_failures))
+
+let should_fail t ~key ~attempt = attempt < failures_planned t ~key
+
+let note t = Atomic.incr t.injected
+
+let fire t ~key ~attempt =
+  if should_fail t ~key ~attempt then begin
+    note t;
+    raise (Fault key)
+  end
+
+let injected_count t = Atomic.get t.injected

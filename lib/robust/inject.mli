@@ -1,0 +1,51 @@
+(** Seeded, rate-controlled fault injection.
+
+    Long searches evaluate thousands of candidates, and in the real
+    system individual evaluations fail for reasons outside the search's
+    control.  This module simulates those failures deterministically so
+    the containment machinery ({!Guard}, quarantine, checkpointing) can
+    be tested and benchmarked without flaky sleeps or real crashes.
+
+    For every key (an operator signature), a fixed number of leading
+    attempts fail: [0] with probability [1 - rate], otherwise a value in
+    [1 .. max_failures] — both derived by hashing [(seed, key)], so the
+    fault schedule depends only on the injector's configuration, never
+    on evaluation order or parallelism.  With [max_failures <= retries]
+    of the surrounding {!Guard.policy}, every candidate eventually
+    succeeds and a fault-injected search returns exactly the fault-free
+    results. *)
+
+type t
+
+exception Fault of string
+(** Raised by {!fire}; carries the key.  {!Guard.run} classifies it as
+    [Injected] wherever it escapes an evaluation thunk. *)
+
+val none : t
+(** The disabled injector: never fails, counts nothing. *)
+
+val create : ?seed:int -> ?max_failures:int -> rate:float -> unit -> t
+(** [create ~rate ()] fails a [rate] fraction of keys (default seed 0).
+    Each failing key fails on its first [1 .. max_failures] attempts
+    (default 2) and succeeds afterwards.  Raises [Invalid_argument]
+    unless [0 <= rate <= 1]. *)
+
+val active : t -> bool
+(** [false] only for {!none} and zero-rate injectors. *)
+
+val failures_planned : t -> key:string -> int
+(** Number of leading attempts that fail for [key].  Pure. *)
+
+val should_fail : t -> key:string -> attempt:int -> bool
+(** [should_fail t ~key ~attempt] — attempts are numbered from 0. *)
+
+val fire : t -> key:string -> attempt:int -> unit
+(** Raise {!Fault} (and count it) when [should_fail]; otherwise return.
+    For callers that want the fault delivered through the thunk rather
+    than checked by {!Guard.run}. *)
+
+val note : t -> unit
+(** Count one injected fault.  Used by {!Guard.run}; thread-safe. *)
+
+val injected_count : t -> int
+(** Total faults delivered by this injector, across all domains. *)

@@ -1,0 +1,149 @@
+module Graph = Pgraph.Graph
+module Trace_io = Pgraph.Trace_io
+
+let ( let* ) r f = Result.bind r f
+
+type entry = {
+  signature : string;
+  operator : Graph.operator;
+  reward : float;
+  visits : int;
+  quarantined : bool;
+}
+
+(* --- Snapshot files -------------------------------------------------------- *)
+
+let header = "syno-checkpoint v1"
+
+let to_string entries =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Printf.sprintf "entries: %d\n" (List.length entries));
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "entry: reward %h visits %d quarantined %b\n" e.reward e.visits
+           e.quarantined);
+      Buffer.add_string buf (Trace_io.to_string e.operator))
+    entries;
+  Buffer.contents buf
+
+let save ~path entries =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string entries));
+  Sys.rename tmp path
+
+let parse_entry_header line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "entry:"; "reward"; r; "visits"; v; "quarantined"; q ] -> (
+      match (float_of_string_opt r, int_of_string_opt v, bool_of_string_opt q) with
+      | Some r, Some v, Some q -> Ok (r, v, q)
+      | _ -> Error (Printf.sprintf "bad entry header %S" line))
+  | _ -> Error (Printf.sprintf "bad entry header %S" line)
+
+let of_string text =
+  match String.split_on_char '\n' text with
+  | [] -> Error "empty checkpoint"
+  | first :: rest ->
+      if String.trim first <> header then
+        Error (Printf.sprintf "bad checkpoint header %S (expected %S)" first header)
+      else
+        (* Group the remaining lines into (entry-header, operator-block)
+           pairs; lines before the first "entry:" (the count, comments,
+           blanks) are ignored. *)
+        let is_entry l =
+          String.length (String.trim l) >= 6 && String.sub (String.trim l) 0 6 = "entry:"
+        in
+        let rec groups acc current = function
+          | [] -> List.rev (match current with None -> acc | Some g -> g :: acc)
+          | line :: rest ->
+              if is_entry line then
+                let acc = match current with None -> acc | Some g -> g :: acc in
+                groups acc (Some (line, [])) rest
+              else (
+                match current with
+                | None -> groups acc None rest
+                | Some (h, block) -> groups acc (Some (h, line :: block)) rest)
+        in
+        let rebuild (head, block_rev) =
+          let* reward, visits, quarantined = parse_entry_header head in
+          let block = String.concat "\n" (List.rev block_rev) in
+          let* operator = Trace_io.of_string block in
+          Ok
+            {
+              signature = Graph.operator_signature operator;
+              operator;
+              reward;
+              visits;
+              quarantined;
+            }
+        in
+        let* entries =
+          List.fold_left
+            (fun acc g ->
+              let* acc = acc in
+              let* e = rebuild g in
+              Ok (e :: acc))
+            (Ok [])
+            (groups [] None rest)
+        in
+        Ok (List.sort (fun a b -> compare a.signature b.signature) entries)
+
+let load ~path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      of_string text
+
+(* --- Cadence-driven sink --------------------------------------------------- *)
+
+type sink = {
+  sk_path : string;
+  sk_every : int;
+  sk_mutex : Mutex.t;
+  sk_table : (string, entry) Hashtbl.t;
+  mutable sk_pending : int;
+  mutable sk_writes : int;
+}
+
+let sink ~path ?(every = 50) () =
+  {
+    sk_path = path;
+    sk_every = max 1 every;
+    sk_mutex = Mutex.create ();
+    sk_table = Hashtbl.create 64;
+    sk_pending = 0;
+    sk_writes = 0;
+  }
+
+let snapshot_locked s =
+  Hashtbl.fold (fun _ e acc -> e :: acc) s.sk_table []
+  |> List.sort (fun a b -> compare a.signature b.signature)
+
+let write_locked s =
+  save ~path:s.sk_path (snapshot_locked s);
+  s.sk_writes <- s.sk_writes + 1;
+  s.sk_pending <- 0
+
+let locked s f =
+  Mutex.lock s.sk_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.sk_mutex) f
+
+let note s e =
+  locked s (fun () ->
+      Hashtbl.replace s.sk_table e.signature e;
+      s.sk_pending <- s.sk_pending + 1;
+      if s.sk_pending >= s.sk_every then write_locked s)
+
+let flush s = locked s (fun () -> if s.sk_pending > 0 || s.sk_writes = 0 then write_locked s)
+let writes s = locked s (fun () -> s.sk_writes)
+let path s = s.sk_path

@@ -1,0 +1,68 @@
+(** Search checkpointing: persist the memoized found-table.
+
+    A search's durable state is exactly its reward memo — the map from
+    operator signature to (operator, reward, quarantined) — because the
+    MCTS trajectory is a deterministic function of the seed and the
+    memoized rewards.  Serializing that table at a configurable cadence
+    makes a killed search resumable: reloading the file pre-seeds the
+    memo, already-scored candidates are never re-evaluated, and a
+    fault-free resumed run reproduces the same results as an
+    uninterrupted one (visit counters are recounted by the replayed
+    trajectory, so they match too).
+
+    Format (text, one [entry:] header per candidate followed by its
+    {!Pgraph.Trace_io} block):
+    {v
+    syno-checkpoint v1
+    entries: 2
+    entry: reward 0x1.91p-1 visits 3 quarantined false
+    syno-operator v1
+    output: N C_out H W
+    input: N C_in H W
+    trace: Reduce(C_in); ...
+    entry: ...
+    v}
+    Rewards are printed as hexadecimal floats so they round-trip
+    exactly.  Files are written atomically (temp file + rename), so a
+    kill during a write never corrupts the previous snapshot. *)
+
+type entry = {
+  signature : string;
+  operator : Pgraph.Graph.operator;
+  reward : float;
+  visits : int;
+  quarantined : bool;
+}
+
+val save : path:string -> entry list -> unit
+(** Atomic write of a snapshot. *)
+
+val load : path:string -> (entry list, string) result
+(** Parse a snapshot; each operator is rebuilt by replaying its trace.
+    Entries are returned sorted by signature. *)
+
+(** {1 Cadence-driven sink}
+
+    The sink accumulates every newly evaluated candidate and rewrites
+    the snapshot once [every] new entries have arrived (plus a final
+    {!flush}).  It is safe to share across the domains of a parallel
+    search: notes are serialized by an internal mutex. *)
+
+type sink
+
+val sink : path:string -> ?every:int -> unit -> sink
+(** [sink ~path ~every ()] writes after every [every] new candidates
+    (default 50, clamped to >= 1). *)
+
+val note : sink -> entry -> unit
+(** Record a candidate (replacing any previous entry with the same
+    signature) and write the snapshot when the cadence is reached. *)
+
+val flush : sink -> unit
+(** Write the snapshot now if anything changed since the last write (or
+    if nothing was ever written, so the file always exists). *)
+
+val writes : sink -> int
+(** Snapshots written so far. *)
+
+val path : sink -> string

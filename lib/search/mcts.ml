@@ -1,12 +1,100 @@
 module Graph = Pgraph.Graph
 module Distance = Pgraph.Distance
+module Guard = Robust.Guard
+module Inject = Robust.Inject
 
 type config = { iterations : int; exploration : float; rollout_depth : int }
 
 let default_config ?(iterations = 300) () =
   { iterations; exploration = sqrt 2.0; rollout_depth = 12 }
 
-type result = { operator : Graph.operator; reward : float; visits : int }
+type result = {
+  operator : Graph.operator;
+  reward : float;
+  visits : int;
+  quarantined : bool;
+}
+
+type failure_stats = {
+  evaluations : int;
+  quarantined : int;
+  attempts : int;
+  retries : int;
+  failed_attempts : (string * int) list;
+  backoff_seconds : float;
+  checkpoint_writes : int;
+}
+
+let no_failures =
+  {
+    evaluations = 0;
+    quarantined = 0;
+    attempts = 0;
+    retries = 0;
+    failed_attempts = [];
+    backoff_seconds = 0.0;
+    checkpoint_writes = 0;
+  }
+
+type run = { results : result list; stats : failure_stats }
+
+(* Per-tree failure accounting.  Each tree owns its collector (domain
+   private), merged after the pool joins, so no synchronization and no
+   scheduling-dependent state. *)
+type collector = {
+  mutable c_evaluations : int;
+  mutable c_quarantined : int;
+  mutable c_attempts : int;
+  mutable c_retries : int;
+  mutable c_backoff : float;
+  c_kinds : (string, int) Hashtbl.t;
+}
+
+let new_collector () =
+  {
+    c_evaluations = 0;
+    c_quarantined = 0;
+    c_attempts = 0;
+    c_retries = 0;
+    c_backoff = 0.0;
+    c_kinds = Hashtbl.create 4;
+  }
+
+let stats_of_collectors ?checkpoint collectors =
+  let kinds = Hashtbl.create 4 in
+  let stats =
+    Array.fold_left
+      (fun acc c ->
+        Hashtbl.iter
+          (fun k n ->
+            Hashtbl.replace kinds k (n + Option.value ~default:0 (Hashtbl.find_opt kinds k)))
+          c.c_kinds;
+        {
+          acc with
+          evaluations = acc.evaluations + c.c_evaluations;
+          quarantined = acc.quarantined + c.c_quarantined;
+          attempts = acc.attempts + c.c_attempts;
+          retries = acc.retries + c.c_retries;
+          backoff_seconds = acc.backoff_seconds +. c.c_backoff;
+        })
+      no_failures collectors
+  in
+  {
+    stats with
+    failed_attempts =
+      Hashtbl.fold (fun k n acc -> (k, n) :: acc) kinds [] |> List.sort compare;
+    checkpoint_writes =
+      (match checkpoint with Some s -> Checkpoint.writes s | None -> 0);
+  }
+
+(* The found table doubles as the reward memo: signature -> entry.
+   Quarantined entries carry the penalty reward and are never retried. *)
+type entry = {
+  ent_op : Graph.operator;
+  mutable ent_reward : float;
+  mutable ent_visits : int;
+  mutable ent_quarantined : bool;
+}
 
 type node = {
   state : Graph.t;
@@ -18,23 +106,64 @@ type node = {
 
 let make_node state depth = { state; depth; children = None; visits = 0; total = 0.0 }
 
+(* NaN-safe best: a NaN never wins (or poisons) a comparison. *)
+let fmax a b = if Float.is_nan b then a else if Float.is_nan a then b else Float.max a b
+
 (* One tree, one domain.  All mutable state (the tree, the distance
-   memo, the found/reward table) is private to the call, so trees can
-   run on separate domains as long as [reward] itself is pure. *)
-let run_tree ~config ~enum_cfg ~reward ~rng =
+   memo, the found/reward table, the failure collector) is private to
+   the call, so trees can run on separate domains as long as [reward]
+   itself is safe to call from any domain.  The checkpoint sink is the
+   one shared structure; it serializes internally. *)
+let run_tree ~config ~enum_cfg ~reward ~rng ~policy ~inject ~penalty ~sink ~preload
+    ~collector =
   let dist = Distance.create () in
-  let found : (string, Graph.operator * float * int) Hashtbl.t = Hashtbl.create 64 in
-  (* [found] doubles as the reward memo: a signature already recorded is
-     never re-scored, it only has its visit counter bumped. *)
+  let found : (string, entry) Hashtbl.t = Hashtbl.create 64 in
+  (* Resumed entries enter with zero visits: the replayed trajectory
+     recounts encounters, so a resumed run's counters match an
+     uninterrupted run's.  Only their rewards are reused. *)
+  List.iter
+    (fun e ->
+      Hashtbl.replace found e.Checkpoint.signature
+        {
+          ent_op = e.Checkpoint.operator;
+          ent_reward = e.Checkpoint.reward;
+          ent_visits = 0;
+          ent_quarantined = e.Checkpoint.quarantined;
+        })
+    preload;
   let evaluate op =
     let key = Graph.operator_signature op in
     match Hashtbl.find_opt found key with
-    | Some (op0, r, n) ->
-        Hashtbl.replace found key (op0, r, n + 1);
-        r
+    | Some e ->
+        e.ent_visits <- e.ent_visits + 1;
+        e.ent_reward
     | None ->
-        let r = reward op in
-        Hashtbl.add found key (op, r, 1);
+        let out = Guard.run ~policy ~inject ~key (fun () -> reward op) in
+        collector.c_attempts <- collector.c_attempts + out.Guard.attempts;
+        collector.c_retries <- collector.c_retries + (out.Guard.attempts - 1);
+        List.iter
+          (fun k ->
+            let label = Guard.kind_label k in
+            Hashtbl.replace collector.c_kinds label
+              (1 + Option.value ~default:0 (Hashtbl.find_opt collector.c_kinds label)))
+          out.Guard.failures;
+        collector.c_backoff <- collector.c_backoff +. out.Guard.slept;
+        let r, quarantined =
+          match out.Guard.result with
+          | Ok r ->
+              collector.c_evaluations <- collector.c_evaluations + 1;
+              (r, false)
+          | Error _ ->
+              collector.c_quarantined <- collector.c_quarantined + 1;
+              (penalty, true)
+        in
+        Hashtbl.add found key
+          { ent_op = op; ent_reward = r; ent_visits = 1; ent_quarantined = quarantined };
+        (match sink with
+        | Some s ->
+            Checkpoint.note s
+              { Checkpoint.signature = key; operator = op; reward = r; visits = 1; quarantined }
+        | None -> ());
         r
   in
   (* Rollout: random guided walk from the node's state.  Every complete
@@ -47,7 +176,7 @@ let run_tree ~config ~enum_cfg ~reward ~rng =
     let rec go depth g best =
       let best =
         match Enumerate.try_complete enum_cfg g with
-        | Some op -> Float.max best (evaluate op)
+        | Some op -> fmax best (evaluate op)
         | None -> best
       in
       if depth >= horizon then best
@@ -122,19 +251,57 @@ let run_tree ~config ~enum_cfg ~reward ~rng =
   done;
   found
 
-(* Sort by decreasing reward, breaking ties on the signature so the
-   ordering is independent of hash-table iteration order. *)
+(* Ranking: quarantined candidates always sort after healthy ones, NaN
+   rewards (possible only through a caller-chosen NaN penalty) are
+   ranked as -inf instead of poisoning the comparison, and remaining
+   ties break on the signature so the ordering is independent of
+   hash-table iteration order.  Entries with zero visits are resumed
+   memo entries this run never reached; they stay in the memo (and the
+   checkpoint) but are not results of this run. *)
 let to_results found =
-  Hashtbl.fold (fun key (op, r, n) acc -> (key, { operator = op; reward = r; visits = n }) :: acc)
+  let key r = if Float.is_nan r then neg_infinity else r in
+  Hashtbl.fold
+    (fun sg e acc ->
+      if e.ent_visits = 0 then acc
+      else
+        ( sg,
+          {
+            operator = e.ent_op;
+            reward = e.ent_reward;
+            visits = e.ent_visits;
+            quarantined = e.ent_quarantined;
+          } )
+        :: acc)
     found []
-  |> List.sort (fun (ka, a) (kb, b) ->
-         match compare b.reward a.reward with 0 -> compare ka kb | c -> c)
+  |> List.sort (fun (ka, (a : result)) (kb, (b : result)) ->
+         match compare a.quarantined b.quarantined with
+         | 0 -> (
+             match compare (key b.reward) (key a.reward) with
+             | 0 -> compare ka kb
+             | c -> c)
+         | c -> c)
   |> List.map snd
 
-let search ?(config = default_config ()) enum_cfg ~reward ~rng () =
-  to_results (run_tree ~config ~enum_cfg ~reward ~rng)
+let search_run ?(config = default_config ()) ?(guard = Guard.default_policy)
+    ?(inject = Inject.none) ?(quarantine_reward = 0.0) ?checkpoint ?(resume = []) enum_cfg
+    ~reward ~rng () =
+  let collector = new_collector () in
+  let found =
+    run_tree ~config ~enum_cfg ~reward ~rng ~policy:guard ~inject ~penalty:quarantine_reward
+      ~sink:checkpoint ~preload:resume ~collector
+  in
+  (match checkpoint with Some s -> Checkpoint.flush s | None -> ());
+  { results = to_results found; stats = stats_of_collectors ?checkpoint [| collector |] }
 
-let search_parallel ?(config = default_config ()) ?pool ~trees enum_cfg ~reward ~rng () =
+let search ?config ?guard ?inject ?quarantine_reward ?checkpoint ?resume enum_cfg ~reward
+    ~rng () =
+  (search_run ?config ?guard ?inject ?quarantine_reward ?checkpoint ?resume enum_cfg ~reward
+     ~rng ())
+    .results
+
+let search_parallel_run ?(config = default_config ()) ?pool ?(guard = Guard.default_policy)
+    ?(inject = Inject.none) ?(quarantine_reward = 0.0) ?checkpoint ?(resume = []) ~trees
+    enum_cfg ~reward ~rng () =
   let trees = max 1 trees in
   (* Derive the per-tree generators up front, sequentially, so the set
      of trees (and hence the merged result) depends only on [rng] and
@@ -143,20 +310,49 @@ let search_parallel ?(config = default_config ()) ?pool ~trees enum_cfg ~reward 
   for i = 0 to trees - 1 do
     rngs.(i) <- Nd.Rng.split rng
   done;
-  let run rng = run_tree ~config ~enum_cfg ~reward ~rng in
+  let collectors = Array.init trees (fun _ -> new_collector ()) in
+  let run (rng, collector) =
+    run_tree ~config ~enum_cfg ~reward ~rng ~policy:guard ~inject ~penalty:quarantine_reward
+      ~sink:checkpoint ~preload:resume ~collector
+  in
+  let jobs = Array.init trees (fun i -> (rngs.(i), collectors.(i))) in
   let tables =
     match pool with
-    | Some pool -> Par.Pool.map pool run rngs
-    | None -> Par.Pool.map (Par.Pool.get_default ()) run rngs
+    | Some pool -> Par.Pool.map pool run jobs
+    | None -> Par.Pool.map (Par.Pool.get_default ()) run jobs
   in
-  let merged : (string, Graph.operator * float * int) Hashtbl.t = Hashtbl.create 64 in
+  let merged : (string, entry) Hashtbl.t = Hashtbl.create 64 in
   Array.iter
     (fun tbl ->
       Hashtbl.iter
-        (fun key (op, r, n) ->
+        (fun key e ->
           match Hashtbl.find_opt merged key with
-          | None -> Hashtbl.add merged key (op, r, n)
-          | Some (op0, r0, n0) -> Hashtbl.replace merged key (op0, Float.max r0 r, n0 + n))
+          | None ->
+              Hashtbl.add merged key
+                {
+                  ent_op = e.ent_op;
+                  ent_reward = e.ent_reward;
+                  ent_visits = e.ent_visits;
+                  ent_quarantined = e.ent_quarantined;
+                }
+          | Some m ->
+              m.ent_visits <- m.ent_visits + e.ent_visits;
+              (* A healthy evaluation beats any quarantine verdict (the
+                 guard is deterministic per key, so trees disagree only
+                 when their policies saw different transient faults). *)
+              if m.ent_quarantined && not e.ent_quarantined then begin
+                m.ent_quarantined <- false;
+                m.ent_reward <- e.ent_reward
+              end
+              else if not m.ent_quarantined && not e.ent_quarantined then
+                m.ent_reward <- fmax m.ent_reward e.ent_reward)
         tbl)
     tables;
-  to_results merged
+  (match checkpoint with Some s -> Checkpoint.flush s | None -> ());
+  { results = to_results merged; stats = stats_of_collectors ?checkpoint collectors }
+
+let search_parallel ?config ?pool ?guard ?inject ?quarantine_reward ?checkpoint ?resume
+    ~trees enum_cfg ~reward ~rng () =
+  (search_parallel_run ?config ?pool ?guard ?inject ?quarantine_reward ?checkpoint ?resume
+     ~trees enum_cfg ~reward ~rng ())
+    .results

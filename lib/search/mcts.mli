@@ -6,7 +6,18 @@
     uses UCB1; rollouts sample shape-distance-guided random completions;
     rewards come from a caller-provided evaluator (the accuracy proxy or
     real training).  All completed operators seen during the search are
-    recorded and returned with their best observed reward. *)
+    recorded and returned with their best observed reward.
+
+    {b Fault tolerance.}  Every reward call is routed through
+    {!Robust.Guard}: exceptions, NaN/infinite rewards, per-candidate
+    wall-clock overruns, and injected faults are contained, retried per
+    the policy, and — if every attempt fails — the candidate is
+    {e quarantined}: recorded with a configurable penalty reward, never
+    re-evaluated, ranked after every healthy candidate, and accounted
+    for in the {!failure_stats} returned by the [_run] variants.  A
+    {!Checkpoint.sink} persists the reward memo at a configurable
+    cadence, and [resume] pre-seeds it so a killed search replays to the
+    same results without repeating completed evaluations. *)
 
 type config = {
   iterations : int;  (** per tree *)
@@ -21,36 +32,107 @@ val default_config : ?iterations:int -> unit -> config
 
 type result = {
   operator : Pgraph.Graph.operator;
-  reward : float;
+  reward : float;  (** the penalty reward if quarantined *)
   visits : int;  (** times this operator was reached *)
+  quarantined : bool;  (** every guarded attempt failed *)
 }
+
+(** Per-run failure accounting.  [attempts] counts every invocation of
+    the reward thunk (including attempts suppressed by fault
+    injection); [retries] the attempts beyond each candidate's first;
+    [failed_attempts] the failed ones, keyed by {!Robust.Guard.kind_label}
+    and sorted, so every injected fault is accounted for. *)
+type failure_stats = {
+  evaluations : int;  (** distinct candidates scored successfully *)
+  quarantined : int;  (** distinct candidates that exhausted all attempts *)
+  attempts : int;
+  retries : int;
+  failed_attempts : (string * int) list;
+  backoff_seconds : float;
+  checkpoint_writes : int;
+}
+
+val no_failures : failure_stats
+
+type run = { results : result list; stats : failure_stats }
+
+val search_run :
+  ?config:config ->
+  ?guard:Robust.Guard.policy ->
+  ?inject:Robust.Inject.t ->
+  ?quarantine_reward:float ->
+  ?checkpoint:Checkpoint.sink ->
+  ?resume:Checkpoint.entry list ->
+  Enumerate.config ->
+  reward:(Pgraph.Graph.operator -> float) ->
+  rng:Nd.Rng.t ->
+  unit ->
+  run
+(** Results sorted by decreasing reward (quarantined candidates last,
+    NaN rewards ranked as -inf, remaining ties broken on the operator
+    signature), deduplicated by operator signature.  [reward] is called
+    at most once per distinct signature — including signatures preloaded
+    via [resume] — and repeat encounters reuse the memoized score and
+    only bump the visit counter.  Resumed entries the trajectory never
+    reaches again keep living in the memo/checkpoint but are not
+    results of this run (their visit count is 0).
+
+    Defaults: [guard = Robust.Guard.default_policy] (2 retries, no
+    backoff, no timeout), no injection, [quarantine_reward = 0.0], no
+    checkpointing. *)
 
 val search :
   ?config:config ->
+  ?guard:Robust.Guard.policy ->
+  ?inject:Robust.Inject.t ->
+  ?quarantine_reward:float ->
+  ?checkpoint:Checkpoint.sink ->
+  ?resume:Checkpoint.entry list ->
   Enumerate.config ->
   reward:(Pgraph.Graph.operator -> float) ->
   rng:Nd.Rng.t ->
   unit ->
   result list
-(** Results sorted by decreasing reward (ties broken on the operator
-    signature), deduplicated by operator signature.  [reward] is called
-    at most once per distinct signature; repeat encounters reuse the
-    memoized score and only bump the visit counter. *)
+(** [search_run] without the statistics. *)
+
+val search_parallel_run :
+  ?config:config ->
+  ?pool:Par.Pool.t ->
+  ?guard:Robust.Guard.policy ->
+  ?inject:Robust.Inject.t ->
+  ?quarantine_reward:float ->
+  ?checkpoint:Checkpoint.sink ->
+  ?resume:Checkpoint.entry list ->
+  trees:int ->
+  Enumerate.config ->
+  reward:(Pgraph.Graph.operator -> float) ->
+  rng:Nd.Rng.t ->
+  unit ->
+  run
+(** Root-parallel MCTS: [trees] independent trees, each running
+    [config.iterations] iterations with its own generator split off
+    [rng] up front, scheduled across [pool] (default:
+    [Par.Pool.get_default ()]).  The per-tree found tables are merged
+    by operator signature (best reward NaN-safely, summed visits, a
+    healthy evaluation overriding a quarantine verdict), so for a fixed
+    [rng] and [trees] the result is identical at any pool size.
+    [reward] must be safe to call from multiple domains — the analytic
+    proxy of {!Reward} is.  Failure statistics are collected per tree
+    and summed; the checkpoint sink may be shared across trees (it
+    serializes internally). *)
 
 val search_parallel :
   ?config:config ->
   ?pool:Par.Pool.t ->
+  ?guard:Robust.Guard.policy ->
+  ?inject:Robust.Inject.t ->
+  ?quarantine_reward:float ->
+  ?checkpoint:Checkpoint.sink ->
+  ?resume:Checkpoint.entry list ->
   trees:int ->
   Enumerate.config ->
   reward:(Pgraph.Graph.operator -> float) ->
   rng:Nd.Rng.t ->
   unit ->
   result list
-(** Root-parallel MCTS: [trees] independent trees, each running
-    [config.iterations] iterations with its own generator split off
-    [rng] up front, scheduled across [pool] (default:
-    [Par.Pool.get_default ()]).  The per-tree found tables are merged
-    by operator signature (best reward, summed visits), so for a fixed
-    [rng] and [trees] the result is identical at any pool size.
-    [reward] must be safe to call from multiple domains — the analytic
-    proxy of {!Reward} is. *)
+(** [search_parallel_run] without the statistics. *)

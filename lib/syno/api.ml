@@ -120,6 +120,7 @@ type candidate = {
   reward : float;
   flops : int;
   params : int;
+  quarantined : bool;
 }
 
 let default_search_valuations =
@@ -128,8 +129,18 @@ let default_search_valuations =
     Zoo.Vars.conv_valuation ~n:1 ~c_in:32 ~c_out:64 ~hw:8 ~k:3 ~g:2 ~s:2 ();
   ]
 
-let search_conv_operators ?(iterations = 2000) ?(max_prims = 9) ?(flops_budget_ratio = 1.0)
-    ?(domains = 1) ?trees ~rng ~valuations () =
+type search_run = { candidates : candidate list; failures : Search.Mcts.failure_stats }
+
+let load_resume path =
+  if not (Sys.file_exists path) then []
+  else
+    match Search.Checkpoint.load ~path with
+    | Ok entries -> entries
+    | Error msg -> failwith (Printf.sprintf "cannot resume from %s: %s" path msg)
+
+let search_conv_operators_run ?(iterations = 2000) ?(max_prims = 9)
+    ?(flops_budget_ratio = 1.0) ?(domains = 1) ?trees ?guard ?inject ?quarantine_reward
+    ?checkpoint ?(checkpoint_every = 50) ?resume ~rng ~valuations () =
   let open Zoo.Vars in
   let sz = Size.of_var in
   let output_shape = [ sz n; sz c_out; sz h; sz w ] in
@@ -169,25 +180,42 @@ let search_conv_operators ?(iterations = 2000) ?(max_prims = 9) ?(flops_budget_r
     r /. float_of_int (max 1 (List.length valuations))
   in
   let trees = max 1 (match trees with Some t -> t | None -> max 1 domains) in
-  let results =
+  let sink =
+    Option.map (fun path -> Search.Checkpoint.sink ~path ~every:checkpoint_every ()) checkpoint
+  in
+  let resume = match resume with Some path -> load_resume path | None -> [] in
+  let run =
     if trees = 1 && domains <= 1 then
       let mcts_cfg = Search.Mcts.default_config ~iterations () in
-      Search.Mcts.search ~config:mcts_cfg cfg ~reward ~rng ()
+      Search.Mcts.search_run ~config:mcts_cfg ?guard ?inject ?quarantine_reward
+        ?checkpoint:sink ~resume cfg ~reward ~rng ()
     else
       (* Root-parallel: the iteration budget is split across the trees
          so --domains changes wall-clock, not total search effort. *)
       let mcts_cfg = Search.Mcts.default_config ~iterations:(max 1 (iterations / trees)) () in
       Par.Pool.with_pool ~domains (fun pool ->
-          Search.Mcts.search_parallel ~config:mcts_cfg ~pool ~trees cfg ~reward ~rng ())
+          Search.Mcts.search_parallel_run ~config:mcts_cfg ~pool ?guard ?inject
+            ?quarantine_reward ?checkpoint:sink ~resume ~trees cfg ~reward ~rng ())
   in
   let v0 = List.hd valuations in
-  List.map
-    (fun r ->
-      {
-        operator = r.Search.Mcts.operator;
-        signature = Graph.operator_signature r.Search.Mcts.operator;
-        reward = r.Search.Mcts.reward;
-        flops = Flops.naive_flops r.Search.Mcts.operator v0;
-        params = Flops.params r.Search.Mcts.operator v0;
-      })
-    results
+  let candidates =
+    List.map
+      (fun (r : Search.Mcts.result) ->
+        {
+          operator = r.Search.Mcts.operator;
+          signature = Graph.operator_signature r.Search.Mcts.operator;
+          reward = r.Search.Mcts.reward;
+          flops = Flops.naive_flops r.Search.Mcts.operator v0;
+          params = Flops.params r.Search.Mcts.operator v0;
+          quarantined = r.Search.Mcts.quarantined;
+        })
+      run.Search.Mcts.results
+  in
+  { candidates; failures = run.Search.Mcts.stats }
+
+let search_conv_operators ?iterations ?max_prims ?flops_budget_ratio ?domains ?trees ?guard
+    ?inject ?quarantine_reward ?checkpoint ?checkpoint_every ?resume ~rng ~valuations () =
+  (search_conv_operators_run ?iterations ?max_prims ?flops_budget_ratio ?domains ?trees
+     ?guard ?inject ?quarantine_reward ?checkpoint ?checkpoint_every ?resume ~rng
+     ~valuations ())
+    .candidates

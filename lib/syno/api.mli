@@ -55,7 +55,50 @@ type candidate = {
   reward : float;
   flops : int;
   params : int;
+  quarantined : bool;  (** every guarded evaluation attempt failed *)
 }
+
+type search_run = { candidates : candidate list; failures : Search.Mcts.failure_stats }
+
+val search_conv_operators_run :
+  ?iterations:int ->
+  ?max_prims:int ->
+  ?flops_budget_ratio:float ->
+  ?domains:int ->
+  ?trees:int ->
+  ?guard:Robust.Guard.policy ->
+  ?inject:Robust.Inject.t ->
+  ?quarantine_reward:float ->
+  ?checkpoint:string ->
+  ?checkpoint_every:int ->
+  ?resume:string ->
+  rng:Nd.Rng.t ->
+  valuations:Shape.Valuation.t list ->
+  unit ->
+  search_run
+(** MCTS over the convolution signature
+    [[N, C_out, H, W] -> [N, C_in, H, W]] with the analytic accuracy
+    proxy as reward and a FLOPs budget relative to the standard
+    convolution (default 1.0x).  Returns candidates sorted by reward
+    (quarantined candidates last) together with per-run failure
+    statistics.
+
+    [domains] (default 1) sizes a private domain pool; [trees] (default
+    [max 1 domains]) selects root-parallel search with that many
+    independent trees, splitting [iterations] evenly across them.  With
+    [domains = 1] and [trees = 1] this is the original sequential
+    search.  For fixed [trees] and [rng] the candidate set does not
+    depend on [domains].
+
+    Fault tolerance: every reward call runs under [guard] (default
+    {!Robust.Guard.default_policy}); [inject] enables deterministic
+    fault injection; candidates whose attempts all fail are quarantined
+    at [quarantine_reward] (default 0).  [checkpoint] names a file the
+    reward memo is serialized to every [checkpoint_every] (default 50)
+    new evaluations plus once at the end; [resume] preloads a
+    previously written file (a missing file is a fresh start), so a
+    killed search rerun with the same seed reproduces the uninterrupted
+    results without repeating completed evaluations. *)
 
 val search_conv_operators :
   ?iterations:int ->
@@ -63,20 +106,16 @@ val search_conv_operators :
   ?flops_budget_ratio:float ->
   ?domains:int ->
   ?trees:int ->
+  ?guard:Robust.Guard.policy ->
+  ?inject:Robust.Inject.t ->
+  ?quarantine_reward:float ->
+  ?checkpoint:string ->
+  ?checkpoint_every:int ->
+  ?resume:string ->
   rng:Nd.Rng.t ->
   valuations:Shape.Valuation.t list ->
   unit ->
   candidate list
-(** MCTS over the convolution signature
-    [[N, C_out, H, W] -> [N, C_in, H, W]] with the analytic accuracy
-    proxy as reward and a FLOPs budget relative to the standard
-    convolution (default 1.0x).  Returns candidates sorted by reward.
-
-    [domains] (default 1) sizes a private domain pool; [trees] (default
-    [max 1 domains]) selects root-parallel search with that many
-    independent trees, splitting [iterations] evenly across them.  With
-    [domains = 1] and [trees = 1] this is the original sequential
-    search.  For fixed [trees] and [rng] the candidate set does not
-    depend on [domains]. *)
+(** [search_conv_operators_run] without the statistics. *)
 
 val default_search_valuations : Shape.Valuation.t list

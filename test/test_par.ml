@@ -57,6 +57,29 @@ let test_exception_propagates () =
       | () -> Alcotest.fail "expected exception"
       | exception Failure msg -> Alcotest.(check string) "payload" "boom" msg)
 
+let test_pool_usable_after_raise () =
+  with_pools (fun _ p4 ->
+      (* A raising body must not wedge the pool: subsequent calls on the
+         same pool run normally and produce correct results. *)
+      for round = 1 to 3 do
+        (match Pool.parallel_for p4 ~n:1000 (fun _ _ -> failwith "kaboom") with
+        | () -> Alcotest.fail "expected exception"
+        | exception Failure msg -> Alcotest.(check string) "payload" "kaboom" msg);
+        let out = Array.make 1000 0 in
+        Pool.parallel_for p4 ~n:1000 (fun lo hi ->
+            for i = lo to hi - 1 do
+              out.(i) <- i + round
+            done);
+        Alcotest.(check int) "first" round out.(0);
+        Alcotest.(check int) "last" (999 + round) out.(999)
+      done;
+      (* Same for map, including the raising case. *)
+      (match Pool.map p4 (fun i -> if i = 2 then failwith "m" else i) [| 0; 1; 2; 3 |] with
+      | (_ : int array) -> Alcotest.fail "expected exception"
+      | exception Failure msg -> Alcotest.(check string) "map payload" "m" msg);
+      let sq = Pool.map p4 (fun i -> i * i) [| 0; 1; 2; 3; 4 |] in
+      Alcotest.(check (array int)) "map after raise" [| 0; 1; 4; 9; 16 |] sq)
+
 let test_nested_calls_do_not_deadlock () =
   with_pools (fun _ p4 ->
       (* parallel_for from inside a worker of the same pool must fall
@@ -133,6 +156,7 @@ let () =
           Alcotest.test_case "edge cases" `Quick test_parallel_for_edge_cases;
           Alcotest.test_case "map order" `Quick test_map_preserves_order;
           Alcotest.test_case "exception propagation" `Quick test_exception_propagates;
+          Alcotest.test_case "usable after raise" `Quick test_pool_usable_after_raise;
           Alcotest.test_case "nested calls" `Quick test_nested_calls_do_not_deadlock;
           Alcotest.test_case "num_domains" `Quick test_num_domains_positive;
         ] );

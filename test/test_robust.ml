@@ -1,0 +1,410 @@
+(* Tests for the fault-tolerance layer: Guard / Inject, quarantine and
+   NaN-safe ranking in the search, and checkpoint/resume equivalence. *)
+
+module Var = Shape.Var
+module Size = Shape.Size
+module Valuation = Shape.Valuation
+module Graph = Pgraph.Graph
+module Enumerate = Search.Enumerate
+module Mcts = Search.Mcts
+module Reward = Search.Reward
+module Checkpoint = Search.Checkpoint
+module Guard = Robust.Guard
+module Inject = Robust.Inject
+
+(* --- Guard ---------------------------------------------------------------- *)
+
+let test_guard_success_passthrough () =
+  let out = Guard.run ~key:"k" (fun () -> 0.75) in
+  Alcotest.(check bool) "ok" true (out.Guard.result = Ok 0.75);
+  Alcotest.(check int) "one attempt" 1 out.Guard.attempts;
+  Alcotest.(check int) "no failures" 0 (List.length out.Guard.failures);
+  Alcotest.(check (float 0.0)) "no sleeping" 0.0 out.Guard.slept
+
+let test_guard_retry_backoff_schedule () =
+  let policy = Guard.policy ~retries:3 ~backoff:0.5 ~backoff_factor:2.0 ~max_backoff:1.0 () in
+  Alcotest.(check (list (float 1e-12))) "schedule" [ 0.5; 1.0; 1.0 ] (Guard.delays policy);
+  let slept = ref [] in
+  let sleep d = slept := d :: !slept in
+  let calls = ref 0 in
+  let out =
+    Guard.run ~policy ~sleep ~key:"k" (fun () ->
+        incr calls;
+        if !calls <= 2 then failwith "flaky" else 0.25)
+  in
+  Alcotest.(check bool) "recovers" true (out.Guard.result = Ok 0.25);
+  Alcotest.(check int) "attempts" 3 out.Guard.attempts;
+  (* The sleeps actually performed are exactly the first two entries of
+     the deterministic schedule. *)
+  Alcotest.(check (list (float 1e-12))) "slept delays" [ 0.5; 1.0 ] (List.rev !slept);
+  Alcotest.(check (float 1e-12)) "slept total" 1.5 out.Guard.slept;
+  Alcotest.(check int) "failures recorded" 2 (List.length out.Guard.failures);
+  List.iter
+    (fun k ->
+      Alcotest.(check string) "classified eval_error" "eval_error" (Guard.kind_label k))
+    out.Guard.failures
+
+let test_guard_exhausts_retries () =
+  let policy = Guard.policy ~retries:2 () in
+  let out = Guard.run ~policy ~key:"k" (fun () -> raise Not_found) in
+  (match out.Guard.result with
+  | Error (Guard.Eval_error _) -> ()
+  | _ -> Alcotest.fail "expected Eval_error");
+  Alcotest.(check int) "attempts = 1 + retries" 3 out.Guard.attempts;
+  Alcotest.(check int) "a failure per attempt" 3 (List.length out.Guard.failures)
+
+let test_guard_non_finite () =
+  List.iter
+    (fun bad ->
+      let out = Guard.run ~policy:(Guard.policy ~retries:1 ()) ~key:"k" (fun () -> bad) in
+      Alcotest.(check bool) "non_finite" true (out.Guard.result = Error Guard.Non_finite))
+    [ Float.nan; Float.infinity; Float.neg_infinity ]
+
+let test_guard_timeout () =
+  (* A fake clock that jumps 10 s per reading: every attempt blows a 5 s
+     budget even though the thunk returns instantly. *)
+  let t = ref 0.0 in
+  let now () =
+    t := !t +. 10.0;
+    !t
+  in
+  let policy = Guard.policy ~retries:1 ~timeout:5.0 () in
+  let out = Guard.run ~policy ~now ~key:"k" (fun () -> 1.0) in
+  Alcotest.(check bool) "timeout" true (out.Guard.result = Error Guard.Timeout);
+  Alcotest.(check int) "retried once" 2 out.Guard.attempts;
+  (* With a generous budget the same thunk passes. *)
+  let out = Guard.run ~policy:(Guard.policy ~timeout:1e6 ()) ~now ~key:"k" (fun () -> 1.0) in
+  Alcotest.(check bool) "within budget" true (out.Guard.result = Ok 1.0)
+
+let test_guard_injected () =
+  let inject = Inject.create ~seed:3 ~rate:1.0 ~max_failures:1 () in
+  let out = Guard.run ~policy:(Guard.policy ~retries:2 ()) ~inject ~key:"sig" (fun () -> 0.5) in
+  Alcotest.(check bool) "recovers after injected fault" true (out.Guard.result = Ok 0.5);
+  Alcotest.(check bool) "injected recorded" true (List.mem Guard.Injected out.Guard.failures);
+  Alcotest.(check int) "counted" 1 (Inject.injected_count inject)
+
+(* --- Inject --------------------------------------------------------------- *)
+
+let test_inject_deterministic () =
+  let keys = List.init 64 (fun i -> Printf.sprintf "key-%d" i) in
+  let a = Inject.create ~seed:11 ~rate:0.4 ~max_failures:3 () in
+  let b = Inject.create ~seed:11 ~rate:0.4 ~max_failures:3 () in
+  List.iter
+    (fun key ->
+      Alcotest.(check int)
+        ("same plan for " ^ key)
+        (Inject.failures_planned a ~key)
+        (Inject.failures_planned b ~key))
+    keys;
+  (* The plan is a prefix: once an attempt succeeds, all later ones do. *)
+  List.iter
+    (fun key ->
+      let n = Inject.failures_planned a ~key in
+      Alcotest.(check bool) "bounded" true (n >= 0 && n <= 3);
+      for attempt = 0 to 5 do
+        Alcotest.(check bool) "prefix" (attempt < n)
+          (Inject.should_fail a ~key ~attempt)
+      done)
+    keys;
+  let some_fail = List.exists (fun key -> Inject.failures_planned a ~key > 0) keys in
+  let some_pass = List.exists (fun key -> Inject.failures_planned a ~key = 0) keys in
+  Alcotest.(check bool) "rate 0.4 fails some" true some_fail;
+  Alcotest.(check bool) "rate 0.4 passes some" true some_pass
+
+let test_inject_rate_extremes () =
+  let zero = Inject.create ~rate:0.0 () in
+  let one = Inject.create ~rate:1.0 ~max_failures:2 () in
+  let keys = List.init 32 (fun i -> string_of_int i) in
+  List.iter
+    (fun key ->
+      Alcotest.(check int) "rate 0 never fails" 0 (Inject.failures_planned zero ~key);
+      let n = Inject.failures_planned one ~key in
+      Alcotest.(check bool) "rate 1 always fails" true (n >= 1 && n <= 2))
+    keys;
+  Alcotest.(check bool) "none inactive" false (Inject.active Inject.none);
+  Alcotest.(check bool) "zero-rate inactive" false (Inject.active zero);
+  Alcotest.(check bool) "active" true (Inject.active one);
+  Alcotest.check_raises "rate out of range"
+    (Invalid_argument "Inject.create: rate must be in [0, 1]") (fun () ->
+      ignore (Inject.create ~rate:1.5 ()))
+
+(* --- Search under faults --------------------------------------------------- *)
+
+let m = Var.primary "M"
+let nd_ = Var.primary "Nd"
+let kd = Var.primary "Kd"
+let sz = Size.of_var
+
+let matmul_valuations =
+  [
+    Valuation.of_list [ (m, 8); (nd_, 8); (kd, 8) ];
+    Valuation.of_list [ (m, 16); (nd_, 4); (kd, 8) ];
+  ]
+
+let matmul_cfg ?(max_prims = 4) () =
+  let base =
+    Enumerate.default_config ~output_shape:[ sz m; sz nd_ ] ~desired_shape:[ sz m; sz kd ]
+      ~valuations:matmul_valuations ()
+  in
+  { base with Enumerate.max_prims; reduce_candidates = [ sz kd ] }
+
+let reward op = Reward.score op (List.hd matmul_valuations)
+let config = Mcts.default_config ~iterations:120 ()
+let top r = List.map (fun (x : Mcts.result) -> (Graph.operator_signature x.operator, x.reward)) r
+
+let test_injected_search_matches_fault_free () =
+  let clean = Mcts.search ~config (matmul_cfg ()) ~reward ~rng:(Nd.Rng.create ~seed:7) () in
+  Alcotest.(check bool) "baseline finds operators" true (clean <> []);
+  (* max_failures <= retries, so every candidate recovers and the run
+     must reproduce the fault-free results exactly. *)
+  let inject = Inject.create ~seed:5 ~rate:0.6 ~max_failures:2 () in
+  let faulted =
+    Mcts.search_run ~config ~guard:(Guard.policy ~retries:2 ()) ~inject (matmul_cfg ())
+      ~reward ~rng:(Nd.Rng.create ~seed:7) ()
+  in
+  Alcotest.(check bool) "same top-K" true (top clean = top faulted.Mcts.results);
+  Alcotest.(check bool) "nothing quarantined" true
+    (faulted.Mcts.stats.Mcts.quarantined = 0);
+  (* Every injected fault shows up in the failure accounting. *)
+  let recorded =
+    Option.value ~default:0 (List.assoc_opt "injected" faulted.Mcts.stats.Mcts.failed_attempts)
+  in
+  Alcotest.(check bool) "some faults were delivered" true (Inject.injected_count inject > 0);
+  Alcotest.(check int) "all faults accounted" (Inject.injected_count inject) recorded;
+  Alcotest.(check int) "retries = extra attempts"
+    (faulted.Mcts.stats.Mcts.attempts - faulted.Mcts.stats.Mcts.evaluations)
+    faulted.Mcts.stats.Mcts.retries
+
+let test_persistent_faults_quarantine () =
+  (* retries = 0 and every key fails at least once: every candidate is
+     quarantined at the penalty reward and no evaluation succeeds. *)
+  let inject = Inject.create ~seed:1 ~rate:1.0 ~max_failures:1 () in
+  let r =
+    Mcts.search_run ~config ~guard:(Guard.policy ~retries:0 ()) ~inject
+      ~quarantine_reward:(-1.0) (matmul_cfg ()) ~reward ~rng:(Nd.Rng.create ~seed:7) ()
+  in
+  Alcotest.(check bool) "found candidates" true (r.Mcts.results <> []);
+  List.iter
+    (fun (x : Mcts.result) ->
+      Alcotest.(check bool) "quarantined" true x.Mcts.quarantined;
+      Alcotest.(check (float 0.0)) "penalty reward" (-1.0) x.Mcts.reward)
+    r.Mcts.results;
+  Alcotest.(check int) "no successful evaluations" 0 r.Mcts.stats.Mcts.evaluations;
+  Alcotest.(check int) "all quarantined" (List.length r.Mcts.results)
+    r.Mcts.stats.Mcts.quarantined
+
+let test_quarantined_rank_last_and_nan_safe () =
+  (* Partial quarantine with a NaN penalty: the sort must put every
+     quarantined candidate after every healthy one and stay total (NaN
+     must not poison the comparator). *)
+  let inject = Inject.create ~seed:2 ~rate:0.5 ~max_failures:3 () in
+  let r =
+    Mcts.search_run ~config ~guard:(Guard.policy ~retries:0 ()) ~inject
+      ~quarantine_reward:Float.nan (matmul_cfg ()) ~reward ~rng:(Nd.Rng.create ~seed:7) ()
+  in
+  let results = r.Mcts.results in
+  Alcotest.(check bool) "mixed verdicts" true
+    (List.exists (fun (x : Mcts.result) -> x.Mcts.quarantined) results
+    && List.exists (fun (x : Mcts.result) -> not x.Mcts.quarantined) results);
+  (* healthy prefix, quarantined suffix *)
+  let rec check_order seen_quarantined = function
+    | [] -> ()
+    | (x : Mcts.result) :: rest ->
+        if seen_quarantined then
+          Alcotest.(check bool) "no healthy after quarantined" true x.Mcts.quarantined;
+        check_order (seen_quarantined || x.Mcts.quarantined) rest
+  in
+  check_order false results;
+  (* the healthy prefix is still sorted by decreasing reward *)
+  let healthy = List.filter (fun (x : Mcts.result) -> not x.Mcts.quarantined) results in
+  let rec decreasing = function
+    | (a : Mcts.result) :: (b : Mcts.result) :: rest ->
+        Alcotest.(check bool) "rewards decreasing" true (a.Mcts.reward >= b.Mcts.reward);
+        decreasing (b :: rest)
+    | _ -> ()
+  in
+  decreasing healthy
+
+let test_parallel_search_under_faults () =
+  let trees = 3 in
+  let rng () = Nd.Rng.create ~seed:21 in
+  Par.Pool.with_pool ~domains:4 (fun pool ->
+      let clean =
+        Mcts.search_parallel ~config ~pool ~trees (matmul_cfg ()) ~reward ~rng:(rng ()) ()
+      in
+      Alcotest.(check bool) "parallel baseline finds operators" true (clean <> []);
+      let inject = Inject.create ~seed:9 ~rate:0.5 ~max_failures:2 () in
+      let faulted =
+        Mcts.search_parallel_run ~config ~pool ~guard:(Guard.policy ~retries:2 ()) ~inject
+          ~trees (matmul_cfg ()) ~reward ~rng:(rng ()) ()
+      in
+      Alcotest.(check bool) "same top-K under faults" true
+        (top clean = top faulted.Mcts.results);
+      let recorded =
+        Option.value ~default:0
+          (List.assoc_opt "injected" faulted.Mcts.stats.Mcts.failed_attempts)
+      in
+      Alcotest.(check int) "all faults accounted" (Inject.injected_count inject) recorded)
+
+(* --- Checkpointing --------------------------------------------------------- *)
+
+let with_temp f =
+  let path = Filename.temp_file "syno_test" ".ckpt" in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path) (fun () -> f path)
+
+let test_checkpoint_roundtrip () =
+  with_temp (fun path ->
+      let ops =
+        List.map
+          (fun (x : Mcts.result) -> x.Mcts.operator)
+          (Mcts.search ~config (matmul_cfg ()) ~reward ~rng:(Nd.Rng.create ~seed:7) ())
+      in
+      Alcotest.(check bool) "have operators" true (List.length ops >= 2);
+      let entries =
+        List.mapi
+          (fun i op ->
+            {
+              Checkpoint.signature = Graph.operator_signature op;
+              operator = op;
+              (* awkward rewards: inexact decimals, zero, a quarantined NaN *)
+              reward = (if i = 0 then Float.nan else 0.1 +. (float_of_int i /. 3.0));
+              visits = (i * 7) + 1;
+              quarantined = i = 0;
+            })
+          ops
+      in
+      Checkpoint.save ~path entries;
+      match Checkpoint.load ~path with
+      | Error msg -> Alcotest.fail msg
+      | Ok loaded ->
+          Alcotest.(check int) "entry count" (List.length entries) (List.length loaded);
+          let by_sig l =
+            List.sort (fun a b -> compare a.Checkpoint.signature b.Checkpoint.signature) l
+          in
+          List.iter2
+            (fun (a : Checkpoint.entry) (b : Checkpoint.entry) ->
+              Alcotest.(check string) "signature" a.Checkpoint.signature b.Checkpoint.signature;
+              Alcotest.(check string) "operator rebuilt" a.Checkpoint.signature
+                (Graph.operator_signature b.Checkpoint.operator);
+              (* bit-exact round-trip for finite rewards; NaN keeps its
+                 NaN-ness (the payload is not preserved by %h) *)
+              if Float.is_nan a.Checkpoint.reward then
+                Alcotest.(check bool) "nan stays nan" true (Float.is_nan b.Checkpoint.reward)
+              else
+                Alcotest.(check int64) "reward bits"
+                  (Int64.bits_of_float a.Checkpoint.reward)
+                  (Int64.bits_of_float b.Checkpoint.reward);
+              Alcotest.(check int) "visits" a.Checkpoint.visits b.Checkpoint.visits;
+              Alcotest.(check bool) "quarantined" a.Checkpoint.quarantined
+                b.Checkpoint.quarantined)
+            (by_sig entries) (by_sig loaded))
+
+let test_checkpoint_load_errors () =
+  (match Checkpoint.load ~path:"/nonexistent/syno.ckpt" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected error for missing file");
+  with_temp (fun path ->
+      let oc = open_out path in
+      output_string oc "not a checkpoint\n";
+      close_out oc;
+      match Checkpoint.load ~path with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "expected error for garbage file")
+
+let test_sink_cadence () =
+  with_temp (fun path ->
+      let ops =
+        List.map
+          (fun (x : Mcts.result) -> x.Mcts.operator)
+          (Mcts.search ~config (matmul_cfg ()) ~reward ~rng:(Nd.Rng.create ~seed:7) ())
+      in
+      let entry op =
+        {
+          Checkpoint.signature = Graph.operator_signature op;
+          operator = op;
+          reward = 0.5;
+          visits = 1;
+          quarantined = false;
+        }
+      in
+      let sink = Checkpoint.sink ~path ~every:2 () in
+      List.iter (fun op -> Checkpoint.note sink (entry op)) ops;
+      Checkpoint.flush sink;
+      Alcotest.(check bool) "wrote at cadence" true (Checkpoint.writes sink >= 1);
+      match Checkpoint.load ~path with
+      | Error msg -> Alcotest.fail msg
+      | Ok loaded ->
+          Alcotest.(check int) "all entries on disk" (List.length ops) (List.length loaded))
+
+let test_kill_resume_equivalence () =
+  with_temp (fun path ->
+      (* Uninterrupted baseline, counting reward calls. *)
+      let calls = ref 0 in
+      let counting op =
+        incr calls;
+        reward op
+      in
+      let clean =
+        Mcts.search ~config (matmul_cfg ()) ~reward:counting ~rng:(Nd.Rng.create ~seed:7) ()
+      in
+      let clean_calls = !calls in
+      Alcotest.(check bool) "baseline finds operators" true (clean <> []);
+      (* "Kill": run only a third of the iterations, checkpointing. *)
+      let truncated = Mcts.default_config ~iterations:(config.Mcts.iterations / 3) () in
+      let sink = Checkpoint.sink ~path ~every:2 () in
+      let (_ : Mcts.result list) =
+        Mcts.search ~config:truncated ~checkpoint:sink (matmul_cfg ()) ~reward
+          ~rng:(Nd.Rng.create ~seed:7) ()
+      in
+      let entries =
+        match Checkpoint.load ~path with Ok e -> e | Error msg -> Alcotest.fail msg
+      in
+      Alcotest.(check bool) "snapshot has entries" true (entries <> []);
+      (* Resume: same seed, full iteration budget, preloaded memo. *)
+      calls := 0;
+      let resumed =
+        Mcts.search ~config ~resume:entries (matmul_cfg ()) ~reward:counting
+          ~rng:(Nd.Rng.create ~seed:7) ()
+      in
+      Alcotest.(check bool) "resumed top-K identical" true (top clean = top resumed);
+      Alcotest.(check bool)
+        (Printf.sprintf "fewer fresh evaluations (%d < %d)" !calls clean_calls)
+        true (!calls < clean_calls))
+
+let () =
+  Alcotest.run "robust"
+    [
+      ( "guard",
+        [
+          Alcotest.test_case "success passthrough" `Quick test_guard_success_passthrough;
+          Alcotest.test_case "retry + backoff schedule" `Quick
+            test_guard_retry_backoff_schedule;
+          Alcotest.test_case "exhausts retries" `Quick test_guard_exhausts_retries;
+          Alcotest.test_case "non-finite rewards" `Quick test_guard_non_finite;
+          Alcotest.test_case "timeout" `Quick test_guard_timeout;
+          Alcotest.test_case "injected faults" `Quick test_guard_injected;
+        ] );
+      ( "inject",
+        [
+          Alcotest.test_case "deterministic plans" `Quick test_inject_deterministic;
+          Alcotest.test_case "rate extremes" `Quick test_inject_rate_extremes;
+        ] );
+      ( "search",
+        [
+          Alcotest.test_case "injected = fault-free" `Quick
+            test_injected_search_matches_fault_free;
+          Alcotest.test_case "persistent faults quarantine" `Quick
+            test_persistent_faults_quarantine;
+          Alcotest.test_case "quarantined rank last, NaN-safe" `Quick
+            test_quarantined_rank_last_and_nan_safe;
+          Alcotest.test_case "parallel under faults" `Quick
+            test_parallel_search_under_faults;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_checkpoint_roundtrip;
+          Alcotest.test_case "load errors" `Quick test_checkpoint_load_errors;
+          Alcotest.test_case "sink cadence" `Quick test_sink_cadence;
+          Alcotest.test_case "kill/resume equivalence" `Quick test_kill_resume_equivalence;
+        ] );
+    ]
