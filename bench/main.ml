@@ -720,6 +720,166 @@ let robust_bench ~smoke () =
     exit 1
   end
 
+(* --- Candidate admission & differential validation ---------------------------- *)
+
+(* Measures what the Validate layer costs and proves what it catches:
+   over-budget candidates are rejected before any tensor allocation
+   (verified with the Nd.Tensor allocation probe), a seeded miscompile
+   in one lowering backend is caught as backend_mismatch without
+   aborting the search, a fault-free validated search returns exactly
+   the unvalidated top-k, and the per-candidate validation cost stays
+   under 10% of a candidate evaluation.  Emits BENCH_validate.json. *)
+
+let validate_bench ~smoke () =
+  section
+    (Printf.sprintf "Candidate admission & differential validation%s"
+       (if smoke then " [smoke]" else ""));
+  let v0 = List.hd Api.default_search_valuations in
+  (* 1) Budget rejection happens before any allocation. *)
+  let conv = Zoo.conv2d.Zoo.operator in
+  let est = Validate.Budget.estimate conv v0 in
+  note "conv2d at the search shape: %d est. bytes (gather %d elems), %d est. flops"
+    est.Validate.Budget.est_bytes est.Validate.Budget.est_gather_elems
+    est.Validate.Budget.est_flops;
+  let alloc0 = Nd.Tensor.allocations () in
+  let verdict = Validate.Budget.admit ~max_bytes:1 conv [ v0 ] in
+  let allocs_during = Nd.Tensor.allocations () - alloc0 in
+  let rejected_before_alloc =
+    (match verdict with Error (Robust.Guard.Over_budget _) -> true | Ok () | Error _ -> false)
+    && allocs_during = 0
+  in
+  note "budget gate at max-bytes 1: %s, %d tensor allocations during the check"
+    (match verdict with
+    | Error k -> Robust.Guard.kind_label k
+    | Ok () -> "admitted (BUG)")
+    allocs_during;
+  (* 2) Searches: unvalidated baseline, fault-free validated (must agree),
+     seeded-miscompile validated (must catch), starved budget (must
+     reject everything without evaluating anything). *)
+  let iterations = if smoke then 150 else 600 in
+  let max_prims = 6 in
+  let seed = 2024 in
+  let run ?max_bytes ?max_flops ?validate ?validate_config label =
+    let r, t =
+      time (fun () ->
+          Api.search_conv_operators_run ~iterations ~max_prims ?max_bytes ?max_flops
+            ?validate ?validate_config ~rng:(Nd.Rng.create ~seed)
+            ~valuations:Api.default_search_valuations ())
+    in
+    note "%-28s %3d operators, %4d evaluations, %3d quarantined, %5.2fs" label
+      (List.length r.Api.candidates)
+      r.Api.failures.Search.Mcts.evaluations r.Api.failures.Search.Mcts.quarantined t;
+    (r, t)
+  in
+  let sigs (r : Api.search_run) =
+    List.map (fun (c : Api.candidate) -> (c.Api.signature, c.Api.reward)) r.Api.candidates
+  in
+  let failed_kind (r : Api.search_run) kind =
+    Option.value ~default:0 (List.assoc_opt kind r.Api.failures.Search.Mcts.failed_attempts)
+  in
+  let clean, t_clean = run "unvalidated" in
+  let validated, t_validated = run ~validate:true "validated (fault-free)" in
+  let same_topk = sigs clean = sigs validated in
+  (match validated.Api.admission with
+  | Some s ->
+      note "admission gate: %d gated, %d rejected, %.3fs total" s.Validate.Admit.calls
+        s.Validate.Admit.rejected s.Validate.Admit.seconds
+  | None -> ());
+  note "fault-free validated results %s"
+    (if same_topk then "identical to unvalidated" else "DIVERGED");
+  let fault = Validate.Differential.fault ~seed:3 ~rate:0.5 Validate.Differential.Einsum in
+  let mutated, _ =
+    run ~validate:true
+      ~validate_config:(Validate.Differential.config ~fault ())
+      "validated (seeded miscompile)"
+  in
+  let delivered = Validate.Differential.fault_count fault in
+  let mismatches = failed_kind mutated "backend_mismatch" in
+  let caught = delivered > 0 && mismatches = delivered in
+  note "seeded miscompiles (einsum backend, rate 0.5): %d delivered, %d caught as \
+       backend_mismatch (%s)"
+    delivered mismatches
+    (if caught then "all caught" else "MISSED");
+  let starved, _ = run ~max_flops:1 "max-flops 1 (all rejected)" in
+  let over_budget = failed_kind starved "over_budget" in
+  let starved_ok =
+    starved.Api.failures.Search.Mcts.evaluations = 0 && over_budget > 0
+  in
+  note "starved budget: %d over_budget rejections, %d reward evaluations (%s)" over_budget
+    starved.Api.failures.Search.Mcts.evaluations
+    (if starved_ok then "nothing evaluated" else "LEAKED");
+  (* 3) Validator overhead per candidate, against the cost of one
+     candidate evaluation (analytic reward + one einsum-program forward
+     at the search shape).  Validation runs three small forwards at the
+     tiny validation shape, so it must stay well under the 10% gate. *)
+  let candidates =
+    List.filteri (fun i _ -> i < if smoke then 4 else 8)
+      (List.filter_map
+         (fun (c : Api.candidate) -> if c.Api.quarantined then None else Some c.Api.operator)
+         clean.Api.candidates)
+  in
+  let repeats = if smoke then 3 else 10 in
+  let eval_once op =
+    ignore (Search.Reward.score op v0);
+    let compiled = Lower.Reference.compile op v0 in
+    let rng = Nd.Rng.create ~seed:9 in
+    let input =
+      Nd.Tensor.rand_uniform rng ~lo:(-1.0) ~hi:1.0 (Lower.Reference.input_shape compiled)
+    in
+    let weights = Lower.Reference.init_weights compiled rng in
+    let ep = Lower.Einsum_program.compile op v0 in
+    ignore (Lower.Einsum_program.forward ep ~input ~weights)
+  in
+  let validate_once op =
+    match Validate.Differential.check op Api.default_validation_valuations with
+    | Ok _ | Error _ -> ()
+  in
+  let mean f =
+    let (), t =
+      time (fun () -> List.iter (fun op -> for _ = 1 to repeats do f op done) candidates)
+    in
+    t /. float_of_int (max 1 (repeats * List.length candidates))
+  in
+  let mean_eval = mean eval_once in
+  let mean_validate = mean validate_once in
+  let ratio = mean_validate /. Float.max 1e-12 mean_eval in
+  let overhead_ok = ratio <= 0.10 in
+  note "per-candidate cost over %d candidates: evaluation %.3f ms, validation %.3f ms \
+       (%.1f%% %s)"
+    (List.length candidates) (1000.0 *. mean_eval) (1000.0 *. mean_validate)
+    (100.0 *. ratio)
+    (if overhead_ok then "<= 10% gate" else "OVER the 10% gate");
+  (* Trajectory file. *)
+  let oc = open_out "BENCH_validate.json" in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"smoke\": %b,\n" smoke;
+  out "  \"budget\": {\"est_bytes\": %d, \"est_flops\": %d, \"rejected_before_alloc\": %b, \
+       \"allocations_during_check\": %d},\n"
+    est.Validate.Budget.est_bytes est.Validate.Budget.est_flops rejected_before_alloc
+    allocs_during;
+  out "  \"search\": {\"iterations\": %d, \"operators\": %d, \"seconds_unvalidated\": %.6f, \
+       \"seconds_validated\": %.6f, \"identical_topk\": %b},\n"
+    iterations
+    (List.length clean.Api.candidates)
+    t_clean t_validated same_topk;
+  out "  \"mutation\": {\"backend\": \"einsum\", \"rate\": 0.5, \"delivered\": %d, \
+       \"caught_as_backend_mismatch\": %d, \"all_caught\": %b},\n"
+    delivered mismatches caught;
+  out "  \"over_budget\": {\"rejections\": %d, \"evaluations\": %d},\n" over_budget
+    starved.Api.failures.Search.Mcts.evaluations;
+  out "  \"overhead\": {\"candidates\": %d, \"repeats\": %d, \"mean_eval_ms\": %.4f, \
+       \"mean_validate_ms\": %.4f, \"ratio\": %.4f, \"within_gate\": %b}\n"
+    (List.length candidates) repeats (1000.0 *. mean_eval) (1000.0 *. mean_validate) ratio
+    overhead_ok;
+  out "}\n";
+  close_out oc;
+  note "wrote BENCH_validate.json";
+  if not (rejected_before_alloc && same_topk && caught && starved_ok && overhead_ok) then begin
+    prerr_endline "validation bench assertions failed";
+    exit 1
+  end
+
 (* --- Driver ------------------------------------------------------------------ *)
 
 let experiments =
@@ -736,6 +896,8 @@ let experiments =
     ("par-smoke", par_bench ~smoke:true);
     ("robust", robust_bench ~smoke:false);
     ("robust-smoke", robust_bench ~smoke:true);
+    ("validate", validate_bench ~smoke:false);
+    ("validate-smoke", validate_bench ~smoke:true);
   ]
 
 let () =
@@ -744,7 +906,7 @@ let () =
     | _ :: (_ :: _ as names) -> names
     | _ ->
         List.filter
-          (fun n -> n <> "par-smoke" && n <> "robust-smoke")
+          (fun n -> n <> "par-smoke" && n <> "robust-smoke" && n <> "validate-smoke")
           (List.map fst experiments)
   in
   let t0 = Unix.gettimeofday () in

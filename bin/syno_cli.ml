@@ -32,11 +32,34 @@ let resolve name =
         Result.map (fun op -> (Filename.basename name, op)) (Trace_io.of_string text)
       else Error (Printf.sprintf "no such operator or file: %s" name)
 
+(* Validated argument converters: a bad value fails at parse time with
+   a one-line message naming the flag and the constraint, instead of an
+   exception (or silent nonsense) deep inside the search. *)
+let bounded_int ~what ~min =
+  Arg.conv
+    ( (fun s ->
+        match int_of_string_opt s with
+        | None -> Error (`Msg (Printf.sprintf "%s: expected an integer, got %S" what s))
+        | Some n when n < min ->
+            Error (`Msg (Printf.sprintf "%s must be >= %d (got %d)" what min n))
+        | Some n -> Ok n),
+      Format.pp_print_int )
+
+let positive_float ~what =
+  Arg.conv
+    ( (fun s ->
+        match float_of_string_opt s with
+        | None -> Error (`Msg (Printf.sprintf "%s: expected a number, got %S" what s))
+        | Some v when not (v > 0.0) ->
+            Error (`Msg (Printf.sprintf "%s must be > 0 (got %g)" what v))
+        | Some v -> Ok v),
+      (fun ppf v -> Format.fprintf ppf "%g" v) )
+
 (* Shared --domains flag: sizes the search's root-parallel pool and the
    default pool used by the einsum executor (0 = auto-detect). *)
 let domains_arg =
   let doc = "Worker domains for parallel evaluation (0 = auto-detect)." in
-  Arg.(value & opt int 1 & info [ "domains" ] ~doc)
+  Arg.(value & opt (bounded_int ~what:"--domains" ~min:0) 1 & info [ "domains" ] ~doc)
 
 let resolve_domains d = if d <= 0 then Par.Pool.num_domains () else d
 
@@ -108,7 +131,8 @@ let describe_cmd =
 
 let search_cmd =
   let run iterations max_prims budget_ratio top save seed domains retries timeout fault_rate
-      fault_seed checkpoint checkpoint_every resume =
+      fault_seed checkpoint checkpoint_every resume resume_ignore_corrupt max_bytes max_flops
+      validate =
     let domains = resolve_domains domains in
     let rng = Nd.Rng.create ~seed in
     let guard = Robust.Guard.policy ~retries ?timeout () in
@@ -117,11 +141,12 @@ let search_cmd =
         Robust.Inject.create ~seed:fault_seed ~rate:fault_rate ()
       else Robust.Inject.none
     in
+    let on_corrupt = if resume_ignore_corrupt then `Restart else `Fail in
     let t0 = Unix.gettimeofday () in
-    let { Api.candidates; failures } =
+    let { Api.candidates; failures; admission } =
       Api.search_conv_operators_run ~iterations ~max_prims ~flops_budget_ratio:budget_ratio
-        ~domains ~guard ~inject ?checkpoint ~checkpoint_every ?resume ~rng
-        ~valuations:Api.default_search_valuations ()
+        ~domains ~guard ~inject ?checkpoint ~checkpoint_every ?resume ~on_corrupt ?max_bytes
+        ?max_flops ~validate ~rng ~valuations:Api.default_search_valuations ()
     in
     Format.printf "found %d distinct canonical operators in %.1fs (%d domains)@."
       (List.length candidates)
@@ -129,7 +154,7 @@ let search_cmd =
       domains;
     let open Search.Mcts in
     Format.printf
-      "evaluations %d (quarantined %d), attempts %d (retries %d)%s, checkpoint writes %d@.@."
+      "evaluations %d (quarantined %d), attempts %d (retries %d)%s, checkpoint writes %d@."
       failures.evaluations failures.quarantined failures.attempts failures.retries
       (match failures.failed_attempts with
       | [] -> ""
@@ -138,6 +163,12 @@ let search_cmd =
             (String.concat ", "
                (List.map (fun (k, n) -> Printf.sprintf "%s %d" k n) kinds)))
       failures.checkpoint_writes;
+    (match admission with
+    | Some s ->
+        Format.printf "admission: %d gated, %d rejected, %.2fs in gate@."
+          s.Validate.Admit.calls s.Validate.Admit.rejected s.Validate.Admit.seconds
+    | None -> ());
+    Format.printf "@.";
     List.iteri
       (fun i c ->
         if i < top then begin
@@ -170,11 +201,12 @@ let search_cmd =
   in
   let seed = Arg.(value & opt int 2024 & info [ "seed" ] ~doc:"Search RNG seed.") in
   let retries =
-    Arg.(value & opt int 2 & info [ "retries" ] ~doc:"Retries per failed candidate evaluation.")
+    Arg.(value & opt (bounded_int ~what:"--retries" ~min:0) 2
+         & info [ "retries" ] ~doc:"Retries per failed candidate evaluation (>= 0).")
   in
   let timeout =
-    Arg.(value & opt (some float) None
-         & info [ "eval-timeout" ] ~doc:"Per-candidate wall-clock budget in seconds.")
+    Arg.(value & opt (some (positive_float ~what:"--eval-timeout")) None
+         & info [ "eval-timeout" ] ~doc:"Per-candidate wall-clock budget in seconds (> 0).")
   in
   let fault_rate =
     Arg.(value & opt float 0.0
@@ -190,19 +222,43 @@ let search_cmd =
              ~doc:"Serialize the reward memo to $(docv) during the search.")
   in
   let checkpoint_every =
-    Arg.(value & opt int 50
-         & info [ "checkpoint-every" ] ~doc:"New evaluations between checkpoint writes.")
+    Arg.(value & opt (bounded_int ~what:"--checkpoint-every" ~min:1) 50
+         & info [ "checkpoint-every" ] ~doc:"New evaluations between checkpoint writes (>= 1).")
   in
   let resume =
     Arg.(value & opt (some string) None
          & info [ "resume" ] ~docv:"FILE"
              ~doc:"Preload a checkpoint written by --checkpoint; a missing file starts fresh.")
   in
+  let resume_ignore_corrupt =
+    Arg.(value & flag
+         & info [ "resume-ignore-corrupt" ]
+             ~doc:"Start fresh when the --resume file is truncated or corrupt, instead of \
+                   failing.")
+  in
+  let max_bytes =
+    Arg.(value & opt (some (bounded_int ~what:"--max-bytes" ~min:1)) None
+         & info [ "max-bytes" ]
+             ~doc:"Reject candidates whose estimated peak intermediate size exceeds this many \
+                   bytes, before any allocation.")
+  in
+  let max_flops =
+    Arg.(value & opt (some (bounded_int ~what:"--max-flops" ~min:1)) None
+         & info [ "max-flops" ]
+             ~doc:"Reject candidates whose estimated FLOPs exceed this budget, before any \
+                   allocation.")
+  in
+  let validate =
+    Arg.(value & flag
+         & info [ "validate" ]
+             ~doc:"Differentially validate every candidate across the three lowering backends \
+                   on small seeded inputs; disagreeing candidates are quarantined.")
+  in
   Cmd.v
     (Cmd.info "search" ~doc:"Synthesize convolution replacements with MCTS.")
     Term.(const run $ iterations $ max_prims $ budget $ top $ save $ seed $ domains_arg
           $ retries $ timeout $ fault_rate $ fault_seed $ checkpoint $ checkpoint_every
-          $ resume)
+          $ resume $ resume_ignore_corrupt $ max_bytes $ max_flops $ validate)
 
 (* --- latency ------------------------------------------------------------------ *)
 
@@ -252,7 +308,7 @@ let latency_cmd =
 (* --- train ---------------------------------------------------------------------- *)
 
 let train_cmd =
-  let run name epochs lr seed domains =
+  let run name epochs lr seed domains clip_norm =
     match resolve name with
     | Error e ->
         prerr_endline e;
@@ -267,22 +323,41 @@ let train_cmd =
         in
         Format.printf "training %s on the synthetic vision task...@." name;
         let h =
-          Api.train_entry ~epochs ~lr ~rng:(Nd.Rng.create ~seed:(seed + 1)) entry data
+          Api.train_entry ~epochs ~lr ?clip_norm ~rng:(Nd.Rng.create ~seed:(seed + 1)) entry
+            data
         in
         List.iteri
           (fun i (loss, acc) ->
             Format.printf "  epoch %2d  loss %.3f  accuracy %.3f@." (i + 1) loss acc)
           (List.combine h.Nn.Train.epoch_losses h.Nn.Train.epoch_accuracies);
+        (match h.Nn.Train.outcome with
+        | Nn.Train.Completed -> ()
+        | Nn.Train.Aborted_non_finite { epoch; step } ->
+            Format.printf "aborted: non-finite loss at epoch %d, step %d@." epoch step
+        | Nn.Train.Aborted_diverged { epoch; loss; initial } ->
+            Format.printf "aborted: diverged at epoch %d (loss %.3f vs initial %.3f)@." epoch
+              loss initial);
         Format.printf "final eval accuracy: %.3f@." h.Nn.Train.final_eval_accuracy;
-        0
+        if h.Nn.Train.aborted then 1 else 0
   in
   let name_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"OPERATOR") in
-  let epochs_arg = Arg.(value & opt int 8 & info [ "epochs" ] ~doc:"Training epochs.") in
-  let lr_arg = Arg.(value & opt float 0.1 & info [ "lr" ] ~doc:"Learning rate.") in
+  let epochs_arg =
+    Arg.(value & opt (bounded_int ~what:"--epochs" ~min:1) 8
+         & info [ "epochs" ] ~doc:"Training epochs (>= 1).")
+  in
+  let lr_arg =
+    Arg.(value & opt (positive_float ~what:"--lr") 0.1
+         & info [ "lr" ] ~doc:"Learning rate (> 0).")
+  in
   let seed_arg = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Data/init seed.") in
+  let clip_arg =
+    Arg.(value & opt (some (positive_float ~what:"--clip-norm")) None
+         & info [ "clip-norm" ]
+             ~doc:"Clip the global gradient norm to this value each step (> 0).")
+  in
   Cmd.v
     (Cmd.info "train" ~doc:"Train a proxy model with the operator substituted.")
-    Term.(const run $ name_arg $ epochs_arg $ lr_arg $ seed_arg $ domains_arg)
+    Term.(const run $ name_arg $ epochs_arg $ lr_arg $ seed_arg $ domains_arg $ clip_arg)
 
 let () =
   let info =

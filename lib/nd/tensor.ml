@@ -2,16 +2,27 @@ type t = { shape : int array; data : float array }
 
 let numel_of shape = Array.fold_left ( * ) 1 shape
 
+(* Every fresh backing store is counted, so admission layers can assert
+   that a rejected candidate never allocated (the probe behind the
+   "rejected before allocation" guarantee of [validate]). *)
+let alloc_count = Atomic.make 0
+
+let allocations () = Atomic.get alloc_count
+
+let fresh shape data =
+  Atomic.incr alloc_count;
+  { shape; data }
+
 let create shape =
   Array.iter (fun d -> if d <= 0 then invalid_arg "Tensor.create: non-positive dim") shape;
-  { shape = Array.copy shape; data = Array.make (numel_of shape) 0.0 }
+  fresh (Array.copy shape) (Array.make (numel_of shape) 0.0)
 
-let scalar v = { shape = [||]; data = [| v |] }
+let scalar v = fresh [||] [| v |]
 
 let of_array shape data =
   if Array.length data <> numel_of shape then
     invalid_arg "Tensor.of_array: data length mismatch";
-  { shape = Array.copy shape; data = Array.copy data }
+  fresh (Array.copy shape) (Array.copy data)
 
 let shape t = Array.copy t.shape
 let numel t = Array.length t.data
@@ -43,7 +54,7 @@ let fill t v = Array.fill t.data 0 (Array.length t.data) v
 let unsafe_data t = t.data
 let flat_get t i = t.data.(i)
 let flat_set t i v = t.data.(i) <- v
-let copy t = { shape = Array.copy t.shape; data = Array.copy t.data }
+let copy t = fresh (Array.copy t.shape) (Array.copy t.data)
 
 let init shape f =
   let t = create shape in
@@ -55,7 +66,7 @@ let init shape f =
 
 let reshape t shape =
   if numel_of shape <> Array.length t.data then invalid_arg "Tensor.reshape: element count mismatch";
-  { shape = Array.copy shape; data = Array.copy t.data }
+  fresh (Array.copy shape) (Array.copy t.data)
 
 let transpose t perm =
   let n = rank t in
@@ -73,11 +84,11 @@ let transpose t perm =
   done;
   out
 
-let map f t = { shape = Array.copy t.shape; data = Array.map f t.data }
+let map f t = fresh (Array.copy t.shape) (Array.map f t.data)
 
 let map2 f a b =
   if a.shape <> b.shape then invalid_arg "Tensor.map2: shape mismatch";
-  { shape = Array.copy a.shape; data = Array.map2 f a.data b.data }
+  fresh (Array.copy a.shape) (Array.map2 f a.data b.data)
 
 let add a b = map2 ( +. ) a b
 let sub a b = map2 ( -. ) a b

@@ -26,6 +26,13 @@ val fill : t -> float -> unit
 val unsafe_data : t -> float array
 (** The flat backing store in row-major order (shared, not a copy). *)
 
+val allocations : unit -> int
+(** Monotone count of backing stores allocated so far (every
+    constructor that makes a fresh tensor bumps it; in-place ops do
+    not).  An allocation probe, not a memory meter: admission layers
+    snapshot it around a budget check to prove a rejected candidate
+    never allocated.  Thread-safe. *)
+
 val flat_get : t -> int -> float
 val flat_set : t -> int -> float -> unit
 

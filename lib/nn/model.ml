@@ -19,21 +19,26 @@ let logits t input =
   let y, _ = forward t tape x in
   Tape.data y
 
-type step_stats = { loss : float; accuracy : float }
+type step_stats = { loss : float; accuracy : float; grad_norm : float }
 
-let train_step t opt ~images ~labels =
+let train_step ?clip_norm t opt ~images ~labels =
   let tape = Tape.create () in
   let x = Tape.constant tape images in
   let y, param_vars = forward t tape x in
   let loss = Op.cross_entropy tape y ~labels in
   Tape.backward tape loss;
   let grads = List.map Tape.grad param_vars in
+  let grad_norm =
+    match clip_norm with
+    | Some max_norm -> Optimizer.clip_global_norm ~max_norm grads
+    | None -> Optimizer.global_norm grads
+  in
   Optimizer.step opt ~params:(params t) ~grads;
-  { loss = Tensor.flat_get (Tape.data loss) 0; accuracy = Op.accuracy y ~labels }
+  { loss = Tensor.flat_get (Tape.data loss) 0; accuracy = Op.accuracy y ~labels; grad_norm }
 
 let evaluate t ~images ~labels =
   let tape = Tape.create () in
   let x = Tape.constant tape images in
   let y, _ = forward t tape x in
   let loss = Op.cross_entropy tape y ~labels in
-  { loss = Tensor.flat_get (Tape.data loss) 0; accuracy = Op.accuracy y ~labels }
+  { loss = Tensor.flat_get (Tape.data loss) 0; accuracy = Op.accuracy y ~labels; grad_norm = 0.0 }

@@ -15,11 +15,22 @@ val forward : t -> Grad.Tape.t -> Grad.Op.v -> Grad.Op.v * Grad.Op.v list
 val logits : t -> Nd.Tensor.t -> Nd.Tensor.t
 (** Inference-only forward. *)
 
-type step_stats = { loss : float; accuracy : float }
+type step_stats = {
+  loss : float;
+  accuracy : float;
+  grad_norm : float;  (** pre-clip global gradient norm; 0 for {!evaluate} *)
+}
 
 val train_step :
-  t -> Optimizer.t -> images:Nd.Tensor.t -> labels:int array -> step_stats
+  ?clip_norm:float ->
+  t ->
+  Optimizer.t ->
+  images:Nd.Tensor.t ->
+  labels:int array ->
+  step_stats
 (** One supervised classification step: cross-entropy on the model
-    output interpreted as logits [[B; C]]. *)
+    output interpreted as logits [[B; C]].  With [clip_norm], gradients
+    are rescaled by {!Optimizer.clip_global_norm} between backward and
+    the optimizer step. *)
 
 val evaluate : t -> images:Nd.Tensor.t -> labels:int array -> step_stats

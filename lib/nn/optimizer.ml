@@ -59,6 +59,37 @@ let step t ~params ~grads =
           done)
     (List.combine params grads)
 
+let global_norm grads =
+  let sq =
+    List.fold_left
+      (fun acc g ->
+        let gd = Tensor.unsafe_data g in
+        let s = ref 0.0 in
+        for i = 0 to Array.length gd - 1 do
+          s := !s +. (gd.(i) *. gd.(i))
+        done;
+        acc +. !s)
+      0.0 grads
+  in
+  sqrt sq
+
+let clip_global_norm ~max_norm grads =
+  if not (max_norm > 0.0) then invalid_arg "Optimizer.clip_global_norm: max_norm must be > 0";
+  let norm = global_norm grads in
+  (* A non-finite norm cannot be rescaled into range (inf * 0 = nan);
+     leave the gradients alone and let the caller's sentinel abort. *)
+  if Float.is_finite norm && norm > max_norm then begin
+    let scale = max_norm /. (norm +. 1e-12) in
+    List.iter
+      (fun g ->
+        let gd = Tensor.unsafe_data g in
+        for i = 0 to Array.length gd - 1 do
+          gd.(i) <- gd.(i) *. scale
+        done)
+      grads
+  end;
+  norm
+
 let cosine_lr ~base ~total_steps step =
   let progress = float_of_int (min step total_steps) /. float_of_int (max 1 total_steps) in
   base *. 0.5 *. (1.0 +. cos (Float.pi *. progress))

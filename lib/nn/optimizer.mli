@@ -15,5 +15,15 @@ val lr : t -> float
 val step : t -> params:Nd.Tensor.t list -> grads:Nd.Tensor.t list -> unit
 (** Update parameters in place. *)
 
+val global_norm : Nd.Tensor.t list -> float
+(** L2 norm of all gradient elements taken together. *)
+
+val clip_global_norm : max_norm:float -> Nd.Tensor.t list -> float
+(** Scale all gradients in place so their global L2 norm is at most
+    [max_norm]; returns the pre-clip norm.  A non-finite norm leaves
+    the gradients untouched (rescaling NaN/Inf is meaningless) so the
+    caller's sentinel can detect it.  Raises [Invalid_argument] unless
+    [max_norm > 0]. *)
+
 val cosine_lr : base:float -> total_steps:int -> int -> float
 (** Cosine decay schedule value at the given step. *)

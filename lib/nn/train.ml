@@ -1,10 +1,38 @@
 type batch = { images : Nd.Tensor.t; labels : int array }
 
+type outcome =
+  | Completed
+  | Aborted_non_finite of { epoch : int; step : int }
+  | Aborted_diverged of { epoch : int; loss : float; initial : float }
+
+let outcome_label = function
+  | Completed -> "completed"
+  | Aborted_non_finite _ -> "non_finite_loss"
+  | Aborted_diverged _ -> "diverged"
+
+type sentinel = {
+  check_finite : bool;
+  divergence_factor : float;
+  divergence_patience : int;
+}
+
+let default_sentinel = { check_finite = true; divergence_factor = 10.0; divergence_patience = 2 }
+
+let sentinel ?(check_finite = default_sentinel.check_finite)
+    ?(divergence_factor = default_sentinel.divergence_factor)
+    ?(divergence_patience = default_sentinel.divergence_patience) () =
+  if not (divergence_factor > 0.0) then
+    invalid_arg "Train.sentinel: divergence_factor must be > 0";
+  if divergence_patience < 1 then invalid_arg "Train.sentinel: divergence_patience must be >= 1";
+  { check_finite; divergence_factor; divergence_patience }
+
 type history = {
   epoch_losses : float list;
   epoch_accuracies : float list;
   final_train_accuracy : float;
   final_eval_accuracy : float;
+  outcome : outcome;
+  aborted : bool;
 }
 
 let evaluate model batches =
@@ -18,34 +46,63 @@ let evaluate model batches =
   in
   if total = 0 then 0.0 else correct /. float_of_int total
 
-let fit ?log model opt ~epochs ~train ~eval =
+let fit ?log ?clip_norm ?(sentinel = default_sentinel) model opt ~epochs ~train ~eval =
   let base_lr = Optimizer.lr opt in
   let steps_per_epoch = List.length train in
   let total_steps = epochs * steps_per_epoch in
   let step = ref 0 in
   let losses = ref [] and accs = ref [] in
-  for epoch = 1 to epochs do
-    let loss_sum = ref 0.0 and acc_sum = ref 0.0 in
-    List.iter
-      (fun { images; labels } ->
-        Optimizer.set_lr opt (Optimizer.cosine_lr ~base:base_lr ~total_steps !step);
-        incr step;
-        let stats = Model.train_step model opt ~images ~labels in
-        loss_sum := !loss_sum +. stats.Model.loss;
-        acc_sum := !acc_sum +. stats.Model.accuracy)
-      train;
-    let n = float_of_int (max 1 steps_per_epoch) in
-    let epoch_loss = !loss_sum /. n and epoch_acc = !acc_sum /. n in
-    losses := epoch_loss :: !losses;
-    accs := epoch_acc :: !accs;
-    match log with
-    | Some f -> f ~epoch ~loss:epoch_loss ~accuracy:epoch_acc
-    | None -> ()
-  done;
+  let outcome = ref Completed in
+  let initial = ref None in
+  let streak = ref 0 in
+  let exception Abort in
+  (try
+     for epoch = 1 to epochs do
+       let loss_sum = ref 0.0 and acc_sum = ref 0.0 in
+       let step_in_epoch = ref 0 in
+       List.iter
+         (fun { images; labels } ->
+           Optimizer.set_lr opt (Optimizer.cosine_lr ~base:base_lr ~total_steps !step);
+           incr step;
+           incr step_in_epoch;
+           let stats = Model.train_step ?clip_norm model opt ~images ~labels in
+           if sentinel.check_finite && not (Float.is_finite stats.Model.loss) then begin
+             outcome := Aborted_non_finite { epoch; step = !step_in_epoch };
+             raise_notrace Abort
+           end;
+           loss_sum := !loss_sum +. stats.Model.loss;
+           acc_sum := !acc_sum +. stats.Model.accuracy)
+         train;
+       let n = float_of_int (max 1 steps_per_epoch) in
+       let epoch_loss = !loss_sum /. n and epoch_acc = !acc_sum /. n in
+       (* Per-epoch stats are recorded only for epochs that ran to
+          completion, so [final_train_accuracy] below is always from
+          the last completed epoch even after an abort. *)
+       losses := epoch_loss :: !losses;
+       accs := epoch_acc :: !accs;
+       (match log with
+       | Some f -> f ~epoch ~loss:epoch_loss ~accuracy:epoch_acc
+       | None -> ());
+       match !initial with
+       | None -> initial := Some epoch_loss
+       | Some base ->
+           if epoch_loss > sentinel.divergence_factor *. base then begin
+             incr streak;
+             if !streak >= sentinel.divergence_patience then begin
+               outcome := Aborted_diverged { epoch; loss = epoch_loss; initial = base };
+               raise_notrace Abort
+             end
+           end
+           else streak := 0
+     done
+   with Abort -> ());
   Optimizer.set_lr opt base_lr;
+  let outcome = !outcome in
   {
     epoch_losses = List.rev !losses;
     epoch_accuracies = List.rev !accs;
     final_train_accuracy = (match !accs with a :: _ -> a | [] -> 0.0);
     final_eval_accuracy = evaluate model eval;
+    outcome;
+    aborted = outcome <> Completed;
   }

@@ -15,6 +15,9 @@ val params : Graph.operator -> Shape.Valuation.t -> int
 val input_elems : Graph.operator -> Shape.Valuation.t -> int
 val output_elems : Graph.operator -> Shape.Valuation.t -> int
 
+val reduction_elems : Graph.operator -> Shape.Valuation.t -> int
+(** Product of the reduction iterator domains (1 when there are none). *)
+
 val memory_footprint : Graph.operator -> Shape.Valuation.t -> int
 (** input + output + parameter elements. *)
 

@@ -3,12 +3,28 @@ type kind =
   | Non_finite
   | Timeout
   | Injected
+  | Over_budget of string
+  | Backend_mismatch of string
+  | Diverged of string
 
 let kind_label = function
   | Eval_error _ -> "eval_error"
   | Non_finite -> "non_finite"
   | Timeout -> "timeout"
   | Injected -> "injected"
+  | Over_budget _ -> "over_budget"
+  | Backend_mismatch _ -> "backend_mismatch"
+  | Diverged _ -> "diverged"
+
+(* Failures that are a deterministic function of the candidate itself:
+   a candidate over its resource budget, a miscompiling backend, or a
+   diverging training run fails identically on every attempt, so
+   retrying only burns the evaluation budget. *)
+let permanent = function
+  | Over_budget _ | Backend_mismatch _ | Diverged _ -> true
+  | Eval_error _ | Non_finite | Timeout | Injected -> false
+
+exception Reject of kind
 
 type policy = {
   retries : int;
@@ -52,6 +68,7 @@ let run ?(policy = default_policy) ?(inject = Inject.none) ?(sleep = Unix.sleepf
       | exception Inject.Fault _ ->
           Inject.note inject;
           Error Injected
+      | exception Reject k -> Error k
       | exception e -> Error (Eval_error (Printexc.to_string e))
       | r -> (
           match policy.timeout with
@@ -71,7 +88,7 @@ let run ?(policy = default_policy) ?(inject = Inject.none) ?(sleep = Unix.sleepf
     match attempt_once attempt with
     | Ok r -> { result = Ok r; attempts = attempt + 1; failures = List.rev failures; slept }
     | Error k ->
-        if attempt >= retries then
+        if attempt >= retries || permanent k then
           { result = Error k; attempts = attempt + 1; failures = List.rev (k :: failures); slept }
         else go (attempt + 1) (k :: failures) slept
   in

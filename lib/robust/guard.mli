@@ -16,10 +16,31 @@ type kind =
   | Non_finite  (** the thunk returned NaN or an infinity *)
   | Timeout  (** the attempt exceeded the wall-clock budget *)
   | Injected  (** a fault delivered by {!Inject} *)
+  | Over_budget of string
+      (** the candidate's estimated peak resource use exceeds the
+          admission budget (rejected before any allocation) *)
+  | Backend_mismatch of string
+      (** the differential validator caught the lowering backends
+          disagreeing (or producing NaN/Inf on finite inputs) *)
+  | Diverged of string
+      (** a training sentinel aborted the evaluation: NaN/Inf loss or
+          sustained loss blow-up *)
 
 val kind_label : kind -> string
 (** Stable short name ([eval_error], [non_finite], [timeout],
-    [injected]) for aggregation and serialization. *)
+    [injected], [over_budget], [backend_mismatch], [diverged]) for
+    aggregation and serialization. *)
+
+val permanent : kind -> bool
+(** Whether the failure is a deterministic property of the candidate
+    ([Over_budget], [Backend_mismatch], [Diverged]): such failures are
+    never retried — every attempt would fail identically. *)
+
+exception Reject of kind
+(** Raise from inside an evaluation thunk to classify the failure
+    precisely.  {!run} records the carried kind verbatim (instead of
+    wrapping it as [Eval_error]); a {!permanent} kind short-circuits
+    the retry schedule. *)
 
 type policy = {
   retries : int;  (** additional attempts after the first; >= 0 *)
@@ -68,8 +89,9 @@ val run :
   outcome
 (** [run ~key f] evaluates [f] under the policy.  [key] identifies the
     candidate for fault injection.  No exception from [f] escapes: it
-    is recorded as [Eval_error] (or [Injected] for {!Inject.Fault}) and
-    retried.  [sleep] (default [Unix.sleepf]) and [now] (default
+    is recorded as [Eval_error] ([Injected] for {!Inject.Fault}, the
+    carried kind for {!Reject}) and retried unless the kind is
+    {!permanent}.  [sleep] (default [Unix.sleepf]) and [now] (default
     [Unix.gettimeofday]) are injectable so tests can verify the backoff
     schedule and the timeout classification without real waiting.
     [now] is only consulted when the policy has a timeout. *)

@@ -37,20 +37,44 @@ let save ~path entries =
     (fun () -> output_string oc (to_string entries));
   Sys.rename tmp path
 
+type error =
+  | Io of string
+  | Bad_header of string
+  | Truncated of { expected : int; found : int }
+  | Corrupt of string
+
+let string_of_error = function
+  | Io msg -> "cannot read checkpoint: " ^ msg
+  | Bad_header line -> Printf.sprintf "bad checkpoint header %S (expected %S)" line header
+  | Truncated { expected; found } ->
+      Printf.sprintf "truncated checkpoint: header declares %d entries, found %d" expected
+        found
+  | Corrupt msg -> "corrupt checkpoint: " ^ msg
+
 let parse_entry_header line =
   match String.split_on_char ' ' (String.trim line) with
   | [ "entry:"; "reward"; r; "visits"; v; "quarantined"; q ] -> (
       match (float_of_string_opt r, int_of_string_opt v, bool_of_string_opt q) with
       | Some r, Some v, Some q -> Ok (r, v, q)
-      | _ -> Error (Printf.sprintf "bad entry header %S" line))
-  | _ -> Error (Printf.sprintf "bad entry header %S" line)
+      | _ -> Error (Corrupt (Printf.sprintf "bad entry header %S" line)))
+  | _ -> Error (Corrupt (Printf.sprintf "bad entry header %S" line))
 
-let of_string text =
+(* "entries: N" written right under the header; [None] for hand-edited
+   files that dropped it (then the count cannot be cross-checked). *)
+let declared_count lines =
+  List.find_map
+    (fun line ->
+      match String.split_on_char ' ' (String.trim line) with
+      | [ "entries:"; n ] -> int_of_string_opt n
+      | _ -> None)
+    lines
+
+let of_string_result text =
   match String.split_on_char '\n' text with
-  | [] -> Error "empty checkpoint"
+  | [] -> Error (Corrupt "empty checkpoint")
+  | [ "" ] -> Error (Corrupt "empty checkpoint")
   | first :: rest ->
-      if String.trim first <> header then
-        Error (Printf.sprintf "bad checkpoint header %S (expected %S)" first header)
+      if String.trim first <> header then Error (Bad_header first)
       else
         (* Group the remaining lines into (entry-header, operator-block)
            pairs; lines before the first "entry:" (the count, comments,
@@ -72,7 +96,9 @@ let of_string text =
         let rebuild (head, block_rev) =
           let* reward, visits, quarantined = parse_entry_header head in
           let block = String.concat "\n" (List.rev block_rev) in
-          let* operator = Trace_io.of_string block in
+          let* operator =
+            Result.map_error (fun msg -> Corrupt msg) (Trace_io.of_string block)
+          in
           Ok
             {
               signature = Graph.operator_signature operator;
@@ -82,27 +108,38 @@ let of_string text =
               quarantined;
             }
         in
+        let grouped = groups [] None rest in
         let* entries =
           List.fold_left
             (fun acc g ->
               let* acc = acc in
               let* e = rebuild g in
               Ok (e :: acc))
-            (Ok [])
-            (groups [] None rest)
+            (Ok []) grouped
+        in
+        let* () =
+          (* A snapshot is written atomically, so a short read means the
+             file was cut after the fact: fail loudly instead of
+             resuming from a silently smaller memo. *)
+          match declared_count rest with
+          | Some expected when expected <> List.length grouped ->
+              Error (Truncated { expected; found = List.length grouped })
+          | Some _ | None -> Ok ()
         in
         Ok (List.sort (fun a b -> compare a.signature b.signature) entries)
 
-let load ~path =
+let load_result ~path =
   match open_in path with
-  | exception Sys_error msg -> Error msg
+  | exception Sys_error msg -> Error (Io msg)
   | ic ->
       let text =
         Fun.protect
           ~finally:(fun () -> close_in_noerr ic)
           (fun () -> really_input_string ic (in_channel_length ic))
       in
-      of_string text
+      of_string_result text
+
+let load ~path = Result.map_error string_of_error (load_result ~path)
 
 (* --- Cadence-driven sink --------------------------------------------------- *)
 

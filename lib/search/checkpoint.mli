@@ -37,9 +37,26 @@ type entry = {
 val save : path:string -> entry list -> unit
 (** Atomic write of a snapshot. *)
 
-val load : path:string -> (entry list, string) result
+(** Why a snapshot failed to load.  Snapshots are written atomically,
+    so any of these means the file was damaged {e after} a successful
+    write (or is not a checkpoint at all) — resuming from it would
+    silently drop completed evaluations, hence the typed refusal. *)
+type error =
+  | Io of string  (** the file cannot be opened/read *)
+  | Bad_header of string  (** first line is not the checkpoint magic *)
+  | Truncated of { expected : int; found : int }
+      (** the [entries:] count in the header disagrees with the number
+          of entry blocks actually present *)
+  | Corrupt of string  (** an entry header or trace block fails to parse *)
+
+val string_of_error : error -> string
+
+val load_result : path:string -> (entry list, error) result
 (** Parse a snapshot; each operator is rebuilt by replaying its trace.
     Entries are returned sorted by signature. *)
+
+val load : path:string -> (entry list, string) result
+(** [load_result] with the error rendered by {!string_of_error}. *)
 
 (** {1 Cadence-driven sink}
 

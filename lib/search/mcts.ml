@@ -115,7 +115,7 @@ let fmax a b = if Float.is_nan b then a else if Float.is_nan a then b else Float
    itself is safe to call from any domain.  The checkpoint sink is the
    one shared structure; it serializes internally. *)
 let run_tree ~config ~enum_cfg ~reward ~rng ~policy ~inject ~penalty ~sink ~preload
-    ~collector =
+    ~collector ~admit =
   let dist = Distance.create () in
   let found : (string, entry) Hashtbl.t = Hashtbl.create 64 in
   (* Resumed entries enter with zero visits: the replayed trajectory
@@ -137,7 +137,32 @@ let run_tree ~config ~enum_cfg ~reward ~rng ~policy ~inject ~penalty ~sink ~prel
     | Some e ->
         e.ent_visits <- e.ent_visits + 1;
         e.ent_reward
-    | None ->
+    | None -> (
+        (* Admission gate: a rejection is deterministic (budget or
+           validation verdict), so it is quarantined directly — one
+           attempt, no retries, and the reward thunk never runs. *)
+        match admit op with
+        | Error k ->
+            let label = Guard.kind_label k in
+            collector.c_attempts <- collector.c_attempts + 1;
+            Hashtbl.replace collector.c_kinds label
+              (1 + Option.value ~default:0 (Hashtbl.find_opt collector.c_kinds label));
+            collector.c_quarantined <- collector.c_quarantined + 1;
+            Hashtbl.add found key
+              { ent_op = op; ent_reward = penalty; ent_visits = 1; ent_quarantined = true };
+            (match sink with
+            | Some s ->
+                Checkpoint.note s
+                  {
+                    Checkpoint.signature = key;
+                    operator = op;
+                    reward = penalty;
+                    visits = 1;
+                    quarantined = true;
+                  }
+            | None -> ());
+            penalty
+        | Ok () ->
         let out = Guard.run ~policy ~inject ~key (fun () -> reward op) in
         collector.c_attempts <- collector.c_attempts + out.Guard.attempts;
         collector.c_retries <- collector.c_retries + (out.Guard.attempts - 1);
@@ -164,7 +189,7 @@ let run_tree ~config ~enum_cfg ~reward ~rng ~policy ~inject ~penalty ~sink ~prel
             Checkpoint.note s
               { Checkpoint.signature = key; operator = op; reward = r; visits = 1; quarantined }
         | None -> ());
-        r
+        r)
   in
   (* Rollout: random guided walk from the node's state.  Every complete
      state along the way is evaluated and recorded (Algorithm 1 keeps
@@ -282,26 +307,28 @@ let to_results found =
          | c -> c)
   |> List.map snd
 
+let admit_all _ = Ok ()
+
 let search_run ?(config = default_config ()) ?(guard = Guard.default_policy)
-    ?(inject = Inject.none) ?(quarantine_reward = 0.0) ?checkpoint ?(resume = []) enum_cfg
-    ~reward ~rng () =
+    ?(inject = Inject.none) ?(quarantine_reward = 0.0) ?checkpoint ?(resume = [])
+    ?(admit = admit_all) enum_cfg ~reward ~rng () =
   let collector = new_collector () in
   let found =
     run_tree ~config ~enum_cfg ~reward ~rng ~policy:guard ~inject ~penalty:quarantine_reward
-      ~sink:checkpoint ~preload:resume ~collector
+      ~sink:checkpoint ~preload:resume ~collector ~admit
   in
   (match checkpoint with Some s -> Checkpoint.flush s | None -> ());
   { results = to_results found; stats = stats_of_collectors ?checkpoint [| collector |] }
 
-let search ?config ?guard ?inject ?quarantine_reward ?checkpoint ?resume enum_cfg ~reward
-    ~rng () =
-  (search_run ?config ?guard ?inject ?quarantine_reward ?checkpoint ?resume enum_cfg ~reward
-     ~rng ())
+let search ?config ?guard ?inject ?quarantine_reward ?checkpoint ?resume ?admit enum_cfg
+    ~reward ~rng () =
+  (search_run ?config ?guard ?inject ?quarantine_reward ?checkpoint ?resume ?admit enum_cfg
+     ~reward ~rng ())
     .results
 
 let search_parallel_run ?(config = default_config ()) ?pool ?(guard = Guard.default_policy)
-    ?(inject = Inject.none) ?(quarantine_reward = 0.0) ?checkpoint ?(resume = []) ~trees
-    enum_cfg ~reward ~rng () =
+    ?(inject = Inject.none) ?(quarantine_reward = 0.0) ?checkpoint ?(resume = [])
+    ?(admit = admit_all) ~trees enum_cfg ~reward ~rng () =
   let trees = max 1 trees in
   (* Derive the per-tree generators up front, sequentially, so the set
      of trees (and hence the merged result) depends only on [rng] and
@@ -313,7 +340,7 @@ let search_parallel_run ?(config = default_config ()) ?pool ?(guard = Guard.defa
   let collectors = Array.init trees (fun _ -> new_collector ()) in
   let run (rng, collector) =
     run_tree ~config ~enum_cfg ~reward ~rng ~policy:guard ~inject ~penalty:quarantine_reward
-      ~sink:checkpoint ~preload:resume ~collector
+      ~sink:checkpoint ~preload:resume ~collector ~admit
   in
   let jobs = Array.init trees (fun i -> (rngs.(i), collectors.(i))) in
   let tables =
@@ -352,7 +379,7 @@ let search_parallel_run ?(config = default_config ()) ?pool ?(guard = Guard.defa
   { results = to_results merged; stats = stats_of_collectors ?checkpoint collectors }
 
 let search_parallel ?config ?pool ?guard ?inject ?quarantine_reward ?checkpoint ?resume
-    ~trees enum_cfg ~reward ~rng () =
+    ?admit ~trees enum_cfg ~reward ~rng () =
   (search_parallel_run ?config ?pool ?guard ?inject ?quarantine_reward ?checkpoint ?resume
-     ~trees enum_cfg ~reward ~rng ())
+     ?admit ~trees enum_cfg ~reward ~rng ())
     .results

@@ -63,6 +63,7 @@ val search_run :
   ?quarantine_reward:float ->
   ?checkpoint:Checkpoint.sink ->
   ?resume:Checkpoint.entry list ->
+  ?admit:(Pgraph.Graph.operator -> (unit, Robust.Guard.kind) Stdlib.result) ->
   Enumerate.config ->
   reward:(Pgraph.Graph.operator -> float) ->
   rng:Nd.Rng.t ->
@@ -77,9 +78,17 @@ val search_run :
     reaches again keep living in the memo/checkpoint but are not
     results of this run (their visit count is 0).
 
+    [admit] is the admission gate (e.g. {!Validate.Admit.gate} composed
+    by the API layer: resource budgets plus differential validation),
+    consulted once per distinct signature {e before} the reward thunk.
+    A rejection is a deterministic verdict on the candidate, so it is
+    quarantined immediately — one recorded attempt, no retries, and the
+    reward thunk (and any allocation it would do) never runs; the
+    rejection kind flows into [failed_attempts] like any other failure.
+
     Defaults: [guard = Robust.Guard.default_policy] (2 retries, no
     backoff, no timeout), no injection, [quarantine_reward = 0.0], no
-    checkpointing. *)
+    checkpointing, admit-everything gate. *)
 
 val search :
   ?config:config ->
@@ -88,6 +97,7 @@ val search :
   ?quarantine_reward:float ->
   ?checkpoint:Checkpoint.sink ->
   ?resume:Checkpoint.entry list ->
+  ?admit:(Pgraph.Graph.operator -> (unit, Robust.Guard.kind) Stdlib.result) ->
   Enumerate.config ->
   reward:(Pgraph.Graph.operator -> float) ->
   rng:Nd.Rng.t ->
@@ -103,6 +113,7 @@ val search_parallel_run :
   ?quarantine_reward:float ->
   ?checkpoint:Checkpoint.sink ->
   ?resume:Checkpoint.entry list ->
+  ?admit:(Pgraph.Graph.operator -> (unit, Robust.Guard.kind) Stdlib.result) ->
   trees:int ->
   Enumerate.config ->
   reward:(Pgraph.Graph.operator -> float) ->
@@ -129,6 +140,7 @@ val search_parallel :
   ?quarantine_reward:float ->
   ?checkpoint:Checkpoint.sink ->
   ?resume:Checkpoint.entry list ->
+  ?admit:(Pgraph.Graph.operator -> (unit, Robust.Guard.kind) Stdlib.result) ->
   trees:int ->
   Enumerate.config ->
   reward:(Pgraph.Graph.operator -> float) ->

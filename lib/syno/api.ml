@@ -100,7 +100,8 @@ let proxy_layer entry rng (stage : Backbones.Proxy.stage_shape) =
   let compiled = Lower.Reference.compile entry.Zoo.operator valuation in
   Nn.Layer.of_operator rng ~name:entry.Zoo.name compiled
 
-let train_entry ?(epochs = 8) ?(lr = 0.1) ~rng entry (data : Dataset.Synth_vision.t) =
+let train_entry ?(epochs = 8) ?(lr = 0.1) ?clip_norm ?sentinel ~rng entry
+    (data : Dataset.Synth_vision.t) =
   let model =
     Backbones.Proxy.vision_model rng
       ~make_op:(fun rng stage -> proxy_layer entry rng stage)
@@ -109,7 +110,7 @@ let train_entry ?(epochs = 8) ?(lr = 0.1) ~rng entry (data : Dataset.Synth_visio
       ~size:data.Dataset.Synth_vision.size ()
   in
   let opt = Nn.Optimizer.sgd ~momentum:0.9 ~weight_decay:1e-4 ~lr () in
-  Nn.Train.fit model opt ~epochs ~train:data.Dataset.Synth_vision.train
+  Nn.Train.fit ?clip_norm ?sentinel model opt ~epochs ~train:data.Dataset.Synth_vision.train
     ~eval:data.Dataset.Synth_vision.eval
 
 (* --- Search --------------------------------------------------------------- *)
@@ -129,18 +130,35 @@ let default_search_valuations =
     Zoo.Vars.conv_valuation ~n:1 ~c_in:32 ~c_out:64 ~hw:8 ~k:3 ~g:2 ~s:2 ();
   ]
 
-type search_run = { candidates : candidate list; failures : Search.Mcts.failure_stats }
+type search_run = {
+  candidates : candidate list;
+  failures : Search.Mcts.failure_stats;
+  admission : Validate.Admit.stats option;
+}
 
-let load_resume path =
+(* A small shape at which differential validation is cheap: three tiny
+   forward passes instead of one search-sized one. *)
+let default_validation_valuations =
+  [ Zoo.Vars.conv_valuation ~n:1 ~c_in:8 ~c_out:8 ~hw:4 ~k:3 ~g:2 ~s:2 () ]
+
+let load_resume ?(on_corrupt = `Fail) path =
   if not (Sys.file_exists path) then []
   else
-    match Search.Checkpoint.load ~path with
+    match Search.Checkpoint.load_result ~path with
     | Ok entries -> entries
-    | Error msg -> failwith (Printf.sprintf "cannot resume from %s: %s" path msg)
+    | Error err -> (
+        match on_corrupt with
+        | `Restart -> []
+        | `Fail ->
+            failwith
+              (Printf.sprintf "cannot resume from %s: %s" path
+                 (Search.Checkpoint.string_of_error err)))
 
 let search_conv_operators_run ?(iterations = 2000) ?(max_prims = 9)
     ?(flops_budget_ratio = 1.0) ?(domains = 1) ?trees ?guard ?inject ?quarantine_reward
-    ?checkpoint ?(checkpoint_every = 50) ?resume ~rng ~valuations () =
+    ?checkpoint ?(checkpoint_every = 50) ?resume ?(on_corrupt = `Fail) ?max_bytes ?max_flops
+    ?(validate = false) ?(validate_config = Validate.Differential.default_config)
+    ?(validation_valuations = default_validation_valuations) ~rng ~valuations () =
   let open Zoo.Vars in
   let sz = Size.of_var in
   let output_shape = [ sz n; sz c_out; sz h; sz w ] in
@@ -183,19 +201,28 @@ let search_conv_operators_run ?(iterations = 2000) ?(max_prims = 9)
   let sink =
     Option.map (fun path -> Search.Checkpoint.sink ~path ~every:checkpoint_every ()) checkpoint
   in
-  let resume = match resume with Some path -> load_resume path | None -> [] in
+  let resume = match resume with Some path -> load_resume ~on_corrupt path | None -> [] in
+  let gate =
+    let differential = if validate then Some validate_config else None in
+    if max_bytes = None && max_flops = None && differential = None then None
+    else
+      Some
+        (Validate.Admit.create ?max_bytes ?max_flops ~valuations ?differential
+           ~check_valuations:validation_valuations ())
+  in
+  let admit = Option.map (fun g op -> Validate.Admit.gate g op) gate in
   let run =
     if trees = 1 && domains <= 1 then
       let mcts_cfg = Search.Mcts.default_config ~iterations () in
       Search.Mcts.search_run ~config:mcts_cfg ?guard ?inject ?quarantine_reward
-        ?checkpoint:sink ~resume cfg ~reward ~rng ()
+        ?checkpoint:sink ~resume ?admit cfg ~reward ~rng ()
     else
       (* Root-parallel: the iteration budget is split across the trees
          so --domains changes wall-clock, not total search effort. *)
       let mcts_cfg = Search.Mcts.default_config ~iterations:(max 1 (iterations / trees)) () in
       Par.Pool.with_pool ~domains (fun pool ->
           Search.Mcts.search_parallel_run ~config:mcts_cfg ~pool ?guard ?inject
-            ?quarantine_reward ?checkpoint:sink ~resume ~trees cfg ~reward ~rng ())
+            ?quarantine_reward ?checkpoint:sink ~resume ?admit ~trees cfg ~reward ~rng ())
   in
   let v0 = List.hd valuations in
   let candidates =
@@ -211,11 +238,17 @@ let search_conv_operators_run ?(iterations = 2000) ?(max_prims = 9)
         })
       run.Search.Mcts.results
   in
-  { candidates; failures = run.Search.Mcts.stats }
+  {
+    candidates;
+    failures = run.Search.Mcts.stats;
+    admission = Option.map Validate.Admit.stats gate;
+  }
 
 let search_conv_operators ?iterations ?max_prims ?flops_budget_ratio ?domains ?trees ?guard
-    ?inject ?quarantine_reward ?checkpoint ?checkpoint_every ?resume ~rng ~valuations () =
+    ?inject ?quarantine_reward ?checkpoint ?checkpoint_every ?resume ?on_corrupt ?max_bytes
+    ?max_flops ?validate ?validate_config ?validation_valuations ~rng ~valuations () =
   (search_conv_operators_run ?iterations ?max_prims ?flops_budget_ratio ?domains ?trees
-     ?guard ?inject ?quarantine_reward ?checkpoint ?checkpoint_every ?resume ~rng
+     ?guard ?inject ?quarantine_reward ?checkpoint ?checkpoint_every ?resume ?on_corrupt
+     ?max_bytes ?max_flops ?validate ?validate_config ?validation_valuations ~rng
      ~valuations ())
     .candidates

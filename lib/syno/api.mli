@@ -40,12 +40,17 @@ val proxy_layer :
 val train_entry :
   ?epochs:int ->
   ?lr:float ->
+  ?clip_norm:float ->
+  ?sentinel:Nn.Train.sentinel ->
   rng:Nd.Rng.t ->
   Zoo.entry ->
   Dataset.Synth_vision.t ->
   Nn.Train.history
 (** Train the proxy backbone with the entry substituted into both
-    operator stages. *)
+    operator stages.  [clip_norm] enables global gradient-norm
+    clipping; [sentinel] (default {!Nn.Train.default_sentinel}) aborts
+    on NaN/Inf loss or sustained divergence — check
+    [history.Nn.Train.outcome]. *)
 
 (** {1 Search} *)
 
@@ -58,7 +63,17 @@ type candidate = {
   quarantined : bool;  (** every guarded evaluation attempt failed *)
 }
 
-type search_run = { candidates : candidate list; failures : Search.Mcts.failure_stats }
+type search_run = {
+  candidates : candidate list;
+  failures : Search.Mcts.failure_stats;
+  admission : Validate.Admit.stats option;
+      (** admission-gate statistics; [None] when no gate was configured *)
+}
+
+val default_validation_valuations : Shape.Valuation.t list
+(** The tiny shape differential validation runs at by default (three
+    small forward passes per candidate instead of one search-sized
+    one). *)
 
 val search_conv_operators_run :
   ?iterations:int ->
@@ -72,6 +87,12 @@ val search_conv_operators_run :
   ?checkpoint:string ->
   ?checkpoint_every:int ->
   ?resume:string ->
+  ?on_corrupt:[ `Fail | `Restart ] ->
+  ?max_bytes:int ->
+  ?max_flops:int ->
+  ?validate:bool ->
+  ?validate_config:Validate.Differential.config ->
+  ?validation_valuations:Shape.Valuation.t list ->
   rng:Nd.Rng.t ->
   valuations:Shape.Valuation.t list ->
   unit ->
@@ -98,7 +119,19 @@ val search_conv_operators_run :
     new evaluations plus once at the end; [resume] preloads a
     previously written file (a missing file is a fresh start), so a
     killed search rerun with the same seed reproduces the uninterrupted
-    results without repeating completed evaluations. *)
+    results without repeating completed evaluations.  A damaged resume
+    file fails with a clear error by default; [on_corrupt:`Restart]
+    ignores it and starts fresh instead.
+
+    Admission (the {!Validate} layer): [max_bytes] / [max_flops] bound
+    each candidate's estimated peak intermediate bytes and FLOPs under
+    [valuations] — over-budget candidates are quarantined as
+    [over_budget] {e before any tensor allocation}.  [validate] runs
+    every admitted candidate through all three lowering backends on
+    seeded inputs at [validation_valuations]; disagreement beyond
+    [validate_config]'s tolerance quarantines it as [backend_mismatch].
+    Admission rejections appear in [failures.failed_attempts]; gate
+    cost and rejection counts in [admission]. *)
 
 val search_conv_operators :
   ?iterations:int ->
@@ -112,6 +145,12 @@ val search_conv_operators :
   ?checkpoint:string ->
   ?checkpoint_every:int ->
   ?resume:string ->
+  ?on_corrupt:[ `Fail | `Restart ] ->
+  ?max_bytes:int ->
+  ?max_flops:int ->
+  ?validate:bool ->
+  ?validate_config:Validate.Differential.config ->
+  ?validation_valuations:Shape.Valuation.t list ->
   rng:Nd.Rng.t ->
   valuations:Shape.Valuation.t list ->
   unit ->

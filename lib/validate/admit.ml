@@ -1,0 +1,61 @@
+module Valuation = Shape.Valuation
+module Graph = Pgraph.Graph
+module Guard = Robust.Guard
+
+type stats = { calls : int; rejected : int; seconds : float }
+
+type t = {
+  max_bytes : int option;
+  max_flops : int option;
+  budget_valuations : Valuation.t list;
+  differential : Differential.config option;
+  check_valuations : Valuation.t list;
+  mutex : Mutex.t;
+  mutable calls : int;
+  mutable rejected : int;
+  mutable seconds : float;
+}
+
+let create ?max_bytes ?max_flops ?(valuations = []) ?differential ?check_valuations () =
+  {
+    max_bytes;
+    max_flops;
+    budget_valuations = valuations;
+    differential;
+    check_valuations = Option.value check_valuations ~default:valuations;
+    mutex = Mutex.create ();
+    calls = 0;
+    rejected = 0;
+    seconds = 0.0;
+  }
+
+let active t =
+  (t.max_bytes <> None || t.max_flops <> None) && t.budget_valuations <> []
+  || t.differential <> None && t.check_valuations <> []
+
+let decide t op =
+  match
+    Budget.admit ?max_bytes:t.max_bytes ?max_flops:t.max_flops op t.budget_valuations
+  with
+  | Error _ as e -> e
+  | Ok () -> (
+      match t.differential with
+      | None -> Ok ()
+      | Some config -> Differential.admit ~config op t.check_valuations)
+
+let gate t op =
+  let t0 = Unix.gettimeofday () in
+  let result = decide t op in
+  let dt = Unix.gettimeofday () -. t0 in
+  Mutex.lock t.mutex;
+  t.calls <- t.calls + 1;
+  (match result with Error _ -> t.rejected <- t.rejected + 1 | Ok () -> ());
+  t.seconds <- t.seconds +. dt;
+  Mutex.unlock t.mutex;
+  result
+
+let stats t =
+  Mutex.lock t.mutex;
+  let s = { calls = t.calls; rejected = t.rejected; seconds = t.seconds } in
+  Mutex.unlock t.mutex;
+  s

@@ -1,0 +1,37 @@
+(** The composed admission gate: resource budgets ({!Budget}) first —
+    pure pGraph arithmetic, no tensor ever allocated — then
+    differential validation ({!Differential}) for candidates that fit.
+
+    The gate has the exact shape [Search.Mcts] expects for its [?admit]
+    hook, and keeps thread-safe running statistics (calls, rejections,
+    wall-clock spent) so benches can report validator overhead. *)
+
+type t
+
+type stats = {
+  calls : int;  (** candidates gated *)
+  rejected : int;  (** candidates refused admission *)
+  seconds : float;  (** total wall-clock spent inside the gate *)
+}
+
+val create :
+  ?max_bytes:int ->
+  ?max_flops:int ->
+  ?valuations:Shape.Valuation.t list ->
+  ?differential:Differential.config ->
+  ?check_valuations:Shape.Valuation.t list ->
+  unit ->
+  t
+(** Budgets are enforced under [valuations] (the search valuations,
+    where evaluation would actually allocate); differential validation
+    runs under [check_valuations] (defaulting to [valuations] — pass
+    a smaller valuation list to keep the validator cheap). *)
+
+val active : t -> bool
+(** Whether the gate can ever reject (some budget or the differential
+    validator is configured with a non-empty valuation list). *)
+
+val gate : t -> Pgraph.Graph.operator -> (unit, Robust.Guard.kind) result
+(** Run the gate on one candidate, recording stats.  Thread-safe. *)
+
+val stats : t -> stats

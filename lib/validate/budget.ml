@@ -1,0 +1,53 @@
+module Valuation = Shape.Valuation
+module Graph = Pgraph.Graph
+module Flops = Pgraph.Flops
+module Guard = Robust.Guard
+
+type estimate = {
+  est_bytes : int;
+  est_flops : int;
+  est_gather_elems : int;
+}
+
+let bytes_per_elem = 8
+
+(* The dominant intermediate of the einsum lowering is the gathered
+   operand indexed by every output iterator and every reduction
+   iterator at once: output_elems * reduction_elems entries.  The
+   staged executor materializes strictly smaller partial tensors, so
+   this is a safe (conservative) peak for every backend. *)
+let estimate op valuation =
+  let inp = Flops.input_elems op valuation in
+  let out = Flops.output_elems op valuation in
+  let prm = Flops.params op valuation in
+  let red = Flops.reduction_elems op valuation in
+  let gather = out * red in
+  {
+    est_bytes = bytes_per_elem * (inp + out + prm + gather);
+    est_flops = Flops.naive_flops op valuation;
+    est_gather_elems = gather;
+  }
+
+let check ?max_bytes ?max_flops op valuation =
+  match estimate op valuation with
+  | exception Failure msg -> Error (Guard.Eval_error ("budget: " ^ msg))
+  | est -> (
+      let over what used limit =
+        Error
+          (Guard.Over_budget
+             (Printf.sprintf "%s: estimated %d > budget %d" what used limit))
+      in
+      match (max_bytes, max_flops) with
+      | Some b, _ when est.est_bytes > b -> over "bytes" est.est_bytes b
+      | _, Some f when est.est_flops > f -> over "flops" est.est_flops f
+      | _ -> Ok est)
+
+let admit ?max_bytes ?max_flops op valuations =
+  let rec go = function
+    | [] -> Ok ()
+    | v :: rest -> (
+        match check ?max_bytes ?max_flops op v with
+        | Ok _ -> go rest
+        | Error _ as e -> e)
+  in
+  go valuations

@@ -1,0 +1,41 @@
+(** Resource-budget admission: reject a candidate from its pGraph cost
+    model alone, before any tensor is allocated.
+
+    The estimate is derived purely from [Pgraph.Flops] under a concrete
+    valuation; rejecting a candidate therefore never touches
+    [Nd.Tensor] (asserted by the allocation probe
+    {!Nd.Tensor.allocations} in the test suite and bench). *)
+
+type estimate = {
+  est_bytes : int;  (** conservative peak intermediate bytes (float64) *)
+  est_flops : int;  (** [Pgraph.Flops.naive_flops] *)
+  est_gather_elems : int;
+      (** elements of the gathered einsum operand
+          (output_elems * reduction_elems), the dominant term *)
+}
+
+val bytes_per_elem : int
+(** 8: tensors are dense float64. *)
+
+val estimate : Pgraph.Graph.operator -> Shape.Valuation.t -> estimate
+(** Raises [Failure] if the operator is not instantiable at the
+    valuation (unbound size variables). *)
+
+val check :
+  ?max_bytes:int ->
+  ?max_flops:int ->
+  Pgraph.Graph.operator ->
+  Shape.Valuation.t ->
+  (estimate, Robust.Guard.kind) result
+(** [Error (Over_budget _)] when a limit is exceeded (bytes checked
+    first), [Error (Eval_error _)] when the operator is not
+    instantiable at the valuation. *)
+
+val admit :
+  ?max_bytes:int ->
+  ?max_flops:int ->
+  Pgraph.Graph.operator ->
+  Shape.Valuation.t list ->
+  (unit, Robust.Guard.kind) result
+(** The candidate is admitted when {!check} passes under every
+    valuation; the first failure is returned. *)

@@ -1,0 +1,166 @@
+module Valuation = Shape.Valuation
+module Graph = Pgraph.Graph
+module Tensor = Nd.Tensor
+module Guard = Robust.Guard
+module Inject = Robust.Inject
+module Reference = Lower.Reference
+module Einsum_program = Lower.Einsum_program
+module Staged_exec = Lower.Staged_exec
+
+type backend = Reference | Einsum | Staged
+
+let backend_label = function
+  | Reference -> "reference"
+  | Einsum -> "einsum"
+  | Staged -> "staged"
+
+let backends = [ Reference; Einsum; Staged ]
+
+type fault = { f_backend : backend; f_inject : Inject.t }
+
+let fault ?(seed = 0) ?(rate = 1.0) backend =
+  { f_backend = backend; f_inject = Inject.create ~seed ~rate () }
+
+let fault_count f = Inject.injected_count f.f_inject
+
+type config = { tolerance : float; seed : int; fault : fault option }
+
+let default_config = { tolerance = 1e-6; seed = 0; fault = None }
+
+let config ?(tolerance = default_config.tolerance) ?(seed = default_config.seed)
+    ?fault () =
+  if not (tolerance > 0.0) then invalid_arg "Differential.config: tolerance must be > 0";
+  { tolerance; seed; fault }
+
+type report = {
+  rep_valuations : int;
+  rep_elements : int;
+  rep_max_rel_err : float;
+}
+
+let empty_report = { rep_valuations = 0; rep_elements = 0; rep_max_rel_err = 0.0 }
+
+(* A seeded miscompile: corrupt one deterministic element of the chosen
+   backend's output.  The offset depends only on (key, numel) and the
+   injected absolute error is >= 1, far outside any sane tolerance. *)
+let maybe_corrupt config ~key backend out =
+  match config.fault with
+  | Some f when f.f_backend = backend && Inject.should_fail f.f_inject ~key ~attempt:0 ->
+      Inject.note f.f_inject;
+      let n = Tensor.numel out in
+      if n > 0 then begin
+        let i = Hashtbl.hash (key, "miscompile") mod n in
+        let v = Tensor.flat_get out i in
+        Tensor.flat_set out i (v +. 1.0 +. Float.abs v)
+      end
+  | Some _ | None -> ()
+
+let run_backend config ~key op valuation ~input ~weights backend =
+  let forward () =
+    match backend with
+    | Reference ->
+        let t = Reference.compile op valuation in
+        Reference.forward t ~input ~weights
+    | Einsum ->
+        let t = Einsum_program.compile op valuation in
+        Einsum_program.forward t ~input ~weights
+    | Staged ->
+        let t = Staged_exec.compile op valuation in
+        Staged_exec.forward t ~input ~weights
+  in
+  match forward () with
+  | exception Failure msg ->
+      Error (Guard.Eval_error (Printf.sprintf "validate(%s): %s" (backend_label backend) msg))
+  | out ->
+      maybe_corrupt config ~key backend out;
+      Ok out
+
+let all_finite t =
+  let data = Tensor.unsafe_data t in
+  let n = Array.length data in
+  let rec go i = i >= n || (Float.is_finite data.(i) && go (i + 1)) in
+  go 0
+
+(* Hybrid absolute/relative comparison against the reference value:
+   |a - r| <= tol * (1 + |r|), so tiny outputs are compared absolutely
+   and large ones relatively. *)
+let compare_against config ~backend reference candidate =
+  if Tensor.shape reference <> Tensor.shape candidate then
+    Error
+      (Guard.Backend_mismatch
+         (Printf.sprintf "%s: output shape differs from reference" (backend_label backend)))
+  else begin
+    let r = Tensor.unsafe_data reference in
+    let c = Tensor.unsafe_data candidate in
+    let max_rel = ref 0.0 in
+    let violation = ref None in
+    Array.iteri
+      (fun i rv ->
+        let cv = c.(i) in
+        let scale = 1.0 +. Float.abs rv in
+        let rel = Float.abs (cv -. rv) /. scale in
+        if rel > !max_rel then max_rel := rel;
+        if rel > config.tolerance && !violation = None then violation := Some (i, rv, cv))
+      r;
+    match !violation with
+    | Some (i, rv, cv) ->
+        Error
+          (Guard.Backend_mismatch
+             (Printf.sprintf "%s[%d] = %h, reference = %h (rel err %.3e > tol %.3e)"
+                (backend_label backend) i cv rv !max_rel config.tolerance))
+    | None -> Ok !max_rel
+  end
+
+(* [Ok None]: the operator is not instantiable at this valuation —
+   there is nothing to execute, so nothing to cross-check.  Skipping
+   (rather than erroring) keeps the gate's verdict independent of which
+   tiny validation shapes the caller picked: admission must never
+   quarantine a candidate the un-validated search would have scored. *)
+let check_valuation config ~key op valuation =
+  let ( let* ) = Result.bind in
+  match Reference.compile op valuation with
+  | exception Failure _ -> Ok None
+  | compiled -> (
+      let rng = Nd.Rng.create ~seed:(config.seed lxor (Hashtbl.hash key land 0x3fffffff)) in
+      let input = Tensor.rand_uniform rng ~lo:(-1.0) ~hi:1.0 (Reference.input_shape compiled) in
+      let weights = Reference.init_weights compiled rng in
+      match Reference.forward compiled ~input ~weights with
+      | exception Failure msg -> Error (Guard.Eval_error ("validate(reference): " ^ msg))
+      | reference ->
+          maybe_corrupt config ~key Reference reference;
+          if not (all_finite reference) then
+            Error (Guard.Backend_mismatch "reference: non-finite output on finite inputs")
+          else
+            let check_one backend =
+              let* out = run_backend config ~key op valuation ~input ~weights backend in
+              if not (all_finite out) then
+                Error
+                  (Guard.Backend_mismatch
+                     (Printf.sprintf "%s: non-finite output on finite inputs"
+                        (backend_label backend)))
+              else compare_against config ~backend reference out
+            in
+            let* rel_e = check_one Einsum in
+            let* rel_s = check_one Staged in
+            Ok (Some (Tensor.numel reference, Float.max rel_e rel_s)))
+
+let check ?(config = default_config) op valuations =
+  let key = Graph.operator_signature op in
+  let rec go acc = function
+    | [] -> Ok acc
+    | v :: rest -> (
+        match check_valuation config ~key op v with
+        | Ok None -> go acc rest
+        | Ok (Some (elems, rel)) ->
+            go
+              {
+                rep_valuations = acc.rep_valuations + 1;
+                rep_elements = acc.rep_elements + elems;
+                rep_max_rel_err = Float.max acc.rep_max_rel_err rel;
+              }
+              rest
+        | Error _ as e -> e)
+  in
+  go empty_report valuations
+
+let admit ?config op valuations = Result.map (fun _ -> ()) (check ?config op valuations)

@@ -1,0 +1,70 @@
+(** Differential validation of candidate lowerings.
+
+    Every admitted candidate is compiled by all three execution
+    backends — {!Lower.Reference} (the loop-nest ground truth),
+    {!Lower.Einsum_program} (gather + einsum) and {!Lower.Staged_exec}
+    (materialized reductions) — and run on small seeded random inputs
+    with shared weights.  A candidate is quarantined when any backend
+    disagrees with the reference beyond a hybrid absolute/relative
+    tolerance ([|a - r| <= tol * (1 + |r|)]), or produces NaN/Inf on
+    finite inputs.  Inputs and weights are derived from
+    [(seed, operator signature)], so verdicts are reproducible and
+    independent of evaluation order.
+
+    A seeded {!fault} deterministically corrupts one output element of
+    a chosen backend for a rate-controlled fraction of candidates — a
+    synthetic miscompile used to prove (in tests and the [validate]
+    bench) that real miscompiles would be caught as
+    [Backend_mismatch]. *)
+
+type backend = Reference | Einsum | Staged
+
+val backend_label : backend -> string
+val backends : backend list
+
+type fault
+
+val fault : ?seed:int -> ?rate:float -> backend -> fault
+(** Corrupt the given backend's output for a [rate] fraction of
+    operator signatures (default [1.0]: every candidate), selected by
+    hashing [(seed, signature)] exactly like {!Robust.Inject}. *)
+
+val fault_count : fault -> int
+(** Corruptions delivered so far (across all domains). *)
+
+type config = {
+  tolerance : float;  (** relative tolerance; default [1e-6] *)
+  seed : int;  (** input/weight seed; default [0] *)
+  fault : fault option;  (** seeded miscompile, for testing the validator *)
+}
+
+val default_config : config
+
+val config : ?tolerance:float -> ?seed:int -> ?fault:fault -> unit -> config
+(** Raises [Invalid_argument] unless [tolerance > 0]. *)
+
+type report = {
+  rep_valuations : int;  (** valuations cross-checked *)
+  rep_elements : int;  (** output elements compared (per backend pair) *)
+  rep_max_rel_err : float;  (** worst observed [|a - r| / (1 + |r|)] *)
+}
+
+val check :
+  ?config:config ->
+  Pgraph.Graph.operator ->
+  Shape.Valuation.t list ->
+  (report, Robust.Guard.kind) result
+(** Cross-check the operator under every valuation.  Valuations where
+    the operator is not instantiable are skipped (not counted in
+    [rep_valuations]) — the gate must never quarantine a candidate the
+    un-validated search would have scored.  Failures: [Backend_mismatch]
+    for disagreement, shape drift, or non-finite outputs on finite
+    inputs; [Eval_error] when a backend fails to run at a valuation
+    where the operator does instantiate. *)
+
+val admit :
+  ?config:config ->
+  Pgraph.Graph.operator ->
+  Shape.Valuation.t list ->
+  (unit, Robust.Guard.kind) result
+(** {!check} with the report dropped — the admission-gate shape. *)

@@ -183,6 +183,30 @@ let test_grad_accumulation () =
   let g = Tensor.unsafe_data (Tape.grad x) in
   Alcotest.(check (float 1e-9)) "2/n" 1.0 g.(0)
 
+let test_nonfinite_backprop () =
+  (* A NaN in the forward pass must reach the gradients, not be
+     silently laundered into a finite number: downstream sentinels
+     (Train's finite check, Guard's Non_finite) depend on it. *)
+  let tape = Tape.create () in
+  let x = Tape.var tape (Tensor.of_array [| 2 |] [| 1.0; 2.0 |]) in
+  let poison = Tape.constant tape (Tensor.of_array [| 2 |] [| Float.nan; 1.0 |]) in
+  let y = Op.mul tape x poison in
+  let loss = Op.mean tape y in
+  Alcotest.(check bool) "loss is NaN" true (Float.is_nan (Tensor.flat_get (Tape.data loss) 0));
+  Tape.backward tape loss;
+  let g = Tensor.unsafe_data (Tape.grad x) in
+  Alcotest.(check bool) "poisoned lane's grad is NaN" true (Float.is_nan g.(0));
+  Alcotest.(check (float 1e-9)) "clean lane's grad survives" 0.5 g.(1);
+  (* Same story with Inf entering through an einsum contraction. *)
+  let tape = Tape.create () in
+  let x = Tape.var tape (Tensor.of_array [| 2; 2 |] [| 1.0; 0.0; 0.0; 1.0 |]) in
+  let w = Tape.constant tape (Tensor.of_array [| 2; 2 |] [| Float.infinity; 0.0; 0.0; 1.0 |]) in
+  let y = Op.einsum tape "ik,kj->ij" [ x; w ] in
+  Tape.backward tape (Op.mean tape y);
+  let g = Tensor.unsafe_data (Tape.grad x) in
+  Alcotest.(check bool) "inf reaches the input gradient" true
+    (Array.exists (fun v -> not (Float.is_finite v)) g)
+
 let test_constant_no_grad () =
   let tape = Tape.create () in
   let x = Tape.constant tape (t [| 2 |]) in
@@ -213,5 +237,6 @@ let () =
         [
           Alcotest.test_case "accumulation" `Quick test_grad_accumulation;
           Alcotest.test_case "constants" `Quick test_constant_no_grad;
+          Alcotest.test_case "non-finite backprop" `Quick test_nonfinite_backprop;
         ] );
     ]

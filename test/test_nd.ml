@@ -154,6 +154,25 @@ let test_einsum_scalar_output () =
   (* a second run of the same plan must be independent of the first *)
   Alcotest.check tensor "replay" (Tensor.scalar 17.0) (Einsum.run p [ b; c ])
 
+let test_einsum_nonfinite_propagation () =
+  (* IEEE semantics must survive the contraction: a NaN or Inf operand
+     poisons exactly the output elements whose reduction touches it
+     (nan * 0 = nan, so even a zero partner does not mask it). *)
+  let a = Tensor.of_array [| 2; 2 |] [| 1.0; Float.nan; 3.0; 4.0 |] in
+  let id = Tensor.of_array [| 2; 2 |] [| 1.0; 0.0; 0.0; 1.0 |] in
+  let p = Einsum.plan "ik,kj->ij" [ [| 2; 2 |]; [| 2; 2 |] ] in
+  let c = Einsum.run p [ a; id ] in
+  Alcotest.(check bool) "row with NaN is NaN" true
+    (Float.is_nan (Tensor.get c [| 0; 0 |]) && Float.is_nan (Tensor.get c [| 0; 1 |]));
+  Alcotest.(check (float 1e-12)) "clean row untouched" 3.0 (Tensor.get c [| 1; 0 |]);
+  Alcotest.(check (float 1e-12)) "clean row untouched" 4.0 (Tensor.get c [| 1; 1 |]);
+  let b = Tensor.of_array [| 2; 2 |] [| Float.infinity; 0.0; 0.0; 2.0 |] in
+  let d = Einsum.run p [ b; id ] in
+  Alcotest.(check bool) "inf survives" true (Tensor.get d [| 0; 0 |] = Float.infinity);
+  (* inf * 0 = nan: the contraction must not shortcut it away *)
+  Alcotest.(check bool) "inf * 0 is NaN" true (Float.is_nan (Tensor.get d [| 0; 1 |]));
+  Alcotest.(check (float 1e-12)) "finite corner" 2.0 (Tensor.get d [| 1; 1 |])
+
 (* --- Properties ----------------------------------------------------------- *)
 
 let arb_shape =
@@ -217,6 +236,7 @@ let () =
           Alcotest.test_case "errors" `Quick test_einsum_errors;
           Alcotest.test_case "repeated output label" `Quick test_einsum_repeated_output_label;
           Alcotest.test_case "scalar output" `Quick test_einsum_scalar_output;
+          Alcotest.test_case "non-finite propagation" `Quick test_einsum_nonfinite_propagation;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

@@ -85,6 +85,156 @@ let test_linear_model_learns () =
   let h = Nn.Train.fit model opt ~epochs:5 ~train ~eval in
   Alcotest.(check bool) "learns separable task" true (h.Nn.Train.final_eval_accuracy > 0.95)
 
+(* --- Gradient clipping and training sentinels ------------------------------- *)
+
+let test_clip_global_norm () =
+  let grads () = [ Tensor.of_array [| 2 |] [| 3.0; 0.0 |]; Tensor.of_array [| 1 |] [| 4.0 |] ] in
+  Alcotest.(check (float 1e-9)) "global norm" 5.0 (Nn.Optimizer.global_norm (grads ()));
+  (* Above the threshold: rescaled to max_norm, pre-clip norm returned. *)
+  let g = grads () in
+  let pre = Nn.Optimizer.clip_global_norm ~max_norm:1.0 g in
+  Alcotest.(check (float 1e-9)) "pre-clip norm reported" 5.0 pre;
+  Alcotest.(check (float 1e-6)) "rescaled" 1.0 (Nn.Optimizer.global_norm g);
+  Alcotest.(check (float 1e-6)) "direction kept" (3.0 /. 5.0) (Tensor.get (List.hd g) [| 0 |]);
+  (* Below the threshold: untouched. *)
+  let g = grads () in
+  ignore (Nn.Optimizer.clip_global_norm ~max_norm:10.0 g);
+  Alcotest.(check (float 1e-9)) "no-op below threshold" 3.0 (Tensor.get (List.hd g) [| 0 |]);
+  (* Non-finite norm: rescaling would be meaningless, grads stay as-is
+     for the caller's sentinel to see. *)
+  let g = [ Tensor.of_array [| 2 |] [| Float.nan; 2.0 |] ] in
+  let pre = Nn.Optimizer.clip_global_norm ~max_norm:1.0 g in
+  Alcotest.(check bool) "NaN norm reported" true (Float.is_nan pre);
+  Alcotest.(check (float 1e-9)) "finite lane untouched" 2.0 (Tensor.get (List.hd g) [| 1 |]);
+  Alcotest.check_raises "max_norm must be positive"
+    (Invalid_argument "Optimizer.clip_global_norm: max_norm must be > 0") (fun () ->
+      ignore (Nn.Optimizer.clip_global_norm ~max_norm:0.0 []))
+
+let separable_batches r n =
+  List.init n (fun _ ->
+      let images = Tensor.create [| 16; 4 |] in
+      let labels = Array.make 16 0 in
+      for i = 0 to 15 do
+        let cls = Rng.int r 2 in
+        labels.(i) <- cls;
+        for j = 0 to 3 do
+          let mean = if cls = 0 then 1.0 else -1.0 in
+          Tensor.set images [| i; j |] (mean +. (0.5 *. Rng.normal r))
+        done
+      done;
+      { Nn.Train.images; labels })
+
+(* A parameter-free layer that replaces its input with NaN from the
+   [after]-th application on — a stand-in for a candidate operator that
+   goes numerically bad mid-training. *)
+let poison_layer ~after =
+  let count = ref 0 in
+  {
+    Nn.Layer.name = "poison";
+    params = [];
+    apply =
+      (fun tape _ x ->
+        incr count;
+        if !count < after then x
+        else
+          let d = Tape.data x in
+          Tape.custom tape ~inputs:[ x ]
+            ~output:(Tensor.map (fun _ -> Float.nan) d)
+            ~vjp:(fun ~grad_out -> [ Some grad_out ]));
+  }
+
+let test_step_stats_grad_norm () =
+  let r = rng () in
+  let model =
+    Nn.Model.of_layer
+      (Nn.Layer.sequential "clf" [ Nn.Layer.linear r ~in_features:4 ~out_features:2 ])
+  in
+  let b = List.hd (separable_batches r 1) in
+  let opt = Nn.Optimizer.sgd ~lr:0.1 () in
+  let s = Nn.Model.train_step model opt ~images:b.Nn.Train.images ~labels:b.Nn.Train.labels in
+  Alcotest.(check bool) "live gradient norm" true
+    (Float.is_finite s.Nn.Model.grad_norm && s.Nn.Model.grad_norm > 0.0);
+  (* With an absurdly tight clip the pre-clip norm is still reported. *)
+  let s2 =
+    Nn.Model.train_step ~clip_norm:1e-6 model opt ~images:b.Nn.Train.images
+      ~labels:b.Nn.Train.labels
+  in
+  Alcotest.(check bool) "pre-clip norm reported" true (s2.Nn.Model.grad_norm > 1e-6);
+  let e = Nn.Model.evaluate model ~images:b.Nn.Train.images ~labels:b.Nn.Train.labels in
+  Alcotest.(check (float 0.0)) "evaluate reports no grad norm" 0.0 e.Nn.Model.grad_norm
+
+let test_sentinel_non_finite_abort () =
+  let r = rng () in
+  (* 4 batches per epoch; the poison fires at application 7, i.e. epoch
+     2, step 3 (train_step runs the forward once per batch). *)
+  let model =
+    Nn.Model.of_layer
+      (Nn.Layer.sequential "clf"
+         [ poison_layer ~after:7; Nn.Layer.linear r ~in_features:4 ~out_features:2 ])
+  in
+  let train = separable_batches r 4 in
+  let eval = separable_batches r 1 in
+  let opt = Nn.Optimizer.sgd ~lr:0.1 () in
+  let h = Nn.Train.fit model opt ~epochs:5 ~train ~eval in
+  (match h.Nn.Train.outcome with
+  | Nn.Train.Aborted_non_finite { epoch; step } ->
+      Alcotest.(check int) "aborts in epoch 2" 2 epoch;
+      Alcotest.(check int) "at step 3" 3 step
+  | o -> Alcotest.failf "expected non-finite abort, got %s" (Nn.Train.outcome_label o));
+  Alcotest.(check bool) "aborted flag" true h.Nn.Train.aborted;
+  Alcotest.(check int) "only epoch 1 recorded" 1 (List.length h.Nn.Train.epoch_losses);
+  (* final_train_accuracy comes from the last completed epoch, never
+     from the poisoned partial one. *)
+  Alcotest.(check (float 1e-9)) "accuracy from last completed epoch"
+    (List.hd h.Nn.Train.epoch_accuracies)
+    h.Nn.Train.final_train_accuracy
+
+let test_sentinel_disabled_runs_through () =
+  let r = rng () in
+  let model =
+    Nn.Model.of_layer
+      (Nn.Layer.sequential "clf"
+         [ poison_layer ~after:7; Nn.Layer.linear r ~in_features:4 ~out_features:2 ])
+  in
+  let opt = Nn.Optimizer.sgd ~lr:0.1 () in
+  let h =
+    Nn.Train.fit model opt
+      ~sentinel:(Nn.Train.sentinel ~check_finite:false ~divergence_factor:1e30 ())
+      ~epochs:3 ~train:(separable_batches r 4) ~eval:(separable_batches r 1)
+  in
+  Alcotest.(check bool) "runs to completion" false h.Nn.Train.aborted;
+  Alcotest.(check int) "all epochs recorded" 3 (List.length h.Nn.Train.epoch_losses)
+
+let test_sentinel_divergence_abort () =
+  let r = rng () in
+  let model =
+    Nn.Model.of_layer
+      (Nn.Layer.sequential "clf" [ Nn.Layer.linear r ~in_features:4 ~out_features:2 ])
+  in
+  let opt = Nn.Optimizer.sgd ~lr:0.1 () in
+  (* A vanishingly small divergence factor makes any positive epoch-2
+     loss count as divergence; patience 1 aborts immediately. *)
+  let h =
+    Nn.Train.fit model opt
+      ~sentinel:(Nn.Train.sentinel ~divergence_factor:1e-12 ~divergence_patience:1 ())
+      ~epochs:5 ~train:(separable_batches r 4) ~eval:(separable_batches r 1)
+  in
+  (match h.Nn.Train.outcome with
+  | Nn.Train.Aborted_diverged { epoch; loss; initial } ->
+      Alcotest.(check int) "aborts after epoch 2" 2 epoch;
+      Alcotest.(check bool) "loss over threshold" true (loss > 1e-12 *. initial)
+  | o -> Alcotest.failf "expected divergence abort, got %s" (Nn.Train.outcome_label o));
+  Alcotest.(check string) "label" "diverged" (Nn.Train.outcome_label h.Nn.Train.outcome);
+  Alcotest.(check int) "both epochs recorded" 2 (List.length h.Nn.Train.epoch_losses)
+
+let test_sentinel_validation () =
+  Alcotest.check_raises "factor must be positive"
+    (Invalid_argument "Train.sentinel: divergence_factor must be > 0") (fun () ->
+      ignore (Nn.Train.sentinel ~divergence_factor:0.0 ()));
+  Alcotest.check_raises "patience must be >= 1"
+    (Invalid_argument "Train.sentinel: divergence_patience must be >= 1") (fun () ->
+      ignore (Nn.Train.sentinel ~divergence_patience:0 ()))
+
 let test_attention_shapes () =
   let r = rng () in
   let attn = Nn.Attention.causal_self_attention r ~embed:8 ~heads:2 () in
@@ -176,6 +326,16 @@ let () =
         [
           Alcotest.test_case "linear model learns" `Quick test_linear_model_learns;
           Alcotest.test_case "operator layer trains" `Slow test_operator_layer_trains;
+        ] );
+      ( "sentinels",
+        [
+          Alcotest.test_case "clip_global_norm" `Quick test_clip_global_norm;
+          Alcotest.test_case "step stats grad norm" `Quick test_step_stats_grad_norm;
+          Alcotest.test_case "non-finite abort" `Quick test_sentinel_non_finite_abort;
+          Alcotest.test_case "disabled sentinel runs through" `Quick
+            test_sentinel_disabled_runs_through;
+          Alcotest.test_case "divergence abort" `Quick test_sentinel_divergence_abort;
+          Alcotest.test_case "sentinel validation" `Quick test_sentinel_validation;
         ] );
       ( "attention",
         [

@@ -311,6 +311,89 @@ let test_checkpoint_load_errors () =
       | Error _ -> ()
       | Ok _ -> Alcotest.fail "expected error for garbage file")
 
+let write_file path text =
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc
+
+let test_checkpoint_typed_errors () =
+  (match Checkpoint.load_result ~path:"/nonexistent/syno.ckpt" with
+  | Error (Checkpoint.Io _) -> ()
+  | _ -> Alcotest.fail "missing file must be Io");
+  with_temp (fun path ->
+      write_file path "";
+      (match Checkpoint.load_result ~path with
+      | Error (Checkpoint.Corrupt _) -> ()
+      | _ -> Alcotest.fail "empty file must be Corrupt");
+      write_file path "not a checkpoint\nentry: reward 0x1p0 visits 1 quarantined false\n";
+      (match Checkpoint.load_result ~path with
+      | Error (Checkpoint.Bad_header line) ->
+          Alcotest.(check string) "offending line" "not a checkpoint" line
+      | _ -> Alcotest.fail "wrong first line must be Bad_header");
+      (* Every typed error has a one-line human rendering. *)
+      List.iter
+        (fun e -> Alcotest.(check bool) "message" true (String.length (Checkpoint.string_of_error e) > 0))
+        [
+          Checkpoint.Io "x";
+          Checkpoint.Bad_header "y";
+          Checkpoint.Truncated { expected = 3; found = 2 };
+          Checkpoint.Corrupt "z";
+        ])
+
+let test_checkpoint_truncated () =
+  with_temp (fun path ->
+      let ops =
+        List.map
+          (fun (x : Mcts.result) -> x.Mcts.operator)
+          (Mcts.search ~config (matmul_cfg ()) ~reward ~rng:(Nd.Rng.create ~seed:7) ())
+      in
+      Alcotest.(check bool) "have operators" true (List.length ops >= 2);
+      let entries =
+        List.map
+          (fun op ->
+            {
+              Checkpoint.signature = Graph.operator_signature op;
+              operator = op;
+              reward = 0.5;
+              visits = 1;
+              quarantined = false;
+            })
+          ops
+      in
+      Checkpoint.save ~path entries;
+      (* Cut the file at the last entry header, simulating damage after
+         the atomic write: the declared count no longer matches. *)
+      let ic = open_in path in
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let last_entry =
+        let rec find from acc =
+          match String.index_from_opt text from 'e' with
+          | None -> acc
+          | Some i ->
+              let acc =
+                if i + 6 <= String.length text && String.sub text i 6 = "entry:" then Some i
+                else acc
+              in
+              find (i + 1) acc
+        in
+        match find 0 None with Some i -> i | None -> Alcotest.fail "no entry header"
+      in
+      write_file path (String.sub text 0 last_entry);
+      (match Checkpoint.load_result ~path with
+      | Error (Checkpoint.Truncated { expected; found }) ->
+          Alcotest.(check int) "declared" (List.length entries) expected;
+          Alcotest.(check int) "found" (List.length entries - 1) found
+      | Error e -> Alcotest.failf "wrong error: %s" (Checkpoint.string_of_error e)
+      | Ok _ -> Alcotest.fail "truncated checkpoint must be refused");
+      (* The string-typed compatibility loader refuses it too. *)
+      match Checkpoint.load ~path with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "load must agree with load_result")
+
 let test_sink_cadence () =
   with_temp (fun path ->
       let ops =
@@ -404,6 +487,8 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_checkpoint_roundtrip;
           Alcotest.test_case "load errors" `Quick test_checkpoint_load_errors;
+          Alcotest.test_case "typed errors" `Quick test_checkpoint_typed_errors;
+          Alcotest.test_case "truncation detected" `Quick test_checkpoint_truncated;
           Alcotest.test_case "sink cadence" `Quick test_sink_cadence;
           Alcotest.test_case "kill/resume equivalence" `Quick test_kill_resume_equivalence;
         ] );

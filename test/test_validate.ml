@@ -1,0 +1,233 @@
+(* Tests for the admission layer: resource budgets (rejection before
+   any allocation), differential validation across the three lowering
+   backends, the composed gate, and its integration with the search. *)
+
+module Var = Shape.Var
+module Size = Shape.Size
+module Valuation = Shape.Valuation
+module Graph = Pgraph.Graph
+module Tensor = Nd.Tensor
+module Guard = Robust.Guard
+module Budget = Validate.Budget
+module Differential = Validate.Differential
+module Admit = Validate.Admit
+module Enumerate = Search.Enumerate
+module Mcts = Search.Mcts
+module Reward = Search.Reward
+module Zoo = Syno.Zoo
+module Api = Syno.Api
+
+let conv = Zoo.conv2d.Zoo.operator
+let tiny = Zoo.Vars.conv_valuation ~n:1 ~c_in:8 ~c_out:8 ~hw:4 ~k:3 ~g:2 ~s:2 ()
+let search_v = List.hd Api.default_search_valuations
+
+(* A valuation for a different signature: conv's variables are unbound,
+   so conv is not instantiable under it. *)
+let foreign = Zoo.Vars.matmul_valuation ~m:4 ~n:4 ~k:4
+
+(* --- Budget ---------------------------------------------------------------- *)
+
+let test_budget_estimate () =
+  let e = Budget.estimate conv tiny in
+  Alcotest.(check bool) "bytes positive" true (e.Budget.est_bytes > 0);
+  Alcotest.(check int) "flops from the cost model"
+    (Pgraph.Flops.naive_flops conv tiny)
+    e.Budget.est_flops;
+  Alcotest.(check bool) "gather term counted" true
+    (e.Budget.est_bytes >= Budget.bytes_per_elem * e.Budget.est_gather_elems);
+  let big = Budget.estimate conv search_v in
+  Alcotest.(check bool) "monotone in the shape" true
+    (big.Budget.est_bytes > e.Budget.est_bytes && big.Budget.est_flops > e.Budget.est_flops)
+
+let test_budget_rejects_before_allocation () =
+  let before = Tensor.allocations () in
+  (match Budget.admit ~max_bytes:1 conv [ search_v ] with
+  | Error (Guard.Over_budget _) -> ()
+  | Error k -> Alcotest.failf "wrong kind %s" (Guard.kind_label k)
+  | Ok () -> Alcotest.fail "a 1-byte budget must reject");
+  (match Budget.admit ~max_flops:1 conv [ search_v ] with
+  | Error (Guard.Over_budget _) -> ()
+  | _ -> Alcotest.fail "a 1-flop budget must reject");
+  (* Generous budgets admit -- and the whole exercise, pass or fail,
+     never allocates a tensor. *)
+  (match Budget.admit ~max_bytes:max_int ~max_flops:max_int conv [ tiny; search_v ] with
+  | Ok () -> ()
+  | Error k -> Alcotest.failf "unexpected rejection %s" (Guard.kind_label k));
+  Alcotest.(check int) "no tensor allocated by the budget gate" 0
+    (Tensor.allocations () - before)
+
+let test_budget_not_instantiable () =
+  (match Budget.check conv foreign with
+  | Error (Guard.Eval_error _) -> ()
+  | Error k -> Alcotest.failf "wrong kind %s" (Guard.kind_label k)
+  | Ok _ -> Alcotest.fail "conv has unbound variables under a matmul valuation")
+
+(* --- Differential validation ----------------------------------------------- *)
+
+let test_differential_accepts_zoo () =
+  List.iter
+    (fun (entry : Zoo.entry) ->
+      match Differential.check entry.Zoo.operator [ tiny ] with
+      | Ok r ->
+          Alcotest.(check int) (entry.Zoo.name ^ " checked") 1 r.Differential.rep_valuations;
+          Alcotest.(check bool) (entry.Zoo.name ^ " compared elements") true
+            (r.Differential.rep_elements > 0);
+          Alcotest.(check bool) (entry.Zoo.name ^ " within tolerance") true
+            (r.Differential.rep_max_rel_err <= Differential.default_config.Differential.tolerance)
+      | Error k ->
+          Alcotest.failf "%s rejected: %s" entry.Zoo.name (Guard.kind_label k))
+    [ Zoo.conv2d; Zoo.conv1x1; Zoo.grouped_conv; Zoo.avgpool ]
+
+let test_differential_skips_non_instantiable () =
+  (* The gate must never quarantine a candidate the un-validated search
+     would have scored: foreign valuations are skipped, not failed. *)
+  match Differential.check conv [ foreign ] with
+  | Ok r -> Alcotest.(check int) "skipped" 0 r.Differential.rep_valuations
+  | Error k -> Alcotest.failf "skip expected, got %s" (Guard.kind_label k)
+
+let test_differential_catches_fault () =
+  List.iter
+    (fun backend ->
+      let fault = Differential.fault ~seed:4 ~rate:1.0 backend in
+      let config = Differential.config ~fault () in
+      (match Differential.check ~config conv [ tiny ] with
+      | Error (Guard.Backend_mismatch _) -> ()
+      | Error k ->
+          Alcotest.failf "%s fault: wrong kind %s"
+            (Differential.backend_label backend)
+            (Guard.kind_label k)
+      | Ok _ ->
+          Alcotest.failf "%s fault went undetected" (Differential.backend_label backend));
+      Alcotest.(check int)
+        (Differential.backend_label backend ^ " corruption delivered")
+        1 (Differential.fault_count fault))
+    Differential.backends
+
+let test_differential_config_validation () =
+  Alcotest.check_raises "tolerance must be positive"
+    (Invalid_argument "Differential.config: tolerance must be > 0") (fun () ->
+      ignore (Differential.config ~tolerance:0.0 ()))
+
+(* --- Composed gate ---------------------------------------------------------- *)
+
+let test_admit_gate_stats () =
+  let g = Admit.create ~max_bytes:1 ~valuations:[ search_v ] () in
+  Alcotest.(check bool) "active" true (Admit.active g);
+  (match Admit.gate g conv with
+  | Error (Guard.Over_budget _) -> ()
+  | _ -> Alcotest.fail "expected over_budget");
+  (match Admit.gate g conv with Error _ -> () | Ok () -> Alcotest.fail "still over budget");
+  let s = Admit.stats g in
+  Alcotest.(check int) "calls" 2 s.Admit.calls;
+  Alcotest.(check int) "rejected" 2 s.Admit.rejected;
+  Alcotest.(check bool) "time accounted" true (s.Admit.seconds >= 0.0)
+
+let test_admit_gate_inactive () =
+  let g = Admit.create () in
+  Alcotest.(check bool) "inactive" false (Admit.active g);
+  (match Admit.gate g conv with
+  | Ok () -> ()
+  | Error k -> Alcotest.failf "inactive gate rejected: %s" (Guard.kind_label k))
+
+(* --- Search integration ------------------------------------------------------ *)
+
+let m = Var.primary "M"
+let nd_ = Var.primary "Nd"
+let kd = Var.primary "Kd"
+let sz = Size.of_var
+let matmul_v = Valuation.of_list [ (m, 8); (nd_, 8); (kd, 8) ]
+
+let matmul_cfg () =
+  let base =
+    Enumerate.default_config ~output_shape:[ sz m; sz nd_ ] ~desired_shape:[ sz m; sz kd ]
+      ~valuations:[ matmul_v ] ()
+  in
+  { base with Enumerate.max_prims = 4; reduce_candidates = [ sz kd ] }
+
+let reward op = Reward.score op matmul_v
+let config = Mcts.default_config ~iterations:120 ()
+let top r = List.map (fun (x : Mcts.result) -> (Graph.operator_signature x.operator, x.reward)) r
+
+let test_search_admit_reject_all () =
+  let r =
+    Mcts.search_run ~config ~admit:(fun _ -> Error (Guard.Over_budget "cap 0"))
+      (matmul_cfg ()) ~reward ~rng:(Nd.Rng.create ~seed:7) ()
+  in
+  Alcotest.(check bool) "found candidates" true (r.Mcts.results <> []);
+  Alcotest.(check int) "nothing evaluated" 0 r.Mcts.stats.Mcts.evaluations;
+  Alcotest.(check int) "all quarantined" (List.length r.Mcts.results)
+    r.Mcts.stats.Mcts.quarantined;
+  List.iter
+    (fun (x : Mcts.result) -> Alcotest.(check bool) "quarantined" true x.Mcts.quarantined)
+    r.Mcts.results;
+  let over_budget =
+    Option.value ~default:0 (List.assoc_opt "over_budget" r.Mcts.stats.Mcts.failed_attempts)
+  in
+  Alcotest.(check int) "rejections recorded as over_budget"
+    r.Mcts.stats.Mcts.attempts over_budget
+
+let test_search_admit_passthrough () =
+  let clean = Mcts.search ~config (matmul_cfg ()) ~reward ~rng:(Nd.Rng.create ~seed:7) () in
+  let gated =
+    Mcts.search ~config ~admit:(fun _ -> Ok ()) (matmul_cfg ()) ~reward
+      ~rng:(Nd.Rng.create ~seed:7) ()
+  in
+  Alcotest.(check bool) "admit Ok is invisible" true (top clean = top gated)
+
+(* --- Corrupt-resume handling at the API level -------------------------------- *)
+
+let with_temp f =
+  let path = Filename.temp_file "syno_test" ".ckpt" in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path) (fun () -> f path)
+
+let test_api_resume_corrupt () =
+  with_temp (fun path ->
+      let oc = open_out path in
+      output_string oc "garbage, not a checkpoint\n";
+      close_out oc;
+      let run ?on_corrupt () =
+        Api.search_conv_operators_run ~iterations:40 ~max_prims:4 ~resume:path ?on_corrupt
+          ~rng:(Nd.Rng.create ~seed:3) ~valuations:Api.default_search_valuations ()
+      in
+      (match run () with
+      | exception Failure msg ->
+          Alcotest.(check bool)
+            (Printf.sprintf "error names the header problem (%s)" msg)
+            true
+            (Astring.String.is_infix ~affix:"header" msg)
+      | _ -> Alcotest.fail "corrupt resume must fail by default");
+      let r = run ~on_corrupt:`Restart () in
+      Alcotest.(check bool) "restart ignores the damaged file" true (r.Api.candidates <> []))
+
+let () =
+  Alcotest.run "validate"
+    [
+      ( "budget",
+        [
+          Alcotest.test_case "estimate" `Quick test_budget_estimate;
+          Alcotest.test_case "rejects before allocation" `Quick
+            test_budget_rejects_before_allocation;
+          Alcotest.test_case "not instantiable" `Quick test_budget_not_instantiable;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "accepts the zoo" `Quick test_differential_accepts_zoo;
+          Alcotest.test_case "skips non-instantiable valuations" `Quick
+            test_differential_skips_non_instantiable;
+          Alcotest.test_case "catches a seeded miscompile" `Quick
+            test_differential_catches_fault;
+          Alcotest.test_case "config validation" `Quick test_differential_config_validation;
+        ] );
+      ( "gate",
+        [
+          Alcotest.test_case "stats" `Quick test_admit_gate_stats;
+          Alcotest.test_case "inactive" `Quick test_admit_gate_inactive;
+        ] );
+      ( "search",
+        [
+          Alcotest.test_case "reject-all quarantines everything" `Quick
+            test_search_admit_reject_all;
+          Alcotest.test_case "admit Ok is invisible" `Quick test_search_admit_passthrough;
+          Alcotest.test_case "corrupt resume: fail or restart" `Quick test_api_resume_corrupt;
+        ] );
+    ]
