@@ -3,7 +3,8 @@
 
      dune exec bench/main.exe           -- run everything
      dune exec bench/main.exe fig5      -- one experiment
-     (experiments: fig5 fig6 fig8 fig9 fig10 tab3 ablation micro par par-smoke)
+     (experiments: fig5 fig6 fig8 fig9 fig10 tab3 ablation micro par robust
+      validate cancel, plus *-smoke variants for CI)
 
    Paper-reported numbers are printed alongside the measured ones; the
    hardware/datasets are simulated (see DESIGN.md), so the comparison
@@ -541,7 +542,7 @@ let par_bench ~smoke () =
   let mcts_iterations = if smoke then 8 else 150 in
   let cfg = search_space_cfg ~max_prims:(if smoke then 5 else 7) () in
   let mcts_cfg = Search.Mcts.default_config ~iterations:mcts_iterations () in
-  let reward op = Search.Reward.score op (List.hd Api.default_search_valuations) in
+  let reward ~cancel:_ op = Search.Reward.score op (List.hd Api.default_search_valuations) in
   let run_search pool =
     time (fun () ->
         Search.Mcts.search_parallel ~config:mcts_cfg ~pool ~trees cfg ~reward
@@ -605,11 +606,12 @@ let robust_bench ~smoke () =
      reward evaluation dwarfs the wrapper. *)
   let calls = if smoke then 20_000 else 2_000_000 in
   let acc = ref 0.0 in
-  let thunk i () = Float.of_int (i land 1023) *. 0.5 in
+  let thunk i _token = Float.of_int (i land 1023) *. 0.5 in
+  let never = Robust.Cancel.create () in
   let (), t_raw =
     time (fun () ->
         for i = 1 to calls do
-          acc := !acc +. (thunk i) ()
+          acc := !acc +. (thunk i) never
         done)
   in
   let policy = Robust.Guard.policy ~retries:2 () in
@@ -880,6 +882,175 @@ let validate_bench ~smoke () =
     exit 1
   end
 
+(* --- Cooperative cancellation ------------------------------------------------ *)
+
+(* Measures what cancellation costs and proves what it guarantees:
+   einsum's per-chunk polling sits at the noise floor (<2%, asserted in
+   the full run), Guard's preemptive deadline stops a deliberately slow
+   candidate mid-evaluation with an overrun bounded by one poll
+   interval, and a search cancelled mid-run — the same token path the
+   CLI's SIGINT handler trips — returns partial results, flushes its
+   checkpoint, and resumes to the uninterrupted top-k.  Emits
+   BENCH_cancel.json; the smoke variant runs inside `dune runtest` via
+   the bench-smoke alias. *)
+
+let cancel_bench ~smoke () =
+  section
+    (Printf.sprintf "Cooperative cancellation (Cancel)%s" (if smoke then " [smoke]" else ""));
+  (* 1) Einsum poll overhead: the same plan with and without an
+     untripped token, best-of-k so scheduler noise doesn't drown a poll
+     every 4096 output elements. *)
+  let rng = Nd.Rng.create ~seed:2026 in
+  let spec, shapes = ("ik,kj->ij", [ [| 128; 128 |]; [| 128; 128 |] ]) in
+  let tensors = List.map (fun sh -> Nd.Tensor.rand_normal rng ~scale:1.0 sh) shapes in
+  let p = Nd.Einsum.plan spec shapes in
+  let iters = if smoke then 3 else 60 in
+  let reps = if smoke then 3 else 5 in
+  let best f =
+    (* warm-up run, then best-of-reps *)
+    f ();
+    let b = ref infinity in
+    for _ = 1 to reps do
+      let (), t =
+        time (fun () ->
+            for _ = 1 to iters do
+              f ()
+            done)
+      in
+      if t < !b then b := t
+    done;
+    !b
+  in
+  let token = Robust.Cancel.create () in
+  let t_plain = best (fun () -> ignore (Nd.Einsum.run p tensors)) in
+  let t_polled = best (fun () -> ignore (Nd.Einsum.run ~cancel:token p tensors)) in
+  let poll_overhead = (t_polled -. t_plain) /. Float.max 1e-12 t_plain in
+  note "einsum poll overhead: plain %6.2f ms/run, polled %6.2f ms/run (%+.2f%%, best of %d)"
+    (1000.0 *. t_plain /. float_of_int iters)
+    (1000.0 *. t_polled /. float_of_int iters)
+    (100.0 *. poll_overhead) reps;
+  (* 2) Preemptive deadline on a deliberately slow candidate: an
+     evaluation that loops einsum runs, polled through the token Guard
+     hands it.  Without preemption this would run to completion and
+     only then be classified Timeout; with it, the evaluation stops at
+     the next poll and the overrun past the budget is bounded by one
+     poll interval. *)
+  let slow_runs = if smoke then 80 else 500 in
+  let slow token =
+    for _ = 1 to slow_runs do
+      ignore (Nd.Einsum.run ~cancel:token p tensors)
+    done;
+    1.0
+  in
+  let never = Robust.Cancel.create () in
+  let (), t_full = time (fun () -> ignore (slow never)) in
+  let budget = Float.min (if smoke then 0.02 else 0.15) (t_full /. 4.0) in
+  let policy = Robust.Guard.policy ~retries:0 ~timeout:budget () in
+  let preempt_trials = if smoke then 2 else 5 in
+  let timed_out = ref true in
+  let t_preempted = ref 0.0 in
+  let max_overrun = ref 0.0 in
+  for _ = 1 to preempt_trials do
+    let out, t = time (fun () -> Robust.Guard.run ~policy ~key:"slow-candidate" slow) in
+    (match out.Robust.Guard.result with
+    | Error Robust.Guard.Timeout -> ()
+    | _ -> timed_out := false);
+    t_preempted := t;
+    if t -. budget > !max_overrun then max_overrun := t -. budget
+  done;
+  note
+    "preemption: full run %.3fs, budget %.3fs -> stopped in %.3fs (%s), worst overrun \
+     %.1f ms over %d trials"
+    t_full budget !t_preempted
+    (if !timed_out then "Timeout" else "NOT TIMEOUT")
+    (1000.0 *. !max_overrun) preempt_trials;
+  let preempt_ok = !timed_out && !t_preempted < t_full /. 2.0 in
+  (* 3) Mid-search cancellation + resume: trip the root token after K
+     evaluations (exactly what the CLI's SIGINT handler does), then
+     resume from the flushed checkpoint and compare against the
+     uninterrupted top-k. *)
+  let iterations = if smoke then 150 else 600 in
+  let cfg = search_space_cfg ~max_prims:(if smoke then 5 else 6) () in
+  let mcts_cfg = Search.Mcts.default_config ~iterations () in
+  let reward ~cancel:_ op = Search.Reward.score op (List.hd Api.default_search_valuations) in
+  let sigs rs =
+    List.map
+      (fun r -> (Graph.operator_signature r.Search.Mcts.operator, r.Search.Mcts.reward))
+      rs
+  in
+  let clean, t_clean =
+    time (fun () ->
+        Search.Mcts.search ~config:mcts_cfg cfg ~reward ~rng:(Nd.Rng.create ~seed:17) ())
+  in
+  let root = Robust.Cancel.create () in
+  let evals = ref 0 in
+  let trip_after = if smoke then 5 else 8 in
+  let tripping ~cancel op =
+    incr evals;
+    if !evals >= trip_after then Robust.Cancel.cancel ~reason:"SIGINT" root;
+    reward ~cancel op
+  in
+  let ckpt = Filename.temp_file "syno_cancel" ".ckpt" in
+  let sink = Search.Checkpoint.sink ~path:ckpt ~every:5 () in
+  let partial, t_partial =
+    time (fun () ->
+        Search.Mcts.search ~config:mcts_cfg ~checkpoint:sink ~cancel:root cfg
+          ~reward:tripping ~rng:(Nd.Rng.create ~seed:17) ())
+  in
+  let entries =
+    match Search.Checkpoint.load ~path:ckpt with
+    | Ok es -> es
+    | Error msg -> failwith ("checkpoint load failed: " ^ msg)
+  in
+  let resumed, t_resumed =
+    time (fun () ->
+        Search.Mcts.search ~config:mcts_cfg ~resume:entries cfg ~reward
+          ~rng:(Nd.Rng.create ~seed:17) ())
+  in
+  Sys.remove ckpt;
+  let identical = sigs clean = sigs resumed in
+  note
+    "cancelled search: %d/%d operators after trip at eval %d (%.2fs vs %.2fs clean), %d \
+     checkpoint entries; resumed %.2fs, results %s"
+    (List.length partial) (List.length clean) trip_after t_partial t_clean
+    (List.length entries) t_resumed
+    (if identical then "identical to uninterrupted" else "DIVERGED");
+  let shutdown_ok = partial <> [] && entries <> [] && identical in
+  (* Trajectory file. *)
+  let oc = open_out "BENCH_cancel.json" in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"smoke\": %b,\n" smoke;
+  out
+    "  \"poll\": {\"iterations\": %d, \"plain_ms_per_run\": %.4f, \"polled_ms_per_run\": \
+     %.4f, \"overhead\": %.5f},\n"
+    iters
+    (1000.0 *. t_plain /. float_of_int iters)
+    (1000.0 *. t_polled /. float_of_int iters)
+    poll_overhead;
+  out
+    "  \"preempt\": {\"full_seconds\": %.4f, \"budget_seconds\": %.4f, \
+     \"preempted_seconds\": %.4f, \"max_overrun_ms\": %.2f, \"trials\": %d, \"timed_out\": \
+     %b},\n"
+    t_full budget !t_preempted
+    (1000.0 *. !max_overrun)
+    preempt_trials !timed_out;
+  out
+    "  \"shutdown\": {\"iterations\": %d, \"trip_after_evals\": %d, \"partial_operators\": \
+     %d, \"clean_operators\": %d, \"checkpoint_entries\": %d, \"identical_results\": %b}\n"
+    iterations trip_after (List.length partial) (List.length clean) (List.length entries)
+    identical;
+  out "}\n";
+  close_out oc;
+  note "wrote BENCH_cancel.json";
+  let overhead_ok = smoke || poll_overhead < 0.02 in
+  if not overhead_ok then
+    Printf.eprintf "einsum poll overhead %.2f%% exceeds the 2%% bound\n"
+      (100.0 *. poll_overhead);
+  if not preempt_ok then prerr_endline "preemptive deadline failed to bound the slow candidate";
+  if not shutdown_ok then prerr_endline "cancelled search did not flush/resume correctly";
+  if not (overhead_ok && preempt_ok && shutdown_ok) then exit 1
+
 (* --- Driver ------------------------------------------------------------------ *)
 
 let experiments =
@@ -898,6 +1069,8 @@ let experiments =
     ("robust-smoke", robust_bench ~smoke:true);
     ("validate", validate_bench ~smoke:false);
     ("validate-smoke", validate_bench ~smoke:true);
+    ("cancel", cancel_bench ~smoke:false);
+    ("cancel-smoke", cancel_bench ~smoke:true);
   ]
 
 let () =
@@ -906,7 +1079,9 @@ let () =
     | _ :: (_ :: _ as names) -> names
     | _ ->
         List.filter
-          (fun n -> n <> "par-smoke" && n <> "robust-smoke" && n <> "validate-smoke")
+          (fun n ->
+            n <> "par-smoke" && n <> "robust-smoke" && n <> "validate-smoke"
+            && n <> "cancel-smoke")
           (List.map fst experiments)
   in
   let t0 = Unix.gettimeofday () in

@@ -129,10 +129,25 @@ let describe_cmd =
 
 (* --- search ------------------------------------------------------------------ *)
 
+(* Graceful shutdown: SIGINT/SIGTERM trip the root token; the search
+   stops at the next iteration boundary, flushes its final checkpoint,
+   and the partial top-k is reported before exiting with the
+   conventional 128+SIGINT = 130.  The handler only flips an atomic
+   (via [Cancel.cancel]), which is safe at signal time. *)
+let install_shutdown_handlers root =
+  let handle name signal =
+    Sys.set_signal signal
+      (Sys.Signal_handle (fun _ -> Robust.Cancel.cancel ~reason:name root))
+  in
+  handle "SIGINT" Sys.sigint;
+  handle "SIGTERM" Sys.sigterm
+
+let exit_interrupted = 130
+
 let search_cmd =
   let run iterations max_prims budget_ratio top save seed domains retries timeout fault_rate
       fault_seed checkpoint checkpoint_every resume resume_ignore_corrupt max_bytes max_flops
-      validate =
+      validate no_graceful =
     let domains = resolve_domains domains in
     let rng = Nd.Rng.create ~seed in
     let guard = Robust.Guard.policy ~retries ?timeout () in
@@ -142,12 +157,27 @@ let search_cmd =
       else Robust.Inject.none
     in
     let on_corrupt = if resume_ignore_corrupt then `Restart else `Fail in
+    let root = Robust.Cancel.create () in
+    if not no_graceful then install_shutdown_handlers root;
     let t0 = Unix.gettimeofday () in
-    let { Api.candidates; failures; admission } =
+    match
       Api.search_conv_operators_run ~iterations ~max_prims ~flops_budget_ratio:budget_ratio
         ~domains ~guard ~inject ?checkpoint ~checkpoint_every ?resume ~on_corrupt ?max_bytes
-        ?max_flops ~validate ~rng ~valuations:Api.default_search_valuations ()
-    in
+        ?max_flops ~validate ~cancel:root ~rng ~valuations:Api.default_search_valuations ()
+    with
+    | exception Failure msg ->
+        prerr_endline msg;
+        2
+    | { Api.candidates; failures; admission } ->
+    let interrupted = Robust.Cancel.status root in
+    (match interrupted with
+    | Some reason ->
+        Format.printf "interrupted (%s): stopping at the iteration boundary%s@."
+          (Robust.Cancel.reason_to_string reason)
+          (match checkpoint with
+          | Some path -> Printf.sprintf ", checkpoint flushed to %s" path
+          | None -> "")
+    | None -> ());
     Format.printf "found %d distinct canonical operators in %.1fs (%d domains)@."
       (List.length candidates)
       (Unix.gettimeofday () -. t0)
@@ -186,7 +216,7 @@ let search_cmd =
           | None -> ()
         end)
       candidates;
-    0
+    if interrupted <> None then exit_interrupted else 0
   in
   let iterations =
     Arg.(value & opt int 2000 & info [ "iterations" ] ~doc:"MCTS iterations.")
@@ -254,11 +284,25 @@ let search_cmd =
              ~doc:"Differentially validate every candidate across the three lowering backends \
                    on small seeded inputs; disagreeing candidates are quarantined.")
   in
+  let no_graceful =
+    Arg.(value & flag
+         & info [ "no-graceful-shutdown" ]
+             ~doc:"Keep the default signal behaviour: SIGINT/SIGTERM kill the process \
+                   immediately instead of stopping at the next iteration boundary and \
+                   flushing a final checkpoint.")
+  in
   Cmd.v
-    (Cmd.info "search" ~doc:"Synthesize convolution replacements with MCTS.")
+    (Cmd.info "search" ~doc:"Synthesize convolution replacements with MCTS."
+       ~exits:
+         (Cmd.Exit.info ~doc:"on success." 0
+         :: Cmd.Exit.info ~doc:"on a usage or validation error." 1
+         :: Cmd.Exit.info ~doc:"on a search failure (e.g. an unreadable --resume file)." 2
+         :: Cmd.Exit.info ~doc:"when interrupted by SIGINT/SIGTERM (after flushing the \
+                                checkpoint and reporting partial results)." exit_interrupted
+         :: Cmd.Exit.defaults))
     Term.(const run $ iterations $ max_prims $ budget $ top $ save $ seed $ domains_arg
           $ retries $ timeout $ fault_rate $ fault_seed $ checkpoint $ checkpoint_every
-          $ resume $ resume_ignore_corrupt $ max_bytes $ max_flops $ validate)
+          $ resume $ resume_ignore_corrupt $ max_bytes $ max_flops $ validate $ no_graceful)
 
 (* --- latency ------------------------------------------------------------------ *)
 
@@ -336,7 +380,9 @@ let train_cmd =
             Format.printf "aborted: non-finite loss at epoch %d, step %d@." epoch step
         | Nn.Train.Aborted_diverged { epoch; loss; initial } ->
             Format.printf "aborted: diverged at epoch %d (loss %.3f vs initial %.3f)@." epoch
-              loss initial);
+              loss initial
+        | Nn.Train.Aborted_cancelled { epoch; step } ->
+            Format.printf "aborted: cancelled at epoch %d, step %d@." epoch step);
         Format.printf "final eval accuracy: %.3f@." h.Nn.Train.final_eval_accuracy;
         if h.Nn.Train.aborted then 1 else 0
   in

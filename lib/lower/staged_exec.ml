@@ -53,9 +53,15 @@ let coefficient lookup it e =
   Ast.eval ~env:env1 ~lookup e - Ast.eval ~env:env1 ~lookup res
   - (Ast.eval ~env:env0 ~lookup e - Ast.eval ~env:env0 ~lookup res)
 
+(* Cancellation poll cadence in the flat element loops: coarse enough
+   to stay off the per-element profile, fine enough to bound preemption
+   latency to a few thousand accumulations. *)
+let poll_mask = 4095
+
 (* Materialize the sum over [it] of the product of the participating
-   factors into a new tensor factor. *)
-let materialize lookup it dom factors =
+   factors into a new tensor factor.  [poll] is called every
+   [poll_mask + 1] output elements. *)
+let materialize ~poll lookup it dom factors =
   let participating, others = List.partition (factor_has it) factors in
   (* Build the new dim list with, per participating-factor dim, its slot
      in the new tensor and its c coefficient. *)
@@ -112,6 +118,7 @@ let materialize lookup it dom factors =
   let total = Array.fold_left ( * ) 1 extents in
   let lows = Array.of_list (List.map (fun d -> d.lo) dims) in
   for flat = 0 to total - 1 do
+    if flat land poll_mask = 0 then poll ();
     let rem = ref flat in
     for i = n_dims - 1 downto 0 do
       pos.(i) <- !rem mod extents.(i);
@@ -172,17 +179,23 @@ let initial_factors t ~input ~weights =
   in
   input_factor :: weight_factors
 
-let forward t ~input ~weights =
+let forward ?cancel t ~input ~weights =
   if Tensor.shape input <> Reference.input_shape t.reference then
     invalid_arg "Staged_exec.forward: input shape";
+  let poll =
+    match cancel with
+    | None -> fun () -> ()
+    | Some c -> fun () -> Robust.Cancel.check c
+  in
   let lookup = Valuation.lookup t.valuation in
-  (* Early stages in plan order. *)
+  (* Early stages in plan order; each stage boundary is a safe point. *)
   let factors, reduced_ids =
     List.fold_left
       (fun (factors, done_ids) stage ->
+        poll ();
         let it = stage.Staging.reduced in
         let dom = Size.eval it.Ast.dom lookup in
-        let t', others = materialize lookup it dom factors in
+        let t', others = materialize ~poll lookup it dom factors in
         (t' :: others, it.Ast.id :: done_ids))
       (initial_factors t ~input ~weights, [])
       t.plan.Staging.stages
@@ -237,6 +250,7 @@ let forward t ~input ~weights =
   let out_total = Array.fold_left ( * ) 1 out_dims in
   let red_total = Array.fold_left ( * ) 1 red_dims in
   for flat_out = 0 to out_total - 1 do
+    if flat_out land poll_mask = 0 then poll ();
     let rem = ref flat_out in
     for i = Array.length out_dims - 1 downto 0 do
       env.(spatial_ids.(i)) <- !rem mod out_dims.(i);

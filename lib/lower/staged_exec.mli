@@ -20,4 +20,9 @@ val plan : t -> Staging.plan
 val num_stages : t -> int
 (** Materialized stages (0 = plain loop nest). *)
 
-val forward : t -> input:Nd.Tensor.t -> weights:Nd.Tensor.t list -> Nd.Tensor.t
+val forward :
+  ?cancel:Robust.Cancel.t -> t -> input:Nd.Tensor.t -> weights:Nd.Tensor.t list -> Nd.Tensor.t
+(** [cancel] makes the executor a cancellation safe point: the token is
+    polled at every stage boundary and every few thousand elements
+    inside each stage's element loop, raising [Robust.Cancel.Cancelled]
+    promptly when it trips. *)

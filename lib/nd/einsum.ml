@@ -89,7 +89,12 @@ let plan spec shapes =
    on a large pool: domain wakeup costs more than the contraction. *)
 let par_threshold = 1 lsl 14
 
-let run ?pool p tensors =
+(* When cancellable, the body polls the token every [poll_quantum]
+   output elements, so preemption latency is bounded by the work of one
+   sub-chunk while keeping the poll off the inner accumulation loop. *)
+let poll_quantum = 4096
+
+let run ?pool ?cancel p tensors =
   List.iter2
     (fun t sh ->
       if Tensor.shape t <> sh then invalid_arg "Einsum.run: tensor shape changed since plan")
@@ -147,12 +152,26 @@ let run ?pool p tensors =
       out_data.(flat_out) <- !acc
     done
   in
+  let body =
+    match cancel with
+    | None -> body
+    | Some c ->
+        fun lo hi ->
+          let i = ref lo in
+          while !i < hi do
+            Robust.Cancel.check c;
+            let j = min hi (!i + poll_quantum) in
+            body !i j;
+            i := j
+          done
+  in
   let work = total_out * total_sum * max 1 n_inputs in
   if work < par_threshold then body 0 total_out
   else begin
     let pool = match pool with Some p -> p | None -> Par.Pool.get_default () in
-    Par.Pool.parallel_for pool ~n:total_out body
+    Par.Pool.parallel_for pool ?cancel ~n:total_out body
   end;
   out
 
-let einsum ?pool spec tensors = run ?pool (plan spec (List.map Tensor.shape tensors)) tensors
+let einsum ?pool ?cancel spec tensors =
+  run ?pool ?cancel (plan spec (List.map Tensor.shape tensors)) tensors

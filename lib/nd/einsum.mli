@@ -6,10 +6,11 @@
     ["nchw,dc->ndhw"]: repeated labels on the input side that do not
     appear in the output are summed over. *)
 
-val einsum : ?pool:Par.Pool.t -> string -> Tensor.t list -> Tensor.t
+val einsum : ?pool:Par.Pool.t -> ?cancel:Robust.Cancel.t -> string -> Tensor.t list -> Tensor.t
 (** [einsum spec inputs].  Raises [Invalid_argument] on malformed specs,
     rank mismatches, inconsistent label extents, or repeated output
-    labels (["ij->ii"] is rejected, as in numpy). *)
+    labels (["ij->ii"] is rejected, as in numpy).  [cancel] as in
+    {!run}. *)
 
 type plan
 
@@ -17,11 +18,16 @@ val plan : string -> int array list -> plan
 (** Pre-compile a spec for repeated execution on tensors of the given
     shapes. *)
 
-val run : ?pool:Par.Pool.t -> plan -> Tensor.t list -> Tensor.t
+val run : ?pool:Par.Pool.t -> ?cancel:Robust.Cancel.t -> plan -> Tensor.t list -> Tensor.t
 (** Execute a plan.  Large contractions chunk the output elements
     across [pool] (default: [Par.Pool.get_default ()]); each chunk uses
     private scratch, so the result is bit-identical at any pool size.
-    Small contractions always run sequentially. *)
+    Small contractions always run sequentially.
+
+    [cancel] makes the contraction a cancellation safe point: the token
+    is polled every few thousand output elements (and at every pool
+    chunk claim), raising [Robust.Cancel.Cancelled] promptly when it
+    trips.  Omitting it keeps the hot path entirely poll-free. *)
 
 val output_labels : string -> string
 val input_labels : string -> string list

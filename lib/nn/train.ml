@@ -4,11 +4,13 @@ type outcome =
   | Completed
   | Aborted_non_finite of { epoch : int; step : int }
   | Aborted_diverged of { epoch : int; loss : float; initial : float }
+  | Aborted_cancelled of { epoch : int; step : int }
 
 let outcome_label = function
   | Completed -> "completed"
   | Aborted_non_finite _ -> "non_finite_loss"
   | Aborted_diverged _ -> "diverged"
+  | Aborted_cancelled _ -> "cancelled"
 
 type sentinel = {
   check_finite : bool;
@@ -46,7 +48,7 @@ let evaluate model batches =
   in
   if total = 0 then 0.0 else correct /. float_of_int total
 
-let fit ?log ?clip_norm ?(sentinel = default_sentinel) model opt ~epochs ~train ~eval =
+let fit ?log ?clip_norm ?(sentinel = default_sentinel) ?cancel model opt ~epochs ~train ~eval =
   let base_lr = Optimizer.lr opt in
   let steps_per_epoch = List.length train in
   let total_steps = epochs * steps_per_epoch in
@@ -62,6 +64,14 @@ let fit ?log ?clip_norm ?(sentinel = default_sentinel) model opt ~epochs ~train 
        let step_in_epoch = ref 0 in
        List.iter
          (fun { images; labels } ->
+           (* Per-step safe point: a tripped token abandons the run
+              before the next (expensive) train step, keeping the stats
+              of every epoch that already completed. *)
+           (match cancel with
+           | Some c when Robust.Cancel.is_cancelled c ->
+               outcome := Aborted_cancelled { epoch; step = !step_in_epoch + 1 };
+               raise_notrace Abort
+           | Some _ | None -> ());
            Optimizer.set_lr opt (Optimizer.cosine_lr ~base:base_lr ~total_steps !step);
            incr step;
            incr step_in_epoch;

@@ -19,9 +19,13 @@ type outcome =
   | Aborted_diverged of { epoch : int; loss : float; initial : float }
       (** epoch loss exceeded [divergence_factor * initial] for
           [divergence_patience] consecutive epochs *)
+  | Aborted_cancelled of { epoch : int; step : int }
+      (** the cancellation token tripped; [step] is the step (within
+          [epoch], from 1) that was about to run when the trip was
+          observed *)
 
 val outcome_label : outcome -> string
-(** [completed], [non_finite_loss] or [diverged]. *)
+(** [completed], [non_finite_loss], [diverged] or [cancelled]. *)
 
 type sentinel = {
   check_finite : bool;  (** abort on a non-finite step loss *)
@@ -52,6 +56,7 @@ val fit :
   ?log:(epoch:int -> loss:float -> accuracy:float -> unit) ->
   ?clip_norm:float ->
   ?sentinel:sentinel ->
+  ?cancel:Robust.Cancel.t ->
   Model.t ->
   Optimizer.t ->
   epochs:int ->
@@ -62,6 +67,10 @@ val fit :
     applies global gradient-norm clipping on every step
     ({!Optimizer.clip_global_norm}).  The [sentinel] (default
     {!default_sentinel}) may abort the run early; the divergence
-    baseline is the first completed epoch's mean loss. *)
+    baseline is the first completed epoch's mean loss.  [cancel] is
+    polled before every training step: a trip ends the run with
+    [Aborted_cancelled] (no exception), keeping the stats of every
+    completed epoch — so a graceful shutdown still reports the partial
+    history. *)
 
 val evaluate : Model.t -> batch list -> float

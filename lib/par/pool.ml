@@ -24,6 +24,7 @@ type t = {
   mutable outstanding : int;
   mutable generation : int;
   mutable error : exn option;
+  mutable cancel : Robust.Cancel.t option;
   mutable stop : bool;
   mutable workers : unit Domain.t list;
   mutable worker_ids : Domain.id list;
@@ -35,9 +36,15 @@ let size t = t.size
    [t.mutex] held.  The first exception is recorded and aborts the
    loop: chunks not yet claimed are skipped (by any domain — the claim
    cursor is pushed past the end), chunks already running elsewhere
-   drain normally, and the pool is left reusable. *)
+   drain normally, and the pool is left reusable.  A tripped
+   cancellation token aborts with exactly the same discipline, checked
+   at every chunk claim so the remainder is skipped within one chunk of
+   the trip. *)
 let drain t body =
   let rec go () =
+    (match t.cancel with
+    | Some c when Robust.Cancel.is_cancelled c -> t.next_chunk <- Array.length t.bounds
+    | Some _ | None -> ());
     if t.next_chunk < Array.length t.bounds then begin
       let c = t.next_chunk in
       t.next_chunk <- c + 1;
@@ -90,6 +97,7 @@ let create ?domains () =
       outstanding = 0;
       generation = 0;
       error = None;
+      cancel = None;
       stop = false;
       workers = [];
       worker_ids = [];
@@ -114,9 +122,12 @@ let with_pool ?domains f =
 
 let inside_pool t = List.mem (Domain.self ()) t.worker_ids
 
-let parallel_for t ~n ?chunks body =
+let parallel_for t ?cancel ~n ?chunks body =
   if n <= 0 then ()
-  else if t.size <= 1 || n = 1 || inside_pool t then body 0 n
+  else if t.size <= 1 || n = 1 || inside_pool t then begin
+    (match cancel with Some c -> Robust.Cancel.check c | None -> ());
+    body 0 n
+  end
   else begin
     let n_chunks = min n (max 1 (match chunks with Some c -> c | None -> 4 * t.size)) in
     let bounds = Array.init n_chunks (fun i -> (i * n / n_chunks, (i + 1) * n / n_chunks)) in
@@ -124,6 +135,7 @@ let parallel_for t ~n ?chunks body =
     if t.body <> None then begin
       (* another domain already drives a loop on this pool *)
       Mutex.unlock t.mutex;
+      (match cancel with Some c -> Robust.Cancel.check c | None -> ());
       body 0 n
     end
     else begin
@@ -132,6 +144,7 @@ let parallel_for t ~n ?chunks body =
       t.next_chunk <- 0;
       t.outstanding <- 0;
       t.error <- None;
+      t.cancel <- cancel;
       t.generation <- t.generation + 1;
       Condition.broadcast t.work_ready;
       drain t body;
@@ -140,23 +153,26 @@ let parallel_for t ~n ?chunks body =
       done;
       (* Reset the loop state before re-raising: the pool must come out
          of a failed loop as reusable as it went in, so a later call
-         never observes a stale body, bounds, or error. *)
+         never observes a stale body, bounds, error, or token. *)
       t.body <- None;
       t.bounds <- [||];
       t.next_chunk <- 0;
       let err = t.error in
       t.error <- None;
+      t.cancel <- None;
       Mutex.unlock t.mutex;
-      match err with Some e -> raise e | None -> ()
+      match err with
+      | Some e -> raise e
+      | None -> ( match cancel with Some c -> Robust.Cancel.check c | None -> ())
     end
   end
 
-let map t f arr =
+let map t ?cancel f arr =
   let n = Array.length arr in
   if n = 0 then [||]
   else begin
     let out = Array.make n None in
-    parallel_for t ~n ~chunks:n (fun lo hi ->
+    parallel_for t ?cancel ~n ~chunks:n (fun lo hi ->
         for i = lo to hi - 1 do
           out.(i) <- Some (f arr.(i))
         done);

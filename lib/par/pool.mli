@@ -25,7 +25,8 @@ val create : ?domains:int -> unit -> t
 val size : t -> int
 (** Total parallelism of the pool (workers + calling domain). *)
 
-val parallel_for : t -> n:int -> ?chunks:int -> (int -> int -> unit) -> unit
+val parallel_for :
+  t -> ?cancel:Robust.Cancel.t -> n:int -> ?chunks:int -> (int -> int -> unit) -> unit
 (** [parallel_for pool ~n body] runs [body lo hi] over disjoint
     subranges covering [0, n).  [chunks] controls the number of
     subranges (default [4 * size], capped at [n]).  Runs sequentially
@@ -37,11 +38,19 @@ val parallel_for : t -> n:int -> ?chunks:int -> (int -> int -> unit) -> unit
     chunks already in flight on other domains drain normally, and the
     first exception is re-raised in the caller once the loop has
     drained.  The failure is fully contained — the pool stays usable
-    for subsequent loops, and waiting submitters are never stranded. *)
+    for subsequent loops, and waiting submitters are never stranded.
 
-val map : t -> ('a -> 'b) -> 'a array -> 'b array
+    [cancel] makes the loop cooperatively cancellable with exactly the
+    same discipline: the token is polled at every chunk claim, a trip
+    skips the unclaimed remainder, in-flight chunks drain, and
+    [Robust.Cancel.Cancelled] is raised in the caller after the drain
+    (an exception from the body takes priority over cancellation).
+    The sequential fallbacks check the token once before running. *)
+
+val map : t -> ?cancel:Robust.Cancel.t -> ('a -> 'b) -> 'a array -> 'b array
 (** [map pool f arr] is [Array.map f arr] with elements computed on the
-    pool, one chunk per element.  Order is preserved. *)
+    pool, one chunk per element.  Order is preserved.  [cancel] as in
+    {!parallel_for}. *)
 
 val shutdown : t -> unit
 (** Join and free the worker domains.  Idempotent; the pool must not be

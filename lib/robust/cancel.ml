@@ -1,0 +1,65 @@
+(* Cooperative cancellation tokens.
+
+   A token is a single atomic cell holding the first cancellation
+   reason, plus an optional deadline evaluated lazily against the
+   token's own clock and an optional parent whose cancellation is
+   inherited.  There is no registration or callback machinery: code
+   that wants to stop promptly *polls* the token at safe points
+   (chunk claims in the pool, per-output-chunk in einsum, per stage in
+   the staged executor, per step in training, per iteration in MCTS).
+   Polling an untripped, deadline-free token is one [Atomic.get] plus a
+   parent walk, so poll points are cheap enough for hot loops. *)
+
+type reason = Cancelled_by of string | Deadline_exceeded of float
+
+exception Cancelled of reason
+
+let reason_to_string = function
+  | Cancelled_by who -> Printf.sprintf "cancelled by %s" who
+  | Deadline_exceeded d -> Printf.sprintf "deadline %.6f exceeded" d
+
+type t = {
+  clock : unit -> float;
+  deadline : float option;
+  cell : reason option Atomic.t;
+  parent : t option;
+}
+
+let create ?parent ?(clock = Unix.gettimeofday) () =
+  { clock; deadline = None; cell = Atomic.make None; parent }
+
+let of_deadline ?parent ?(clock = Unix.gettimeofday) deadline =
+  { clock; deadline = Some deadline; cell = Atomic.make None; parent }
+
+let with_timeout ?parent ?(clock = Unix.gettimeofday) seconds =
+  of_deadline ?parent ~clock (clock () +. seconds)
+
+(* First reason wins: an explicit [cancel] racing a deadline observation
+   resolves to whichever lands the compare-and-set, and every later
+   reader sees that one reason forever. *)
+let cancel ?(reason = "caller") t =
+  ignore (Atomic.compare_and_set t.cell None (Some (Cancelled_by reason)))
+
+let rec status t =
+  match Atomic.get t.cell with
+  | Some _ as r -> r
+  | None -> (
+      let observed =
+        match t.deadline with
+        | Some d when t.clock () >= d -> Some (Deadline_exceeded d)
+        | Some _ | None -> ( match t.parent with Some p -> status p | None -> None)
+      in
+      match observed with
+      | None -> None
+      | Some reason ->
+          (* Cache the verdict locally so later polls stop consulting
+             the clock or walking the parent chain. *)
+          ignore (Atomic.compare_and_set t.cell None (Some reason));
+          Atomic.get t.cell)
+
+let is_cancelled t = status t <> None
+let check t = match status t with Some r -> raise (Cancelled r) | None -> ()
+let deadline t = t.deadline
+
+let remaining t =
+  match t.deadline with Some d -> Some (d -. t.clock ()) | None -> None

@@ -1,0 +1,79 @@
+(** Cooperative cancellation tokens with optional deadlines.
+
+    The search stack evaluates thousands of candidates; a single
+    pathological one (a hung or quadratically slow einsum) must not
+    block a domain forever, and an operator-initiated shutdown
+    (Ctrl-C) must stop the whole stack at the next safe point.  Both
+    needs share one mechanism: a {e token} that is flipped exactly once
+    — explicitly by {!cancel}, or implicitly when its deadline passes —
+    and that long-running code {e polls} at safe points ({!check} /
+    {!is_cancelled}).  This is the poll-at-safe-points discipline of
+    structured-concurrency runtimes (Eio cancellation contexts, Trio
+    cancel scopes), without a scheduler: plain domains poll the token.
+
+    Tokens form a tree: a child created with [?parent] observes the
+    parent's cancellation (and the parent's deadline) on its next poll,
+    while cancelling the child leaves the parent untouched.
+    {!Robust.Guard} uses this to derive a per-attempt deadline token
+    from the CLI's root shutdown token: either tripping stops the
+    evaluation, but only the root one stops the search.
+
+    All operations are thread-safe (a single atomic cell per token) and
+    the clock is injectable, so deadline behaviour is testable with a
+    fake clock and no real waiting.  Polling an untripped token without
+    a deadline costs one atomic load plus a parent walk; once tripped,
+    the verdict is cached locally and polls stop consulting the clock
+    or the parent. *)
+
+(** Why the token tripped. *)
+type reason =
+  | Cancelled_by of string  (** explicit {!cancel}; payload names the caller *)
+  | Deadline_exceeded of float  (** the deadline (absolute clock time) passed *)
+
+exception Cancelled of reason
+(** Raised by {!check}.  Escapes guarded evaluation only when the
+    {e external} token tripped (shutdown); a per-attempt deadline is
+    classified as [Robust.Guard.Timeout] instead. *)
+
+val reason_to_string : reason -> string
+
+type t
+
+val create : ?parent:t -> ?clock:(unit -> float) -> unit -> t
+(** A fresh untripped token with no deadline.  [parent]'s cancellation
+    (explicit or deadline) is inherited: the child reports cancelled on
+    any poll after the parent trips, with the parent's reason.  [clock]
+    (default [Unix.gettimeofday]) is only consulted by deadline
+    checks. *)
+
+val of_deadline : ?parent:t -> ?clock:(unit -> float) -> float -> t
+(** [of_deadline d] additionally trips once [clock () >= d].  The
+    deadline is evaluated lazily at poll time — no timers, no threads —
+    so the preemption latency is bounded by the caller's poll
+    interval. *)
+
+val with_timeout : ?parent:t -> ?clock:(unit -> float) -> float -> t
+(** [with_timeout s] is [of_deadline (clock () + s)]. *)
+
+val cancel : ?reason:string -> t -> unit
+(** Trip the token explicitly.  Idempotent; the first reason (explicit
+    or deadline) wins and is what every subsequent poll reports.  Safe
+    to call from any domain and from signal handlers. *)
+
+val is_cancelled : t -> bool
+(** Poll: [true] once this token, its deadline, or any ancestor has
+    tripped. *)
+
+val check : t -> unit
+(** Poll, raising {!Cancelled} with the (first) reason if tripped.
+    This is the standard safe-point call in loops. *)
+
+val status : t -> reason option
+(** Poll, returning the reason instead of raising. *)
+
+val deadline : t -> float option
+(** The token's own deadline (not consulting ancestors). *)
+
+val remaining : t -> float option
+(** Seconds until the deadline ([Some] negative once passed); [None]
+    when the token has no deadline. *)

@@ -56,7 +56,10 @@ type outcome = {
 }
 
 let run ?(policy = default_policy) ?(inject = Inject.none) ?(sleep = Unix.sleepf)
-    ?(now = Unix.gettimeofday) ~key f =
+    ?(now = Unix.gettimeofday) ?cancel ~key f =
+  let externally_cancelled () =
+    match cancel with Some c -> Cancel.is_cancelled c | None -> false
+  in
   let attempt_once attempt =
     if Inject.should_fail inject ~key ~attempt then begin
       Inject.note inject;
@@ -64,19 +67,46 @@ let run ?(policy = default_policy) ?(inject = Inject.none) ?(sleep = Unix.sleepf
     end
     else
       let t0 = match policy.timeout with Some _ -> now () | None -> 0.0 in
-      match f () with
+      (* The attempt's token: the policy budget becomes a *preemptive*
+         deadline the thunk polls, parented on the external shutdown
+         token so either one stops the evaluation mid-flight. *)
+      let token =
+        match policy.timeout with
+        | Some budget -> Cancel.of_deadline ?parent:cancel ~clock:now (t0 +. budget)
+        | None -> (
+            match cancel with Some c -> c | None -> Cancel.create ~clock:now ())
+      in
+      let over_budget () =
+        match policy.timeout with
+        | Some budget -> now () -. t0 > budget
+        | None -> false
+      in
+      match f token with
+      | exception (Cancel.Cancelled _ as e) when externally_cancelled () ->
+          (* Shutdown, not a verdict on this candidate: let the search
+             loop see it and stop at its own safe point. *)
+          raise e
+      | exception Cancel.Cancelled _ -> Error Timeout
       | exception Inject.Fault _ ->
           Inject.note inject;
           Error Injected
       | exception Reject k -> Error k
-      | exception e -> Error (Eval_error (Printexc.to_string e))
-      | r -> (
-          match policy.timeout with
-          | Some budget when now () -. t0 > budget -> Error Timeout
-          | Some _ | None -> if Float.is_finite r then Ok r else Error Non_finite)
+      | exception e ->
+          (* An exception *after* the budget expired is a symptom of the
+             overrun (allocation failure, a cascading invariant break),
+             not an independent evaluation bug: classify it as the
+             timeout it is. *)
+          if over_budget () then Error Timeout
+          else Error (Eval_error (Printexc.to_string e))
+      | r ->
+          (* Post-hoc check kept for thunks that never poll. *)
+          if over_budget () then Error Timeout
+          else if Float.is_finite r then Ok r
+          else Error Non_finite
   in
   let retries = max 0 policy.retries in
   let rec go attempt failures slept =
+    (match cancel with Some c -> Cancel.check c | None -> ());
     let slept =
       if attempt = 0 then slept
       else begin

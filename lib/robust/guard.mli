@@ -84,14 +84,31 @@ val run :
   ?inject:Inject.t ->
   ?sleep:(float -> unit) ->
   ?now:(unit -> float) ->
+  ?cancel:Cancel.t ->
   key:string ->
-  (unit -> float) ->
+  (Cancel.t -> float) ->
   outcome
 (** [run ~key f] evaluates [f] under the policy.  [key] identifies the
-    candidate for fault injection.  No exception from [f] escapes: it
-    is recorded as [Eval_error] ([Injected] for {!Inject.Fault}, the
-    carried kind for {!Reject}) and retried unless the kind is
-    {!permanent}.  [sleep] (default [Unix.sleepf]) and [now] (default
-    [Unix.gettimeofday]) are injectable so tests can verify the backoff
-    schedule and the timeout classification without real waiting.
-    [now] is only consulted when the policy has a timeout. *)
+    candidate for fault injection.
+
+    [f] receives the attempt's cancellation token.  When the policy has
+    a timeout, the token carries a {e preemptive} deadline ([now () +
+    timeout], evaluated on [now]): a thunk that polls it
+    ({!Cancel.check}) is stopped mid-flight with overrun bounded by its
+    poll interval, and the resulting [Cancel.Cancelled] is classified
+    as [Timeout].  The post-hoc clock check is kept for thunks that
+    never poll.  An exception raised {e after} the budget expired is
+    also classified as [Timeout] (the overrun is the root cause), not
+    [Eval_error].
+
+    [cancel] is the external (shutdown) token: it parents the attempt
+    token, is checked before every attempt, and — unlike a deadline
+    trip — its [Cancel.Cancelled] is {e re-raised} so the caller's
+    search loop can stop at its own safe point.
+
+    Otherwise no exception from [f] escapes: it is recorded as
+    [Eval_error] ([Injected] for {!Inject.Fault}, the carried kind for
+    {!Reject}) and retried unless the kind is {!permanent}.  [sleep]
+    (default [Unix.sleepf]) and [now] (default [Unix.gettimeofday]) are
+    injectable so tests can verify the backoff schedule, the timeout
+    classification, and deadline preemption without real waiting. *)

@@ -29,13 +29,33 @@ let to_string entries =
     entries;
   Buffer.contents buf
 
+(* Atomic + durable: write the snapshot to a temp file, fsync it, and
+   only then rename it into place.  Without the fsync a crash between
+   rename and writeback could leave the *new* name pointing at
+   truncated data — surfacing as [Corrupt] on resume, defeating the
+   whole point of atomic replacement.  The directory fsync (making the
+   rename itself durable) is best-effort: some filesystems refuse
+   fsync on a directory fd. *)
 let save ~path entries =
   let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
+  let data = to_string entries in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
   Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc (to_string entries));
-  Sys.rename tmp path
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let bytes = Bytes.of_string data in
+      let n = Bytes.length bytes in
+      let written = ref 0 in
+      while !written < n do
+        written := !written + Unix.write fd bytes !written (n - !written)
+      done;
+      Unix.fsync fd);
+  Sys.rename tmp path;
+  match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | dirfd ->
+      (try Unix.fsync dirfd with Unix.Unix_error _ -> ());
+      (try Unix.close dirfd with Unix.Unix_error _ -> ())
 
 type error =
   | Io of string

@@ -115,7 +115,7 @@ let fmax a b = if Float.is_nan b then a else if Float.is_nan a then b else Float
    itself is safe to call from any domain.  The checkpoint sink is the
    one shared structure; it serializes internally. *)
 let run_tree ~config ~enum_cfg ~reward ~rng ~policy ~inject ~penalty ~sink ~preload
-    ~collector ~admit =
+    ~collector ~admit ~cancel =
   let dist = Distance.create () in
   let found : (string, entry) Hashtbl.t = Hashtbl.create 64 in
   (* Resumed entries enter with zero visits: the replayed trajectory
@@ -163,7 +163,7 @@ let run_tree ~config ~enum_cfg ~reward ~rng ~policy ~inject ~penalty ~sink ~prel
             | None -> ());
             penalty
         | Ok () ->
-        let out = Guard.run ~policy ~inject ~key (fun () -> reward op) in
+        let out = Guard.run ~policy ~inject ?cancel ~key (fun token -> reward ~cancel:token op) in
         collector.c_attempts <- collector.c_attempts + out.Guard.attempts;
         collector.c_retries <- collector.c_retries + (out.Guard.attempts - 1);
         List.iter
@@ -271,9 +271,21 @@ let run_tree ~config ~enum_cfg ~reward ~rng ~policy ~inject ~penalty ~sink ~prel
     r
   in
   let root = make_node (Graph.init enum_cfg.Enumerate.output_shape) 0 in
-  for _ = 1 to config.iterations do
-    ignore (simulate root)
-  done;
+  (* Graceful stop: the token is polled at every iteration boundary,
+     and a [Cancelled] escaping the guard mid-iteration (external
+     shutdown tripping inside an evaluation) lands here too.  Either
+     way the tree returns what it has — partial results, not an
+     exception — so the caller can still flush a checkpoint and report
+     a top-k. *)
+  let exception Stop in
+  (try
+     for _ = 1 to config.iterations do
+       (match cancel with
+       | Some c when Robust.Cancel.is_cancelled c -> raise_notrace Stop
+       | Some _ | None -> ());
+       ignore (simulate root)
+     done
+   with Stop | Robust.Cancel.Cancelled _ -> ());
   found
 
 (* Ranking: quarantined candidates always sort after healthy ones, NaN
@@ -311,24 +323,24 @@ let admit_all _ = Ok ()
 
 let search_run ?(config = default_config ()) ?(guard = Guard.default_policy)
     ?(inject = Inject.none) ?(quarantine_reward = 0.0) ?checkpoint ?(resume = [])
-    ?(admit = admit_all) enum_cfg ~reward ~rng () =
+    ?(admit = admit_all) ?cancel enum_cfg ~reward ~rng () =
   let collector = new_collector () in
   let found =
     run_tree ~config ~enum_cfg ~reward ~rng ~policy:guard ~inject ~penalty:quarantine_reward
-      ~sink:checkpoint ~preload:resume ~collector ~admit
+      ~sink:checkpoint ~preload:resume ~collector ~admit ~cancel
   in
   (match checkpoint with Some s -> Checkpoint.flush s | None -> ());
   { results = to_results found; stats = stats_of_collectors ?checkpoint [| collector |] }
 
-let search ?config ?guard ?inject ?quarantine_reward ?checkpoint ?resume ?admit enum_cfg
-    ~reward ~rng () =
-  (search_run ?config ?guard ?inject ?quarantine_reward ?checkpoint ?resume ?admit enum_cfg
-     ~reward ~rng ())
+let search ?config ?guard ?inject ?quarantine_reward ?checkpoint ?resume ?admit ?cancel
+    enum_cfg ~reward ~rng () =
+  (search_run ?config ?guard ?inject ?quarantine_reward ?checkpoint ?resume ?admit ?cancel
+     enum_cfg ~reward ~rng ())
     .results
 
 let search_parallel_run ?(config = default_config ()) ?pool ?(guard = Guard.default_policy)
     ?(inject = Inject.none) ?(quarantine_reward = 0.0) ?checkpoint ?(resume = [])
-    ?(admit = admit_all) ~trees enum_cfg ~reward ~rng () =
+    ?(admit = admit_all) ?cancel ~trees enum_cfg ~reward ~rng () =
   let trees = max 1 trees in
   (* Derive the per-tree generators up front, sequentially, so the set
      of trees (and hence the merged result) depends only on [rng] and
@@ -338,9 +350,12 @@ let search_parallel_run ?(config = default_config ()) ?pool ?(guard = Guard.defa
     rngs.(i) <- Nd.Rng.split rng
   done;
   let collectors = Array.init trees (fun _ -> new_collector ()) in
+  (* Each tree polls the token itself and self-terminates with partial
+     results; the pool-level loop is left uncancelled so [Pool.map]
+     always returns a full array of tables. *)
   let run (rng, collector) =
     run_tree ~config ~enum_cfg ~reward ~rng ~policy:guard ~inject ~penalty:quarantine_reward
-      ~sink:checkpoint ~preload:resume ~collector ~admit
+      ~sink:checkpoint ~preload:resume ~collector ~admit ~cancel
   in
   let jobs = Array.init trees (fun i -> (rngs.(i), collectors.(i))) in
   let tables =
@@ -379,7 +394,7 @@ let search_parallel_run ?(config = default_config ()) ?pool ?(guard = Guard.defa
   { results = to_results merged; stats = stats_of_collectors ?checkpoint collectors }
 
 let search_parallel ?config ?pool ?guard ?inject ?quarantine_reward ?checkpoint ?resume
-    ?admit ~trees enum_cfg ~reward ~rng () =
+    ?admit ?cancel ~trees enum_cfg ~reward ~rng () =
   (search_parallel_run ?config ?pool ?guard ?inject ?quarantine_reward ?checkpoint ?resume
-     ?admit ~trees enum_cfg ~reward ~rng ())
+     ?admit ?cancel ~trees enum_cfg ~reward ~rng ())
     .results

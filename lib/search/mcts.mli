@@ -64,8 +64,9 @@ val search_run :
   ?checkpoint:Checkpoint.sink ->
   ?resume:Checkpoint.entry list ->
   ?admit:(Pgraph.Graph.operator -> (unit, Robust.Guard.kind) Stdlib.result) ->
+  ?cancel:Robust.Cancel.t ->
   Enumerate.config ->
-  reward:(Pgraph.Graph.operator -> float) ->
+  reward:(cancel:Robust.Cancel.t -> Pgraph.Graph.operator -> float) ->
   rng:Nd.Rng.t ->
   unit ->
   run
@@ -86,6 +87,14 @@ val search_run :
     reward thunk (and any allocation it would do) never runs; the
     rejection kind flows into [failed_attempts] like any other failure.
 
+    [cancel] is the external shutdown token: it is polled at every
+    iteration boundary (and parents every guarded attempt's deadline
+    token), and a trip makes the search {e return} the results
+    gathered so far rather than raise — the caller can still flush
+    the checkpoint and report a partial top-k.  [reward] receives the
+    attempt's token ([~cancel]); thunks that poll it are preempted
+    within one poll interval of a deadline or shutdown.
+
     Defaults: [guard = Robust.Guard.default_policy] (2 retries, no
     backoff, no timeout), no injection, [quarantine_reward = 0.0], no
     checkpointing, admit-everything gate. *)
@@ -98,8 +107,9 @@ val search :
   ?checkpoint:Checkpoint.sink ->
   ?resume:Checkpoint.entry list ->
   ?admit:(Pgraph.Graph.operator -> (unit, Robust.Guard.kind) Stdlib.result) ->
+  ?cancel:Robust.Cancel.t ->
   Enumerate.config ->
-  reward:(Pgraph.Graph.operator -> float) ->
+  reward:(cancel:Robust.Cancel.t -> Pgraph.Graph.operator -> float) ->
   rng:Nd.Rng.t ->
   unit ->
   result list
@@ -114,9 +124,10 @@ val search_parallel_run :
   ?checkpoint:Checkpoint.sink ->
   ?resume:Checkpoint.entry list ->
   ?admit:(Pgraph.Graph.operator -> (unit, Robust.Guard.kind) Stdlib.result) ->
+  ?cancel:Robust.Cancel.t ->
   trees:int ->
   Enumerate.config ->
-  reward:(Pgraph.Graph.operator -> float) ->
+  reward:(cancel:Robust.Cancel.t -> Pgraph.Graph.operator -> float) ->
   rng:Nd.Rng.t ->
   unit ->
   run
@@ -130,7 +141,10 @@ val search_parallel_run :
     [reward] must be safe to call from multiple domains — the analytic
     proxy of {!Reward} is.  Failure statistics are collected per tree
     and summed; the checkpoint sink may be shared across trees (it
-    serializes internally). *)
+    serializes internally).  [cancel] is polled by every tree at its
+    own iteration boundary; each tree self-terminates with partial
+    results, so a shutdown still merges and returns what all trees
+    found. *)
 
 val search_parallel :
   ?config:config ->
@@ -141,9 +155,10 @@ val search_parallel :
   ?checkpoint:Checkpoint.sink ->
   ?resume:Checkpoint.entry list ->
   ?admit:(Pgraph.Graph.operator -> (unit, Robust.Guard.kind) Stdlib.result) ->
+  ?cancel:Robust.Cancel.t ->
   trees:int ->
   Enumerate.config ->
-  reward:(Pgraph.Graph.operator -> float) ->
+  reward:(cancel:Robust.Cancel.t -> Pgraph.Graph.operator -> float) ->
   rng:Nd.Rng.t ->
   unit ->
   result list

@@ -158,7 +158,7 @@ let search_conv_operators_run ?(iterations = 2000) ?(max_prims = 9)
     ?(flops_budget_ratio = 1.0) ?(domains = 1) ?trees ?guard ?inject ?quarantine_reward
     ?checkpoint ?(checkpoint_every = 50) ?resume ?(on_corrupt = `Fail) ?max_bytes ?max_flops
     ?(validate = false) ?(validate_config = Validate.Differential.default_config)
-    ?(validation_valuations = default_validation_valuations) ~rng ~valuations () =
+    ?(validation_valuations = default_validation_valuations) ?cancel ~rng ~valuations () =
   let open Zoo.Vars in
   let sz = Size.of_var in
   let output_shape = [ sz n; sz c_out; sz h; sz w ] in
@@ -189,10 +189,15 @@ let search_conv_operators_run ?(iterations = 2000) ?(max_prims = 9)
       frozen_sizes = [ sz n ];
     }
   in
-  let reward op =
+  (* The analytic proxy reward is fast per call, so the per-valuation
+     boundary is poll enough; the token still reaches real training
+     rewards that want finer-grained polls. *)
+  let reward ~cancel:(token : Robust.Cancel.t) op =
     let r =
       List.fold_left
-        (fun acc v -> acc +. Search.Reward.score ~flops_budget:budget op v)
+        (fun acc v ->
+          Robust.Cancel.check token;
+          acc +. Search.Reward.score ~flops_budget:budget op v)
         0.0 valuations
     in
     r /. float_of_int (max 1 (List.length valuations))
@@ -215,14 +220,14 @@ let search_conv_operators_run ?(iterations = 2000) ?(max_prims = 9)
     if trees = 1 && domains <= 1 then
       let mcts_cfg = Search.Mcts.default_config ~iterations () in
       Search.Mcts.search_run ~config:mcts_cfg ?guard ?inject ?quarantine_reward
-        ?checkpoint:sink ~resume ?admit cfg ~reward ~rng ()
+        ?checkpoint:sink ~resume ?admit ?cancel cfg ~reward ~rng ()
     else
       (* Root-parallel: the iteration budget is split across the trees
          so --domains changes wall-clock, not total search effort. *)
       let mcts_cfg = Search.Mcts.default_config ~iterations:(max 1 (iterations / trees)) () in
       Par.Pool.with_pool ~domains (fun pool ->
           Search.Mcts.search_parallel_run ~config:mcts_cfg ~pool ?guard ?inject
-            ?quarantine_reward ?checkpoint:sink ~resume ?admit ~trees cfg ~reward ~rng ())
+            ?quarantine_reward ?checkpoint:sink ~resume ?admit ?cancel ~trees cfg ~reward ~rng ())
   in
   let v0 = List.hd valuations in
   let candidates =
@@ -246,9 +251,9 @@ let search_conv_operators_run ?(iterations = 2000) ?(max_prims = 9)
 
 let search_conv_operators ?iterations ?max_prims ?flops_budget_ratio ?domains ?trees ?guard
     ?inject ?quarantine_reward ?checkpoint ?checkpoint_every ?resume ?on_corrupt ?max_bytes
-    ?max_flops ?validate ?validate_config ?validation_valuations ~rng ~valuations () =
+    ?max_flops ?validate ?validate_config ?validation_valuations ?cancel ~rng ~valuations () =
   (search_conv_operators_run ?iterations ?max_prims ?flops_budget_ratio ?domains ?trees
      ?guard ?inject ?quarantine_reward ?checkpoint ?checkpoint_every ?resume ?on_corrupt
-     ?max_bytes ?max_flops ?validate ?validate_config ?validation_valuations ~rng
+     ?max_bytes ?max_flops ?validate ?validate_config ?validation_valuations ?cancel ~rng
      ~valuations ())
     .candidates

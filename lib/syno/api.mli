@@ -93,6 +93,7 @@ val search_conv_operators_run :
   ?validate:bool ->
   ?validate_config:Validate.Differential.config ->
   ?validation_valuations:Shape.Valuation.t list ->
+  ?cancel:Robust.Cancel.t ->
   rng:Nd.Rng.t ->
   valuations:Shape.Valuation.t list ->
   unit ->
@@ -131,7 +132,13 @@ val search_conv_operators_run :
     seeded inputs at [validation_valuations]; disagreement beyond
     [validate_config]'s tolerance quarantines it as [backend_mismatch].
     Admission rejections appear in [failures.failed_attempts]; gate
-    cost and rejection counts in [admission]. *)
+    cost and rejection counts in [admission].
+
+    [cancel] is the shutdown token (the CLI's signal handlers trip it):
+    the search stops at the next iteration boundary and {e returns} the
+    candidates found so far — partial top-k plus stats — after flushing
+    the checkpoint sink, so an interrupted run resumed from its
+    checkpoint replays to the uninterrupted results. *)
 
 val search_conv_operators :
   ?iterations:int ->
@@ -151,6 +158,7 @@ val search_conv_operators :
   ?validate:bool ->
   ?validate_config:Validate.Differential.config ->
   ?validation_valuations:Shape.Valuation.t list ->
+  ?cancel:Robust.Cancel.t ->
   rng:Nd.Rng.t ->
   valuations:Shape.Valuation.t list ->
   unit ->

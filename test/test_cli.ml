@@ -1,0 +1,148 @@
+(* End-to-end tests for the syno CLI's exit-code contract and graceful
+   shutdown: 0 success, 1 usage/validation error, 2 search failure, 130
+   interrupted.  The SIGINT test drives a real child process: spawn a
+   long search with checkpointing, wait for the checkpoint file to
+   prove the search is underway, send SIGINT, and assert the process
+   flushed its checkpoint and exited 130 — then that resuming from that
+   checkpoint replays to the same top-k as an uninterrupted run. *)
+
+(* The CLI binary sits next to this test in the build tree
+   (_build/default/{test,bin}/), so resolve it relative to the test
+   executable rather than the cwd — dune runtest and dune exec run
+   from different directories. *)
+let cli =
+  Filename.concat
+    (Filename.concat (Filename.dirname Sys.executable_name) Filename.parent_dir_name)
+    (Filename.concat "bin" "syno_cli.exe")
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "syno_cli" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun name -> Sys.remove (Filename.concat dir name)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () -> f dir)
+
+(* Run the CLI to completion, capturing stdout; stderr goes to a file
+   too so failures can report it. *)
+let run_cli args =
+  with_temp_dir (fun dir ->
+      let out_path = Filename.concat dir "stdout" in
+      let err_path = Filename.concat dir "stderr" in
+      let out_fd = Unix.openfile out_path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
+      let err_fd = Unix.openfile err_path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
+      let pid =
+        Unix.create_process cli (Array.of_list (cli :: args)) Unix.stdin out_fd err_fd
+      in
+      Unix.close out_fd;
+      Unix.close err_fd;
+      let _, status = Unix.waitpid [] pid in
+      let slurp path =
+        let ic = open_in_bin path in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        s
+      in
+      let code =
+        match status with
+        | Unix.WEXITED c -> c
+        | Unix.WSIGNALED s -> Alcotest.failf "killed by signal %d" s
+        | Unix.WSTOPPED s -> Alcotest.failf "stopped by signal %d" s
+      in
+      (code, slurp out_path, slurp err_path))
+
+let test_exit_codes () =
+  let code, out, _ = run_cli [ "list" ] in
+  Alcotest.(check int) "list exits 0" 0 code;
+  Alcotest.(check bool) "catalog printed" true
+    (Astring.String.is_infix ~affix:"conv2d" out);
+  let code, _, _ = run_cli [ "describe"; "no-such-operator" ] in
+  Alcotest.(check int) "unknown operator exits 1" 1 code;
+  with_temp_dir (fun dir ->
+      let bad = Filename.concat dir "bad.ckpt" in
+      let oc = open_out bad in
+      output_string oc "this is not a checkpoint\n";
+      close_out oc;
+      let code, _, err =
+        run_cli [ "search"; "--iterations"; "5"; "--max-prims"; "4"; "--resume"; bad ]
+      in
+      Alcotest.(check int) "corrupt resume exits 2" 2 code;
+      Alcotest.(check bool) "error names the file" true
+        (Astring.String.is_infix ~affix:"bad.ckpt" err))
+
+(* The "#k reward ... <signature>" result lines, the part of the output
+   that must replay identically. *)
+let result_lines out =
+  List.filter
+    (fun line -> String.length line > 0 && line.[0] = '#')
+    (String.split_on_char '\n' out)
+
+let search_args = [ "--max-prims"; "6"; "--seed"; "3"; "--top"; "5" ]
+
+let test_sigint_graceful_shutdown () =
+  with_temp_dir (fun dir ->
+      let ckpt = Filename.concat dir "search.ckpt" in
+      let out_path = Filename.concat dir "stdout" in
+      let out_fd = Unix.openfile out_path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
+      (* An iteration budget far beyond what could finish before the
+         signal: the run can only end via the shutdown path. *)
+      let args =
+        [ "search"; "--iterations"; "2000000000"; "--checkpoint"; ckpt;
+          "--checkpoint-every"; "5" ]
+        @ search_args
+      in
+      let pid =
+        Unix.create_process cli (Array.of_list (cli :: args)) Unix.stdin out_fd Unix.stderr
+      in
+      Unix.close out_fd;
+      (* Wait for the first checkpoint write — proof the search is in
+         its hot loop — before interrupting. *)
+      let deadline = Unix.gettimeofday () +. 60.0 in
+      while not (Sys.file_exists ckpt) && Unix.gettimeofday () < deadline do
+        Unix.sleepf 0.05
+      done;
+      Alcotest.(check bool) "search started (checkpoint appeared)" true
+        (Sys.file_exists ckpt);
+      Unix.kill pid Sys.sigint;
+      let _, status = Unix.waitpid [] pid in
+      (match status with
+      | Unix.WEXITED 130 -> ()
+      | Unix.WEXITED c -> Alcotest.failf "expected exit 130, got %d" c
+      | Unix.WSIGNALED s -> Alcotest.failf "killed by signal %d (handler not installed?)" s
+      | Unix.WSTOPPED s -> Alcotest.failf "stopped by signal %d" s);
+      (* The final flush must leave a loadable checkpoint. *)
+      (match Search.Checkpoint.load_result ~path:ckpt with
+      | Ok entries ->
+          Alcotest.(check bool) "flushed checkpoint has entries" true (entries <> [])
+      | Error e -> Alcotest.fail (Search.Checkpoint.string_of_error e));
+      (* And the interrupted run reported partial results. *)
+      let ic = open_in_bin out_path in
+      let out = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Alcotest.(check bool) "partial top-k reported" true (result_lines out <> []);
+      Alcotest.(check bool) "interruption reported" true
+        (Astring.String.is_infix ~affix:"interrupted" out);
+      (* Killed-and-resumed replays to the uninterrupted results. *)
+      let iters = [ "--iterations"; "300" ] in
+      let code_f, fresh, _ = run_cli (("search" :: iters) @ search_args) in
+      let code_r, resumed, _ =
+        run_cli (("search" :: iters) @ search_args @ [ "--resume"; ckpt ])
+      in
+      Alcotest.(check int) "fresh run exits 0" 0 code_f;
+      Alcotest.(check int) "resumed run exits 0" 0 code_r;
+      Alcotest.(check bool) "fresh run found results" true (result_lines fresh <> []);
+      Alcotest.(check (list string)) "resumed top-k identical to uninterrupted"
+        (result_lines fresh) (result_lines resumed))
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "exit-codes",
+        [
+          Alcotest.test_case "0 / 1 / 2" `Quick test_exit_codes;
+          Alcotest.test_case "SIGINT: flush, 130, resume replays" `Quick
+            test_sigint_graceful_shutdown;
+        ] );
+    ]

@@ -227,6 +227,43 @@ let test_sentinel_divergence_abort () =
   Alcotest.(check string) "label" "diverged" (Nn.Train.outcome_label h.Nn.Train.outcome);
   Alcotest.(check int) "both epochs recorded" 2 (List.length h.Nn.Train.epoch_losses)
 
+let test_cancelled_abort () =
+  let r = rng () in
+  let model =
+    Nn.Model.of_layer
+      (Nn.Layer.sequential "clf" [ Nn.Layer.linear r ~in_features:4 ~out_features:2 ])
+  in
+  let train = separable_batches r 4 in
+  let eval = separable_batches r 1 in
+  let opt = Nn.Optimizer.sgd ~lr:0.1 () in
+  (* A counting fake clock: one tick per poll, one poll per step, so
+     the deadline of 6.5 trips deterministically before step 7 — i.e.
+     epoch 2, step 3 (4 batches per epoch). *)
+  let ticks = ref 0.0 in
+  let clock () =
+    ticks := !ticks +. 1.0;
+    !ticks
+  in
+  let cancel = Robust.Cancel.of_deadline ~clock 6.5 in
+  let h = Nn.Train.fit ~cancel model opt ~epochs:5 ~train ~eval in
+  (match h.Nn.Train.outcome with
+  | Nn.Train.Aborted_cancelled { epoch; step } ->
+      Alcotest.(check int) "aborts in epoch 2" 2 epoch;
+      Alcotest.(check int) "before step 3" 3 step
+  | o -> Alcotest.failf "expected cancelled abort, got %s" (Nn.Train.outcome_label o));
+  Alcotest.(check string) "label" "cancelled" (Nn.Train.outcome_label h.Nn.Train.outcome);
+  Alcotest.(check bool) "aborted flag" true h.Nn.Train.aborted;
+  Alcotest.(check int) "only epoch 1 recorded" 1 (List.length h.Nn.Train.epoch_losses);
+  (* Stats come from the last completed epoch, not the cancelled one. *)
+  Alcotest.(check (float 1e-9)) "accuracy from last completed epoch"
+    (List.hd h.Nn.Train.epoch_accuracies)
+    h.Nn.Train.final_train_accuracy;
+  (* An untripped token is invisible: the run completes. *)
+  let h2 =
+    Nn.Train.fit ~cancel:(Robust.Cancel.create ()) model opt ~epochs:2 ~train ~eval
+  in
+  Alcotest.(check bool) "untripped token completes" false h2.Nn.Train.aborted
+
 let test_sentinel_validation () =
   Alcotest.check_raises "factor must be positive"
     (Invalid_argument "Train.sentinel: divergence_factor must be > 0") (fun () ->
@@ -335,6 +372,7 @@ let () =
           Alcotest.test_case "disabled sentinel runs through" `Quick
             test_sentinel_disabled_runs_through;
           Alcotest.test_case "divergence abort" `Quick test_sentinel_divergence_abort;
+          Alcotest.test_case "cancelled abort" `Quick test_cancelled_abort;
           Alcotest.test_case "sentinel validation" `Quick test_sentinel_validation;
         ] );
       ( "attention",

@@ -80,6 +80,63 @@ let test_pool_usable_after_raise () =
       let sq = Pool.map p4 (fun i -> i * i) [| 0; 1; 2; 3; 4 |] in
       Alcotest.(check (array int)) "map after raise" [| 0; 1; 4; 9; 16 |] sq)
 
+let test_pool_cancellation () =
+  with_pools (fun _ p4 ->
+      (* A token tripped mid-loop skips the unclaimed chunks, drains
+         in-flight ones, and raises Cancelled in the caller — mirroring
+         the error path's discipline. *)
+      let n = 1000 in
+      let executed = Atomic.make 0 in
+      let tok = Robust.Cancel.create () in
+      (match
+         Pool.parallel_for p4 ~cancel:tok ~n ~chunks:100 (fun lo hi ->
+             (* Trip from inside the body: everything claimed before the
+                trip still completes (the drain), later chunks don't. *)
+             Robust.Cancel.cancel ~reason:"mid-loop" tok;
+             Atomic.set executed (Atomic.get executed + (hi - lo)))
+       with
+      | () -> Alcotest.fail "expected Cancelled"
+      | exception Robust.Cancel.Cancelled (Robust.Cancel.Cancelled_by "mid-loop") -> ()
+      | exception Robust.Cancel.Cancelled _ -> Alcotest.fail "wrong reason");
+      let ran = Atomic.get executed in
+      Alcotest.(check bool)
+        (Printf.sprintf "unclaimed chunks skipped (%d < %d elements)" ran n)
+        true (ran < n);
+      Alcotest.(check bool) "in-flight chunks drained" true (ran > 0);
+      (* The pool comes out reusable, exactly like after a raise. *)
+      let out = Array.make n 0 in
+      Pool.parallel_for p4 ~n (fun lo hi ->
+          for i = lo to hi - 1 do
+            out.(i) <- i
+          done);
+      Alcotest.(check int) "reusable after cancellation" (n - 1) out.(n - 1);
+      (* An untripped token is invisible. *)
+      let fresh = Robust.Cancel.create () in
+      let sum = Atomic.make 0 in
+      Pool.parallel_for p4 ~cancel:fresh ~n (fun lo hi ->
+          let s = ref 0 in
+          for i = lo to hi - 1 do
+            s := !s + i
+          done;
+          let rec add () =
+            let cur = Atomic.get sum in
+            if not (Atomic.compare_and_set sum cur (cur + !s)) then add ()
+          in
+          add ());
+      Alcotest.(check int) "untripped token: full result" (n * (n - 1) / 2) (Atomic.get sum);
+      (* A pre-tripped token raises before any work, including on the
+         sequential fallback paths. *)
+      let dead = Robust.Cancel.create () in
+      Robust.Cancel.cancel dead;
+      let calls = Atomic.make 0 in
+      (match Pool.parallel_for p4 ~cancel:dead ~n (fun _ _ -> Atomic.incr calls) with
+      | () -> Alcotest.fail "expected Cancelled"
+      | exception Robust.Cancel.Cancelled _ -> ());
+      Alcotest.(check int) "no chunk ran" 0 (Atomic.get calls);
+      (match Pool.map p4 ~cancel:dead (fun i -> i) [| 1; 2; 3 |] with
+      | (_ : int array) -> Alcotest.fail "expected Cancelled from map"
+      | exception Robust.Cancel.Cancelled _ -> ()))
+
 let test_nested_calls_do_not_deadlock () =
   with_pools (fun _ p4 ->
       (* parallel_for from inside a worker of the same pool must fall
@@ -157,6 +214,7 @@ let () =
           Alcotest.test_case "map order" `Quick test_map_preserves_order;
           Alcotest.test_case "exception propagation" `Quick test_exception_propagates;
           Alcotest.test_case "usable after raise" `Quick test_pool_usable_after_raise;
+          Alcotest.test_case "cancellation" `Quick test_pool_cancellation;
           Alcotest.test_case "nested calls" `Quick test_nested_calls_do_not_deadlock;
           Alcotest.test_case "num_domains" `Quick test_num_domains_positive;
         ] );

@@ -11,11 +11,84 @@ module Reward = Search.Reward
 module Checkpoint = Search.Checkpoint
 module Guard = Robust.Guard
 module Inject = Robust.Inject
+module Cancel = Robust.Cancel
+
+(* --- Cancel --------------------------------------------------------------- *)
+
+let test_cancel_explicit () =
+  let t = Cancel.create () in
+  Alcotest.(check bool) "fresh token untripped" false (Cancel.is_cancelled t);
+  Cancel.check t;
+  Cancel.cancel ~reason:"test" t;
+  Alcotest.(check bool) "tripped" true (Cancel.is_cancelled t);
+  (match Cancel.status t with
+  | Some (Cancel.Cancelled_by "test") -> ()
+  | _ -> Alcotest.fail "expected Cancelled_by \"test\"");
+  Alcotest.check_raises "check raises"
+    (Cancel.Cancelled (Cancel.Cancelled_by "test"))
+    (fun () -> Cancel.check t)
+
+let test_cancel_deadline_fake_clock () =
+  (* The deadline is evaluated lazily against the injected clock, so the
+     trip is fully deterministic: untripped at 4.9, tripped at 5.0. *)
+  let t = ref 0.0 in
+  let clock () = !t in
+  let tok = Cancel.of_deadline ~clock 5.0 in
+  Alcotest.(check (option (float 0.0))) "deadline recorded" (Some 5.0) (Cancel.deadline tok);
+  t := 4.9;
+  Alcotest.(check bool) "before deadline" false (Cancel.is_cancelled tok);
+  Alcotest.(check (option (float 1e-9))) "remaining" (Some 0.1) (Cancel.remaining tok);
+  t := 5.0;
+  Alcotest.(check bool) "at deadline" true (Cancel.is_cancelled tok);
+  (match Cancel.status tok with
+  | Some (Cancel.Deadline_exceeded d) -> Alcotest.(check (float 0.0)) "which deadline" 5.0 d
+  | _ -> Alcotest.fail "expected Deadline_exceeded");
+  (* The verdict is cached: winding the clock back cannot untrip it. *)
+  t := 0.0;
+  Alcotest.(check bool) "trip is permanent" true (Cancel.is_cancelled tok)
+
+let test_cancel_child_inherits_parent () =
+  let parent = Cancel.create () in
+  let child = Cancel.create ~parent () in
+  Alcotest.(check bool) "child untripped" false (Cancel.is_cancelled child);
+  Cancel.cancel ~reason:"shutdown" parent;
+  Alcotest.(check bool) "child observes parent" true (Cancel.is_cancelled child);
+  (match Cancel.status child with
+  | Some (Cancel.Cancelled_by "shutdown") -> ()
+  | _ -> Alcotest.fail "child should report the parent's reason");
+  (* Cancelling a child leaves the parent untouched. *)
+  let p2 = Cancel.create () in
+  let c2 = Cancel.create ~parent:p2 () in
+  Cancel.cancel c2;
+  Alcotest.(check bool) "parent unaffected" false (Cancel.is_cancelled p2);
+  (* A deadline child of a healthy parent trips on its own clock. *)
+  let t = ref 0.0 in
+  let c3 = Cancel.of_deadline ~parent:p2 ~clock:(fun () -> !t) 1.0 in
+  t := 2.0;
+  Alcotest.(check bool) "deadline child trips" true (Cancel.is_cancelled c3);
+  Alcotest.(check bool) "parent still unaffected" false (Cancel.is_cancelled p2)
+
+let test_cancel_first_reason_wins () =
+  let t = ref 10.0 in
+  let tok = Cancel.of_deadline ~clock:(fun () -> !t) 5.0 in
+  (* The deadline has already passed when the explicit cancel arrives;
+     whichever is observed first is the one reason forever after. *)
+  Alcotest.(check bool) "deadline observed" true (Cancel.is_cancelled tok);
+  Cancel.cancel ~reason:"late caller" tok;
+  (match Cancel.status tok with
+  | Some (Cancel.Deadline_exceeded _) -> ()
+  | _ -> Alcotest.fail "first (deadline) reason must win");
+  let tok2 = Cancel.create () in
+  Cancel.cancel ~reason:"first" tok2;
+  Cancel.cancel ~reason:"second" tok2;
+  match Cancel.status tok2 with
+  | Some (Cancel.Cancelled_by "first") -> ()
+  | _ -> Alcotest.fail "first explicit reason must win"
 
 (* --- Guard ---------------------------------------------------------------- *)
 
 let test_guard_success_passthrough () =
-  let out = Guard.run ~key:"k" (fun () -> 0.75) in
+  let out = Guard.run ~key:"k" (fun _ -> 0.75) in
   Alcotest.(check bool) "ok" true (out.Guard.result = Ok 0.75);
   Alcotest.(check int) "one attempt" 1 out.Guard.attempts;
   Alcotest.(check int) "no failures" 0 (List.length out.Guard.failures);
@@ -28,7 +101,7 @@ let test_guard_retry_backoff_schedule () =
   let sleep d = slept := d :: !slept in
   let calls = ref 0 in
   let out =
-    Guard.run ~policy ~sleep ~key:"k" (fun () ->
+    Guard.run ~policy ~sleep ~key:"k" (fun _ ->
         incr calls;
         if !calls <= 2 then failwith "flaky" else 0.25)
   in
@@ -46,7 +119,7 @@ let test_guard_retry_backoff_schedule () =
 
 let test_guard_exhausts_retries () =
   let policy = Guard.policy ~retries:2 () in
-  let out = Guard.run ~policy ~key:"k" (fun () -> raise Not_found) in
+  let out = Guard.run ~policy ~key:"k" (fun _ -> raise Not_found) in
   (match out.Guard.result with
   | Error (Guard.Eval_error _) -> ()
   | _ -> Alcotest.fail "expected Eval_error");
@@ -56,7 +129,7 @@ let test_guard_exhausts_retries () =
 let test_guard_non_finite () =
   List.iter
     (fun bad ->
-      let out = Guard.run ~policy:(Guard.policy ~retries:1 ()) ~key:"k" (fun () -> bad) in
+      let out = Guard.run ~policy:(Guard.policy ~retries:1 ()) ~key:"k" (fun _ -> bad) in
       Alcotest.(check bool) "non_finite" true (out.Guard.result = Error Guard.Non_finite))
     [ Float.nan; Float.infinity; Float.neg_infinity ]
 
@@ -69,16 +142,89 @@ let test_guard_timeout () =
     !t
   in
   let policy = Guard.policy ~retries:1 ~timeout:5.0 () in
-  let out = Guard.run ~policy ~now ~key:"k" (fun () -> 1.0) in
+  let out = Guard.run ~policy ~now ~key:"k" (fun _ -> 1.0) in
   Alcotest.(check bool) "timeout" true (out.Guard.result = Error Guard.Timeout);
   Alcotest.(check int) "retried once" 2 out.Guard.attempts;
   (* With a generous budget the same thunk passes. *)
-  let out = Guard.run ~policy:(Guard.policy ~timeout:1e6 ()) ~now ~key:"k" (fun () -> 1.0) in
+  let out = Guard.run ~policy:(Guard.policy ~timeout:1e6 ()) ~now ~key:"k" (fun _ -> 1.0) in
   Alcotest.(check bool) "within budget" true (out.Guard.result = Ok 1.0)
+
+let test_guard_preemptive_deadline () =
+  (* The thunk polls its token inside a "long" loop; the fake clock
+     advances one second per iteration, so a 3 s budget preempts it at
+     the fourth poll — the loop never runs to completion. *)
+  let t = ref 0.0 in
+  let now () = !t in
+  let iterations = ref 0 in
+  let policy = Guard.policy ~retries:0 ~timeout:3.0 () in
+  let out =
+    Guard.run ~policy ~now ~key:"k" (fun token ->
+        for _ = 1 to 1000 do
+          t := !t +. 1.0;
+          incr iterations;
+          Cancel.check token
+        done;
+        1.0)
+  in
+  Alcotest.(check bool) "classified Timeout" true (out.Guard.result = Error Guard.Timeout);
+  Alcotest.(check bool)
+    (Printf.sprintf "preempted early (%d iterations)" !iterations)
+    true (!iterations < 10)
+
+let test_guard_exception_after_budget_is_timeout () =
+  (* Satellite bugfix: an exception raised after the budget expired is a
+     symptom of the overrun, so it must classify as Timeout, not
+     Eval_error.  The fake clock blows the budget before the raise. *)
+  let t = ref 0.0 in
+  let now () = !t in
+  let policy = Guard.policy ~retries:0 ~timeout:5.0 () in
+  let out =
+    Guard.run ~policy ~now ~key:"k" (fun _ ->
+        t := !t +. 100.0;
+        raise Not_found)
+  in
+  Alcotest.(check bool) "Timeout, not Eval_error" true (out.Guard.result = Error Guard.Timeout);
+  (* Within budget the same raise still classifies as Eval_error. *)
+  let out =
+    Guard.run ~policy ~now:(fun () -> 0.0) ~key:"k" (fun _ -> raise Not_found)
+  in
+  match out.Guard.result with
+  | Error (Guard.Eval_error _) -> ()
+  | _ -> Alcotest.fail "expected Eval_error within budget"
+
+let test_guard_external_cancel_reraises () =
+  (* A shutdown (external token) observed inside the thunk is not a
+     verdict on the candidate: Cancelled escapes the guard so the
+     search loop can stop, instead of being classified as Timeout. *)
+  let external_tok = Cancel.create () in
+  let raised = ref false in
+  (try
+     ignore
+       (Guard.run
+          ~policy:(Guard.policy ~retries:2 ~timeout:1e6 ())
+          ~cancel:external_tok ~key:"k"
+          (fun token ->
+            Cancel.cancel ~reason:"shutdown" external_tok;
+            Cancel.check token;
+            1.0))
+   with Cancel.Cancelled _ -> raised := true);
+  Alcotest.(check bool) "Cancelled escapes" true !raised;
+  (* And a pre-tripped external token stops the attempt loop before the
+     thunk ever runs. *)
+  let calls = ref 0 in
+  let raised = ref false in
+  (try
+     ignore
+       (Guard.run ~cancel:external_tok ~key:"k" (fun _ ->
+            incr calls;
+            1.0))
+   with Cancel.Cancelled _ -> raised := true);
+  Alcotest.(check bool) "raised before any attempt" true !raised;
+  Alcotest.(check int) "thunk never ran" 0 !calls
 
 let test_guard_injected () =
   let inject = Inject.create ~seed:3 ~rate:1.0 ~max_failures:1 () in
-  let out = Guard.run ~policy:(Guard.policy ~retries:2 ()) ~inject ~key:"sig" (fun () -> 0.5) in
+  let out = Guard.run ~policy:(Guard.policy ~retries:2 ()) ~inject ~key:"sig" (fun _ -> 0.5) in
   Alcotest.(check bool) "recovers after injected fault" true (out.Guard.result = Ok 0.5);
   Alcotest.(check bool) "injected recorded" true (List.mem Guard.Injected out.Guard.failures);
   Alcotest.(check int) "counted" 1 (Inject.injected_count inject)
@@ -148,7 +294,7 @@ let matmul_cfg ?(max_prims = 4) () =
   in
   { base with Enumerate.max_prims; reduce_candidates = [ sz kd ] }
 
-let reward op = Reward.score op (List.hd matmul_valuations)
+let reward ~cancel:_ op = Reward.score op (List.hd matmul_valuations)
 let config = Mcts.default_config ~iterations:120 ()
 let top r = List.map (fun (x : Mcts.result) -> (Graph.operator_signature x.operator, x.reward)) r
 
@@ -419,13 +565,53 @@ let test_sink_cadence () =
       | Ok loaded ->
           Alcotest.(check int) "all entries on disk" (List.length ops) (List.length loaded))
 
+let test_cancelled_search_partial_and_resume () =
+  with_temp (fun path ->
+      (* Uninterrupted baseline. *)
+      let clean =
+        Mcts.search ~config (matmul_cfg ()) ~reward ~rng:(Nd.Rng.create ~seed:7) ()
+      in
+      Alcotest.(check bool) "baseline finds operators" true (clean <> []);
+      (* "SIGINT": trip the root token after K reward evaluations.  The
+         search must RETURN partial results (no exception) and the sink
+         must still flush. *)
+      let root = Cancel.create () in
+      let evals = ref 0 in
+      let tripping ~cancel op =
+        incr evals;
+        if !evals >= 3 then Cancel.cancel ~reason:"test SIGINT" root;
+        reward ~cancel op
+      in
+      let sink = Checkpoint.sink ~path ~every:2 () in
+      let partial =
+        Mcts.search ~config ~checkpoint:sink ~cancel:root (matmul_cfg ()) ~reward:tripping
+          ~rng:(Nd.Rng.create ~seed:7) ()
+      in
+      Alcotest.(check bool) "partial results returned" true (partial <> []);
+      Alcotest.(check bool)
+        (Printf.sprintf "stopped early (%d < %d distinct)" (List.length partial)
+           (List.length clean))
+        true
+        (List.length partial < List.length clean);
+      (* The flushed checkpoint resumes to the uninterrupted results. *)
+      let entries =
+        match Checkpoint.load ~path with Ok e -> e | Error msg -> Alcotest.fail msg
+      in
+      Alcotest.(check bool) "flushed checkpoint has entries" true (entries <> []);
+      let resumed =
+        Mcts.search ~config ~resume:entries (matmul_cfg ()) ~reward
+          ~rng:(Nd.Rng.create ~seed:7) ()
+      in
+      Alcotest.(check bool) "resumed replays to identical top-K" true
+        (top clean = top resumed))
+
 let test_kill_resume_equivalence () =
   with_temp (fun path ->
       (* Uninterrupted baseline, counting reward calls. *)
       let calls = ref 0 in
-      let counting op =
+      let counting ~cancel op =
         incr calls;
-        reward op
+        reward ~cancel op
       in
       let clean =
         Mcts.search ~config (matmul_cfg ()) ~reward:counting ~rng:(Nd.Rng.create ~seed:7) ()
@@ -457,6 +643,13 @@ let test_kill_resume_equivalence () =
 let () =
   Alcotest.run "robust"
     [
+      ( "cancel",
+        [
+          Alcotest.test_case "explicit cancel" `Quick test_cancel_explicit;
+          Alcotest.test_case "deadline (fake clock)" `Quick test_cancel_deadline_fake_clock;
+          Alcotest.test_case "child inherits parent" `Quick test_cancel_child_inherits_parent;
+          Alcotest.test_case "first reason wins" `Quick test_cancel_first_reason_wins;
+        ] );
       ( "guard",
         [
           Alcotest.test_case "success passthrough" `Quick test_guard_success_passthrough;
@@ -465,6 +658,11 @@ let () =
           Alcotest.test_case "exhausts retries" `Quick test_guard_exhausts_retries;
           Alcotest.test_case "non-finite rewards" `Quick test_guard_non_finite;
           Alcotest.test_case "timeout" `Quick test_guard_timeout;
+          Alcotest.test_case "preemptive deadline" `Quick test_guard_preemptive_deadline;
+          Alcotest.test_case "post-budget exception is timeout" `Quick
+            test_guard_exception_after_budget_is_timeout;
+          Alcotest.test_case "external cancel re-raises" `Quick
+            test_guard_external_cancel_reraises;
           Alcotest.test_case "injected faults" `Quick test_guard_injected;
         ] );
       ( "inject",
@@ -490,6 +688,8 @@ let () =
           Alcotest.test_case "typed errors" `Quick test_checkpoint_typed_errors;
           Alcotest.test_case "truncation detected" `Quick test_checkpoint_truncated;
           Alcotest.test_case "sink cadence" `Quick test_sink_cadence;
+          Alcotest.test_case "cancelled search: partial + resume" `Quick
+            test_cancelled_search_partial_and_resume;
           Alcotest.test_case "kill/resume equivalence" `Quick test_kill_resume_equivalence;
         ] );
     ]

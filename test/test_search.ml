@@ -115,7 +115,7 @@ let test_random_completion_unguided_worse () =
 let test_mcts_finds_operators () =
   let cfg = matmul_cfg () in
   let rng = Nd.Rng.create ~seed:13 in
-  let reward op = Reward.score op (List.hd matmul_valuations) in
+  let reward ~cancel:_ op = Reward.score op (List.hd matmul_valuations) in
   let results =
     Mcts.search ~config:(Mcts.default_config ~iterations:120 ()) cfg ~reward ~rng ()
   in
@@ -135,7 +135,7 @@ let test_mcts_rollout_depth_honored () =
      to their start state and must find strictly fewer operators than
      the default horizon under the same seed. *)
   let cfg = matmul_cfg () in
-  let reward op = Reward.score op (List.hd matmul_valuations) in
+  let reward ~cancel:_ op = Reward.score op (List.hd matmul_valuations) in
   let run rollout_depth =
     let base = Mcts.default_config ~iterations:80 () in
     let results =
@@ -158,7 +158,7 @@ let test_mcts_reward_memoized () =
      encounters only bump the visit counter. *)
   let cfg = matmul_cfg () in
   let calls = ref 0 in
-  let reward op =
+  let reward ~cancel:_ op =
     incr calls;
     Reward.score op (List.hd matmul_valuations)
   in
@@ -176,7 +176,7 @@ let test_mcts_parallel_matches_sequential_pool () =
   (* Root-parallel with fixed per-tree seeds: the merged result must not
      depend on the pool size. *)
   let cfg = matmul_cfg () in
-  let reward op = Reward.score op (List.hd matmul_valuations) in
+  let reward ~cancel:_ op = Reward.score op (List.hd matmul_valuations) in
   let run pool_size =
     Par.Pool.with_pool ~domains:pool_size (fun pool ->
         Mcts.search_parallel
@@ -197,7 +197,7 @@ let test_mcts_parallel_matches_sequential_pool () =
 let test_mcts_parallel_merges_trees () =
   (* More trees never lose operators relative to any single tree. *)
   let cfg = matmul_cfg () in
-  let reward op = Reward.score op (List.hd matmul_valuations) in
+  let reward ~cancel:_ op = Reward.score op (List.hd matmul_valuations) in
   let merged =
     Par.Pool.with_pool ~domains:2 (fun pool ->
         Mcts.search_parallel

@@ -144,7 +144,7 @@ let matmul_cfg () =
   in
   { base with Enumerate.max_prims = 4; reduce_candidates = [ sz kd ] }
 
-let reward op = Reward.score op matmul_v
+let reward ~cancel:_ op = Reward.score op matmul_v
 let config = Mcts.default_config ~iterations:120 ()
 let top r = List.map (fun (x : Mcts.result) -> (Graph.operator_signature x.operator, x.reward)) r
 
