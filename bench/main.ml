@@ -882,6 +882,164 @@ let validate_bench ~smoke () =
     exit 1
   end
 
+(* --- Static analysis gate ----------------------------------------------------- *)
+
+(* Measures what the Analysis layer costs and proves what it catches:
+   every zoo operator's tensor accesses are statically proved in
+   bounds (or exactly characterized as legal zero-padding), seeded
+   out-of-bounds gathers — which every backend zero-clips, so
+   differential validation passes them — are all rejected as
+   static_violation before any tensor allocation, the graph lint and
+   rewrite-soundness sweeps come back clean, and the static gate costs
+   under 20% of the differential gate on the same candidate set.
+   Emits BENCH_analysis.json; the smoke variant runs inside
+   `dune runtest` via the bench-smoke alias. *)
+
+let analysis_bench ~smoke () =
+  section
+    (Printf.sprintf "Static analysis gate (Analysis)%s" (if smoke then " [smoke]" else ""));
+  let module Verify = Analysis.Verify in
+  let module Lint = Analysis.Lint in
+  let module Rewrite = Analysis.Rewrite in
+  let vs = Api.default_validation_valuations in
+  (* 1) Bounds verdicts over the whole catalog: never a violation. *)
+  let conv_v = List.hd vs in
+  let matmul_v = Zoo.Vars.matmul_valuation ~m:4 ~n:4 ~k:4 in
+  let verdict_of (e : Zoo.entry) =
+    let v =
+      if Option.is_some (Verify.program_opt e.Zoo.operator conv_v) then conv_v else matmul_v
+    in
+    (e.Zoo.name, Verify.program e.Zoo.operator v)
+  in
+  let verdicts, t_zoo = time (fun () -> List.map verdict_of Zoo.all) in
+  let count p = List.length (List.filter (fun (_, x) -> p x) verdicts) in
+  let proved = count (fun x -> x = Verify.Proved) in
+  let padded = count (function Verify.Padded _ -> true | _ -> false) in
+  let violations = count (function Verify.Violation _ -> true | _ -> false) in
+  note "zoo bounds: %d proved, %d padded, %d violations across %d operators (%.2f ms)"
+    proved padded violations (List.length verdicts) (1000.0 *. t_zoo);
+  let zoo_sound = violations = 0 in
+  (* 2) Candidate set: a short unvalidated search at the usual seed. *)
+  let iterations = if smoke then 150 else 600 in
+  let clean =
+    Api.search_conv_operators_run ~iterations ~max_prims:6 ~rng:(Nd.Rng.create ~seed:2024)
+      ~valuations:Api.default_search_valuations ()
+  in
+  let candidates =
+    List.filteri (fun i _ -> i < if smoke then 6 else 12)
+      (List.filter_map
+         (fun (c : Api.candidate) -> if c.Api.quarantined then None else Some c.Api.operator)
+         clean.Api.candidates)
+  in
+  (* 3) Seeded OOB gathers: every backend zero-clips them, so the
+     differential gate passes each one — and the static gate must
+     reject each one before any tensor exists. *)
+  let corrupted = List.map Validate.Differential.corrupt_operator candidates in
+  let alloc0 = Nd.Tensor.allocations () in
+  let static_verdicts =
+    List.map (fun op -> Verify.admit op vs) corrupted
+  in
+  let static_allocs = Nd.Tensor.allocations () - alloc0 in
+  let caught =
+    List.length
+      (List.filter
+         (function Error (Robust.Guard.Static_violation _) -> true | _ -> false)
+         static_verdicts)
+  in
+  let all_caught = caught = List.length corrupted && corrupted <> [] in
+  let differential_passes =
+    List.length
+      (List.filter
+         (fun op ->
+           match Validate.Differential.check op vs with Ok _ -> true | Error _ -> false)
+         corrupted)
+  in
+  note "seeded OOB gathers: %d/%d caught as static_violation (%d tensor allocations), \
+        %d/%d invisible to differential validation"
+    caught (List.length corrupted) static_allocs differential_passes
+    (List.length corrupted);
+  (* 4) Gate cost on the same (healthy) candidate set. *)
+  let repeats = if smoke then 5 else 20 in
+  let mean f =
+    let (), t =
+      time (fun () -> List.iter (fun op -> for _ = 1 to repeats do f op done) candidates)
+    in
+    t /. float_of_int (max 1 (repeats * List.length candidates))
+  in
+  let mean_static = mean (fun op -> ignore (Verify.admit op vs)) in
+  let mean_differential =
+    mean (fun op -> ignore (Validate.Differential.check op vs))
+  in
+  let ratio = mean_static /. Float.max 1e-12 mean_differential in
+  let cost_ok = ratio < 0.20 in
+  note "per-candidate gate cost over %d candidates: static %.4f ms, differential %.4f ms \
+        (%.1f%% %s)"
+    (List.length candidates) (1000.0 *. mean_static) (1000.0 *. mean_differential)
+    (100.0 *. ratio)
+    (if cost_ok then "< 20% gate" else "OVER the 20% gate");
+  (* 5) Lint + rewrite-soundness sweeps stay clean. *)
+  let lint_errors, lint_warnings =
+    List.fold_left
+      (fun (e, w) (entry : Zoo.entry) ->
+        let v =
+          if Option.is_some (Verify.program_opt entry.Zoo.operator conv_v) then conv_v
+          else matmul_v
+        in
+        let fs = Lint.check ~valuations:[ v ] entry.Zoo.operator in
+        (e + List.length (Lint.errors fs), w + (List.length fs - List.length (Lint.errors fs))))
+      (0, 0) Zoo.all
+  in
+  let rewrites =
+    List.fold_left
+      (fun acc (entry : Zoo.entry) ->
+        let v =
+          if Option.is_some (Verify.program_opt entry.Zoo.operator conv_v) then conv_v
+          else matmul_v
+        in
+        Rewrite.merge_reports acc
+          (Rewrite.check_operator (Coord.Simplify.ctx [ v ]) entry.Zoo.operator))
+      Rewrite.empty_report Zoo.all
+  in
+  let rewrites_sound = rewrites.Rewrite.rp_failures = [] in
+  note "lint: %d errors, %d warnings; rewrites: %d checked (%d approx), %d unsound"
+    lint_errors lint_warnings rewrites.Rewrite.rp_checked rewrites.Rewrite.rp_approx
+    (List.length rewrites.Rewrite.rp_failures);
+  (* Trajectory file. *)
+  let oc = open_out "BENCH_analysis.json" in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"smoke\": %b,\n" smoke;
+  out "  \"zoo\": {\"operators\": %d, \"proved\": %d, \"padded\": %d, \"violations\": %d, \
+       \"seconds\": %.6f},\n"
+    (List.length verdicts) proved padded violations t_zoo;
+  out "  \"faults\": {\"seeded\": %d, \"caught_as_static_violation\": %d, \
+       \"allocations_during_static_gate\": %d, \"invisible_to_differential\": %d},\n"
+    (List.length corrupted) caught static_allocs differential_passes;
+  out "  \"cost\": {\"candidates\": %d, \"repeats\": %d, \"mean_static_ms\": %.4f, \
+       \"mean_differential_ms\": %.4f, \"ratio\": %.4f, \"within_gate\": %b},\n"
+    (List.length candidates) repeats (1000.0 *. mean_static)
+    (1000.0 *. mean_differential) ratio cost_ok;
+  out "  \"lint\": {\"errors\": %d, \"warnings\": %d},\n" lint_errors lint_warnings;
+  out "  \"rewrites\": {\"checked\": %d, \"exhaustive\": %d, \"sampled\": %d, \"approx\": %d, \
+       \"unsound\": %d}\n"
+    rewrites.Rewrite.rp_checked rewrites.Rewrite.rp_exhaustive rewrites.Rewrite.rp_sampled
+    rewrites.Rewrite.rp_approx
+    (List.length rewrites.Rewrite.rp_failures);
+  out "}\n";
+  close_out oc;
+  note "wrote BENCH_analysis.json";
+  if not zoo_sound then prerr_endline "a zoo operator failed static bounds verification";
+  if not all_caught then prerr_endline "a seeded OOB gather escaped the static gate";
+  if static_allocs <> 0 then prerr_endline "the static gate allocated a tensor";
+  if not cost_ok then prerr_endline "static gate cost exceeded 20% of the differential gate";
+  if lint_errors <> 0 then prerr_endline "the zoo lint sweep reported errors";
+  if not rewrites_sound then prerr_endline "an unsound rewrite fired on a zoo operator";
+  if
+    not
+      (zoo_sound && all_caught && static_allocs = 0 && cost_ok && lint_errors = 0
+     && rewrites_sound)
+  then exit 1
+
 (* --- Cooperative cancellation ------------------------------------------------ *)
 
 (* Measures what cancellation costs and proves what it guarantees:
@@ -1069,6 +1227,8 @@ let experiments =
     ("robust-smoke", robust_bench ~smoke:true);
     ("validate", validate_bench ~smoke:false);
     ("validate-smoke", validate_bench ~smoke:true);
+    ("analysis", analysis_bench ~smoke:false);
+    ("analysis-smoke", analysis_bench ~smoke:true);
     ("cancel", cancel_bench ~smoke:false);
     ("cancel-smoke", cancel_bench ~smoke:true);
   ]
@@ -1081,7 +1241,7 @@ let () =
         List.filter
           (fun n ->
             n <> "par-smoke" && n <> "robust-smoke" && n <> "validate-smoke"
-            && n <> "cancel-smoke")
+            && n <> "analysis-smoke" && n <> "cancel-smoke")
           (List.map fst experiments)
   in
   let t0 = Unix.gettimeofday () in

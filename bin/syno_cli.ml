@@ -147,7 +147,7 @@ let exit_interrupted = 130
 let search_cmd =
   let run iterations max_prims budget_ratio top save seed domains retries timeout fault_rate
       fault_seed checkpoint checkpoint_every resume resume_ignore_corrupt max_bytes max_flops
-      validate no_graceful =
+      validate no_static_gate no_graceful =
     let domains = resolve_domains domains in
     let rng = Nd.Rng.create ~seed in
     let guard = Robust.Guard.policy ~retries ?timeout () in
@@ -163,7 +163,8 @@ let search_cmd =
     match
       Api.search_conv_operators_run ~iterations ~max_prims ~flops_budget_ratio:budget_ratio
         ~domains ~guard ~inject ?checkpoint ~checkpoint_every ?resume ~on_corrupt ?max_bytes
-        ?max_flops ~validate ~cancel:root ~rng ~valuations:Api.default_search_valuations ()
+        ?max_flops ~validate ~static_gate:(not no_static_gate) ~cancel:root ~rng
+        ~valuations:Api.default_search_valuations ()
     with
     | exception Failure msg ->
         prerr_endline msg;
@@ -195,8 +196,12 @@ let search_cmd =
       failures.checkpoint_writes;
     (match admission with
     | Some s ->
-        Format.printf "admission: %d gated, %d rejected, %.2fs in gate@."
-          s.Validate.Admit.calls s.Validate.Admit.rejected s.Validate.Admit.seconds
+        Format.printf
+          "admission: %d gated, %d rejected (static %d, budget %d, differential %d), %.2fs \
+           in gate@."
+          s.Validate.Admit.calls s.Validate.Admit.rejected s.Validate.Admit.rejected_static
+          s.Validate.Admit.rejected_budget s.Validate.Admit.rejected_differential
+          s.Validate.Admit.seconds
     | None -> ());
     Format.printf "@.";
     List.iteri
@@ -284,6 +289,12 @@ let search_cmd =
              ~doc:"Differentially validate every candidate across the three lowering backends \
                    on small seeded inputs; disagreeing candidates are quarantined.")
   in
+  let no_static_gate =
+    Arg.(value & flag
+         & info [ "no-static-gate" ]
+             ~doc:"Skip the static bounds verifier that otherwise runs ahead of budget and \
+                   differential admission whenever any gate is configured.")
+  in
   let no_graceful =
     Arg.(value & flag
          & info [ "no-graceful-shutdown" ]
@@ -302,7 +313,99 @@ let search_cmd =
          :: Cmd.Exit.defaults))
     Term.(const run $ iterations $ max_prims $ budget $ top $ save $ seed $ domains_arg
           $ retries $ timeout $ fault_rate $ fault_seed $ checkpoint $ checkpoint_every
-          $ resume $ resume_ignore_corrupt $ max_bytes $ max_flops $ validate $ no_graceful)
+          $ resume $ resume_ignore_corrupt $ max_bytes $ max_flops $ validate $ no_static_gate
+          $ no_graceful)
+
+(* --- lint ------------------------------------------------------------------ *)
+
+(* One diagnostic per line, machine-readable:
+     <operator> bounds proved | padded regions=N | violation: <detail>
+     <operator> lint <rule> <severity>: <detail>
+     <operator> rewrites checked=N approx=N unsound=N
+     <operator> rewrite unsound: <detail>
+     <operator> skip: not instantiable at the given shape
+   Exit 1 when any operator has a bounds violation, an error-severity
+   lint finding, or an unsound rewrite. *)
+let lint_cmd =
+  let module Verify = Analysis.Verify in
+  let module Lint = Analysis.Lint in
+  let module Rewrite = Analysis.Rewrite in
+  let run name all valuation =
+    let targets =
+      if all then Ok (List.map (fun e -> (e.Zoo.name, e.Zoo.operator)) Zoo.all)
+      else
+        match name with
+        | None -> Error "lint: name an operator or .syno file, or pass --all"
+        | Some n -> Result.map (fun t -> [ t ]) (resolve n)
+    in
+    match targets with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok targets ->
+        let failed = ref false in
+        List.iter
+          (fun (name, op) ->
+            (* Operators off the conv signature (e.g. matmul) get a
+               small fallback shape; neither fitting is a skip, not an
+               error — lint must not reject what the search would run. *)
+            let fallback = Zoo.Vars.matmul_valuation ~m:4 ~n:4 ~k:4 in
+            let v =
+              List.find_opt
+                (fun v -> Option.is_some (Verify.program_opt op v))
+                [ valuation; fallback ]
+            in
+            match v with
+            | None ->
+                Format.printf "%s skip: not instantiable at the given shape@." name;
+                List.iter
+                  (fun f ->
+                    if f.Lint.lint_severity = Lint.Error then failed := true;
+                    Format.printf "%s lint %s@." name (Lint.finding_to_string f))
+                  (Lint.check op)
+            | Some v -> (
+                (match Verify.program op v with
+                | Verify.Proved -> Format.printf "%s bounds proved@." name
+                | Verify.Padded regions ->
+                    Format.printf "%s bounds padded regions=%d@." name (List.length regions)
+                | Verify.Violation d ->
+                    failed := true;
+                    Format.printf "%s bounds violation: %s@." name
+                      (Verify.diagnostic_to_string d));
+                List.iter
+                  (fun f ->
+                    if f.Lint.lint_severity = Lint.Error then failed := true;
+                    Format.printf "%s lint %s@." name (Lint.finding_to_string f))
+                  (Lint.check ~valuations:[ v ] op);
+                let report = Rewrite.check_operator (Coord.Simplify.ctx [ v ]) op in
+                Format.printf "%s rewrites checked=%d approx=%d unsound=%d@." name
+                  report.Rewrite.rp_checked report.Rewrite.rp_approx
+                  (List.length report.Rewrite.rp_failures);
+                List.iter
+                  (fun f ->
+                    failed := true;
+                    Format.printf "%s rewrite unsound: %s@." name (Rewrite.failure_to_string f))
+                  report.Rewrite.rp_failures))
+          targets;
+        if !failed then 1 else 0
+  in
+  let name_arg = Arg.(value & pos 0 (some string) None & info [] ~docv:"OPERATOR") in
+  let all_arg =
+    Arg.(value & flag & info [ "all" ] ~doc:"Lint every operator in the built-in catalog.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically verify an operator: interval bounds proofs for every tensor access, \
+          graph lint rules, and rewrite-soundness checks. No tensor is ever allocated."
+       ~exits:
+         (Cmd.Exit.info ~doc:"when every check passes." 0
+         :: Cmd.Exit.info
+              ~doc:"when any bounds violation, error-severity lint finding, or unsound \
+                    rewrite is reported."
+              1
+         :: Cmd.Exit.defaults))
+    Term.(const run $ name_arg $ all_arg $ shape_args)
 
 (* --- latency ------------------------------------------------------------------ *)
 
@@ -410,4 +513,6 @@ let () =
     Cmd.info "syno" ~version:"1.0"
       ~doc:"Structured synthesis for neural operators (ASPLOS'25 reproduction)."
   in
-  exit (Cmd.eval' (Cmd.group info [ list_cmd; describe_cmd; search_cmd; latency_cmd; train_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ list_cmd; describe_cmd; search_cmd; lint_cmd; latency_cmd; train_cmd ]))

@@ -152,6 +152,11 @@ let candidate_factors divisor terms =
          if Size.is_one g then None else Some g)
        terms)
 
+(* Sum-aware rules return the rewritten node tagged with whether an
+   {e approximate} (Fig. 3(c)) branch fired — approximate rewrites
+   deliberately change concrete semantics, so the rewrite-soundness
+   checker in [Analysis.Rewrite] must not hold them to exact equality. *)
+
 (* (s*X + r) / (s*d') = X / d'        when 0 <= r < s
    (s*X + r) % (s*d') = s*(X % d') + r  idem                     *)
 let rec div_of_sum c e divisor =
@@ -161,7 +166,7 @@ let rec div_of_sum c e divisor =
   let multiples, rest = split_multiples divisor terms in
   if multiples <> [] then
     let rest_e = rebuild_terms rest in
-    Some (rebuild_terms ((1, Div (rest_e, divisor)) :: multiples))
+    Some (rebuild_terms ((1, Div (rest_e, divisor)) :: multiples), false)
   else
     let try_factor s =
       match Size.div divisor s with
@@ -178,8 +183,11 @@ let rec div_of_sum c e divisor =
             else None
     in
     match List.find_map try_factor (candidate_factors divisor terms) with
-    | Some e' -> Some e'
-    | None -> approx_div c terms divisor
+    | Some e' -> Some (e', false)
+    | None -> (
+        match approx_div c terms divisor with
+        | Some e' -> Some (e', true)
+        | None -> None)
 
 and approx_div c terms divisor =
   (* Fig. 3(c): drop additive perturbations that are tiny w.r.t. the
@@ -199,7 +207,7 @@ and approx_div c terms divisor =
 let mod_of_sum c e divisor =
   let terms = terms_of e in
   let multiples, rest = split_multiples divisor terms in
-  if multiples <> [] then Some (Mod (rebuild_terms rest, divisor))
+  if multiples <> [] then Some (Mod (rebuild_terms rest, divisor), false)
   else
     let try_factor s =
       match Size.div divisor s with
@@ -216,7 +224,7 @@ let mod_of_sum c e divisor =
             else None
     in
     match List.find_map try_factor (candidate_factors divisor terms) with
-    | Some e' -> Some e'
+    | Some e' -> Some (e', false)
     | None ->
         (* Approximate: hoist small perturbations out of the modulo. *)
         let small, large =
@@ -229,32 +237,33 @@ let mod_of_sum c e divisor =
         if small = [] || large = [] then None
         else
           let large_e = rebuild_terms large in
-          Some (rebuild_terms ((1, Mod (large_e, divisor)) :: small))
+          Some (rebuild_terms ((1, Mod (large_e, divisor)) :: small), true)
 
 (* --- Rewrite rules ---------------------------------------------------- *)
 
 let rule_at c node =
   match node with
   (* Units and constant folding. *)
-  | Mul (s, e) when Size.is_one s -> Some e
-  | Mul (_, Const 0) -> Some (Const 0)
-  | Mul (s, Const k) when k > 0 && Size.is_constant s -> Some (Const (Size.constant s * k))
-  | Mul (s, Const 1) -> Some (Size_const s)
-  | Mul (s1, Mul (s2, e)) -> Some (Mul (Size.mul s1 s2, e))
-  | Mul (s, Size_const s') -> Some (Size_const (Size.mul s s'))
-  | Size_const s when Size.is_constant s -> Some (Const (Size.constant s))
-  | Div (e, s) when Size.is_one s -> Some e
-  | Mod (_, s) when Size.is_one s -> Some (Const 0)
-  | Div (Const k, s) when Size.is_constant s -> Some (Const (fdiv k (Size.constant s)))
-  | Mod (Const k, s) when Size.is_constant s -> Some (Const (emod k (Size.constant s)))
+  | Mul (s, e) when Size.is_one s -> Some (e, false)
+  | Mul (_, Const 0) -> Some (Const 0, false)
+  | Mul (s, Const k) when k > 0 && Size.is_constant s ->
+      Some (Const (Size.constant s * k), false)
+  | Mul (s, Const 1) -> Some (Size_const s, false)
+  | Mul (s1, Mul (s2, e)) -> Some (Mul (Size.mul s1 s2, e), false)
+  | Mul (s, Size_const s') -> Some (Size_const (Size.mul s s'), false)
+  | Size_const s when Size.is_constant s -> Some (Const (Size.constant s), false)
+  | Div (e, s) when Size.is_one s -> Some (e, false)
+  | Mod (_, s) when Size.is_one s -> Some (Const 0, false)
+  | Div (Const k, s) when Size.is_constant s -> Some (Const (fdiv k (Size.constant s)), false)
+  | Mod (Const k, s) when Size.is_constant s -> Some (Const (emod k (Size.constant s)), false)
   (* Distribute multiplication over sums: removes parentheses (\u{00a7}6). *)
-  | Mul (s, Add (a, b)) -> Some (Add (Mul (s, a), Mul (s, b)))
-  | Mul (s, Sub (a, b)) -> Some (Sub (Mul (s, a), Mul (s, b)))
+  | Mul (s, Add (a, b)) -> Some (Add (Mul (s, a), Mul (s, b)), false)
+  | Mul (s, Sub (a, b)) -> Some (Sub (Mul (s, a), Mul (s, b)), false)
   (* Nested divisions combine. *)
-  | Div (Div (e, a), b) -> Some (Div (e, Size.mul a b))
+  | Div (Div (e, a), b) -> Some (Div (e, Size.mul a b), false)
   (* Range-based collapses, justified under every extracted valuation. *)
-  | Div (e, s) when proves_lt c e s -> Some (Const 0)
-  | Mod (e, s) when proves_lt c e s -> Some e
+  | Div (e, s) when proves_lt c e s -> Some (Const 0, false)
+  | Mod (e, s) when proves_lt c e s -> Some (e, false)
   (* Sum-aware division and modulo (exact rules then Fig. 3 rules). *)
   | Div (e, s) -> div_of_sum c e s
   | Mod (e, s) -> mod_of_sum c e s
@@ -262,14 +271,27 @@ let rule_at c node =
 
 let max_fuel = 400
 
-let simplify c e =
+type rewrite = { rw_before : Ast.t; rw_after : Ast.t; rw_approx : bool }
+
+(* One bottom-up pass with local fixpointing.  [on_rewrite] observes
+   every fired rule — including the structural [normalize_sum] step,
+   which applies the semantic divmod-fusion rule — so callers can
+   re-verify each application.  The callback defaults to a no-op, so
+   the plain [simplify] hot path pays nothing. *)
+let simplify_pass ?on_rewrite c e =
+  let record ~approx before after =
+    match on_rewrite with
+    | None -> ()
+    | Some f -> if not (Ast.equal before after) then f { rw_before = before; rw_after = after; rw_approx = approx }
+  in
   let fuel = ref max_fuel in
   let rec fix node =
     if !fuel <= 0 then node
     else
       match rule_at c node with
-      | Some node' when not (Ast.equal node' node) ->
+      | Some (node', approx) when not (Ast.equal node' node) ->
           decr fuel;
+          record ~approx node node';
           go node'
       | Some _ | None -> node
   and go e =
@@ -286,9 +308,35 @@ let simplify c e =
     match e' with
     | Add _ | Sub _ ->
         let flat = normalize_sum e' in
-        if Ast.equal flat e' then flat else fix (go flat)
+        if Ast.equal flat e' then flat
+        else begin
+          record ~approx:false e' flat;
+          fix (go flat)
+        end
     | Iter _ | Const _ | Size_const _ | Mul _ | Div _ | Mod _ -> e'
   in
   go e
+
+(* Iterate passes to an outer fixpoint: a single bottom-up pass can
+   expose a new redex above the point it just rewrote (e.g. a division
+   materialized by [div_of_sum] whose operand only then flattens into a
+   recognizable multiple), and idempotence of [simplify] — which the
+   canonical-form check in [Pgraph.Canon] relies on — requires running
+   those follow-ups to quiescence. *)
+let max_passes = 8
+
+let simplify_with ?on_rewrite c e =
+  let rec loop n e =
+    let e' = simplify_pass ?on_rewrite c e in
+    if n <= 1 || Ast.equal e' e then e' else loop (n - 1) e'
+  in
+  loop max_passes e
+
+let simplify c e = simplify_with c e
+
+let simplify_traced c e =
+  let fired = ref [] in
+  let e' = simplify_with ~on_rewrite:(fun r -> fired := r :: !fired) c e in
+  (e', List.rev !fired)
 
 let equivalent c a b = Ast.equal (simplify c a) (simplify c b)

@@ -36,6 +36,21 @@ val simplify : ctx -> Ast.t -> Ast.t
     distributed, divisions and modulos pushed through exact multiples,
     sums flattened and sorted. *)
 
+type rewrite = {
+  rw_before : Ast.t;  (** the node the rule fired on *)
+  rw_after : Ast.t;  (** what it was rewritten to *)
+  rw_approx : bool;
+      (** an approximate Fig. 3(c) rule fired: the rewrite deliberately
+          changes concrete semantics (drops a perturbation that is tiny
+          w.r.t. the divisor) and must not be held to exact equality *)
+}
+(** One fired rule application, recorded by {!simplify_traced} for
+    post-hoc soundness checking ({!Analysis.Rewrite}). *)
+
+val simplify_traced : ctx -> Ast.t -> Ast.t * rewrite list
+(** [simplify] that also returns every rule application it fired, in
+    firing order.  [simplify c e = fst (simplify_traced c e)]. *)
+
 val equivalent : ctx -> Ast.t -> Ast.t -> bool
 (** Structural equality of the simplified forms. *)
 

@@ -154,6 +154,101 @@ let materialize ~poll lookup it dom factors =
   done;
   ({ dims; data = tensor }, others)
 
+(* --- Static access structure ------------------------------------------ *)
+
+(* A faithful dims-only mirror of the factor bookkeeping [forward]
+   performs, for the static bounds verifier: which expressions index
+   which windows at each stage, without allocating any tensor. *)
+
+type access = {
+  acc_expr : Ast.t;
+  acc_lo : int;
+  acc_extent : int;
+  acc_values : (int * int) option;
+}
+
+let initial_dims op lookup =
+  List.map2
+    (fun e s -> { expr = e; extent = Size.eval s lookup; lo = 0 })
+    op.Graph.op_input_exprs op.Graph.op_input_shape
+  :: List.map
+       (fun grp ->
+         List.map
+           (fun it -> { expr = Ast.iter it; extent = Size.eval it.Ast.dom lookup; lo = 0 })
+           grp)
+       op.Graph.op_weights
+
+(* One stage of [materialize], dims only.  The value range of an
+   affected dim's accesses is positional: the dense residual window
+   (every position of the materialized tensor is enumerated) shifted by
+   [c * r] over the reduction — exactly what the executor's
+   [(pos + lo) + c*r] produces.  Unaffected dims of participating
+   factors are enumerated over their own window and so stay in bounds
+   by construction. *)
+let stage_accesses lookup it dom factors =
+  let participating, others = List.partition (List.exists (fun d -> iter_in it d.expr)) factors in
+  let new_dims : fdim list ref = ref [] in
+  let push nd =
+    if not (List.exists (fun d -> Ast.equal d.expr nd.expr) !new_dims) then
+      new_dims := nd :: !new_dims
+  in
+  let accesses =
+    List.concat_map
+      (List.map (fun d ->
+           if iter_in it d.expr then begin
+             let c = coefficient lookup it d.expr in
+             let vlo, vhi =
+               match residual it d.expr with
+               | Ast.Const base -> (base, base)
+               | res ->
+                   let lo, hi = Ast.bounds ~lookup res in
+                   push { expr = res; extent = hi - lo + 1; lo };
+                   (lo, hi)
+             in
+             let step = c * (dom - 1) in
+             let vlo, vhi = (vlo + min 0 step, vhi + max 0 step) in
+             {
+               acc_expr = d.expr;
+               acc_lo = d.lo;
+               acc_extent = d.extent;
+               acc_values = Some (vlo, vhi);
+             }
+           end
+           else begin
+             push d;
+             {
+               acc_expr = d.expr;
+               acc_lo = d.lo;
+               acc_extent = d.extent;
+               acc_values = Some (d.lo, d.lo + d.extent - 1);
+             }
+           end))
+      participating
+  in
+  (accesses, List.rev !new_dims :: others)
+
+let access_plan t =
+  let lookup = Valuation.lookup t.valuation in
+  let stages_rev, factors =
+    List.fold_left
+      (fun (acc, factors) stage ->
+        let it = stage.Staging.reduced in
+        let dom = Size.eval it.Ast.dom lookup in
+        let accesses, factors' = stage_accesses lookup it dom factors in
+        (accesses :: acc, factors'))
+      ([], initial_dims t.op lookup)
+      t.plan.Staging.stages
+  in
+  (* Final stage: every remaining factor dim is indexed by evaluating
+     its expression over the output / remaining-reduction loops. *)
+  let final =
+    List.concat_map
+      (List.map (fun d ->
+           { acc_expr = d.expr; acc_lo = d.lo; acc_extent = d.extent; acc_values = None }))
+      factors
+  in
+  List.rev (final :: stages_rev)
+
 let initial_factors t ~input ~weights =
   let lookup = Valuation.lookup t.valuation in
   let input_factor =

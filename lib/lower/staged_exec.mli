@@ -20,6 +20,27 @@ val plan : t -> Staging.plan
 val num_stages : t -> int
 (** Materialized stages (0 = plain loop nest). *)
 
+type access = {
+  acc_expr : Coord.Ast.t;  (** the indexing expression *)
+  acc_lo : int;  (** start of the in-bounds window *)
+  acc_extent : int;  (** window length; indices outside clip to zero *)
+  acc_values : (int * int) option;
+      (** inclusive range of values the executor actually produces for
+          this access, when determined positionally (intermediate
+          stages enumerate the dense residual window shifted by the
+          reduction term); [None] in the final stage, where the
+          expression is evaluated directly over the remaining iterator
+          domains and the caller can bound it itself *)
+}
+(** One factor-dimension access the executor performs, as seen by the
+    static bounds verifier ({!Analysis.Verify}). *)
+
+val access_plan : t -> access list list
+(** The complete static access structure of {!forward}: one list per
+    materialization stage (in plan order) followed by the final
+    contraction stage.  Mirrors the executor's factor bookkeeping
+    exactly but allocates no tensor. *)
+
 val forward :
   ?cancel:Robust.Cancel.t -> t -> input:Nd.Tensor.t -> weights:Nd.Tensor.t list -> Nd.Tensor.t
 (** [cancel] makes the executor a cancellation safe point: the token is

@@ -27,6 +27,14 @@ let params (op : Graph.operator) valuation =
 let memory_footprint op valuation =
   input_elems op valuation + output_elems op valuation + params op valuation
 
+(* The dominant intermediate of the einsum lowering: the gathered
+   operand is indexed by every output and every reduction iterator at
+   once.  The staged executor materializes strictly smaller partial
+   tensors, so adding this to the resident footprint gives a safe peak
+   for every backend — the single number [Validate.Budget] prices. *)
+let gather_elems op valuation = output_elems op valuation * reduction_elems op valuation
+let peak_footprint op valuation = memory_footprint op valuation + gather_elems op valuation
+
 let within_budgets ?max_flops ?max_params ?max_memory op valuations =
   let le limit v = match limit with None -> true | Some l -> v <= l in
   List.for_all

@@ -21,6 +21,17 @@ val reduction_elems : Graph.operator -> Shape.Valuation.t -> int
 val memory_footprint : Graph.operator -> Shape.Valuation.t -> int
 (** input + output + parameter elements. *)
 
+val gather_elems : Graph.operator -> Shape.Valuation.t -> int
+(** Elements of the gathered einsum operand
+    ([output_elems * reduction_elems]), the dominant intermediate of
+    the einsum lowering. *)
+
+val peak_footprint : Graph.operator -> Shape.Valuation.t -> int
+(** [memory_footprint + gather_elems]: a conservative peak resident
+    element count valid for every lowering backend.  [Validate.Budget]
+    prices exactly this number (cross-checked by [Analysis.Lint] and
+    the test suite, so the two estimators cannot drift). *)
+
 val within_budgets :
   ?max_flops:int ->
   ?max_params:int ->

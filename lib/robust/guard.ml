@@ -6,6 +6,7 @@ type kind =
   | Over_budget of string
   | Backend_mismatch of string
   | Diverged of string
+  | Static_violation of string
 
 let kind_label = function
   | Eval_error _ -> "eval_error"
@@ -15,13 +16,15 @@ let kind_label = function
   | Over_budget _ -> "over_budget"
   | Backend_mismatch _ -> "backend_mismatch"
   | Diverged _ -> "diverged"
+  | Static_violation _ -> "static_violation"
 
 (* Failures that are a deterministic function of the candidate itself:
-   a candidate over its resource budget, a miscompiling backend, or a
-   diverging training run fails identically on every attempt, so
-   retrying only burns the evaluation budget. *)
+   a candidate over its resource budget, a miscompiling backend, a
+   diverging training run, or a statically disproven bounds obligation
+   fails identically on every attempt, so retrying only burns the
+   evaluation budget. *)
 let permanent = function
-  | Over_budget _ | Backend_mismatch _ | Diverged _ -> true
+  | Over_budget _ | Backend_mismatch _ | Diverged _ | Static_violation _ -> true
   | Eval_error _ | Non_finite | Timeout | Injected -> false
 
 exception Reject of kind

@@ -25,16 +25,21 @@ type kind =
   | Diverged of string
       (** a training sentinel aborted the evaluation: NaN/Inf loss or
           sustained loss blow-up *)
+  | Static_violation of string
+      (** the static IR verifier ({!Analysis.Verify}) disproved a
+          bounds obligation or the lint pass found a structural error —
+          rejected before any tensor allocation *)
 
 val kind_label : kind -> string
 (** Stable short name ([eval_error], [non_finite], [timeout],
-    [injected], [over_budget], [backend_mismatch], [diverged]) for
-    aggregation and serialization. *)
+    [injected], [over_budget], [backend_mismatch], [diverged],
+    [static_violation]) for aggregation and serialization. *)
 
 val permanent : kind -> bool
 (** Whether the failure is a deterministic property of the candidate
-    ([Over_budget], [Backend_mismatch], [Diverged]): such failures are
-    never retried — every attempt would fail identically. *)
+    ([Over_budget], [Backend_mismatch], [Diverged],
+    [Static_violation]): such failures are never retried — every
+    attempt would fail identically. *)
 
 exception Reject of kind
 (** Raise from inside an evaluation thunk to classify the failure

@@ -9,11 +9,17 @@ type entry = {
   reward : float;
   visits : int;
   quarantined : bool;
+  reason : string option;
 }
 
 (* --- Snapshot files -------------------------------------------------------- *)
 
 let header = "syno-checkpoint v1"
+
+(* Reasons are guard-kind labels, but keep the header parsable even if
+   a caller passes free text: the field must stay a single token. *)
+let sanitize_reason r =
+  String.map (fun c -> if c = ' ' || c = '\t' || c = '\n' || c = '\r' then '-' else c) r
 
 let to_string entries =
   let buf = Buffer.create 1024 in
@@ -23,8 +29,11 @@ let to_string entries =
   List.iter
     (fun e ->
       Buffer.add_string buf
-        (Printf.sprintf "entry: reward %h visits %d quarantined %b\n" e.reward e.visits
-           e.quarantined);
+        (Printf.sprintf "entry: reward %h visits %d quarantined %b%s\n" e.reward e.visits
+           e.quarantined
+           (match e.reason with
+           | None -> ""
+           | Some r -> " reason " ^ sanitize_reason r));
       Buffer.add_string buf (Trace_io.to_string e.operator))
     entries;
   Buffer.contents buf
@@ -71,13 +80,20 @@ let string_of_error = function
         found
   | Corrupt msg -> "corrupt checkpoint: " ^ msg
 
+(* The [reason] suffix is optional so v1 snapshots written before the
+   field existed still load. *)
 let parse_entry_header line =
+  let bad () = Error (Corrupt (Printf.sprintf "bad entry header %S" line)) in
   match String.split_on_char ' ' (String.trim line) with
-  | [ "entry:"; "reward"; r; "visits"; v; "quarantined"; q ] -> (
+  | "entry:" :: "reward" :: r :: "visits" :: v :: "quarantined" :: q :: rest -> (
       match (float_of_string_opt r, int_of_string_opt v, bool_of_string_opt q) with
-      | Some r, Some v, Some q -> Ok (r, v, q)
-      | _ -> Error (Corrupt (Printf.sprintf "bad entry header %S" line)))
-  | _ -> Error (Corrupt (Printf.sprintf "bad entry header %S" line))
+      | Some r, Some v, Some q -> (
+          match rest with
+          | [] -> Ok (r, v, q, None)
+          | [ "reason"; reason ] -> Ok (r, v, q, Some reason)
+          | _ -> bad ())
+      | _ -> bad ())
+  | _ -> bad ()
 
 (* "entries: N" written right under the header; [None] for hand-edited
    files that dropped it (then the count cannot be cross-checked). *)
@@ -114,10 +130,15 @@ let of_string_result text =
                 | Some (h, block) -> groups acc (Some (h, line :: block)) rest)
         in
         let rebuild (head, block_rev) =
-          let* reward, visits, quarantined = parse_entry_header head in
+          let* reward, visits, quarantined, reason = parse_entry_header head in
           let block = String.concat "\n" (List.rev block_rev) in
+          (* [allow_strided]: a snapshot records whatever the search
+             evaluated — quality filtering happened at enumeration
+             time, and resume must accept its own history. *)
           let* operator =
-            Result.map_error (fun msg -> Corrupt msg) (Trace_io.of_string block)
+            Result.map_error
+              (fun msg -> Corrupt msg)
+              (Trace_io.of_string ~allow_strided:true block)
           in
           Ok
             {
@@ -126,6 +147,7 @@ let of_string_result text =
               reward;
               visits;
               quarantined;
+              reason;
             }
         in
         let grouped = groups [] None rest in

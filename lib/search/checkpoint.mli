@@ -16,6 +16,7 @@
     syno-checkpoint v1
     entries: 2
     entry: reward 0x1.91p-1 visits 3 quarantined false
+    entry: reward -0x1p0 visits 1 quarantined true reason static_violation
     syno-operator v1
     output: N C_out H W
     input: N C_in H W
@@ -32,6 +33,10 @@ type entry = {
   reward : float;
   visits : int;
   quarantined : bool;
+  reason : string option;
+      (** why a quarantined entry was refused — a {!Robust.Guard}
+          kind label (e.g. [static_violation]); single token, optional
+          in the file format so pre-[reason] snapshots still load *)
 }
 
 val save : path:string -> entry list -> unit

@@ -159,6 +159,7 @@ let run_tree ~config ~enum_cfg ~reward ~rng ~policy ~inject ~penalty ~sink ~prel
                     reward = penalty;
                     visits = 1;
                     quarantined = true;
+                    reason = Some label;
                   }
             | None -> ());
             penalty
@@ -173,21 +174,28 @@ let run_tree ~config ~enum_cfg ~reward ~rng ~policy ~inject ~penalty ~sink ~prel
               (1 + Option.value ~default:0 (Hashtbl.find_opt collector.c_kinds label)))
           out.Guard.failures;
         collector.c_backoff <- collector.c_backoff +. out.Guard.slept;
-        let r, quarantined =
+        let r, quarantined, reason =
           match out.Guard.result with
           | Ok r ->
               collector.c_evaluations <- collector.c_evaluations + 1;
-              (r, false)
-          | Error _ ->
+              (r, false, None)
+          | Error k ->
               collector.c_quarantined <- collector.c_quarantined + 1;
-              (penalty, true)
+              (penalty, true, Some (Guard.kind_label k))
         in
         Hashtbl.add found key
           { ent_op = op; ent_reward = r; ent_visits = 1; ent_quarantined = quarantined };
         (match sink with
         | Some s ->
             Checkpoint.note s
-              { Checkpoint.signature = key; operator = op; reward = r; visits = 1; quarantined }
+              {
+                Checkpoint.signature = key;
+                operator = op;
+                reward = r;
+                visits = 1;
+                quarantined;
+                reason;
+              }
         | None -> ());
         r)
   in

@@ -158,7 +158,8 @@ let search_conv_operators_run ?(iterations = 2000) ?(max_prims = 9)
     ?(flops_budget_ratio = 1.0) ?(domains = 1) ?trees ?guard ?inject ?quarantine_reward
     ?checkpoint ?(checkpoint_every = 50) ?resume ?(on_corrupt = `Fail) ?max_bytes ?max_flops
     ?(validate = false) ?(validate_config = Validate.Differential.default_config)
-    ?(validation_valuations = default_validation_valuations) ?cancel ~rng ~valuations () =
+    ?(validation_valuations = default_validation_valuations) ?(static_gate = true) ?cancel
+    ~rng ~valuations () =
   let open Zoo.Vars in
   let sz = Size.of_var in
   let output_shape = [ sz n; sz c_out; sz h; sz w ] in
@@ -209,10 +210,14 @@ let search_conv_operators_run ?(iterations = 2000) ?(max_prims = 9)
   let resume = match resume with Some path -> load_resume ~on_corrupt path | None -> [] in
   let gate =
     let differential = if validate then Some validate_config else None in
+    (* The static verifier is free of tensor work, so it defaults on —
+       but only bother building a gate when something else asked for
+       admission, keeping gate-less runs gate-less. *)
     if max_bytes = None && max_flops = None && differential = None then None
     else
+      let static = if static_gate then validation_valuations else [] in
       Some
-        (Validate.Admit.create ?max_bytes ?max_flops ~valuations ?differential
+        (Validate.Admit.create ~static ?max_bytes ?max_flops ~valuations ?differential
            ~check_valuations:validation_valuations ())
   in
   let admit = Option.map (fun g op -> Validate.Admit.gate g op) gate in
@@ -251,9 +256,10 @@ let search_conv_operators_run ?(iterations = 2000) ?(max_prims = 9)
 
 let search_conv_operators ?iterations ?max_prims ?flops_budget_ratio ?domains ?trees ?guard
     ?inject ?quarantine_reward ?checkpoint ?checkpoint_every ?resume ?on_corrupt ?max_bytes
-    ?max_flops ?validate ?validate_config ?validation_valuations ?cancel ~rng ~valuations () =
+    ?max_flops ?validate ?validate_config ?validation_valuations ?static_gate ?cancel ~rng
+    ~valuations () =
   (search_conv_operators_run ?iterations ?max_prims ?flops_budget_ratio ?domains ?trees
      ?guard ?inject ?quarantine_reward ?checkpoint ?checkpoint_every ?resume ?on_corrupt
-     ?max_bytes ?max_flops ?validate ?validate_config ?validation_valuations ?cancel ~rng
-     ~valuations ())
+     ?max_bytes ?max_flops ?validate ?validate_config ?validation_valuations ?static_gate
+     ?cancel ~rng ~valuations ())
     .candidates

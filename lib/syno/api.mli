@@ -93,6 +93,7 @@ val search_conv_operators_run :
   ?validate:bool ->
   ?validate_config:Validate.Differential.config ->
   ?validation_valuations:Shape.Valuation.t list ->
+  ?static_gate:bool ->
   ?cancel:Robust.Cancel.t ->
   rng:Nd.Rng.t ->
   valuations:Shape.Valuation.t list ->
@@ -131,8 +132,12 @@ val search_conv_operators_run :
     every admitted candidate through all three lowering backends on
     seeded inputs at [validation_valuations]; disagreement beyond
     [validate_config]'s tolerance quarantines it as [backend_mismatch].
+    Whenever a gate is configured, static bounds verification
+    ({!Analysis.Verify}) runs first — interval arithmetic only, no
+    tensor allocation — quarantining provably out-of-bounds gathers as
+    [static_violation]; [static_gate:false] disables that stage.
     Admission rejections appear in [failures.failed_attempts]; gate
-    cost and rejection counts in [admission].
+    cost and per-stage rejection counts in [admission].
 
     [cancel] is the shutdown token (the CLI's signal handlers trip it):
     the search stops at the next iteration boundary and {e returns} the
@@ -158,6 +163,7 @@ val search_conv_operators :
   ?validate:bool ->
   ?validate_config:Validate.Differential.config ->
   ?validation_valuations:Shape.Valuation.t list ->
+  ?static_gate:bool ->
   ?cancel:Robust.Cancel.t ->
   rng:Nd.Rng.t ->
   valuations:Shape.Valuation.t list ->

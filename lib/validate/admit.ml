@@ -2,9 +2,17 @@ module Valuation = Shape.Valuation
 module Graph = Pgraph.Graph
 module Guard = Robust.Guard
 
-type stats = { calls : int; rejected : int; seconds : float }
+type stats = {
+  calls : int;
+  rejected : int;
+  rejected_static : int;
+  rejected_budget : int;
+  rejected_differential : int;
+  seconds : float;
+}
 
 type t = {
+  static_valuations : Valuation.t list;
   max_bytes : int option;
   max_flops : int option;
   budget_valuations : Valuation.t list;
@@ -12,12 +20,16 @@ type t = {
   check_valuations : Valuation.t list;
   mutex : Mutex.t;
   mutable calls : int;
-  mutable rejected : int;
+  mutable rejected_static : int;
+  mutable rejected_budget : int;
+  mutable rejected_differential : int;
   mutable seconds : float;
 }
 
-let create ?max_bytes ?max_flops ?(valuations = []) ?differential ?check_valuations () =
+let create ?(static = []) ?max_bytes ?max_flops ?(valuations = []) ?differential
+    ?check_valuations () =
   {
+    static_valuations = static;
     max_bytes;
     max_flops;
     budget_valuations = valuations;
@@ -25,37 +37,63 @@ let create ?max_bytes ?max_flops ?(valuations = []) ?differential ?check_valuati
     check_valuations = Option.value check_valuations ~default:valuations;
     mutex = Mutex.create ();
     calls = 0;
-    rejected = 0;
+    rejected_static = 0;
+    rejected_budget = 0;
+    rejected_differential = 0;
     seconds = 0.0;
   }
 
 let active t =
-  (t.max_bytes <> None || t.max_flops <> None) && t.budget_valuations <> []
-  || t.differential <> None && t.check_valuations <> []
+  t.static_valuations <> []
+  || ((t.max_bytes <> None || t.max_flops <> None) && t.budget_valuations <> [])
+  || (t.differential <> None && t.check_valuations <> [])
 
+(* Stage order is load-bearing: static verification allocates nothing,
+   budgets are pure arithmetic, and only then does differential
+   validation compile and run the candidate on real tensors. *)
 let decide t op =
   match
-    Budget.admit ?max_bytes:t.max_bytes ?max_flops:t.max_flops op t.budget_valuations
+    if t.static_valuations = [] then Ok ()
+    else Analysis.Verify.admit op t.static_valuations
   with
-  | Error _ as e -> e
+  | Error _ as e -> (e, `Static)
   | Ok () -> (
-      match t.differential with
-      | None -> Ok ()
-      | Some config -> Differential.admit ~config op t.check_valuations)
+      match
+        Budget.admit ?max_bytes:t.max_bytes ?max_flops:t.max_flops op t.budget_valuations
+      with
+      | Error _ as e -> (e, `Budget)
+      | Ok () -> (
+          match t.differential with
+          | None -> (Ok (), `Differential)
+          | Some config ->
+              (Differential.admit ~config op t.check_valuations, `Differential)))
 
 let gate t op =
   let t0 = Unix.gettimeofday () in
-  let result = decide t op in
+  let result, stage = decide t op in
   let dt = Unix.gettimeofday () -. t0 in
   Mutex.lock t.mutex;
   t.calls <- t.calls + 1;
-  (match result with Error _ -> t.rejected <- t.rejected + 1 | Ok () -> ());
+  (match (result, stage) with
+  | Ok (), _ -> ()
+  | Error _, `Static -> t.rejected_static <- t.rejected_static + 1
+  | Error _, `Budget -> t.rejected_budget <- t.rejected_budget + 1
+  | Error _, `Differential -> t.rejected_differential <- t.rejected_differential + 1);
   t.seconds <- t.seconds +. dt;
   Mutex.unlock t.mutex;
   result
 
 let stats t =
   Mutex.lock t.mutex;
-  let s = { calls = t.calls; rejected = t.rejected; seconds = t.seconds } in
+  let s =
+    {
+      calls = t.calls;
+      rejected = t.rejected_static + t.rejected_budget + t.rejected_differential;
+      rejected_static = t.rejected_static;
+      rejected_budget = t.rejected_budget;
+      rejected_differential = t.rejected_differential;
+      seconds = t.seconds;
+    }
+  in
   Mutex.unlock t.mutex;
   s

@@ -1,20 +1,27 @@
-(** The composed admission gate: resource budgets ({!Budget}) first —
-    pure pGraph arithmetic, no tensor ever allocated — then
-    differential validation ({!Differential}) for candidates that fit.
+(** The composed admission gate, cheapest stage first: static bounds
+    verification ({!Analysis.Verify}) — interval arithmetic over the
+    coordinate expressions, no tensor ever allocated — then resource
+    budgets ({!Budget}) — pure pGraph arithmetic — then differential
+    validation ({!Differential}) for candidates that survive both.
 
     The gate has the exact shape [Search.Mcts] expects for its [?admit]
-    hook, and keeps thread-safe running statistics (calls, rejections,
-    wall-clock spent) so benches can report validator overhead. *)
+    hook, and keeps thread-safe running statistics (calls, rejections
+    per stage, wall-clock spent) so benches can report validator
+    overhead. *)
 
 type t
 
 type stats = {
   calls : int;  (** candidates gated *)
-  rejected : int;  (** candidates refused admission *)
+  rejected : int;  (** candidates refused admission (all stages) *)
+  rejected_static : int;  (** refused by static bounds verification *)
+  rejected_budget : int;  (** refused by resource budgets *)
+  rejected_differential : int;  (** refused by differential validation *)
   seconds : float;  (** total wall-clock spent inside the gate *)
 }
 
 val create :
+  ?static:Shape.Valuation.t list ->
   ?max_bytes:int ->
   ?max_flops:int ->
   ?valuations:Shape.Valuation.t list ->
@@ -22,16 +29,22 @@ val create :
   ?check_valuations:Shape.Valuation.t list ->
   unit ->
   t
-(** Budgets are enforced under [valuations] (the search valuations,
-    where evaluation would actually allocate); differential validation
-    runs under [check_valuations] (defaulting to [valuations] — pass
-    a smaller valuation list to keep the validator cheap). *)
+(** [static] valuations drive the interval verifier (empty — the
+    default — disables the static stage; valuations where the operator
+    is not instantiable are skipped, mirroring the differential gate's
+    skip rule).  Budgets are enforced under [valuations] (the search
+    valuations, where evaluation would actually allocate);
+    differential validation runs under [check_valuations] (defaulting
+    to [valuations] — pass a smaller valuation list to keep the
+    validator cheap). *)
 
 val active : t -> bool
-(** Whether the gate can ever reject (some budget or the differential
-    validator is configured with a non-empty valuation list). *)
+(** Whether the gate can ever reject (the static verifier, some
+    budget, or the differential validator is configured with a
+    non-empty valuation list). *)
 
 val gate : t -> Pgraph.Graph.operator -> (unit, Robust.Guard.kind) result
-(** Run the gate on one candidate, recording stats.  Thread-safe. *)
+(** Run the gate on one candidate, recording stats.  Thread-safe.
+    Static violations surface as [Guard.Static_violation]. *)
 
 val stats : t -> stats

@@ -11,21 +11,16 @@ type estimate = {
 
 let bytes_per_elem = 8
 
-(* The dominant intermediate of the einsum lowering is the gathered
-   operand indexed by every output iterator and every reduction
-   iterator at once: output_elems * reduction_elems entries.  The
-   staged executor materializes strictly smaller partial tensors, so
-   this is a safe (conservative) peak for every backend. *)
+(* Both numbers come straight from [Pgraph.Flops] — the peak already
+   includes the gathered einsum operand — so this estimator cannot
+   drift from the cost model the search and lint pass reason with
+   ([Analysis.Lint] recomputes the same quantities independently and
+   cross-checks). *)
 let estimate op valuation =
-  let inp = Flops.input_elems op valuation in
-  let out = Flops.output_elems op valuation in
-  let prm = Flops.params op valuation in
-  let red = Flops.reduction_elems op valuation in
-  let gather = out * red in
   {
-    est_bytes = bytes_per_elem * (inp + out + prm + gather);
+    est_bytes = bytes_per_elem * Flops.peak_footprint op valuation;
     est_flops = Flops.naive_flops op valuation;
-    est_gather_elems = gather;
+    est_gather_elems = Flops.gather_elems op valuation;
   }
 
 let check ?max_bytes ?max_flops op valuation =

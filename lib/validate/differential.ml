@@ -1,4 +1,6 @@
+module Size = Shape.Size
 module Valuation = Shape.Valuation
+module Ast = Coord.Ast
 module Graph = Pgraph.Graph
 module Tensor = Nd.Tensor
 module Guard = Robust.Guard
@@ -16,12 +18,27 @@ let backend_label = function
 
 let backends = [ Reference; Einsum; Staged ]
 
-type fault = { f_backend : backend; f_inject : Inject.t }
+type fault_mode = Corrupt_output | Corrupt_expr
 
-let fault ?(seed = 0) ?(rate = 1.0) backend =
-  { f_backend = backend; f_inject = Inject.create ~seed ~rate () }
+type fault = { f_backend : backend; f_inject : Inject.t; f_mode : fault_mode }
+
+let fault ?(seed = 0) ?(rate = 1.0) ?(mode = Corrupt_output) backend =
+  { f_backend = backend; f_inject = Inject.create ~seed ~rate (); f_mode = mode }
 
 let fault_count f = Inject.injected_count f.f_inject
+
+(* A seeded out-of-bounds gather: shift the first input coordinate
+   expression two extents past its window, so its range can never
+   intersect [0, extent).  Every backend zero-clips out-of-window
+   reads (see [Reference.iter_points]), so all three agree on an
+   all-zero gather and differential comparison alone cannot see the
+   fault — the static verifier rejects it as a bounds [Violation]. *)
+let corrupt_operator (op : Graph.operator) =
+  match (op.Graph.op_input_exprs, op.Graph.op_input_shape) with
+  | e :: es, s :: _ ->
+      let shifted = Ast.add e (Ast.Size_const (Size.mul (Size.of_int 2) s)) in
+      { op with Graph.op_input_exprs = shifted :: es }
+  | _ -> op
 
 type config = { tolerance : float; seed : int; fault : fault option }
 
@@ -45,7 +62,9 @@ let empty_report = { rep_valuations = 0; rep_elements = 0; rep_max_rel_err = 0.0
    injected absolute error is >= 1, far outside any sane tolerance. *)
 let maybe_corrupt config ~key backend out =
   match config.fault with
-  | Some f when f.f_backend = backend && Inject.should_fail f.f_inject ~key ~attempt:0 ->
+  | Some f
+    when f.f_mode = Corrupt_output && f.f_backend = backend
+         && Inject.should_fail f.f_inject ~key ~attempt:0 ->
       Inject.note f.f_inject;
       let n = Tensor.numel out in
       if n > 0 then begin
@@ -146,6 +165,13 @@ let check_valuation config ~key op valuation =
 
 let check ?(config = default_config) op valuations =
   let key = Graph.operator_signature op in
+  let op =
+    match config.fault with
+    | Some f when f.f_mode = Corrupt_expr && Inject.should_fail f.f_inject ~key ~attempt:0 ->
+        Inject.note f.f_inject;
+        corrupt_operator op
+    | Some _ | None -> op
+  in
   let rec go acc = function
     | [] -> Ok acc
     | v :: rest -> (

@@ -22,12 +22,28 @@ type backend = Reference | Einsum | Staged
 val backend_label : backend -> string
 val backends : backend list
 
+type fault_mode =
+  | Corrupt_output  (** flip one element of a backend's output tensor *)
+  | Corrupt_expr
+      (** shift an input gather out of bounds before compiling anything *)
+
 type fault
 
-val fault : ?seed:int -> ?rate:float -> backend -> fault
-(** Corrupt the given backend's output for a [rate] fraction of
-    operator signatures (default [1.0]: every candidate), selected by
-    hashing [(seed, signature)] exactly like {!Robust.Inject}. *)
+val fault : ?seed:int -> ?rate:float -> ?mode:fault_mode -> backend -> fault
+(** Corrupt a [rate] fraction of operator signatures (default [1.0]:
+    every candidate), selected by hashing [(seed, signature)] exactly
+    like {!Robust.Inject}.  [Corrupt_output] (the default) flips one
+    element of the given backend's output — a runtime miscompile the
+    differential comparison catches.  [Corrupt_expr] instead rewrites
+    the operator itself via {!corrupt_operator} before any backend
+    compiles; the [backend] argument is ignored in that mode. *)
+
+val corrupt_operator : Pgraph.Graph.operator -> Pgraph.Graph.operator
+(** Shift the first input coordinate expression two extents past its
+    window.  Every execution backend zero-clips out-of-window reads,
+    so all backends agree on an all-zero gather and differential
+    comparison alone cannot detect the corruption — only static bounds
+    verification ({!Analysis.Verify}) rejects it. *)
 
 val fault_count : fault -> int
 (** Corruptions delivered so far (across all domains). *)

@@ -184,6 +184,30 @@ let prop_simplify_no_growth =
   QCheck.Test.make ~name:"simplify never grows much" ~count:300 arb_expr (fun e ->
       Ast.size_of_ast (Simplify.simplify exact_ctx e) <= (3 * Ast.size_of_ast e) + 4)
 
+let prop_simplify_idempotent_approx =
+  QCheck.Test.make ~name:"simplify idempotent (approximate rules)" ~count:300 arb_expr
+    (fun e ->
+      let once = Simplify.simplify approx_ctx e in
+      Ast.equal once (Simplify.simplify approx_ctx once))
+
+(* The rewrite trace partitions firings into exact and approximate;
+   every firing tagged exact must preserve concrete evaluation at both
+   valuations (the approximate Fig. 3(c) rules are the only ones
+   allowed to change semantics). *)
+let prop_exact_rewrites_preserve_eval =
+  QCheck.Test.make ~name:"exact-tagged rewrites preserve evaluation" ~count:300 arb_expr
+    (fun e ->
+      List.for_all
+        (fun (rw : Simplify.rewrite) ->
+          rw.Simplify.rw_approx
+          || (List.for_all2 ( = )
+                (eval_everywhere val1 rw.Simplify.rw_before)
+                (eval_everywhere val1 rw.Simplify.rw_after)
+             && List.for_all2 ( = )
+                  (eval_everywhere val2 rw.Simplify.rw_before)
+                  (eval_everywhere val2 rw.Simplify.rw_after)))
+        (snd (Simplify.simplify_traced approx_ctx e)))
+
 let prop_bounds_sound =
   QCheck.Test.make ~name:"bounds contain all evaluations" ~count:300 arb_expr (fun e ->
       let lookup = Valuation.lookup val1 in
@@ -217,6 +241,8 @@ let () =
           [
             prop_simplify_preserves_eval;
             prop_simplify_idempotent;
+            prop_simplify_idempotent_approx;
+            prop_exact_rewrites_preserve_eval;
             prop_simplify_no_growth;
             prop_bounds_sound;
           ] );

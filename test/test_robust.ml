@@ -416,6 +416,7 @@ let test_checkpoint_roundtrip () =
               reward = (if i = 0 then Float.nan else 0.1 +. (float_of_int i /. 3.0));
               visits = (i * 7) + 1;
               quarantined = i = 0;
+              reason = (if i = 0 then Some "eval_error" else None);
             })
           ops
       in
@@ -442,8 +443,76 @@ let test_checkpoint_roundtrip () =
                   (Int64.bits_of_float b.Checkpoint.reward);
               Alcotest.(check int) "visits" a.Checkpoint.visits b.Checkpoint.visits;
               Alcotest.(check bool) "quarantined" a.Checkpoint.quarantined
-                b.Checkpoint.quarantined)
+                b.Checkpoint.quarantined;
+              Alcotest.(check (option string)) "reason" a.Checkpoint.reason b.Checkpoint.reason)
             (by_sig entries) (by_sig loaded))
+
+(* Every catalog operator — including the strided one, which the
+   strict parser refuses — survives a checkpoint round trip carrying
+   quarantine/rejection metadata. *)
+let test_checkpoint_zoo_metadata_roundtrip () =
+  with_temp (fun path ->
+      let reasons =
+        [ Some "static_violation"; Some "over_budget"; Some "backend_mismatch"; None ]
+      in
+      (* Metadata is keyed off the signature: distinct catalog entries
+         can canonicalize to the same operator, and the loader keys
+         entries by signature too. *)
+      let seen = Hashtbl.create 16 in
+      let entries =
+        List.filter_map
+          (fun (e : Syno.Zoo.entry) ->
+            let signature = Graph.operator_signature e.Syno.Zoo.operator in
+            if Hashtbl.mem seen signature then None
+            else begin
+              Hashtbl.add seen signature ();
+              let h = Hashtbl.hash signature in
+              let reason = List.nth reasons (h mod List.length reasons) in
+              Some
+                {
+                  Checkpoint.signature;
+                  operator = e.Syno.Zoo.operator;
+                  reward = float_of_int (h mod 13) /. 7.0;
+                  visits = (h mod 5) + 1;
+                  quarantined = reason <> None;
+                  reason;
+                }
+            end)
+          Syno.Zoo.all
+      in
+      Checkpoint.save ~path entries;
+      match Checkpoint.load ~path with
+      | Error msg -> Alcotest.fail msg
+      | Ok loaded ->
+          let by_sig l =
+            List.sort (fun a b -> compare a.Checkpoint.signature b.Checkpoint.signature) l
+          in
+          List.iter2
+            (fun (a : Checkpoint.entry) (b : Checkpoint.entry) ->
+              Alcotest.(check string) "signature" a.Checkpoint.signature b.Checkpoint.signature;
+              Alcotest.(check string) "operator rebuilt" a.Checkpoint.signature
+                (Graph.operator_signature b.Checkpoint.operator);
+              Alcotest.(check (option string)) "reason" a.Checkpoint.reason b.Checkpoint.reason;
+              Alcotest.(check bool) "quarantined" a.Checkpoint.quarantined
+                b.Checkpoint.quarantined;
+              Alcotest.(check int) "visits" a.Checkpoint.visits b.Checkpoint.visits)
+            (by_sig entries) (by_sig loaded))
+
+(* Snapshots written before the [reason] field existed still load. *)
+let test_checkpoint_legacy_header () =
+  with_temp (fun path ->
+      let oc = open_out path in
+      output_string oc
+        "syno-checkpoint v1\nentries: 1\nentry: reward 0x1p-1 visits 3 quarantined false\n\
+         syno-operator v1\noutput: M Nd\ninput: M Kd\ntrace: Reduce(Kd); Share(2,new); \
+         Match(1)\n";
+      close_out oc;
+      match Checkpoint.load ~path with
+      | Error msg -> Alcotest.fail msg
+      | Ok [ e ] ->
+          Alcotest.(check (option string)) "no reason" None e.Checkpoint.reason;
+          Alcotest.(check int) "visits" 3 e.Checkpoint.visits
+      | Ok l -> Alcotest.failf "expected 1 entry, got %d" (List.length l))
 
 let test_checkpoint_load_errors () =
   (match Checkpoint.load ~path:"/nonexistent/syno.ckpt" with
@@ -503,6 +572,7 @@ let test_checkpoint_truncated () =
               reward = 0.5;
               visits = 1;
               quarantined = false;
+              reason = None;
             })
           ops
       in
@@ -554,6 +624,7 @@ let test_sink_cadence () =
           reward = 0.5;
           visits = 1;
           quarantined = false;
+          reason = None;
         }
       in
       let sink = Checkpoint.sink ~path ~every:2 () in
@@ -684,6 +755,9 @@ let () =
       ( "checkpoint",
         [
           Alcotest.test_case "roundtrip" `Quick test_checkpoint_roundtrip;
+          Alcotest.test_case "zoo metadata roundtrip" `Quick
+            test_checkpoint_zoo_metadata_roundtrip;
+          Alcotest.test_case "legacy header (no reason)" `Quick test_checkpoint_legacy_header;
           Alcotest.test_case "load errors" `Quick test_checkpoint_load_errors;
           Alcotest.test_case "typed errors" `Quick test_checkpoint_typed_errors;
           Alcotest.test_case "truncation detected" `Quick test_checkpoint_truncated;

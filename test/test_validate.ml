@@ -129,6 +129,94 @@ let test_admit_gate_inactive () =
   | Ok () -> ()
   | Error k -> Alcotest.failf "inactive gate rejected: %s" (Guard.kind_label k))
 
+(* A corrupt-expr candidate reads consistently out of window, so every
+   backend zero-clips it and differential validation alone passes it:
+   only the static stage can reject, and without any tensor work. *)
+let test_admit_static_catches_corrupt_expr () =
+  let bad = Differential.corrupt_operator conv in
+  (match Differential.check bad [ tiny ] with
+  | Ok _ -> ()
+  | Error k ->
+      Alcotest.failf "differential unexpectedly caught the corrupt expr: %s"
+        (Guard.kind_label k));
+  let g =
+    Admit.create ~static:[ tiny ] ~max_bytes:max_int ~valuations:[ tiny ]
+      ~differential:Differential.default_config ()
+  in
+  Alcotest.(check bool) "active" true (Admit.active g);
+  let before = Tensor.allocations () in
+  (match Admit.gate g bad with
+  | Error (Guard.Static_violation msg) ->
+      Alcotest.(check bool) "diagnostic names the window" true
+        (Astring.String.is_infix ~affix:"window" msg)
+  | Error k -> Alcotest.failf "wrong kind %s" (Guard.kind_label k)
+  | Ok () -> Alcotest.fail "static gate must reject the corrupt expr");
+  Alcotest.(check int) "rejected without allocating" 0 (Tensor.allocations () - before);
+  (match Admit.gate g conv with
+  | Ok () -> ()
+  | Error k -> Alcotest.failf "healthy conv rejected: %s" (Guard.kind_label k));
+  let s = Admit.stats g in
+  Alcotest.(check int) "static rejections" 1 s.Admit.rejected_static;
+  Alcotest.(check int) "budget rejections" 0 s.Admit.rejected_budget;
+  Alcotest.(check int) "differential rejections" 0 s.Admit.rejected_differential;
+  Alcotest.(check int) "total" 1 s.Admit.rejected
+
+(* Stage order: a candidate that would fail several stages is charged
+   to the earliest, and disabling a stage moves the verdict down the
+   pipeline. *)
+let test_admit_stage_order () =
+  let bad = Differential.corrupt_operator conv in
+  let with_static =
+    Admit.create ~static:[ tiny ] ~max_bytes:1 ~valuations:[ tiny ]
+      ~differential:Differential.default_config ()
+  in
+  (match Admit.gate with_static bad with
+  | Error (Guard.Static_violation _) -> ()
+  | Error k -> Alcotest.failf "static must win, got %s" (Guard.kind_label k)
+  | Ok () -> Alcotest.fail "must reject");
+  let no_static =
+    Admit.create ~max_bytes:1 ~valuations:[ tiny ]
+      ~differential:Differential.default_config ()
+  in
+  (match Admit.gate no_static bad with
+  | Error (Guard.Over_budget _) -> ()
+  | Error k -> Alcotest.failf "budget must win next, got %s" (Guard.kind_label k)
+  | Ok () -> Alcotest.fail "must reject");
+  (* The corrupt-output fault only materializes inside differential —
+     static and budget both pass the healthy-looking graph. *)
+  let fault = Differential.fault ~seed:4 ~rate:1.0 Differential.Einsum in
+  let deep =
+    Admit.create ~static:[ tiny ] ~max_bytes:max_int ~valuations:[ tiny ]
+      ~differential:(Differential.config ~fault ()) ()
+  in
+  (match Admit.gate deep conv with
+  | Error (Guard.Backend_mismatch _) -> ()
+  | Error k -> Alcotest.failf "differential must reject, got %s" (Guard.kind_label k)
+  | Ok () -> Alcotest.fail "must reject");
+  let s = Admit.stats deep in
+  Alcotest.(check int) "charged to differential" 1 s.Admit.rejected_differential;
+  Alcotest.(check int) "not to static" 0 s.Admit.rejected_static
+
+(* The Corrupt_expr fault mode rewrites the candidate inside the
+   differential checker itself; all backends then agree on zeros, so
+   the check passes — proof that the static stage is load-bearing. *)
+let test_corrupt_expr_fault_mode_invisible_to_differential () =
+  let fault =
+    Differential.fault ~seed:4 ~rate:1.0 ~mode:Differential.Corrupt_expr Differential.Reference
+  in
+  let config = Differential.config ~fault () in
+  (match Differential.check ~config conv [ tiny ] with
+  | Ok r -> Alcotest.(check int) "still checked" 1 r.Differential.rep_valuations
+  | Error k ->
+      Alcotest.failf "corrupt-expr fault visible to differential: %s" (Guard.kind_label k));
+  Alcotest.(check int) "corruption delivered" 1 (Differential.fault_count fault);
+  (* The same corruption applied to the operator record is caught
+     statically. *)
+  match Analysis.Verify.admit (Differential.corrupt_operator conv) [ tiny ] with
+  | Error (Guard.Static_violation _) -> ()
+  | Error k -> Alcotest.failf "wrong kind %s" (Guard.kind_label k)
+  | Ok () -> Alcotest.fail "static verifier must catch the corrupt expr"
+
 (* --- Search integration ------------------------------------------------------ *)
 
 let m = Var.primary "M"
@@ -222,6 +310,12 @@ let () =
         [
           Alcotest.test_case "stats" `Quick test_admit_gate_stats;
           Alcotest.test_case "inactive" `Quick test_admit_gate_inactive;
+          Alcotest.test_case "static catches corrupt expr, no allocation" `Quick
+            test_admit_static_catches_corrupt_expr;
+          Alcotest.test_case "stage order static > budget > differential" `Quick
+            test_admit_stage_order;
+          Alcotest.test_case "corrupt-expr fault invisible to differential" `Quick
+            test_corrupt_expr_fault_mode_invisible_to_differential;
         ] );
       ( "search",
         [
