@@ -55,8 +55,8 @@ let positive_float ~what =
         | Some v -> Ok v),
       (fun ppf v -> Format.fprintf ppf "%g" v) )
 
-(* Shared --domains flag: sizes the search's root-parallel pool and the
-   default pool used by the einsum executor (0 = auto-detect). *)
+(* Shared --domains flag: sizes the search's worker pool and the
+   default pool used by the einsum/staged executors (0 = auto-detect). *)
 let domains_arg =
   let doc = "Worker domains for parallel evaluation (0 = auto-detect)." in
   Arg.(value & opt (bounded_int ~what:"--domains" ~min:0) 1 & info [ "domains" ] ~doc)
@@ -145,9 +145,9 @@ let install_shutdown_handlers root =
 let exit_interrupted = 130
 
 let search_cmd =
-  let run iterations max_prims budget_ratio top save seed domains retries timeout fault_rate
-      fault_seed checkpoint checkpoint_every resume resume_ignore_corrupt max_bytes max_flops
-      validate no_static_gate no_graceful =
+  let run iterations max_prims budget_ratio top save seed domains trees retries timeout
+      fault_rate fault_seed checkpoint checkpoint_every resume resume_ignore_corrupt max_bytes
+      max_flops validate no_static_gate no_graceful =
     let domains = resolve_domains domains in
     let rng = Nd.Rng.create ~seed in
     let guard = Robust.Guard.policy ~retries ?timeout () in
@@ -162,7 +162,8 @@ let search_cmd =
     let t0 = Unix.gettimeofday () in
     match
       Api.search_conv_operators_run ~iterations ~max_prims ~flops_budget_ratio:budget_ratio
-        ~domains ~guard ~inject ?checkpoint ~checkpoint_every ?resume ~on_corrupt ?max_bytes
+        ~domains ?trees ~guard ~inject ?checkpoint ~checkpoint_every ?resume ~on_corrupt
+        ?max_bytes
         ?max_flops ~validate ~static_gate:(not no_static_gate) ~cancel:root ~rng
         ~valuations:Api.default_search_valuations ()
     with
@@ -235,6 +236,13 @@ let search_cmd =
     Arg.(value & opt (some dir) None & info [ "save" ] ~doc:"Directory for .syno files.")
   in
   let seed = Arg.(value & opt int 2024 & info [ "seed" ] ~doc:"Search RNG seed.") in
+  let trees =
+    Arg.(value & opt (some (bounded_int ~what:"--trees" ~min:1)) None
+         & info [ "trees" ]
+             ~doc:"Root-parallel search with this many independent trees (iterations split \
+                   across them); without it, --domains > 1 runs single-tree parallel search \
+                   sharing one tree and the full iteration budget.")
+  in
   let retries =
     Arg.(value & opt (bounded_int ~what:"--retries" ~min:0) 2
          & info [ "retries" ] ~doc:"Retries per failed candidate evaluation (>= 0).")
@@ -312,7 +320,7 @@ let search_cmd =
                                 checkpoint and reporting partial results)." exit_interrupted
          :: Cmd.Exit.defaults))
     Term.(const run $ iterations $ max_prims $ budget $ top $ save $ seed $ domains_arg
-          $ retries $ timeout $ fault_rate $ fault_seed $ checkpoint $ checkpoint_every
+          $ trees $ retries $ timeout $ fault_rate $ fault_seed $ checkpoint $ checkpoint_every
           $ resume $ resume_ignore_corrupt $ max_bytes $ max_flops $ validate $ no_static_gate
           $ no_graceful)
 

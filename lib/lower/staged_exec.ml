@@ -58,10 +58,32 @@ let coefficient lookup it e =
    latency to a few thousand accumulations. *)
 let poll_mask = 4095
 
+(* Minimum estimated scalar operations (output elements times reduction
+   extent) before a flat loop is worth offering to the default pool;
+   below this the submission overhead dominates.  The pool's own
+   granularity tuner still gets the final say — it probes the body and
+   falls back to a sequential polled run when the measured per-element
+   cost cannot amortize parallel claim overhead. *)
+let par_threshold = 1 lsl 12
+
+(* Offer [body] over [0, n) to the default pool when the estimated
+   [work] clears the threshold and the pool actually has workers;
+   otherwise run [seq ()], the caller's sequential loop with its
+   original poll cadence.  Each body invocation must allocate its own
+   scratch (index arrays), write only its own output range, and keep
+   per-element work self-contained, so results are bit-identical to the
+   sequential loop at any pool size. *)
+let run_flat ?cancel ~work ~n body seq =
+  let pool = Par.Pool.get_default () in
+  if work >= par_threshold && Par.Pool.size pool > 1 && n > 1 then
+    Par.Pool.parallel_for pool ?cancel ~n body
+  else seq ()
+
 (* Materialize the sum over [it] of the product of the participating
    factors into a new tensor factor.  [poll] is called every
-   [poll_mask + 1] output elements. *)
-let materialize ~poll lookup it dom factors =
+   [poll_mask + 1] output elements on the sequential path; the parallel
+   path polls [cancel] at every range claim inside the pool. *)
+let materialize ~poll ?cancel lookup it dom factors =
   let participating, others = List.partition (factor_has it) factors in
   (* Build the new dim list with, per participating-factor dim, its slot
      in the new tensor and its c coefficient. *)
@@ -114,11 +136,9 @@ let materialize ~poll lookup it dom factors =
   let tensor = Tensor.create (if extents = [||] then [||] else extents) in
   let data = Tensor.unsafe_data tensor in
   let n_dims = Array.length extents in
-  let pos = Array.make n_dims 0 in
   let total = Array.fold_left ( * ) 1 extents in
   let lows = Array.of_list (List.map (fun d -> d.lo) dims) in
-  for flat = 0 to total - 1 do
-    if flat land poll_mask = 0 then poll ();
+  let element pos flat =
     let rem = ref flat in
     for i = n_dims - 1 downto 0 do
       pos.(i) <- !rem mod extents.(i);
@@ -151,7 +171,21 @@ let materialize ~poll lookup it dom factors =
       acc := !acc +. !product
     done;
     data.(flat) <- !acc
-  done;
+  in
+  let body lo hi =
+    let pos = Array.make (max 1 n_dims) 0 in
+    for flat = lo to hi - 1 do
+      element pos flat
+    done
+  in
+  let seq () =
+    let pos = Array.make (max 1 n_dims) 0 in
+    for flat = 0 to total - 1 do
+      if flat land poll_mask = 0 then poll ();
+      element pos flat
+    done
+  in
+  run_flat ?cancel ~work:(total * (dom + 1)) ~n:total body seq;
   ({ dims; data = tensor }, others)
 
 (* --- Static access structure ------------------------------------------ *)
@@ -290,7 +324,7 @@ let forward ?cancel t ~input ~weights =
         poll ();
         let it = stage.Staging.reduced in
         let dom = Size.eval it.Ast.dom lookup in
-        let t', others = materialize ~poll lookup it dom factors in
+        let t', others = materialize ~poll ?cancel lookup it dom factors in
         (t' :: others, it.Ast.id :: done_ids))
       (initial_factors t ~input ~weights, [])
       t.plan.Staging.stages
@@ -308,7 +342,6 @@ let forward ?cancel t ~input ~weights =
     + List.fold_left max (-1)
         (List.map (fun it -> it.Ast.id) (spatial @ t.op.Graph.op_reductions))
   in
-  let env = Array.make (max 1 n_env) 0 in
   (* Pre-compile factor accesses. *)
   let compiled_factors =
     List.map
@@ -344,8 +377,7 @@ let forward ?cancel t ~input ~weights =
   let red_ids = Array.of_list (List.map (fun it -> it.Ast.id) remaining) in
   let out_total = Array.fold_left ( * ) 1 out_dims in
   let red_total = Array.fold_left ( * ) 1 red_dims in
-  for flat_out = 0 to out_total - 1 do
-    if flat_out land poll_mask = 0 then poll ();
+  let element env flat_out =
     let rem = ref flat_out in
     for i = Array.length out_dims - 1 downto 0 do
       env.(spatial_ids.(i)) <- !rem mod out_dims.(i);
@@ -363,5 +395,19 @@ let forward ?cancel t ~input ~weights =
       acc := !acc +. !product
     done;
     out_data.(flat_out) <- !acc
-  done;
+  in
+  let body lo hi =
+    let env = Array.make (max 1 n_env) 0 in
+    for flat_out = lo to hi - 1 do
+      element env flat_out
+    done
+  in
+  let seq () =
+    let env = Array.make (max 1 n_env) 0 in
+    for flat_out = 0 to out_total - 1 do
+      if flat_out land poll_mask = 0 then poll ();
+      element env flat_out
+    done
+  in
+  run_flat ?cancel ~work:(out_total * (red_total + 1)) ~n:out_total body seq;
   out

@@ -43,7 +43,16 @@ val access_plan : t -> access list list
 
 val forward :
   ?cancel:Robust.Cancel.t -> t -> input:Nd.Tensor.t -> weights:Nd.Tensor.t list -> Nd.Tensor.t
-(** [cancel] makes the executor a cancellation safe point: the token is
-    polled at every stage boundary and every few thousand elements
-    inside each stage's element loop, raising [Robust.Cancel.Cancelled]
-    promptly when it trips. *)
+(** Stages whose estimated work (output elements times reduction
+    extent) is large enough run their flat element loop on the default
+    pool ({!Par.Pool.get_default}): each output element is computed
+    independently with domain-private scratch, so the result is
+    bit-identical to the sequential loop at any pool size.  Small
+    stages, size-1 pools, and nested or contended submissions run
+    sequentially on the caller as before.
+
+    [cancel] makes the executor a cancellation safe point: the token is
+    polled at every stage boundary, every few thousand elements inside
+    each sequential element loop, and at every range claim when a stage
+    runs on the pool, raising [Robust.Cancel.Cancelled] promptly when
+    it trips. *)

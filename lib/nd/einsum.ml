@@ -152,7 +152,7 @@ let run ?pool ?cancel p tensors =
       out_data.(flat_out) <- !acc
     done
   in
-  let body =
+  let polled_body =
     match cancel with
     | None -> body
     | Some c ->
@@ -166,8 +166,12 @@ let run ?pool ?cancel p tensors =
           done
   in
   let work = total_out * total_sum * max 1 n_inputs in
-  if work < par_threshold then body 0 total_out
+  if work < par_threshold then polled_body 0 total_out
   else begin
+    (* The pool polls the token at every claim/steal and between the
+       slices of its sequential fallbacks, so the raw body goes in:
+       the pool's auto-tuned grain (~tens of microseconds) bounds
+       preemption latency tighter than [poll_quantum] would. *)
     let pool = match pool with Some p -> p | None -> Par.Pool.get_default () in
     Par.Pool.parallel_for pool ?cancel ~n:total_out body
   end;

@@ -1,80 +1,214 @@
+(* Work-stealing pool with granularity auto-tuning.
+
+   One loop runs at a time.  The submitting domain reserves the pool
+   ([busy]), probes a prefix of the body to estimate per-element cost,
+   and either finishes sequentially (when the measured grain says
+   parallelism cannot pay) or distributes the remainder: one
+   contiguous slice per participant deque, split lazily in half down
+   to the tuned grain, with idle participants stealing the oldest —
+   largest — range from a random victim.  Completion is detected by an
+   atomic count of elements executed or discarded, so an aborting loop
+   (first body exception, or a tripped cancellation token observed at
+   a claim) drains in-flight grains, discards the rest quickly, and
+   leaves the pool reusable. *)
+
+let parse_domains s =
+  let s = String.trim s in
+  match int_of_string_opt s with
+  | Some n when n >= 1 -> Ok n
+  | Some n -> Error (Printf.sprintf "SYNO_DOMAINS must be >= 1 (got %d)" n)
+  | None -> Error (Printf.sprintf "SYNO_DOMAINS must be an integer (got %S)" s)
+
+let warned_invalid_domains = Atomic.make false
+
 let num_domains () =
   match Sys.getenv_opt "SYNO_DOMAINS" with
-  | Some s -> (
-      match int_of_string_opt (String.trim s) with
-      | Some n when n >= 1 -> n
-      | Some _ | None -> Domain.recommended_domain_count ())
   | None -> Domain.recommended_domain_count ()
+  | Some s -> (
+      match parse_domains s with
+      | Ok n -> n
+      | Error msg ->
+          let fallback = Domain.recommended_domain_count () in
+          if not (Atomic.exchange warned_invalid_domains true) then
+            Printf.eprintf "syno: warning: %s; falling back to %d domain%s\n%!" msg
+              fallback
+              (if fallback = 1 then "" else "s");
+          fallback)
 
-(* One in-flight loop at a time.  Chunks are claimed under [mutex];
-   [generation] distinguishes successive loops so sleeping workers never
-   re-run a drained one.  A loop is finished when every chunk has been
-   claimed ([next_chunk] exhausted) and none is still running
-   ([outstanding] zero) — tracking claims and completions separately is
-   what lets an erroring chunk cancel the unclaimed remainder without
-   wedging the completion wait. *)
+(* --- Tuning constants ----------------------------------------------------
+
+   The probe runs real work (a prefix of the loop), so its only
+   overhead is a few clock reads; it stops as soon as [probe_budget]
+   of body time has accumulated, which also caps the damage when the
+   very first element is expensive (grain 1, distribute immediately). *)
+
+let probe_budget = 25e-6 (* stop probing after this much body time *)
+let grain_target = 30e-6 (* aim each parallel grain at this much work *)
+let pay_threshold = 150e-6 (* below this much remaining work, stay sequential *)
+let seq_poll_target = 500e-6 (* cancellation poll cadence of sequential slices *)
+
+(* --- Loop state ----------------------------------------------------------- *)
+
+type loop = {
+  lp_body : int -> int -> unit;
+  lp_grain : int;
+  lp_n : int;  (* the loop covers [0, lp_n) *)
+  lp_deques : (int * int) list ref array;  (* one per participant slot *)
+  lp_locks : Mutex.t array;  (* one per deque *)
+  lp_accounted : int Atomic.t;  (* elements executed or discarded *)
+  lp_aborted : bool Atomic.t;
+  lp_cancel : Robust.Cancel.t option;
+}
+
 type t = {
   size : int;
+  hw : int;  (* detected parallelism, for the can-it-pay check *)
   mutex : Mutex.t;
   work_ready : Condition.t;
-  work_done : Condition.t;
-  mutable body : (int -> int -> unit) option;
-  mutable bounds : (int * int) array;
-  mutable next_chunk : int;
-  mutable outstanding : int;
+  mutable current : loop option;  (* what sleeping workers pick up *)
+  mutable busy : bool;  (* a submitter holds the pool (probe or loop) *)
   mutable generation : int;
-  mutable error : exn option;
-  mutable cancel : Robust.Cancel.t option;
+  mutable error : exn option;  (* first body exception of the busy loop *)
   mutable stop : bool;
+  mutable retired : bool;  (* shutdown requested; honored once idle *)
+  mutable active : int;  (* submitters between reserve and release *)
   mutable workers : unit Domain.t list;
   mutable worker_ids : Domain.id list;
 }
 
 let size t = t.size
+let inside_pool t = List.mem (Domain.self ()) t.worker_ids
 
-(* Claim and run chunks until none remain.  Called and returns with
-   [t.mutex] held.  The first exception is recorded and aborts the
-   loop: chunks not yet claimed are skipped (by any domain — the claim
-   cursor is pushed past the end), chunks already running elsewhere
-   drain normally, and the pool is left reusable.  A tripped
-   cancellation token aborts with exactly the same discipline, checked
-   at every chunk claim so the remainder is skipped within one chunk of
-   the trip. *)
-let drain t body =
-  let rec go () =
-    (match t.cancel with
-    | Some c when Robust.Cancel.is_cancelled c -> t.next_chunk <- Array.length t.bounds
-    | Some _ | None -> ());
-    if t.next_chunk < Array.length t.bounds then begin
-      let c = t.next_chunk in
-      t.next_chunk <- c + 1;
-      t.outstanding <- t.outstanding + 1;
-      Mutex.unlock t.mutex;
-      let lo, hi = t.bounds.(c) in
-      let err = match body lo hi with () -> None | exception e -> Some e in
-      Mutex.lock t.mutex;
-      t.outstanding <- t.outstanding - 1;
-      (match err with
-      | Some e ->
-          if t.error = None then t.error <- Some e;
-          t.next_chunk <- Array.length t.bounds
-      | None -> ());
-      if t.next_chunk >= Array.length t.bounds && t.outstanding = 0 then
-        Condition.broadcast t.work_done;
-      go ()
-    end
+(* --- Deques ---------------------------------------------------------------- *)
+
+let pop_own lp slot =
+  let m = lp.lp_locks.(slot) in
+  Mutex.lock m;
+  let q = lp.lp_deques.(slot) in
+  let r =
+    match !q with
+    | [] -> None
+    | x :: tl ->
+        q := tl;
+        Some x
   in
-  go ()
+  Mutex.unlock m;
+  r
 
-let worker_main t () =
+let push_own lp slot r =
+  let m = lp.lp_locks.(slot) in
+  Mutex.lock m;
+  let q = lp.lp_deques.(slot) in
+  q := r :: !q;
+  Mutex.unlock m
+
+(* Steal the oldest (bottom) range — the largest unsplit remainder —
+   from the first non-empty victim, scanning from a random start. *)
+let steal lp ~self ~start =
+  let k = Array.length lp.lp_deques in
+  let rec last_and_rest acc = function
+    | [ x ] -> (List.rev acc, x)
+    | x :: tl -> last_and_rest (x :: acc) tl
+    | [] -> assert false
+  in
+  let found = ref None in
+  let i = ref 0 in
+  while !found = None && !i < k do
+    let v = (start + !i) mod k in
+    if v <> self then begin
+      let m = lp.lp_locks.(v) in
+      Mutex.lock m;
+      (match !(lp.lp_deques.(v)) with
+      | [] -> ()
+      | q ->
+          let rest, x = last_and_rest [] q in
+          lp.lp_deques.(v) := rest;
+          found := Some x);
+      Mutex.unlock m
+    end;
+    incr i
+  done;
+  !found
+
+(* --- Executing one loop ---------------------------------------------------- *)
+
+let account lp len = ignore (Atomic.fetch_and_add lp.lp_accounted len)
+
+(* Polled at every claim and between grains of a split range. *)
+let loop_cancelled lp =
+  Atomic.get lp.lp_aborted
+  ||
+  match lp.lp_cancel with
+  | Some c when Robust.Cancel.is_cancelled c ->
+      Atomic.set lp.lp_aborted true;
+      true
+  | Some _ | None -> false
+
+let rec exec t lp slot (lo, hi) =
+  if loop_cancelled lp then
+    (* abort drain: the range was never started, discard it whole *)
+    account lp (hi - lo)
+  else if hi - lo > lp.lp_grain then begin
+    let mid = lo + ((hi - lo) / 2) in
+    push_own lp slot (mid, hi);
+    exec t lp slot (lo, mid)
+  end
+  else begin
+    (match lp.lp_body lo hi with
+    | () -> ()
+    | exception e ->
+        Mutex.lock t.mutex;
+        if t.error = None then t.error <- Some e;
+        Mutex.unlock t.mutex;
+        Atomic.set lp.lp_aborted true);
+    account lp (hi - lo)
+  end
+
+let run_loop t lp slot =
+  let k = Array.length lp.lp_deques in
+  let seed = ref ((slot * 0x9e3779b1) lor 1) in
+  let random_start () =
+    seed := (!seed * 1103515245) + 12345;
+    (!seed lsr 17) mod k
+  in
+  let rec go idle =
+    if Atomic.get lp.lp_accounted >= lp.lp_n then ()
+    else
+      match pop_own lp slot with
+      | Some r ->
+          exec t lp slot r;
+          go 0
+      | None -> (
+          match steal lp ~self:slot ~start:(random_start ()) with
+          | Some r ->
+              exec t lp slot r;
+              go 0
+          | None ->
+              (* every deque is momentarily empty but elements are still
+                 unaccounted: a participant inside a grain may push
+                 splits; spin briefly, then back off so an oversubscribed
+                 machine can run whoever holds the work *)
+              if idle > 4 then Unix.sleepf 50e-6 else Domain.cpu_relax ();
+              go (min 16 (idle + 1)))
+  in
+  go 0
+
+(* --- Workers ---------------------------------------------------------------- *)
+
+let worker_main t slot () =
   let last_gen = ref 0 in
   Mutex.lock t.mutex;
   let rec loop () =
     if t.stop then Mutex.unlock t.mutex
     else if t.generation <> !last_gen then begin
       last_gen := t.generation;
-      (match t.body with Some body -> drain t body | None -> ());
-      loop ()
+      match t.current with
+      | Some lp ->
+          Mutex.unlock t.mutex;
+          run_loop t lp slot;
+          Mutex.lock t.mutex;
+          loop ()
+      | None -> loop ()
     end
     else begin
       Condition.wait t.work_ready t.mutex;
@@ -88,82 +222,202 @@ let create ?domains () =
   let t =
     {
       size;
+      hw = num_domains ();
       mutex = Mutex.create ();
       work_ready = Condition.create ();
-      work_done = Condition.create ();
-      body = None;
-      bounds = [||];
-      next_chunk = 0;
-      outstanding = 0;
+      current = None;
+      busy = false;
       generation = 0;
       error = None;
-      cancel = None;
       stop = false;
+      retired = false;
+      active = 0;
       workers = [];
       worker_ids = [];
     }
   in
-  t.workers <- List.init (size - 1) (fun _ -> Domain.spawn (worker_main t));
+  t.workers <- List.init (size - 1) (fun i -> Domain.spawn (worker_main t (i + 1)));
   t.worker_ids <- List.map Domain.get_id t.workers;
   t
 
+(* Stop and collect the workers for joining.  Called with [t.mutex] held. *)
+let halt_locked t =
+  if t.stop then None
+  else begin
+    t.stop <- true;
+    Condition.broadcast t.work_ready;
+    let ws = t.workers in
+    t.workers <- [];
+    t.worker_ids <- [];
+    Some ws
+  end
+
+let join_opt = function Some ws -> List.iter Domain.join ws | None -> ()
+
 let shutdown t =
   Mutex.lock t.mutex;
-  t.stop <- true;
-  Condition.broadcast t.work_ready;
+  t.retired <- true;
+  let to_join = halt_locked t in
   Mutex.unlock t.mutex;
-  List.iter Domain.join t.workers;
-  t.workers <- [];
-  t.worker_ids <- []
+  join_opt to_join
+
+(* Deferred shutdown: stop now when idle, otherwise mark and let the
+   last releasing submitter perform the join.  Never blocks on
+   in-flight loops. *)
+let retire t =
+  Mutex.lock t.mutex;
+  t.retired <- true;
+  let to_join = if t.active = 0 then halt_locked t else None in
+  Mutex.unlock t.mutex;
+  join_opt to_join
 
 let with_pool ?domains f =
   let t = create ?domains () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
-let inside_pool t = List.mem (Domain.self ()) t.worker_ids
+(* --- Submitting loops -------------------------------------------------------- *)
+
+(* Release the reservation taken by [parallel_for]; the last submitter
+   out of a retired pool performs the deferred shutdown. *)
+let release t =
+  Mutex.lock t.mutex;
+  t.busy <- false;
+  t.active <- t.active - 1;
+  let to_join = if t.retired && t.active = 0 then halt_locked t else None in
+  Mutex.unlock t.mutex;
+  join_opt to_join
+
+(* Sequential execution with periodic cancellation polls — used by
+   every fallback path (size 1, nested, contended, tuner-declined), so
+   preemptive deadlines keep their granularity even when the pool
+   cannot parallelize. *)
+let seq_run ?cancel ~grain body lo n =
+  match cancel with
+  | None -> if lo < n then body lo n
+  | Some c ->
+      let i = ref lo in
+      while !i < n do
+        Robust.Cancel.check c;
+        let j = min n (!i + grain) in
+        body !i j;
+        i := j
+      done
+
+let fallback_grain ~n chunks =
+  match chunks with
+  | Some c -> max 1 ((n + c - 1) / max 1 c)
+  | None -> max 1 (n / 32)
+
+(* Time a prefix of the body, growing the batch geometrically so cheap
+   bodies don't drown in clock reads.  Returns elements done and the
+   elapsed body time. *)
+let probe body n =
+  let t0 = Unix.gettimeofday () in
+  let rec go done_ batch =
+    let hi = min n (done_ + batch) in
+    body done_ hi;
+    let elapsed = Unix.gettimeofday () -. t0 in
+    if hi >= n || elapsed >= probe_budget then (hi, elapsed)
+    else go hi (batch * 4)
+  in
+  go 0 1
+
+(* Install the loop, participate as slot 0, tear down, re-raise. *)
+let launch t ?cancel ~start ~n ~grain body =
+  let k = t.size in
+  let lp =
+    {
+      lp_body = body;
+      lp_grain = grain;
+      lp_n = n;
+      lp_deques = Array.init k (fun _ -> ref []);
+      lp_locks = Array.init k (fun _ -> Mutex.create ());
+      lp_accounted = Atomic.make start;
+      lp_aborted = Atomic.make false;
+      lp_cancel = cancel;
+    }
+  in
+  (* one contiguous slice per participant; lazy splitting does the rest *)
+  let remaining = n - start in
+  for i = 0 to k - 1 do
+    let lo = start + (i * remaining / k) and hi = start + ((i + 1) * remaining / k) in
+    if hi > lo then lp.lp_deques.(i) := [ (lo, hi) ]
+  done;
+  Mutex.lock t.mutex;
+  t.current <- Some lp;
+  t.error <- None;
+  t.generation <- t.generation + 1;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.mutex;
+  run_loop t lp 0;
+  (* accounted = n: every grain has returned, nothing is in flight *)
+  Mutex.lock t.mutex;
+  t.current <- None;
+  let err = t.error in
+  t.error <- None;
+  Mutex.unlock t.mutex;
+  release t;
+  match err with
+  | Some e -> raise e
+  | None -> ( match cancel with Some c -> Robust.Cancel.check c | None -> ())
 
 let parallel_for t ?cancel ~n ?chunks body =
   if n <= 0 then ()
-  else if t.size <= 1 || n = 1 || inside_pool t then begin
-    (match cancel with Some c -> Robust.Cancel.check c | None -> ());
-    body 0 n
-  end
   else begin
-    let n_chunks = min n (max 1 (match chunks with Some c -> c | None -> 4 * t.size)) in
-    let bounds = Array.init n_chunks (fun i -> (i * n / n_chunks, (i + 1) * n / n_chunks)) in
-    Mutex.lock t.mutex;
-    if t.body <> None then begin
-      (* another domain already drives a loop on this pool *)
-      Mutex.unlock t.mutex;
-      (match cancel with Some c -> Robust.Cancel.check c | None -> ());
-      body 0 n
-    end
+    (* a pre-tripped token raises before any work, on every path *)
+    (match cancel with Some c -> Robust.Cancel.check c | None -> ());
+    if t.size <= 1 || n = 1 || inside_pool t then
+      seq_run ?cancel ~grain:(fallback_grain ~n chunks) body 0 n
     else begin
-      t.body <- Some body;
-      t.bounds <- bounds;
-      t.next_chunk <- 0;
-      t.outstanding <- 0;
-      t.error <- None;
-      t.cancel <- cancel;
-      t.generation <- t.generation + 1;
-      Condition.broadcast t.work_ready;
-      drain t body;
-      while not (t.next_chunk >= Array.length t.bounds && t.outstanding = 0) do
-        Condition.wait t.work_done t.mutex
-      done;
-      (* Reset the loop state before re-raising: the pool must come out
-         of a failed loop as reusable as it went in, so a later call
-         never observes a stale body, bounds, error, or token. *)
-      t.body <- None;
-      t.bounds <- [||];
-      t.next_chunk <- 0;
-      let err = t.error in
-      t.error <- None;
-      t.cancel <- None;
-      Mutex.unlock t.mutex;
-      match err with
-      | Some e -> raise e
-      | None -> ( match cancel with Some c -> Robust.Cancel.check c | None -> ())
+      Mutex.lock t.mutex;
+      if t.busy || t.stop then begin
+        (* another domain drives a loop, or the pool is shut down: run
+           on the caller — with periodic polls, not one upfront check *)
+        Mutex.unlock t.mutex;
+        seq_run ?cancel ~grain:(fallback_grain ~n chunks) body 0 n
+      end
+      else begin
+        t.busy <- true;
+        t.active <- t.active + 1;
+        Mutex.unlock t.mutex;
+        match chunks with
+        | Some c ->
+            (* explicit chunking is a distribution request: skip the tuner *)
+            let c = min n (max 1 c) in
+            launch t ?cancel ~start:0 ~n ~grain:(max 1 ((n + c - 1) / c)) body
+        | None -> (
+            match probe body n with
+            | exception e ->
+                release t;
+                raise e
+            | done_, elapsed ->
+                if done_ >= n then begin
+                  release t;
+                  match cancel with Some c -> Robust.Cancel.check c | None -> ()
+                end
+                else begin
+                  let per = Float.max 1e-9 (elapsed /. float_of_int (max 1 done_)) in
+                  let remaining = n - done_ in
+                  let predicted = float_of_int remaining *. per in
+                  if t.hw < 2 || predicted < pay_threshold then begin
+                    (* the measured grain says parallelism can't pay *)
+                    let grain =
+                      max 1 (min remaining (int_of_float (seq_poll_target /. per)))
+                    in
+                    match seq_run ?cancel ~grain body done_ n with
+                    | () -> release t
+                    | exception e ->
+                        release t;
+                        raise e
+                  end
+                  else begin
+                    (* enough grains to balance, each worth ~grain_target *)
+                    let ideal = int_of_float (grain_target /. per) in
+                    let cap = max 1 (remaining / (2 * t.size)) in
+                    launch t ?cancel ~start:done_ ~n ~grain:(max 1 (min ideal cap)) body
+                  end
+                end)
+      end
     end
   end
 
@@ -171,12 +425,29 @@ let map t ?cancel f arr =
   let n = Array.length arr in
   if n = 0 then [||]
   else begin
-    let out = Array.make n None in
-    parallel_for t ?cancel ~n ~chunks:n (fun lo hi ->
-        for i = lo to hi - 1 do
-          out.(i) <- Some (f arr.(i))
-        done);
-    Array.map (function Some x -> x | None -> assert false) out
+    (match cancel with Some c -> Robust.Cancel.check c | None -> ());
+    if n <= max 2 (2 * t.size) then begin
+      (* few, potentially heavy elements (parallel search trees, say):
+         one element per task balances best, and the boxing is
+         negligible at this size *)
+      let out = Array.make n None in
+      parallel_for t ?cancel ~n ~chunks:n (fun lo hi ->
+          for i = lo to hi - 1 do
+            out.(i) <- Some (f arr.(i))
+          done);
+      Array.map (function Some x -> x | None -> assert false) out
+    end
+    else begin
+      (* many elements: seed the result with the first and let the
+         granularity tuner pick chunking — no per-element boxing *)
+      let first = f arr.(0) in
+      let out = Array.make n first in
+      parallel_for t ?cancel ~n:(n - 1) (fun lo hi ->
+          for i = lo to hi - 1 do
+            out.(i + 1) <- f arr.(i + 1)
+          done);
+      out
+    end
   end
 
 (* --- Default pool -------------------------------------------------------- *)
@@ -204,4 +475,6 @@ let set_default_domains n =
   default_size := Some (max 1 n);
   default_pool := None;
   Mutex.unlock default_mutex;
-  match old with Some p -> shutdown p | None -> ()
+  (* Retire, don't shutdown: another thread may still be mid-loop on
+     the old pool; the last loop out performs the deferred join. *)
+  match old with Some p -> retire p | None -> ()

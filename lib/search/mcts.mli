@@ -163,3 +163,63 @@ val search_parallel :
   unit ->
   result list
 (** [search_parallel_run] without the statistics. *)
+
+val search_single_tree_run :
+  ?config:config ->
+  ?pool:Par.Pool.t ->
+  ?guard:Robust.Guard.policy ->
+  ?inject:Robust.Inject.t ->
+  ?quarantine_reward:float ->
+  ?checkpoint:Checkpoint.sink ->
+  ?resume:Checkpoint.entry list ->
+  ?admit:(Pgraph.Graph.operator -> (unit, Robust.Guard.kind) Stdlib.result) ->
+  ?cancel:Robust.Cancel.t ->
+  ?workers:int ->
+  Enumerate.config ->
+  reward:(cancel:Robust.Cancel.t -> Pgraph.Graph.operator -> float) ->
+  rng:Nd.Rng.t ->
+  unit ->
+  run
+(** Single-tree parallel MCTS with virtual loss: [workers] jobs
+    (default: the pool size) share {e one} tree's statistics and one
+    signature-keyed reward memo, instead of building [workers] shallow
+    independent trees.  [config.iterations] is the {e total} budget,
+    claimed from a shared counter — more workers means faster, not
+    more, search.
+
+    Selection runs under a tree mutex and applies virtual loss: path
+    visit counts are incremented on the way down, before the reward
+    lands, so concurrent workers see in-flight paths as
+    visited-but-valueless and diversify.  Expansion, rollouts, and
+    reward evaluation run outside the lock; backpropagation re-acquires
+    it.  The reward memo is a lock-striped table whose in-flight slots
+    park duplicate requests on a condition variable, preserving the
+    at-most-once-reward-per-signature contract (and the single
+    checkpoint note per signature) across workers.  Statistics
+    accumulate in per-worker collectors and are summed.
+
+    Unlike {!search_parallel_run}, the result {e set} may vary between
+    runs with more than one worker — iteration interleaving is
+    scheduling-dependent — but every returned reward is still the
+    memoized, deterministic score of its operator, and with [workers =
+    1] the search is fully deterministic in [rng].  [cancel] is polled
+    at every iteration claim; workers self-terminate and the partial
+    memo is still merged, flushed, and returned. *)
+
+val search_single_tree :
+  ?config:config ->
+  ?pool:Par.Pool.t ->
+  ?guard:Robust.Guard.policy ->
+  ?inject:Robust.Inject.t ->
+  ?quarantine_reward:float ->
+  ?checkpoint:Checkpoint.sink ->
+  ?resume:Checkpoint.entry list ->
+  ?admit:(Pgraph.Graph.operator -> (unit, Robust.Guard.kind) Stdlib.result) ->
+  ?cancel:Robust.Cancel.t ->
+  ?workers:int ->
+  Enumerate.config ->
+  reward:(cancel:Robust.Cancel.t -> Pgraph.Graph.operator -> float) ->
+  rng:Nd.Rng.t ->
+  unit ->
+  result list
+(** [search_single_tree_run] without the statistics. *)

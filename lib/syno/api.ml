@@ -203,7 +203,6 @@ let search_conv_operators_run ?(iterations = 2000) ?(max_prims = 9)
     in
     r /. float_of_int (max 1 (List.length valuations))
   in
-  let trees = max 1 (match trees with Some t -> t | None -> max 1 domains) in
   let sink =
     Option.map (fun path -> Search.Checkpoint.sink ~path ~every:checkpoint_every ()) checkpoint
   in
@@ -222,17 +221,36 @@ let search_conv_operators_run ?(iterations = 2000) ?(max_prims = 9)
   in
   let admit = Option.map (fun g op -> Validate.Admit.gate g op) gate in
   let run =
-    if trees = 1 && domains <= 1 then
-      let mcts_cfg = Search.Mcts.default_config ~iterations () in
-      Search.Mcts.search_run ~config:mcts_cfg ?guard ?inject ?quarantine_reward
-        ?checkpoint:sink ~resume ?admit ?cancel cfg ~reward ~rng ()
-    else
-      (* Root-parallel: the iteration budget is split across the trees
-         so --domains changes wall-clock, not total search effort. *)
-      let mcts_cfg = Search.Mcts.default_config ~iterations:(max 1 (iterations / trees)) () in
-      Par.Pool.with_pool ~domains (fun pool ->
-          Search.Mcts.search_parallel_run ~config:mcts_cfg ~pool ?guard ?inject
-            ?quarantine_reward ?checkpoint:sink ~resume ?admit ?cancel ~trees cfg ~reward ~rng ())
+    match trees with
+    | None when domains > 1 ->
+        (* Single-tree parallel: [domains] workers share one tree (with
+           virtual loss) and one reward memo, draining the full
+           iteration budget together — more domains means faster, not
+           more, search. *)
+        let mcts_cfg = Search.Mcts.default_config ~iterations () in
+        Par.Pool.with_pool ~domains (fun pool ->
+            Search.Mcts.search_single_tree_run ~config:mcts_cfg ~pool ?guard ?inject
+              ?quarantine_reward ?checkpoint:sink ~resume ?admit ?cancel cfg ~reward ~rng ())
+    | None ->
+        let mcts_cfg = Search.Mcts.default_config ~iterations () in
+        Search.Mcts.search_run ~config:mcts_cfg ?guard ?inject ?quarantine_reward
+          ?checkpoint:sink ~resume ?admit ?cancel cfg ~reward ~rng ()
+    | Some t when max 1 t = 1 && domains <= 1 ->
+        let mcts_cfg = Search.Mcts.default_config ~iterations () in
+        Search.Mcts.search_run ~config:mcts_cfg ?guard ?inject ?quarantine_reward
+          ?checkpoint:sink ~resume ?admit ?cancel cfg ~reward ~rng ()
+    | Some t ->
+        (* Root-parallel (explicit [trees]): the iteration budget is
+           split across the trees so the candidate set depends only on
+           [trees] and [rng], never on [domains]. *)
+        let trees = max 1 t in
+        let mcts_cfg =
+          Search.Mcts.default_config ~iterations:(max 1 (iterations / trees)) ()
+        in
+        Par.Pool.with_pool ~domains (fun pool ->
+            Search.Mcts.search_parallel_run ~config:mcts_cfg ~pool ?guard ?inject
+              ?quarantine_reward ?checkpoint:sink ~resume ?admit ?cancel ~trees cfg ~reward
+              ~rng ())
   in
   let v0 = List.hd valuations in
   let candidates =

@@ -106,12 +106,16 @@ val search_conv_operators_run :
     (quarantined candidates last) together with per-run failure
     statistics.
 
-    [domains] (default 1) sizes a private domain pool; [trees] (default
-    [max 1 domains]) selects root-parallel search with that many
-    independent trees, splitting [iterations] evenly across them.  With
-    [domains = 1] and [trees = 1] this is the original sequential
-    search.  For fixed [trees] and [rng] the candidate set does not
-    depend on [domains].
+    [domains] (default 1) sizes a private domain pool.  With
+    [domains > 1] and no [trees], the search is single-tree parallel
+    ({!Search.Mcts.search_single_tree_run}): the workers share one
+    tree's statistics (virtual loss) and one reward memo, and the full
+    [iterations] budget is drained jointly — more domains means faster,
+    not more, search.  Passing [trees] explicitly selects root-parallel
+    search with that many independent trees instead, splitting
+    [iterations] evenly across them; for fixed [trees] and [rng] that
+    candidate set does not depend on [domains].  With [domains = 1] and
+    no (or one) tree this is the original sequential search.
 
     Fault tolerance: every reward call runs under [guard] (default
     {!Robust.Guard.default_policy}); [inject] enables deterministic

@@ -157,6 +157,233 @@ let test_num_domains_positive () =
   Alcotest.(check bool) "detection >= 1" true (Pool.num_domains () >= 1);
   Pool.with_pool ~domains:0 (fun p -> Alcotest.(check int) "clamped to 1" 1 (Pool.size p))
 
+let test_parse_domains () =
+  (match Pool.parse_domains "4" with
+  | Ok n -> Alcotest.(check int) "positive integer" 4 n
+  | Error e -> Alcotest.fail ("unexpected error: " ^ e));
+  (match Pool.parse_domains "1" with
+  | Ok n -> Alcotest.(check int) "one" 1 n
+  | Error e -> Alcotest.fail ("unexpected error: " ^ e));
+  let expect_error label s =
+    match Pool.parse_domains s with
+    | Ok n -> Alcotest.fail (Printf.sprintf "%s: accepted %S as %d" label s n)
+    | Error msg -> Alcotest.(check bool) (label ^ " has message") true (msg <> "")
+  in
+  expect_error "zero" "0";
+  expect_error "negative" "-3";
+  expect_error "garbage" "abc";
+  expect_error "empty" ""
+
+let test_num_domains_env () =
+  (* Both branches of the SYNO_DOMAINS handling: a valid setting is
+     obeyed, an invalid one falls back to auto-detection (with a
+     one-line stderr warning) instead of crashing or silently parsing
+     as something else. *)
+  let original = Sys.getenv_opt "SYNO_DOMAINS" in
+  let restore () =
+    Unix.putenv "SYNO_DOMAINS" (match original with Some v -> v | None -> "")
+  in
+  Fun.protect ~finally:restore (fun () ->
+      Unix.putenv "SYNO_DOMAINS" "3";
+      Alcotest.(check int) "valid setting obeyed" 3 (Pool.num_domains ());
+      Unix.putenv "SYNO_DOMAINS" "abc";
+      let fallback = Pool.num_domains () in
+      Alcotest.(check bool) "invalid setting falls back" true (fallback >= 1);
+      Unix.putenv "SYNO_DOMAINS" "0";
+      Alcotest.(check int) "non-positive falls back the same way" fallback
+        (Pool.num_domains ()))
+
+let test_contended_fallback_polls_cancellation () =
+  (* Regression: when another domain already drives a loop on the pool,
+     the submitter runs its loop sequentially — and that fallback must
+     poll cancellation periodically, not just once up front.  A fake
+     clock that advances one tick per poll proves the polls happen:
+     the deadline trips mid-loop after a bounded number of slices. *)
+  Pool.with_pool ~domains:2 (fun pool ->
+      let gate = Atomic.make false in
+      let holding = Atomic.make false in
+      let holder =
+        Domain.spawn (fun () ->
+            Pool.parallel_for pool ~n:2 ~chunks:2 (fun lo _ ->
+                if lo = 0 then begin
+                  Atomic.set holding true;
+                  while not (Atomic.get gate) do
+                    Domain.cpu_relax ()
+                  done
+                end))
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Atomic.set gate true;
+          Domain.join holder)
+        (fun () ->
+          while not (Atomic.get holding) do
+            Domain.cpu_relax ()
+          done;
+          (* the pool is now busy: this submission takes the contended
+             sequential fallback *)
+          let polls = Atomic.make 0 in
+          let clock () = float_of_int (Atomic.fetch_and_add polls 1) in
+          let tok = Robust.Cancel.of_deadline ~clock 5.0 in
+          let executed = Atomic.make 0 in
+          (match
+             Pool.parallel_for pool ~cancel:tok ~n:1000 ~chunks:100 (fun lo hi ->
+                 Atomic.set executed (Atomic.get executed + (hi - lo)))
+           with
+          | () -> Alcotest.fail "expected Cancelled from the contended fallback"
+          | exception Robust.Cancel.Cancelled _ -> ());
+          let ran = Atomic.get executed in
+          Alcotest.(check bool)
+            (Printf.sprintf "some slices ran before the trip (%d)" ran)
+            true (ran > 0);
+          Alcotest.(check bool)
+            (Printf.sprintf "tripped mid-loop, not at the end (%d < 1000)" ran)
+            true (ran < 1000)))
+
+let test_skewed_workload () =
+  (* One element 100x heavier than the rest: lazy splitting plus
+     stealing must still cover every index exactly once and produce the
+     sequential result. *)
+  with_pools (fun p1 p4 ->
+      let n = 512 in
+      let weight i = if i = 0 then 40_000 else 400 in
+      let fill pool =
+        let out = Array.make n 0 in
+        Pool.parallel_for pool ~n (fun lo hi ->
+            for i = lo to hi - 1 do
+              let acc = ref 0 in
+              for j = 1 to weight i do
+                acc := (!acc + j) land 0xFFFFFF
+              done;
+              out.(i) <- !acc
+            done);
+        out
+      in
+      Alcotest.(check (array int)) "skewed 1-domain = 4-domain" (fill p1) (fill p4))
+
+let test_nested_distinct_pools () =
+  (* A loop on one pool whose body drives a loop on a different pool —
+     the MCTS-worker-calls-einsum shape.  Must neither deadlock nor
+     corrupt either loop's results. *)
+  Pool.with_pool ~domains:3 (fun outer ->
+      Pool.with_pool ~domains:2 (fun inner ->
+          let results = Array.make 6 0 in
+          Pool.parallel_for outer ~n:6 ~chunks:6 (fun lo hi ->
+              for i = lo to hi - 1 do
+                let acc = Atomic.make 0 in
+                Pool.parallel_for inner ~n:200 (fun lo' hi' ->
+                    let s = ref 0 in
+                    for j = lo' to hi' - 1 do
+                      s := !s + j
+                    done;
+                    let rec add () =
+                      let cur = Atomic.get acc in
+                      if not (Atomic.compare_and_set acc cur (cur + !s)) then add ()
+                    in
+                    add ());
+                results.(i) <- Atomic.get acc
+              done);
+          Alcotest.(check (array int)) "inner sums under outer loop"
+            (Array.make 6 (200 * 199 / 2))
+            results))
+
+let test_steal_under_cancellation () =
+  (* Trip the token while distributed ranges are still waiting in other
+     deques: the steals must observe the trip and discard, never
+     execute, the stolen ranges — and the drain still terminates. *)
+  with_pools (fun _ p4 ->
+      for round = 1 to 5 do
+        let tok = Robust.Cancel.create () in
+        let executed = Atomic.make 0 in
+        (match
+           Pool.parallel_for p4 ~cancel:tok ~n:1024 ~chunks:64 (fun lo hi ->
+               if lo = 0 then Robust.Cancel.cancel ~reason:"steal-test" tok
+               else
+                 for _ = 1 to 50 do
+                   Domain.cpu_relax ()
+                 done;
+               Atomic.set executed (Atomic.get executed + (hi - lo)))
+         with
+        | () -> Alcotest.fail "expected Cancelled"
+        | exception Robust.Cancel.Cancelled _ -> ());
+        let ran = Atomic.get executed in
+        Alcotest.(check bool)
+          (Printf.sprintf "round %d: unclaimed ranges discarded (%d < 1024)" round ran)
+          true
+          (ran < 1024);
+        (* the pool survives every round *)
+        let out = Array.make 64 0 in
+        Pool.parallel_for p4 ~n:64 (fun lo hi ->
+            for i = lo to hi - 1 do
+              out.(i) <- i
+            done);
+        Alcotest.(check int) "reusable" 63 out.(63)
+      done)
+
+let test_map_large_cheap () =
+  (* The large-array path: no per-element scheduling, order preserved,
+     and the result matches Array.map exactly even for a cheap f. *)
+  with_pools (fun p1 p4 ->
+      let arr = Array.init 50_000 (fun i -> i) in
+      let expect = Array.map (fun i -> (i * 7) + 1) arr in
+      Alcotest.(check (array int)) "1-domain large map" expect
+        (Pool.map p1 (fun i -> (i * 7) + 1) arr);
+      Alcotest.(check (array int)) "4-domain large map" expect
+        (Pool.map p4 (fun i -> (i * 7) + 1) arr);
+      (* boundary between the small (per-element) and large path *)
+      for n = 7 to 10 do
+        let arr = Array.init n (fun i -> i) in
+        Alcotest.(check (array int))
+          (Printf.sprintf "boundary n=%d" n)
+          (Array.map (fun i -> i - 3) arr)
+          (Pool.map p4 (fun i -> i - 3) arr)
+      done)
+
+let test_set_default_domains_racing () =
+  (* Retiring the default pool while another domain still drives a loop
+     on it must let that loop finish normally; the old pool is shut
+     down when it drains, and later submissions to it run sequentially
+     but correctly. *)
+  let old = Pool.get_default () in
+  let n = 100_000 in
+  let out = Array.make n 0 in
+  let started = Atomic.make false in
+  let runner =
+    Domain.spawn (fun () ->
+        Pool.parallel_for old ~n ~chunks:256 (fun lo hi ->
+            Atomic.set started true;
+            for i = lo to hi - 1 do
+              out.(i) <- i + 1
+            done))
+  in
+  while not (Atomic.get started) do
+    Domain.cpu_relax ()
+  done;
+  Pool.set_default_domains 2;
+  let fresh = Pool.get_default () in
+  Domain.join runner;
+  Alcotest.(check bool) "a new default pool exists" true (fresh != old);
+  Alcotest.(check int) "new default size" 2 (Pool.size fresh);
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    if out.(i) <> i + 1 then ok := false
+  done;
+  Alcotest.(check bool) "racing loop completed correctly" true !ok;
+  (* the retired pool still serves loops (sequentially) *)
+  let out2 = Array.make 128 0 in
+  Pool.parallel_for old ~n:128 (fun lo hi ->
+      for i = lo to hi - 1 do
+        out2.(i) <- i * 2
+      done);
+  Alcotest.(check int) "retired pool still correct" 254 out2.(127);
+  (* and the new default is fully functional *)
+  let out3 = Array.make 128 0 in
+  Pool.parallel_for fresh ~n:128 (fun lo hi ->
+      for i = lo to hi - 1 do
+        out3.(i) <- i + 10
+      done);
+  Alcotest.(check int) "new default works" 137 out3.(127)
+
 (* --- Einsum determinism across pool sizes -------------------------------- *)
 
 (* Bit-identical means exactly equal float arrays, not within-epsilon. *)
@@ -173,23 +400,33 @@ let einsum_specs =
   ]
 
 let test_einsum_bit_identical () =
+  (* Across 1/2/4-domain pools AND across repeated runs on the same
+     pool: the work-stealing schedule varies run to run, the results
+     must not. *)
   with_pools (fun p1 p4 ->
-      let rng = Rng.create ~seed:99 in
-      List.iter
-        (fun (spec, shapes) ->
-          (* a batch of random instances per spec *)
-          for _ = 1 to 3 do
-            let tensors =
-              List.map (fun sh -> Tensor.rand_normal rng ~scale:1.0 sh) shapes
-            in
-            let a = Einsum.einsum ~pool:p1 spec tensors in
-            let b = Einsum.einsum ~pool:p4 spec tensors in
-            Alcotest.(check (array int64))
-              (spec ^ " bit-identical") (bits a) (bits b);
-            Alcotest.(check (array int))
-              (spec ^ " same shape") (Tensor.shape a) (Tensor.shape b)
-          done)
-        einsum_specs)
+      Pool.with_pool ~domains:2 (fun p2 ->
+          let rng = Rng.create ~seed:99 in
+          List.iter
+            (fun (spec, shapes) ->
+              (* a batch of random instances per spec *)
+              for _ = 1 to 3 do
+                let tensors =
+                  List.map (fun sh -> Tensor.rand_normal rng ~scale:1.0 sh) shapes
+                in
+                let a = Einsum.einsum ~pool:p1 spec tensors in
+                let b2 = Einsum.einsum ~pool:p2 spec tensors in
+                let b = Einsum.einsum ~pool:p4 spec tensors in
+                let b' = Einsum.einsum ~pool:p4 spec tensors in
+                Alcotest.(check (array int64))
+                  (spec ^ " 1 vs 4 domains bit-identical") (bits a) (bits b);
+                Alcotest.(check (array int64))
+                  (spec ^ " 1 vs 2 domains bit-identical") (bits a) (bits b2);
+                Alcotest.(check (array int64))
+                  (spec ^ " repeated run bit-identical") (bits b) (bits b');
+                Alcotest.(check (array int))
+                  (spec ^ " same shape") (Tensor.shape a) (Tensor.shape b)
+              done)
+            einsum_specs))
 
 let test_einsum_large_parallel_path () =
   (* Big enough to cross the sequential-work threshold, so the 4-domain
@@ -217,6 +454,17 @@ let () =
           Alcotest.test_case "cancellation" `Quick test_pool_cancellation;
           Alcotest.test_case "nested calls" `Quick test_nested_calls_do_not_deadlock;
           Alcotest.test_case "num_domains" `Quick test_num_domains_positive;
+          Alcotest.test_case "parse_domains" `Quick test_parse_domains;
+          Alcotest.test_case "SYNO_DOMAINS env" `Quick test_num_domains_env;
+          Alcotest.test_case "contended fallback polls cancellation" `Quick
+            test_contended_fallback_polls_cancellation;
+          Alcotest.test_case "skewed workload" `Quick test_skewed_workload;
+          Alcotest.test_case "nested distinct pools" `Quick test_nested_distinct_pools;
+          Alcotest.test_case "steal under cancellation" `Quick
+            test_steal_under_cancellation;
+          Alcotest.test_case "map large cheap f" `Quick test_map_large_cheap;
+          Alcotest.test_case "set_default_domains racing" `Quick
+            test_set_default_domains_racing;
         ] );
       ( "einsum",
         [

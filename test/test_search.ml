@@ -209,6 +209,113 @@ let test_mcts_parallel_merges_trees () =
   Alcotest.(check int) "deduplicated" (List.length sigs)
     (List.length (List.sort_uniq compare sigs))
 
+(* --- Single-tree parallel MCTS -------------------------------------------- *)
+
+let test_single_tree_matches_sequential () =
+  (* With one worker the shared-tree selection policy and the caller's
+     generator are exactly the sequential search's, so the result must
+     be bit-for-bit identical: same operators, same rewards, same visit
+     counts. *)
+  let cfg = matmul_cfg () in
+  let reward ~cancel:_ op = Reward.score op (List.hd matmul_valuations) in
+  let fingerprint rs =
+    List.map
+      (fun r -> (Graph.operator_signature r.Mcts.operator, r.Mcts.reward, r.Mcts.visits))
+      rs
+  in
+  List.iter
+    (fun seed ->
+      let config = Mcts.default_config ~iterations:120 () in
+      let seq = Mcts.search ~config cfg ~reward ~rng:(Nd.Rng.create ~seed) () in
+      let st =
+        Par.Pool.with_pool ~domains:2 (fun pool ->
+            Mcts.search_single_tree ~config ~pool ~workers:1 cfg ~reward
+              ~rng:(Nd.Rng.create ~seed) ())
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: single tree (1 worker) = sequential" seed)
+        true
+        (fingerprint seq = fingerprint st))
+    [ 13; 17; 29 ]
+
+let test_single_tree_parallel_workers () =
+  (* Several workers share one tree and one reward memo: the search
+     still finds operators, deduplicates by signature, calls the reward
+     thunk at most once per distinct signature across all workers, and
+     every returned reward is the deterministic memoized score. *)
+  let cfg = matmul_cfg () in
+  let calls = Atomic.make 0 in
+  let reward ~cancel:_ op =
+    Atomic.incr calls;
+    Reward.score op (List.hd matmul_valuations)
+  in
+  let results =
+    Par.Pool.with_pool ~domains:3 (fun pool ->
+        Mcts.search_single_tree
+          ~config:(Mcts.default_config ~iterations:150 ())
+          ~pool cfg ~reward ~rng:(Nd.Rng.create ~seed:13) ())
+  in
+  Alcotest.(check bool) "found operators" true (results <> []);
+  let sigs = List.map (fun r -> Graph.operator_signature r.Mcts.operator) results in
+  Alcotest.(check int) "deduplicated" (List.length sigs)
+    (List.length (List.sort_uniq compare sigs));
+  Alcotest.(check int) "at most one reward call per distinct signature"
+    (List.length results) (Atomic.get calls);
+  List.iter
+    (fun r ->
+      Alcotest.(check (float 0.0)) "memoized deterministic reward"
+        (Reward.score r.Mcts.operator (List.hd matmul_valuations))
+        r.Mcts.reward)
+    results
+
+let test_single_tree_cancellation_partial () =
+  (* A token tripped mid-search makes the workers return the partial
+     memo instead of raising; evaluation stops well short of what the
+     uncancelled search performs. *)
+  let cfg = matmul_cfg () in
+  let config = Mcts.default_config ~iterations:2_000 () in
+  let baseline = Atomic.make 0 in
+  let (_ : Mcts.result list) =
+    Par.Pool.with_pool ~domains:2 (fun pool ->
+        Mcts.search_single_tree ~config ~pool cfg
+          ~reward:(fun ~cancel:_ op ->
+            Atomic.incr baseline;
+            Reward.score op (List.hd matmul_valuations))
+          ~rng:(Nd.Rng.create ~seed:7) ())
+  in
+  let tok = Robust.Cancel.create () in
+  let evals = Atomic.make 0 in
+  let run =
+    Par.Pool.with_pool ~domains:2 (fun pool ->
+        Mcts.search_single_tree_run ~config ~pool ~cancel:tok cfg
+          ~reward:(fun ~cancel:_ op ->
+            if Atomic.fetch_and_add evals 1 >= 2 then
+              Robust.Cancel.cancel ~reason:"test" tok;
+            Reward.score op (List.hd matmul_valuations))
+          ~rng:(Nd.Rng.create ~seed:7) ())
+  in
+  Alcotest.(check bool) "returns partial results, does not raise" true
+    (run.Mcts.results <> []);
+  Alcotest.(check bool)
+    (Printf.sprintf "stopped early (%d evals vs %d uncancelled)" (Atomic.get evals)
+       (Atomic.get baseline))
+    true
+    (Atomic.get evals < Atomic.get baseline);
+  (* a pre-tripped token returns immediately with nothing *)
+  let dead = Robust.Cancel.create () in
+  Robust.Cancel.cancel dead;
+  let untouched = Atomic.make 0 in
+  let empty =
+    Par.Pool.with_pool ~domains:2 (fun pool ->
+        Mcts.search_single_tree ~config ~pool ~cancel:dead cfg
+          ~reward:(fun ~cancel:_ _ ->
+            Atomic.incr untouched;
+            1.0)
+          ~rng:(Nd.Rng.create ~seed:7) ())
+  in
+  Alcotest.(check int) "pre-tripped: no results" 0 (List.length empty);
+  Alcotest.(check int) "pre-tripped: no evaluations" 0 (Atomic.get untouched)
+
 (* --- Reward features ------------------------------------------------------ *)
 
 let conv_valuation = Syno.Zoo.Vars.conv_valuation ~n:1 ~c_in:16 ~c_out:16 ~hw:8 ()
@@ -255,6 +362,15 @@ let () =
           Alcotest.test_case "parallel = sequential" `Quick
             test_mcts_parallel_matches_sequential_pool;
           Alcotest.test_case "parallel merges trees" `Quick test_mcts_parallel_merges_trees;
+        ] );
+      ( "single-tree",
+        [
+          Alcotest.test_case "1 worker = sequential" `Quick
+            test_single_tree_matches_sequential;
+          Alcotest.test_case "shared tree and memo" `Quick
+            test_single_tree_parallel_workers;
+          Alcotest.test_case "cancellation partial" `Quick
+            test_single_tree_cancellation_partial;
         ] );
       ( "reward",
         [

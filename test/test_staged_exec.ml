@@ -64,6 +64,36 @@ let test_pure_views () =
   agree "pixel_shuffle" Zoo.pixel_shuffle.Zoo.operator v;
   agree "avgpool" Zoo.avgpool.Zoo.operator v
 
+let test_parallel_bit_identical () =
+  (* The executor offers large stages to the default pool; the result
+     must be bit-identical (not within-epsilon) at any pool size and
+     across repeated runs, since each output element is computed
+     independently with domain-private scratch. *)
+  let bits t = Array.map Int64.bits_of_float (Tensor.unsafe_data t) in
+  Fun.protect
+    ~finally:(fun () -> Par.Pool.set_default_domains (Par.Pool.num_domains ()))
+    (fun () ->
+      List.iter
+        (fun e ->
+          let op = e.Zoo.operator in
+          let st = Staged.compile op valuation in
+          let r = Reference.compile op valuation in
+          let rng = Rng.create ~seed:31 in
+          let x = Tensor.rand_normal rng ~scale:1.0 (Reference.input_shape r) in
+          let w = Reference.init_weights r rng in
+          let run domains =
+            Par.Pool.set_default_domains domains;
+            Staged.forward st ~input:x ~weights:w
+          in
+          let a = run 1 and b = run 2 and c = run 4 and c' = run 4 in
+          Alcotest.(check (array int64))
+            (e.Zoo.name ^ ": 1 vs 2 domains") (bits a) (bits b);
+          Alcotest.(check (array int64))
+            (e.Zoo.name ^ ": 1 vs 4 domains") (bits a) (bits c);
+          Alcotest.(check (array int64))
+            (e.Zoo.name ^ ": repeated 4-domain runs") (bits c) (bits c'))
+        [ Zoo.conv2d; Zoo.operator1 ])
+
 (* Property: any canonically synthesized operator executes identically
    under both backends (and under the gather+einsum program). *)
 let random_op_agreement =
@@ -115,6 +145,7 @@ let () =
           Alcotest.test_case "operator1 stages" `Quick test_operator1_actually_stages;
           Alcotest.test_case "matmul final-only" `Quick test_matmul_no_stage_path;
           Alcotest.test_case "pure views" `Quick test_pure_views;
+          Alcotest.test_case "parallel bit-identical" `Quick test_parallel_bit_identical;
         ] );
       ("property", [ QCheck_alcotest.to_alcotest random_op_agreement ]);
     ]
