@@ -143,11 +143,101 @@ let install_shutdown_handlers root =
   handle "SIGTERM" Sys.sigterm
 
 let exit_interrupted = 130
+let exit_failed_shard = 3
+
+let print_candidates ~top ~save candidates =
+  List.iteri
+    (fun i c ->
+      if i < top then begin
+        Format.printf "#%-3d reward %.2f  flops %d  params %d%s@.     %s@." (i + 1)
+          c.Api.reward c.Api.flops c.Api.params
+          (if c.Api.quarantined then "  [quarantined]" else "")
+          c.Api.signature;
+        match save with
+        | Some dir ->
+            let path = Filename.concat dir (Printf.sprintf "candidate_%02d.syno" (i + 1)) in
+            let oc = open_out path in
+            output_string oc (Trace_io.to_string c.Api.operator);
+            close_out oc;
+            Format.printf "     saved to %s@." path
+        | None -> ()
+      end)
+    candidates
+
+(* Coordinator-mode dispatch: fork [shards] workers, supervise, merge.
+   The merged memo lives in per-shard files next to --checkpoint, which
+   is why the flag is required here. *)
+let run_sharded ~iterations ~max_prims ~budget_ratio ~top ~save ~seed ~guard ~inject
+    ~checkpoint ~checkpoint_every ~max_bytes ~max_flops ~validate ~static_gate ~root ~shards
+    ~workers ~max_restarts ~heartbeat_timeout ~shard_deadline ~kill_after ~inline =
+  match checkpoint with
+  | None ->
+      prerr_endline "search: --shards > 1 needs --checkpoint FILE as the merge base path";
+      1
+  | Some base -> (
+      let t0 = Unix.gettimeofday () in
+      match
+        Api.search_conv_operators_sharded_run ~iterations ~max_prims
+          ~flops_budget_ratio:budget_ratio ~shards ?workers ?max_restarts ?heartbeat_timeout
+          ?shard_deadline ~guard ~inject ~checkpoint_every ?max_bytes ?max_flops ~validate
+          ~static_gate ?kill_after ~inline ~cancel:root ~checkpoint_base:base ~seed
+          ~valuations:Api.default_search_valuations ()
+      with
+      | exception Failure msg ->
+          prerr_endline msg;
+          2
+      | { Api.sh_candidates; sh_report = r } ->
+          let open Search.Coordinator in
+          (match Robust.Cancel.status root with
+          | Some reason ->
+              Format.printf "interrupted (%s): workers cascaded, checkpoints flushed@."
+                (Robust.Cancel.reason_to_string reason)
+          | None -> ());
+          Format.printf
+            "merged %d distinct canonical operators from %d shards in %.1fs (%s, %d \
+             restarts)@."
+            (List.length sh_candidates) shards
+            (Unix.gettimeofday () -. t0)
+            (if inline then "inline" else "forked workers")
+            r.rp_restarts;
+          List.iter
+            (fun s ->
+              Format.printf "shard %d: %s (%d attempt%s%s)@." s.sh_id
+                (match s.sh_status with
+                | Done -> "done"
+                | Interrupted -> "interrupted"
+                | Failed reason -> "FAILED: " ^ reason)
+                s.sh_attempts
+                (if s.sh_attempts = 1 then "" else "s")
+                (if s.sh_kills > 0 then Printf.sprintf ", %d supervisor kill(s)" s.sh_kills
+                 else ""))
+            r.rp_shards;
+          let m = r.rp_merge in
+          if m.Search.Shard.mr_quarantined <> [] then
+            List.iter
+              (fun (id, err) ->
+                Format.printf "shard %d checkpoint quarantined: %s@." id
+                  (Search.Checkpoint.string_of_error err))
+              m.Search.Shard.mr_quarantined;
+          if m.Search.Shard.mr_conflicts > 0 then
+            Format.printf "merge: %d signature conflict(s) resolved@."
+              m.Search.Shard.mr_conflicts;
+          Format.printf "@.";
+          print_candidates ~top ~save sh_candidates;
+          let failed =
+            List.exists
+              (fun s -> match s.sh_status with Failed _ -> true | _ -> false)
+              r.rp_shards
+          in
+          if r.rp_interrupted then exit_interrupted
+          else if failed then exit_failed_shard
+          else 0)
 
 let search_cmd =
   let run iterations max_prims budget_ratio top save seed domains trees retries timeout
       fault_rate fault_seed checkpoint checkpoint_every resume resume_ignore_corrupt max_bytes
-      max_flops validate no_static_gate no_graceful =
+      max_flops validate no_static_gate no_graceful
+      (shards, workers, max_restarts, heartbeat_timeout, shard_deadline, kill_after, inline) =
     let domains = resolve_domains domains in
     let rng = Nd.Rng.create ~seed in
     let guard = Robust.Guard.policy ~retries ?timeout () in
@@ -159,6 +249,12 @@ let search_cmd =
     let on_corrupt = if resume_ignore_corrupt then `Restart else `Fail in
     let root = Robust.Cancel.create () in
     if not no_graceful then install_shutdown_handlers root;
+    if shards > 1 then
+      run_sharded ~iterations ~max_prims ~budget_ratio ~top ~save ~seed ~guard ~inject
+        ~checkpoint ~checkpoint_every ~max_bytes ~max_flops ~validate
+        ~static_gate:(not no_static_gate) ~root ~shards ~workers ~max_restarts
+        ~heartbeat_timeout ~shard_deadline ~kill_after ~inline
+    else begin
     let t0 = Unix.gettimeofday () in
     match
       Api.search_conv_operators_run ~iterations ~max_prims ~flops_budget_ratio:budget_ratio
@@ -205,24 +301,9 @@ let search_cmd =
           s.Validate.Admit.seconds
     | None -> ());
     Format.printf "@.";
-    List.iteri
-      (fun i c ->
-        if i < top then begin
-          Format.printf "#%-3d reward %.2f  flops %d  params %d%s@.     %s@." (i + 1)
-            c.Api.reward c.Api.flops c.Api.params
-            (if c.Api.quarantined then "  [quarantined]" else "")
-            c.Api.signature;
-          match save with
-          | Some dir ->
-              let path = Filename.concat dir (Printf.sprintf "candidate_%02d.syno" (i + 1)) in
-              let oc = open_out path in
-              output_string oc (Trace_io.to_string c.Api.operator);
-              close_out oc;
-              Format.printf "     saved to %s@." path
-          | None -> ()
-        end)
-      candidates;
+    print_candidates ~top ~save candidates;
     if interrupted <> None then exit_interrupted else 0
+    end
   in
   let iterations =
     Arg.(value & opt int 2000 & info [ "iterations" ] ~doc:"MCTS iterations.")
@@ -310,19 +391,68 @@ let search_cmd =
                    immediately instead of stopping at the next iteration boundary and \
                    flushing a final checkpoint.")
   in
+  let shard_args =
+    let shards =
+      Arg.(value & opt (bounded_int ~what:"--shards" ~min:1) 1
+           & info [ "shards" ]
+               ~doc:"Partition the search space by seeded root action into this many shards \
+                     and run each in a supervised worker process (requires --checkpoint; \
+                     iterations are split across shards).")
+    in
+    let workers =
+      Arg.(value & opt (some (bounded_int ~what:"--shard-workers" ~min:1)) None
+           & info [ "shard-workers" ]
+               ~doc:"Maximum concurrent worker processes (default: one per shard).")
+    in
+    let max_restarts =
+      Arg.(value & opt (some (bounded_int ~what:"--max-restarts" ~min:0)) None
+           & info [ "max-restarts" ]
+               ~doc:"Restarts per crashed shard before it is reported failed (default 2).")
+    in
+    let heartbeat_timeout =
+      Arg.(value & opt (some (positive_float ~what:"--heartbeat-timeout")) None
+           & info [ "heartbeat-timeout" ]
+               ~doc:"Seconds of worker heartbeat silence before the coordinator kills and \
+                     restarts it (default 10).")
+    in
+    let shard_deadline =
+      Arg.(value & opt (some (positive_float ~what:"--shard-deadline")) None
+           & info [ "shard-deadline" ]
+               ~doc:"Per-shard-attempt wall-clock budget in seconds (default: none).")
+    in
+    let kill_after =
+      Arg.(value & opt (some (bounded_int ~what:"--shard-kill-after" ~min:1)) None
+           & info [ "shard-kill-after" ]
+               ~doc:"Fault-injection: each shard's first worker attempt kills itself after \
+                     this many reward evaluations, exercising restart recovery.")
+    in
+    let inline =
+      Arg.(value & flag
+           & info [ "shard-inline" ]
+               ~doc:"Run the shards sequentially in-process (no forks) — the deterministic \
+                     reference a forked run is asserted against.")
+    in
+    Term.(const (fun a b c d e f g -> (a, b, c, d, e, f, g))
+          $ shards $ workers $ max_restarts $ heartbeat_timeout $ shard_deadline
+          $ kill_after $ inline)
+  in
   Cmd.v
     (Cmd.info "search" ~doc:"Synthesize convolution replacements with MCTS."
        ~exits:
          (Cmd.Exit.info ~doc:"on success." 0
          :: Cmd.Exit.info ~doc:"on a usage or validation error." 1
          :: Cmd.Exit.info ~doc:"on a search failure (e.g. an unreadable --resume file)." 2
+         :: Cmd.Exit.info
+              ~doc:"when a shard exhausted its restart budget (its partial checkpoint still \
+                    merges)."
+              exit_failed_shard
          :: Cmd.Exit.info ~doc:"when interrupted by SIGINT/SIGTERM (after flushing the \
                                 checkpoint and reporting partial results)." exit_interrupted
          :: Cmd.Exit.defaults))
     Term.(const run $ iterations $ max_prims $ budget $ top $ save $ seed $ domains_arg
           $ trees $ retries $ timeout $ fault_rate $ fault_seed $ checkpoint $ checkpoint_every
           $ resume $ resume_ignore_corrupt $ max_bytes $ max_flops $ validate $ no_static_gate
-          $ no_graceful)
+          $ no_graceful $ shard_args)
 
 (* --- lint ------------------------------------------------------------------ *)
 

@@ -54,3 +54,22 @@ let fire t ~key ~attempt =
   end
 
 let injected_count t = Atomic.get t.injected
+
+let seed t = t.seed
+
+(* Derived injector for shard [index]: same rate and failure depth, but
+   the seed is [seed XOR mix(index)] (mixed so that adjacent indices do
+   not produce correlated fault schedules), giving every shard an
+   independent deterministic fault stream.  Splitting the disabled
+   injector stays disabled; the fault counter is fresh, so each shard
+   accounts its own deliveries. *)
+let split t ~index =
+  if index < 0 then invalid_arg "Inject.split: index must be >= 0";
+  if not (t.rate > 0.0) then t
+  else
+    let mixed = mix64 (Int64.of_int ((index + 1) * 0x9e3779b9)) in
+    {
+      t with
+      seed = t.seed lxor Int64.to_int (Int64.logand mixed 0x3fffffffffffffffL);
+      injected = Atomic.make 0;
+    }

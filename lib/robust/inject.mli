@@ -49,3 +49,15 @@ val note : t -> unit
 
 val injected_count : t -> int
 (** Total faults delivered by this injector, across all domains. *)
+
+val seed : t -> int
+(** The injector's seed (after any {!split} derivation). *)
+
+val split : t -> index:int -> t
+(** An independent injector for shard [index]: same rate and failure
+    depth, seed derived as [seed XOR mix(index)], fresh fault counter.
+    Deterministic — splitting the same injector at the same index
+    always yields the same fault schedule — and distinct indices get
+    uncorrelated schedules, so parallel shard workers do not replay an
+    identical fault stream.  {!none} (and any zero-rate injector) splits
+    to itself.  Raises [Invalid_argument] when [index < 0]. *)

@@ -217,6 +217,17 @@ let locked s f =
   Mutex.lock s.sk_mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock s.sk_mutex) f
 
+(* Seed the table with previously persisted entries without counting
+   them toward the write cadence: a resumed search must rewrite its
+   full history, not just the entries it evaluated after the resume —
+   otherwise a second kill/resume cycle silently shrinks the memo. *)
+let preload s entries =
+  locked s (fun () ->
+      List.iter
+        (fun e ->
+          if not (Hashtbl.mem s.sk_table e.signature) then Hashtbl.add s.sk_table e.signature e)
+        entries)
+
 let note s e =
   locked s (fun () ->
       Hashtbl.replace s.sk_table e.signature e;

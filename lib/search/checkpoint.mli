@@ -76,6 +76,14 @@ val sink : path:string -> ?every:int -> unit -> sink
 (** [sink ~path ~every ()] writes after every [every] new candidates
     (default 50, clamped to >= 1). *)
 
+val preload : sink -> entry list -> unit
+(** Seed the sink with previously persisted entries {e without}
+    counting toward the cadence.  A resumed search must preload the
+    entries it resumed from, so every snapshot it writes still carries
+    the full history — otherwise a second kill/resume cycle would
+    silently shrink the memo.  Entries already in the sink (noted since)
+    win over preloaded ones. *)
+
 val note : sink -> entry -> unit
 (** Record a candidate (replacing any previous entry with the same
     signature) and write the snapshot when the cadence is reached. *)

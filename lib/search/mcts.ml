@@ -185,8 +185,16 @@ let rollout_walk ~config ~enum_cfg ~dist ~rng ~evaluate node =
 
 (* Enumerate and distance-prune a node's children (without installing
    them — expansion policy differs between the sequential and the
-   shared tree). *)
-let node_children ~enum_cfg ~dist node =
+   shared tree).  [root_filter] restricts the {e root} action set only:
+   sharded searches partition the space by root action, and every
+   deeper level stays complete within the owned subtrees. *)
+let accept_all_roots (_ : Pgraph.Prim.t) = true
+
+let node_children ?(root_filter = accept_all_roots) ~enum_cfg ~dist node =
+  let children = Enumerate.children enum_cfg node.state in
+  let children =
+    if node.depth = 0 then List.filter (fun (p, _) -> root_filter p) children else children
+  in
   let kids =
     List.filter
       (fun (_, g') ->
@@ -194,7 +202,7 @@ let node_children ~enum_cfg ~dist node =
           ~current:(Graph.frontier_sizes g')
           ~desired:enum_cfg.Enumerate.desired_shape
           ~budget:(enum_cfg.Enumerate.max_prims - node.depth - 1))
-      (Enumerate.children enum_cfg node.state)
+      children
   in
   Array.of_list (List.map (fun (p, g') -> (p, make_node g' (node.depth + 1))) kids)
 
@@ -213,8 +221,8 @@ exception Stop
    the call, so trees can run on separate domains as long as [reward]
    itself is safe to call from any domain.  The checkpoint sink is the
    one shared structure; it serializes internally. *)
-let run_tree ~config ~enum_cfg ~reward ~rng ~policy ~inject ~penalty ~sink ~preload
-    ~collector ~admit ~cancel =
+let run_tree ?root_filter ~config ~enum_cfg ~reward ~rng ~policy ~inject ~penalty ~sink
+    ~preload ~collector ~admit ~cancel () =
   let dist = Distance.create () in
   let found : (string, entry) Hashtbl.t = Hashtbl.create 64 in
   (* Resumed entries enter with zero visits: the replayed trajectory
@@ -249,7 +257,7 @@ let run_tree ~config ~enum_cfg ~reward ~rng ~policy ~inject ~penalty ~sink ~prel
     match node.children with
     | Some c -> c
     | None ->
-        let arr = node_children ~enum_cfg ~dist node in
+        let arr = node_children ?root_filter ~enum_cfg ~dist node in
         node.children <- Some arr;
         arr
   in
@@ -335,19 +343,19 @@ let admit_all _ = Ok ()
 
 let search_run ?(config = default_config ()) ?(guard = Guard.default_policy)
     ?(inject = Inject.none) ?(quarantine_reward = 0.0) ?checkpoint ?(resume = [])
-    ?(admit = admit_all) ?cancel enum_cfg ~reward ~rng () =
+    ?(admit = admit_all) ?cancel ?root_filter enum_cfg ~reward ~rng () =
   let collector = new_collector () in
   let found =
-    run_tree ~config ~enum_cfg ~reward ~rng ~policy:guard ~inject ~penalty:quarantine_reward
-      ~sink:checkpoint ~preload:resume ~collector ~admit ~cancel
+    run_tree ?root_filter ~config ~enum_cfg ~reward ~rng ~policy:guard ~inject
+      ~penalty:quarantine_reward ~sink:checkpoint ~preload:resume ~collector ~admit ~cancel ()
   in
   (match checkpoint with Some s -> Checkpoint.flush s | None -> ());
   { results = to_results found; stats = stats_of_collectors ?checkpoint [| collector |] }
 
 let search ?config ?guard ?inject ?quarantine_reward ?checkpoint ?resume ?admit ?cancel
-    enum_cfg ~reward ~rng () =
+    ?root_filter enum_cfg ~reward ~rng () =
   (search_run ?config ?guard ?inject ?quarantine_reward ?checkpoint ?resume ?admit ?cancel
-     enum_cfg ~reward ~rng ())
+     ?root_filter enum_cfg ~reward ~rng ())
     .results
 
 let search_parallel_run ?(config = default_config ()) ?pool ?(guard = Guard.default_policy)
@@ -367,7 +375,7 @@ let search_parallel_run ?(config = default_config ()) ?pool ?(guard = Guard.defa
      always returns a full array of tables. *)
   let run (rng, collector) =
     run_tree ~config ~enum_cfg ~reward ~rng ~policy:guard ~inject ~penalty:quarantine_reward
-      ~sink:checkpoint ~preload:resume ~collector ~admit ~cancel
+      ~sink:checkpoint ~preload:resume ~collector ~admit ~cancel ()
   in
   let jobs = Array.init trees (fun i -> (rngs.(i), collectors.(i))) in
   let tables =

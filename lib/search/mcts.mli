@@ -65,6 +65,7 @@ val search_run :
   ?resume:Checkpoint.entry list ->
   ?admit:(Pgraph.Graph.operator -> (unit, Robust.Guard.kind) Stdlib.result) ->
   ?cancel:Robust.Cancel.t ->
+  ?root_filter:(Pgraph.Prim.t -> bool) ->
   Enumerate.config ->
   reward:(cancel:Robust.Cancel.t -> Pgraph.Graph.operator -> float) ->
   rng:Nd.Rng.t ->
@@ -95,6 +96,12 @@ val search_run :
     attempt's token ([~cancel]); thunks that poll it are preempted
     within one poll interval of a deadline or shutdown.
 
+    [root_filter] restricts the {e root} action set (the first
+    primitive applied to the empty pGraph); every deeper level stays
+    complete.  {!Shard} uses it to partition the search space across
+    worker processes by seeded root-action signature — each shard
+    explores exactly the subtrees under the root actions it owns.
+
     Defaults: [guard = Robust.Guard.default_policy] (2 retries, no
     backoff, no timeout), no injection, [quarantine_reward = 0.0], no
     checkpointing, admit-everything gate. *)
@@ -108,6 +115,7 @@ val search :
   ?resume:Checkpoint.entry list ->
   ?admit:(Pgraph.Graph.operator -> (unit, Robust.Guard.kind) Stdlib.result) ->
   ?cancel:Robust.Cancel.t ->
+  ?root_filter:(Pgraph.Prim.t -> bool) ->
   Enumerate.config ->
   reward:(cancel:Robust.Cancel.t -> Pgraph.Graph.operator -> float) ->
   rng:Nd.Rng.t ->

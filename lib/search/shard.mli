@@ -1,0 +1,92 @@
+(** Search-space sharding and checkpoint merging.
+
+    The paper runs its MCTS on a fleet of worker machines; this module
+    is the pure half of our reproduction of that setup: it decides
+    {e what each worker owns} and {e how their results combine}, while
+    {!Coordinator} owns the processes.
+
+    {b Partitioning.}  The space is split by {e root action}: the first
+    primitive applied to the empty pGraph.  Each root action is hashed
+    together with the run seed and assigned to exactly one of [shards]
+    shards; a shard's search restricts the MCTS root to its owned
+    actions ({!Mcts.search_run}'s [root_filter]) and explores the
+    subtrees below them completely.  The assignment depends only on
+    [(seed, shards, action)], so every process — and a fork-free
+    re-execution — computes the same partition.
+
+    {b Merging.}  Workers publish atomic per-shard checkpoints
+    ({!Checkpoint}); the coordinator merges them into one reward memo.
+    Entries are deduplicated by operator signature (distinct root
+    actions can reach the same canonical operator).  On a conflict the
+    rule is {e quarantine wins}: a quarantine verdict from any shard is
+    a refusal of the candidate and survives the merge, while two clean
+    entries keep the NaN-safe best reward; visit counts are summed.
+    Corrupt, truncated, or missing shard files are {e quarantined as
+    files} — reported, skipped, never fatal — via the typed
+    {!Checkpoint.load_result}.
+
+    {b Determinism.}  A shard's trajectory is a deterministic function
+    of its derived seed, its partition, and its (deterministic) reward
+    memo, and resuming from its own checkpoint replays to identical
+    results; the merge is deterministic in shard order.  Hence an
+    N-shard run — even one with worker kills and restarts — merges to
+    exactly the result of running the same N shard searches
+    sequentially in one process ({!Coordinator.run_inline}). *)
+
+type assignment = {
+  shard_id : int;  (** in [[0, shards)] *)
+  shards : int;
+  seed : int;  (** the run seed the partition is keyed on *)
+  path : string;  (** this shard's checkpoint file *)
+}
+
+val make : base:string -> seed:int -> shards:int -> shard_id:int -> assignment
+(** Assignment for one shard; [path] is {!checkpoint_path}[ ~base
+    ~shard_id].  Raises [Invalid_argument] unless
+    [0 <= shard_id < shards]. *)
+
+val checkpoint_path : base:string -> shard_id:int -> string
+(** [base ^ ".shard" ^ id] — every shard writes next to the merged
+    run's base path. *)
+
+val derive_seed : seed:int -> shard_id:int -> int
+(** The RNG seed for shard [shard_id]'s search: a splitmix64 mix of
+    [(seed, shard_id)], so shards never share a random stream yet the
+    whole fleet is reproducible from one seed. *)
+
+val owner : seed:int -> shards:int -> string -> int
+(** Which shard owns a root-action key (its {!Pgraph.Trace_io}
+    rendering).  Pure, stable across processes (no [Hashtbl.hash]). *)
+
+val root_filter : assignment -> Pgraph.Prim.t -> bool
+(** The {!Mcts.search_run} [root_filter] for this assignment: accept
+    exactly the root actions {!owner} maps to [shard_id]. *)
+
+(** {1 Merging shard checkpoints} *)
+
+val merge_entries : Checkpoint.entry list list -> Checkpoint.entry list * int
+(** Merge per-shard entry lists (in shard order) into one memo, with
+    the number of signature conflicts resolved.  Dedup by signature;
+    quarantine-wins; clean/clean conflicts keep the NaN-safe best
+    reward; visits summed.  Result sorted by signature. *)
+
+type merge_report = {
+  mr_entries : Checkpoint.entry list;  (** merged memo, sorted by signature *)
+  mr_loaded : int list;  (** shards whose checkpoint loaded cleanly *)
+  mr_missing : int list;  (** shards with no checkpoint file at all *)
+  mr_quarantined : (int * Checkpoint.error) list;
+      (** shards whose file existed but failed the typed load — damaged
+          after a successful write (e.g. a mid-write SIGKILL of some
+          external truncation); their entries are skipped, the merge
+          proceeds *)
+  mr_conflicts : int;  (** duplicate signatures resolved *)
+}
+
+val load_and_merge : assignment list -> merge_report
+(** Load every shard's checkpoint with {!Checkpoint.load_result} and
+    merge what loads.  Never raises on damaged files. *)
+
+val rank : Checkpoint.entry list -> Checkpoint.entry list
+(** Result ordering for a merged memo, matching {!Mcts} ranking:
+    quarantined entries last, NaN rewards as -inf, reward descending,
+    ties on signature. *)

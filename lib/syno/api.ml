@@ -154,12 +154,13 @@ let load_resume ?(on_corrupt = `Fail) path =
               (Printf.sprintf "cannot resume from %s: %s" path
                  (Search.Checkpoint.string_of_error err)))
 
-let search_conv_operators_run ?(iterations = 2000) ?(max_prims = 9)
-    ?(flops_budget_ratio = 1.0) ?(domains = 1) ?trees ?guard ?inject ?quarantine_reward
-    ?checkpoint ?(checkpoint_every = 50) ?resume ?(on_corrupt = `Fail) ?max_bytes ?max_flops
-    ?(validate = false) ?(validate_config = Validate.Differential.default_config)
-    ?(validation_valuations = default_validation_valuations) ?(static_gate = true) ?cancel
-    ~rng ~valuations () =
+(* The convolution search space of the paper's evaluation: enumeration
+   config and analytic proxy reward for the signature
+   [[N, C_out, H, W] -> [N, C_in, H, W]] with a FLOPs budget relative to
+   the standard convolution.  Shared between the in-process and the
+   sharded multi-process entry points, so every worker sees the exact
+   same space. *)
+let conv_search_space ~max_prims ~flops_budget_ratio ~valuations =
   let open Zoo.Vars in
   let sz = Size.of_var in
   let output_shape = [ sz n; sz c_out; sz h; sz w ] in
@@ -169,9 +170,7 @@ let search_conv_operators_run ?(iterations = 2000) ?(max_prims = 9)
       (fun acc v -> max acc (Flops.naive_flops Zoo.conv2d.Zoo.operator v))
       0 valuations
   in
-  let budget =
-    int_of_float (flops_budget_ratio *. float_of_int conv_flops)
-  in
+  let budget = int_of_float (flops_budget_ratio *. float_of_int conv_flops) in
   let base = Search.Enumerate.default_config ~output_shape ~desired_shape ~valuations () in
   let cfg =
     {
@@ -203,21 +202,39 @@ let search_conv_operators_run ?(iterations = 2000) ?(max_prims = 9)
     in
     r /. float_of_int (max 1 (List.length valuations))
   in
+  (cfg, reward)
+
+let conv_gate ~validate ~validate_config ~validation_valuations ~static_gate ~max_bytes
+    ~max_flops ~valuations =
+  let differential = if validate then Some validate_config else None in
+  (* The static verifier is free of tensor work, so it defaults on —
+     but only bother building a gate when something else asked for
+     admission, keeping gate-less runs gate-less. *)
+  if max_bytes = None && max_flops = None && differential = None then None
+  else
+    let static = if static_gate then validation_valuations else [] in
+    Some
+      (Validate.Admit.create ~static ?max_bytes ?max_flops ~valuations ?differential
+         ~check_valuations:validation_valuations ())
+
+let search_conv_operators_run ?(iterations = 2000) ?(max_prims = 9)
+    ?(flops_budget_ratio = 1.0) ?(domains = 1) ?trees ?guard ?inject ?quarantine_reward
+    ?checkpoint ?(checkpoint_every = 50) ?resume ?(on_corrupt = `Fail) ?max_bytes ?max_flops
+    ?(validate = false) ?(validate_config = Validate.Differential.default_config)
+    ?(validation_valuations = default_validation_valuations) ?(static_gate = true) ?cancel
+    ~rng ~valuations () =
+  let cfg, reward = conv_search_space ~max_prims ~flops_budget_ratio ~valuations in
   let sink =
     Option.map (fun path -> Search.Checkpoint.sink ~path ~every:checkpoint_every ()) checkpoint
   in
   let resume = match resume with Some path -> load_resume ~on_corrupt path | None -> [] in
+  (* Preload the sink with the resumed entries so every snapshot a
+     resumed run writes still carries the full history — without this, a
+     second kill/resume cycle would silently shrink the memo. *)
+  (match sink with Some s -> Search.Checkpoint.preload s resume | None -> ());
   let gate =
-    let differential = if validate then Some validate_config else None in
-    (* The static verifier is free of tensor work, so it defaults on —
-       but only bother building a gate when something else asked for
-       admission, keeping gate-less runs gate-less. *)
-    if max_bytes = None && max_flops = None && differential = None then None
-    else
-      let static = if static_gate then validation_valuations else [] in
-      Some
-        (Validate.Admit.create ~static ?max_bytes ?max_flops ~valuations ?differential
-           ~check_valuations:validation_valuations ())
+    conv_gate ~validate ~validate_config ~validation_valuations ~static_gate ~max_bytes
+      ~max_flops ~valuations
   in
   let admit = Option.map (fun g op -> Validate.Admit.gate g op) gate in
   let run =
@@ -281,3 +298,101 @@ let search_conv_operators ?iterations ?max_prims ?flops_budget_ratio ?domains ?t
      ?max_bytes ?max_flops ?validate ?validate_config ?validation_valuations ?static_gate
      ?cancel ~rng ~valuations ())
     .candidates
+
+(* --- Sharded multi-process search ----------------------------------------- *)
+
+type sharded_run = {
+  sh_candidates : candidate list;
+  sh_report : Search.Coordinator.report;
+}
+
+let search_conv_operators_sharded_run ?(iterations = 2000) ?(max_prims = 9)
+    ?(flops_budget_ratio = 1.0) ?(shards = 2) ?workers ?max_restarts ?backoff
+    ?heartbeat_timeout ?shard_deadline ?grace ?guard ?inject ?quarantine_reward
+    ?(checkpoint_every = 1) ?max_bytes ?max_flops ?(validate = false)
+    ?(validate_config = Validate.Differential.default_config)
+    ?(validation_valuations = default_validation_valuations) ?(static_gate = true)
+    ?kill_after ?(inline = false) ?cancel ~checkpoint_base ~seed ~valuations () =
+  let cfg, space_reward = conv_search_space ~max_prims ~flops_budget_ratio ~valuations in
+  let shards = max 1 shards in
+  let per_shard_iterations = max 1 (iterations / shards) in
+  let base_cc = Search.Coordinator.default_config ~shards () in
+  let coord_config =
+    {
+      base_cc with
+      Search.Coordinator.workers = Option.value ~default:base_cc.Search.Coordinator.workers workers;
+      max_restarts = Option.value ~default:base_cc.Search.Coordinator.max_restarts max_restarts;
+      backoff = Option.value ~default:base_cc.Search.Coordinator.backoff backoff;
+      heartbeat_timeout =
+        Option.value ~default:base_cc.Search.Coordinator.heartbeat_timeout heartbeat_timeout;
+      shard_deadline;
+      grace = Option.value ~default:base_cc.Search.Coordinator.grace grace;
+    }
+  in
+  let body (ctx : Search.Coordinator.ctx) =
+    let a = ctx.Search.Coordinator.assignment in
+    (* Everything a shard does is a pure function of (seed, shard_id)
+       and its own checkpoint — the determinism guarantee rests on it. *)
+    let rng =
+      Nd.Rng.create ~seed:(Search.Shard.derive_seed ~seed ~shard_id:a.Search.Shard.shard_id)
+    in
+    let inject =
+      Option.map (fun i -> Robust.Inject.split i ~index:a.Search.Shard.shard_id) inject
+    in
+    let sink = Search.Checkpoint.sink ~path:a.Search.Shard.path ~every:checkpoint_every () in
+    (* A damaged shard checkpoint restarts that shard from scratch; the
+       coordinator-side merge separately quarantines damaged files. *)
+    let resume = load_resume ~on_corrupt:`Restart a.Search.Shard.path in
+    Search.Checkpoint.preload sink resume;
+    let gate =
+      conv_gate ~validate ~validate_config ~validation_valuations ~static_gate ~max_bytes
+        ~max_flops ~valuations
+    in
+    let admit = Option.map (fun g op -> Validate.Admit.gate g op) gate in
+    let evals = ref 0 in
+    let reward ~cancel op =
+      ctx.Search.Coordinator.beat ();
+      incr evals;
+      (match kill_after with
+      | Some k when ctx.Search.Coordinator.forked && ctx.Search.Coordinator.attempt = 0 ->
+          if !evals > k then Unix.kill (Unix.getpid ()) Sys.sigkill
+      | _ -> ());
+      space_reward ~cancel op
+    in
+    let mcts_cfg = Search.Mcts.default_config ~iterations:per_shard_iterations () in
+    let (_ : Search.Mcts.run) =
+      Search.Mcts.search_run ~config:mcts_cfg ?guard ?inject ?quarantine_reward
+        ~checkpoint:sink ~resume ?admit ~cancel:ctx.Search.Coordinator.cancel
+        ~root_filter:(Search.Shard.root_filter a) cfg ~reward ~rng ()
+    in
+    ()
+  in
+  let runner = if inline then Search.Coordinator.run_inline else Search.Coordinator.run in
+  let report = runner ~config:coord_config ?cancel ~base:checkpoint_base ~seed ~body () in
+  let v0 = List.hd valuations in
+  let candidates =
+    List.map
+      (fun (e : Search.Checkpoint.entry) ->
+        {
+          operator = e.Search.Checkpoint.operator;
+          signature = e.Search.Checkpoint.signature;
+          reward = e.Search.Checkpoint.reward;
+          flops = Flops.naive_flops e.Search.Checkpoint.operator v0;
+          params = Flops.params e.Search.Checkpoint.operator v0;
+          quarantined = e.Search.Checkpoint.quarantined;
+        })
+      (Search.Shard.rank report.Search.Coordinator.rp_merge.Search.Shard.mr_entries)
+  in
+  { sh_candidates = candidates; sh_report = report }
+
+let search_conv_operators_sharded ?iterations ?max_prims ?flops_budget_ratio ?shards
+    ?workers ?max_restarts ?backoff ?heartbeat_timeout ?shard_deadline ?grace ?guard ?inject
+    ?quarantine_reward ?checkpoint_every ?max_bytes ?max_flops ?validate ?validate_config
+    ?validation_valuations ?static_gate ?kill_after ?inline ?cancel ~checkpoint_base ~seed
+    ~valuations () =
+  (search_conv_operators_sharded_run ?iterations ?max_prims ?flops_budget_ratio ?shards
+     ?workers ?max_restarts ?backoff ?heartbeat_timeout ?shard_deadline ?grace ?guard
+     ?inject ?quarantine_reward ?checkpoint_every ?max_bytes ?max_flops ?validate
+     ?validate_config ?validation_valuations ?static_gate ?kill_after ?inline ?cancel
+     ~checkpoint_base ~seed ~valuations ())
+    .sh_candidates

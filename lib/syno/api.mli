@@ -149,6 +149,117 @@ val search_conv_operators_run :
     the checkpoint sink, so an interrupted run resumed from its
     checkpoint replays to the uninterrupted results. *)
 
+(** {2 Sharded multi-process search}
+
+    The paper's search runs on a fleet of workers; these entry points
+    reproduce that with OS processes on one host.  The space is
+    partitioned by seeded root-action signature ({!Search.Shard}), each
+    shard searched by a forked worker under a crash-tolerant supervisor
+    ({!Search.Coordinator}), and the per-shard checkpoints merged into
+    one ranked candidate list (dedup by signature, quarantine-wins). *)
+
+type sharded_run = {
+  sh_candidates : candidate list;
+      (** merged from every shard's checkpoint, ranked like
+          {!search_conv_operators_run} output *)
+  sh_report : Search.Coordinator.report;
+      (** per-shard statuses, restart counts, merge provenance *)
+}
+
+val search_conv_operators_sharded_run :
+  ?iterations:int ->
+  ?max_prims:int ->
+  ?flops_budget_ratio:float ->
+  ?shards:int ->
+  ?workers:int ->
+  ?max_restarts:int ->
+  ?backoff:float ->
+  ?heartbeat_timeout:float ->
+  ?shard_deadline:float ->
+  ?grace:float ->
+  ?guard:Robust.Guard.policy ->
+  ?inject:Robust.Inject.t ->
+  ?quarantine_reward:float ->
+  ?checkpoint_every:int ->
+  ?max_bytes:int ->
+  ?max_flops:int ->
+  ?validate:bool ->
+  ?validate_config:Validate.Differential.config ->
+  ?validation_valuations:Shape.Valuation.t list ->
+  ?static_gate:bool ->
+  ?kill_after:int ->
+  ?inline:bool ->
+  ?cancel:Robust.Cancel.t ->
+  checkpoint_base:string ->
+  seed:int ->
+  valuations:Shape.Valuation.t list ->
+  unit ->
+  sharded_run
+(** The same convolution search space as {!search_conv_operators_run},
+    split into [shards] (default 2) root-action partitions and run as
+    forked worker processes supervised by {!Search.Coordinator.run}.
+    [iterations] (default 2000) is the {e total} budget, split evenly
+    per shard; each shard derives its own RNG seed and fault-injection
+    stream ({!Robust.Inject.split}) from [seed] and its id, checkpoints
+    to [checkpoint_base ^ ".shard<i>"] every [checkpoint_every]
+    (default 1) evaluations, and resumes from its own checkpoint when
+    restarted after a crash.
+
+    Supervision knobs map onto {!Search.Coordinator.config}:
+    [workers] concurrent processes (default [shards]),
+    [heartbeat_timeout] seconds of silence before a kill,
+    [shard_deadline] per-attempt wall clock, [max_restarts] per shard
+    with exponential [backoff], [grace] between the shutdown SIGTERM
+    cascade and SIGKILL.
+
+    [inline] (default false) runs the fork-free reference execution
+    instead ({!Search.Coordinator.run_inline}): same shards, same
+    seeds, same merge, sequential in this process.  The determinism
+    guarantee — asserted by [bench shard] and the test suite — is that
+    a forked run, {e even with workers killed and restarted
+    mid-search}, produces the same merged candidate list as the inline
+    run.  [kill_after] is the fault-injection hook behind that
+    assertion: each shard's first forked attempt SIGKILLs itself after
+    that many reward evaluations (later attempts, and inline runs, are
+    unaffected).
+
+    A shard whose checkpoint file is damaged is restarted fresh by its
+    worker and quarantined-but-skipped by the merge
+    ([sh_report.rp_merge.mr_quarantined]); the run never aborts for it.
+    [cancel] cascades shutdown to every worker: each flushes its
+    checkpoint and exits 130, and the partial shards still merge. *)
+
+val search_conv_operators_sharded :
+  ?iterations:int ->
+  ?max_prims:int ->
+  ?flops_budget_ratio:float ->
+  ?shards:int ->
+  ?workers:int ->
+  ?max_restarts:int ->
+  ?backoff:float ->
+  ?heartbeat_timeout:float ->
+  ?shard_deadline:float ->
+  ?grace:float ->
+  ?guard:Robust.Guard.policy ->
+  ?inject:Robust.Inject.t ->
+  ?quarantine_reward:float ->
+  ?checkpoint_every:int ->
+  ?max_bytes:int ->
+  ?max_flops:int ->
+  ?validate:bool ->
+  ?validate_config:Validate.Differential.config ->
+  ?validation_valuations:Shape.Valuation.t list ->
+  ?static_gate:bool ->
+  ?kill_after:int ->
+  ?inline:bool ->
+  ?cancel:Robust.Cancel.t ->
+  checkpoint_base:string ->
+  seed:int ->
+  valuations:Shape.Valuation.t list ->
+  unit ->
+  candidate list
+(** [search_conv_operators_sharded_run] without the report. *)
+
 val search_conv_operators :
   ?iterations:int ->
   ?max_prims:int ->
