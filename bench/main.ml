@@ -3,8 +3,9 @@
 
      dune exec bench/main.exe           -- run everything
      dune exec bench/main.exe fig5      -- one experiment
+     dune exec bench/main.exe check    -- validate every BENCH_*.json
      (experiments: fig5 fig6 fig8 fig9 fig10 tab3 ablation micro par robust
-      validate analysis cancel shard, plus *-smoke variants for CI)
+      validate analysis cancel shard cegis, plus *-smoke variants for CI)
 
    Paper-reported numbers are printed alongside the measured ones; the
    hardware/datasets are simulated (see DESIGN.md), so the comparison
@@ -1427,6 +1428,381 @@ let shard_bench ~smoke () =
     exit 1
   end
 
+(* --- Counterexample-guided admission (CEGIS) ----------------------------------- *)
+
+(* Proves the corpus's three headline guarantees (Validate.Corpus).
+   (1) Hardening: a seeded-miscompile family caught by differential
+   validation on the first run is rejected by corpus replay on the
+   second — the faulty backend never executes again (zero fault
+   deliveries) and the search trajectory is unchanged.  (2) Cheapness:
+   replaying the populated corpus against the zoo costs <= 25% of
+   differentially validating the same operators.  (3) Crash tolerance:
+   a sharded run whose workers are killed and restarted mid-search
+   merges to exactly the corpus and top-k of the fork-free inline
+   reference.  Emits BENCH_cegis.json; the smoke variant runs inside
+   `dune runtest` via the bench-smoke alias. *)
+
+let cegis_bench ~smoke () =
+  section
+    (Printf.sprintf "Counterexample-guided admission (Corpus)%s"
+       (if smoke then " [smoke]" else ""));
+  let iterations = if smoke then 150 else 600 in
+  let max_prims = 6 in
+  let seed = 2024 in
+  let corpus_path = Filename.temp_file "syno_cegis" ".corpus" in
+  Sys.remove corpus_path;
+  (* Fault delivery is keyed by a hash of the candidate, not by call
+     order, so the same candidates miscompile in every run below —
+     what changes is which admission stage catches them. *)
+  let miscompile () =
+    Validate.Differential.fault ~seed:3 ~rate:0.5 Validate.Differential.Einsum
+  in
+  let run ~fault label =
+    let r, t =
+      time (fun () ->
+          Api.search_conv_operators_run ~iterations ~max_prims ~validate:true
+            ~validate_config:(Validate.Differential.config ~fault ())
+            ~corpus:corpus_path ~rng:(Nd.Rng.create ~seed)
+            ~valuations:Api.default_search_valuations ())
+    in
+    let s = Option.get r.Api.admission in
+    note "%-28s %3d operators, replay %d + differential %d rejections, %5.2fs" label
+      (List.length r.Api.candidates)
+      s.Validate.Admit.rejected_replay s.Validate.Admit.rejected_differential t;
+    (r, s, t)
+  in
+  let sigs (r : Api.search_run) =
+    List.map
+      (fun (c : Api.candidate) -> (c.Api.signature, c.Api.reward, c.Api.quarantined))
+      r.Api.candidates
+  in
+  (* 1) Hardening: first encounter distills, re-encounter replays. *)
+  let fault1 = miscompile () in
+  let r1, s1, _ = run ~fault:fault1 "first encounter (faulted)" in
+  let delivered1 = Validate.Differential.fault_count fault1 in
+  let corpus_entries =
+    match Validate.Corpus.load_result ~path:corpus_path with
+    | Ok es -> List.length es
+    | Error e -> failwith ("corpus load failed: " ^ Validate.Corpus.string_of_error e)
+  in
+  note "first run: %d miscompiles delivered, %d distilled, %d corpus entries on disk"
+    delivered1 s1.Validate.Admit.distilled corpus_entries;
+  let fault2 = miscompile () in
+  let r2, s2, _ = run ~fault:fault2 "re-encounter (corpus replay)" in
+  let delivered2 = Validate.Differential.fault_count fault2 in
+  let identical_topk = sigs r1 = sigs r2 in
+  let hardened =
+    s1.Validate.Admit.rejected_differential > 0
+    && s2.Validate.Admit.rejected_replay = s1.Validate.Admit.rejected_differential
+    && s2.Validate.Admit.rejected_differential = 0
+    && delivered2 = 0
+  in
+  note "re-encounter: %d replay rejections, %d differential, %d faults delivered (%s); \
+        top-k %s"
+    s2.Validate.Admit.rejected_replay s2.Validate.Admit.rejected_differential delivered2
+    (if hardened then "differential never ran on the family" else "NOT HARDENED")
+    (if identical_topk then "identical" else "DIVERGED");
+  (* 2) Cheapness: replay vs differential over the zoo, same corpus. *)
+  let zoo_corpus, _ = Validate.Corpus.open_file ~readonly:true corpus_path in
+  let zoo_ops = List.map (fun e -> e.Zoo.operator) Zoo.all in
+  let repeats = if smoke then 5 else 20 in
+  let vs = Api.default_validation_valuations in
+  let (), t_replay =
+    time (fun () ->
+        for _ = 1 to repeats do
+          List.iter (fun op -> ignore (Validate.Corpus.replay zoo_corpus op)) zoo_ops
+        done)
+  in
+  let (), t_diff =
+    time (fun () ->
+        for _ = 1 to repeats do
+          List.iter
+            (fun op ->
+              match Validate.Differential.check op vs with Ok _ | Error _ -> ())
+            zoo_ops
+        done)
+  in
+  let replay_ratio = t_replay /. Float.max 1e-12 t_diff in
+  let replay_cheap = replay_ratio <= 0.25 in
+  note "zoo replay %.3f ms vs differential %.3f ms over %d ops x %d (%.1f%% %s)"
+    (1000.0 *. t_replay) (1000.0 *. t_diff) (List.length zoo_ops) repeats
+    (100.0 *. replay_ratio)
+    (if replay_cheap then "<= 25% gate" else "OVER the 25% gate");
+  (* 3) Crash tolerance: killed + restarted sharded run vs inline
+     reference — identical merged top-k AND identical merged corpus. *)
+  let base = Filename.temp_file "syno_cegis_shard" ".ckpt" in
+  Sys.remove base;
+  let shard_corpus = base ^ ".corpus" in
+  let shards = 2 in
+  let clear () =
+    List.iter
+      (fun p -> if Sys.file_exists p then Sys.remove p)
+      (shard_corpus
+      :: List.concat
+           (List.init shards (fun i ->
+                [
+                  Search.Shard.checkpoint_path ~base ~shard_id:i;
+                  Validate.Corpus.shard_path ~base:shard_corpus ~shard_id:i;
+                ])))
+  in
+  let sharded ?kill_after ~inline label =
+    clear ();
+    let r, t =
+      time (fun () ->
+          Api.search_conv_operators_sharded_run ~iterations ~max_prims ~shards ?kill_after
+            ~inline ~validate:true
+            ~validate_config:(Validate.Differential.config ~fault:(miscompile ()) ())
+            ~corpus:shard_corpus ~checkpoint_base:base ~seed
+            ~valuations:Api.default_search_valuations ())
+    in
+    let idents =
+      match r.Api.sh_corpus with
+      | Some m -> List.map Validate.Corpus.ident m.Validate.Corpus.mr_entries
+      | None -> []
+    in
+    note "%-28s %3d operators, %d restarts, %d corpus entries, %5.2fs" label
+      (List.length r.Api.sh_candidates)
+      r.Api.sh_report.Search.Coordinator.rp_restarts (List.length idents) t;
+    (r, idents)
+  in
+  let ssigs (r : Api.sharded_run) =
+    List.map
+      (fun (c : Api.candidate) -> (c.Api.signature, c.Api.reward, c.Api.quarantined))
+      r.Api.sh_candidates
+  in
+  let inline_r, inline_idents = sharded ~inline:true "sharded inline reference" in
+  let killed_r, killed_idents = sharded ~kill_after:3 ~inline:false "sharded + kill/restart" in
+  let restarts = killed_r.Api.sh_report.Search.Coordinator.rp_restarts in
+  let shard_topk_ok = ssigs inline_r = ssigs killed_r in
+  let shard_corpus_ok = inline_idents <> [] && inline_idents = killed_idents in
+  note "killed run: top-k %s, merged corpus %s the inline reference (%d restarts)"
+    (if shard_topk_ok then "matches" else "DIVERGED from")
+    (if shard_corpus_ok then "identical to" else "DIVERGED from")
+    restarts;
+  clear ();
+  Sys.remove corpus_path;
+  (* Trajectory file. *)
+  let oc = open_out "BENCH_cegis.json" in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"smoke\": %b,\n" smoke;
+  out "  \"hardening\": {\"iterations\": %d, \"delivered_first\": %d, \"distilled\": %d, \
+       \"corpus_entries\": %d, \"replay_rejections\": %d, \"differential_rejections_rerun\": \
+       %d, \"delivered_rerun\": %d, \"identical_topk\": %b, \"hardened\": %b},\n"
+    iterations delivered1 s1.Validate.Admit.distilled corpus_entries
+    s2.Validate.Admit.rejected_replay s2.Validate.Admit.rejected_differential delivered2
+    identical_topk hardened;
+  out "  \"replay_cost\": {\"zoo_operators\": %d, \"repeats\": %d, \"replay_seconds\": %.6f, \
+       \"differential_seconds\": %.6f, \"ratio\": %.4f, \"within_gate\": %b},\n"
+    (List.length zoo_ops) repeats t_replay t_diff replay_ratio replay_cheap;
+  out "  \"shard\": {\"shards\": %d, \"restarts\": %d, \"identical_topk\": %b, \
+       \"identical_corpus\": %b, \"corpus_entries\": %d}\n"
+    shards restarts shard_topk_ok shard_corpus_ok (List.length inline_idents);
+  out "}\n";
+  close_out oc;
+  note "wrote BENCH_cegis.json";
+  if
+    not
+      (hardened && identical_topk && replay_cheap && restarts >= 1 && shard_topk_ok
+     && shard_corpus_ok)
+  then begin
+    prerr_endline "counterexample-corpus hardening/cost/crash-tolerance assertions failed";
+    exit 1
+  end
+
+(* --- bench check: trajectory-file validation ----------------------------------- *)
+
+(* `bench check` re-parses every BENCH_*.json in the working directory
+   with a tiny structural JSON parser and verifies the required
+   top-level keys per file, so a formatting regression in any writer
+   above fails CI even when the experiment itself passed. *)
+
+module Json_check = struct
+  exception Bad of string
+
+  let parse text =
+    let n = String.length text in
+    let pos = ref 0 in
+    let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
+    let peek () = if !pos < n then Some text.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          advance ();
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected %C" c)
+    in
+    let literal word =
+      if !pos + String.length word <= n && String.sub text !pos (String.length word) = word
+      then pos := !pos + String.length word
+      else fail (Printf.sprintf "expected %s" word)
+    in
+    let string_lit () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> advance ()
+        | Some '\\' ->
+            advance ();
+            (match peek () with
+            | None -> fail "unterminated escape"
+            | Some c ->
+                advance ();
+                Buffer.add_char b '\\';
+                Buffer.add_char b c);
+            go ()
+        | Some c ->
+            advance ();
+            Buffer.add_char b c;
+            go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let number () =
+      let start = !pos in
+      let is_num_char c =
+        (c >= '0' && c <= '9')
+        || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+      in
+      while (match peek () with Some c when is_num_char c -> true | _ -> false) do
+        advance ()
+      done;
+      if !pos = start then fail "expected a number";
+      match float_of_string_opt (String.sub text start (!pos - start)) with
+      | Some _ -> ()
+      | None -> fail "malformed number"
+    in
+    (* Returns the top-level keys when the value is an object. *)
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          let keys = ref [] in
+          (if peek () = Some '}' then advance ()
+           else
+             let rec members () =
+               skip_ws ();
+               let k = string_lit () in
+               keys := k :: !keys;
+               skip_ws ();
+               expect ':';
+               ignore (value ());
+               skip_ws ();
+               match peek () with
+               | Some ',' ->
+                   advance ();
+                   members ()
+               | Some '}' -> advance ()
+               | _ -> fail "expected ',' or '}'"
+             in
+             members ());
+          List.rev !keys
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          (if peek () = Some ']' then advance ()
+           else
+             let rec elements () =
+               ignore (value ());
+               skip_ws ();
+               match peek () with
+               | Some ',' ->
+                   advance ();
+                   elements ()
+               | Some ']' -> advance ()
+               | _ -> fail "expected ',' or ']'"
+             in
+             elements ());
+          []
+      | Some '"' ->
+          ignore (string_lit ());
+          []
+      | Some 't' ->
+          literal "true";
+          []
+      | Some 'f' ->
+          literal "false";
+          []
+      | Some 'n' ->
+          literal "null";
+          []
+      | Some _ ->
+          number ();
+          []
+      | None -> fail "unexpected end of input"
+    in
+    let keys = value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing content";
+    keys
+end
+
+(* Required top-level keys per trajectory file; files not listed here
+   only need to be well-formed JSON with a "smoke" key. *)
+let bench_required_keys =
+  [
+    ("BENCH_par.json", [ "smoke"; "domains"; "einsum"; "mcts" ]);
+    ("BENCH_robust.json", [ "smoke"; "guard"; "faults"; "resume"; "checkpoint" ]);
+    ("BENCH_validate.json", [ "smoke"; "budget"; "mutation"; "over_budget"; "overhead" ]);
+    ("BENCH_analysis.json", [ "smoke"; "zoo"; "faults"; "cost"; "lint"; "rewrites" ]);
+    ("BENCH_cancel.json", [ "smoke"; "poll"; "preempt"; "shutdown" ]);
+    ("BENCH_shard.json", [ "smoke"; "determinism"; "corrupt"; "scaling" ]);
+    ("BENCH_cegis.json", [ "smoke"; "hardening"; "replay_cost"; "shard" ]);
+  ]
+
+let bench_check () =
+  section "Trajectory-file validation (bench check)";
+  let files =
+    List.sort compare
+      (List.filter
+         (fun f ->
+           String.length f > 6
+           && String.sub f 0 6 = "BENCH_"
+           && Filename.check_suffix f ".json")
+         (Array.to_list (Sys.readdir ".")))
+  in
+  if files = [] then begin
+    note "no BENCH_*.json files found (run the benches first)";
+    prerr_endline "bench check: nothing to validate";
+    exit 1
+  end;
+  let failed = ref false in
+  List.iter
+    (fun file ->
+      let ic = open_in file in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match Json_check.parse text with
+      | exception Json_check.Bad msg ->
+          failed := true;
+          note "%-24s MALFORMED: %s" file msg
+      | keys ->
+          let required =
+            Option.value ~default:[ "smoke" ] (List.assoc_opt file bench_required_keys)
+          in
+          let missing = List.filter (fun k -> not (List.mem k keys)) required in
+          if missing <> [] then begin
+            failed := true;
+            note "%-24s missing required keys: %s" file (String.concat ", " missing)
+          end
+          else note "%-24s ok (%d keys)" file (List.length keys))
+    files;
+  if !failed then begin
+    prerr_endline "bench check: trajectory-file validation failed";
+    exit 1
+  end
+
 (* --- Driver ------------------------------------------------------------------ *)
 
 let experiments =
@@ -1451,6 +1827,9 @@ let experiments =
     ("cancel-smoke", cancel_bench ~smoke:true);
     ("shard", shard_bench ~smoke:false);
     ("shard-smoke", shard_bench ~smoke:true);
+    ("cegis", cegis_bench ~smoke:false);
+    ("cegis-smoke", cegis_bench ~smoke:true);
+    ("check", bench_check);
   ]
 
 let () =
@@ -1461,7 +1840,8 @@ let () =
         List.filter
           (fun n ->
             n <> "par-smoke" && n <> "robust-smoke" && n <> "validate-smoke"
-            && n <> "analysis-smoke" && n <> "cancel-smoke" && n <> "shard-smoke")
+            && n <> "analysis-smoke" && n <> "cancel-smoke" && n <> "shard-smoke"
+            && n <> "cegis-smoke" && n <> "check")
           (List.map fst experiments)
   in
   let t0 = Unix.gettimeofday () in

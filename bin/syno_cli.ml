@@ -168,8 +168,9 @@ let print_candidates ~top ~save candidates =
    The merged memo lives in per-shard files next to --checkpoint, which
    is why the flag is required here. *)
 let run_sharded ~iterations ~max_prims ~budget_ratio ~top ~save ~seed ~guard ~inject
-    ~checkpoint ~checkpoint_every ~max_bytes ~max_flops ~validate ~static_gate ~root ~shards
-    ~workers ~max_restarts ~heartbeat_timeout ~shard_deadline ~kill_after ~inline =
+    ~checkpoint ~checkpoint_every ~max_bytes ~max_flops ~validate ~static_gate ~corpus
+    ~corpus_readonly ~root ~shards ~workers ~max_restarts ~heartbeat_timeout ~shard_deadline
+    ~kill_after ~inline =
   match checkpoint with
   | None ->
       prerr_endline "search: --shards > 1 needs --checkpoint FILE as the merge base path";
@@ -180,13 +181,13 @@ let run_sharded ~iterations ~max_prims ~budget_ratio ~top ~save ~seed ~guard ~in
         Api.search_conv_operators_sharded_run ~iterations ~max_prims
           ~flops_budget_ratio:budget_ratio ~shards ?workers ?max_restarts ?heartbeat_timeout
           ?shard_deadline ~guard ~inject ~checkpoint_every ?max_bytes ?max_flops ~validate
-          ~static_gate ?kill_after ~inline ~cancel:root ~checkpoint_base:base ~seed
-          ~valuations:Api.default_search_valuations ()
+          ~static_gate ?corpus ~corpus_readonly ?kill_after ~inline ~cancel:root
+          ~checkpoint_base:base ~seed ~valuations:Api.default_search_valuations ()
       with
       | exception Failure msg ->
           prerr_endline msg;
           2
-      | { Api.sh_candidates; sh_report = r } ->
+      | { Api.sh_candidates; sh_report = r; sh_corpus } ->
           let open Search.Coordinator in
           (match Robust.Cancel.status root with
           | Some reason ->
@@ -222,6 +223,17 @@ let run_sharded ~iterations ~max_prims ~budget_ratio ~top ~save ~seed ~guard ~in
           if m.Search.Shard.mr_conflicts > 0 then
             Format.printf "merge: %d signature conflict(s) resolved@."
               m.Search.Shard.mr_conflicts;
+          (match sh_corpus with
+          | Some cm ->
+              Format.printf "corpus: %d counterexamples merged from %d shard corpora@."
+                (List.length cm.Validate.Corpus.mr_entries)
+                (List.length cm.Validate.Corpus.mr_loaded);
+              List.iter
+                (fun (id, err) ->
+                  Format.printf "shard %d corpus quarantined: %s@." id
+                    (Validate.Corpus.string_of_error err))
+                cm.Validate.Corpus.mr_quarantined
+          | None -> ());
           Format.printf "@.";
           print_candidates ~top ~save sh_candidates;
           let failed =
@@ -236,9 +248,24 @@ let run_sharded ~iterations ~max_prims ~budget_ratio ~top ~save ~seed ~guard ~in
 let search_cmd =
   let run iterations max_prims budget_ratio top save seed domains trees retries timeout
       fault_rate fault_seed checkpoint checkpoint_every resume resume_ignore_corrupt max_bytes
-      max_flops validate no_static_gate no_graceful
+      max_flops validate no_static_gate no_graceful (corpus, corpus_readonly, no_corpus)
       (shards, workers, max_restarts, heartbeat_timeout, shard_deadline, kill_after, inline) =
     let domains = resolve_domains domains in
+    (* The corpus defaults on next to the checkpoint whenever an
+       admission gate is configured: the flags exist to move it
+       (--corpus), freeze it (--corpus-readonly), or kill it
+       (--no-corpus). *)
+    let corpus =
+      if no_corpus then None
+      else
+        match corpus with
+        | Some _ as c -> c
+        | None -> (
+            match checkpoint with
+            | Some base when validate || max_bytes <> None || max_flops <> None ->
+                Some (base ^ ".corpus")
+            | _ -> None)
+    in
     let rng = Nd.Rng.create ~seed in
     let guard = Robust.Guard.policy ~retries ?timeout () in
     let inject =
@@ -252,21 +279,21 @@ let search_cmd =
     if shards > 1 then
       run_sharded ~iterations ~max_prims ~budget_ratio ~top ~save ~seed ~guard ~inject
         ~checkpoint ~checkpoint_every ~max_bytes ~max_flops ~validate
-        ~static_gate:(not no_static_gate) ~root ~shards ~workers ~max_restarts
-        ~heartbeat_timeout ~shard_deadline ~kill_after ~inline
+        ~static_gate:(not no_static_gate) ~corpus ~corpus_readonly ~root ~shards ~workers
+        ~max_restarts ~heartbeat_timeout ~shard_deadline ~kill_after ~inline
     else begin
     let t0 = Unix.gettimeofday () in
     match
       Api.search_conv_operators_run ~iterations ~max_prims ~flops_budget_ratio:budget_ratio
         ~domains ?trees ~guard ~inject ?checkpoint ~checkpoint_every ?resume ~on_corrupt
         ?max_bytes
-        ?max_flops ~validate ~static_gate:(not no_static_gate) ~cancel:root ~rng
-        ~valuations:Api.default_search_valuations ()
+        ?max_flops ~validate ~static_gate:(not no_static_gate) ?corpus ~corpus_readonly
+        ~cancel:root ~rng ~valuations:Api.default_search_valuations ()
     with
     | exception Failure msg ->
         prerr_endline msg;
         2
-    | { Api.candidates; failures; admission } ->
+    | { Api.candidates; failures; admission; corpus_stats } ->
     let interrupted = Robust.Cancel.status root in
     (match interrupted with
     | Some reason ->
@@ -294,11 +321,23 @@ let search_cmd =
     (match admission with
     | Some s ->
         Format.printf
-          "admission: %d gated, %d rejected (static %d, budget %d, differential %d), %.2fs \
-           in gate@."
-          s.Validate.Admit.calls s.Validate.Admit.rejected s.Validate.Admit.rejected_static
-          s.Validate.Admit.rejected_budget s.Validate.Admit.rejected_differential
-          s.Validate.Admit.seconds
+          "admission: %d gated, %d rejected (replay %d, static %d, budget %d, differential \
+           %d), %.2fs in gate@."
+          s.Validate.Admit.calls s.Validate.Admit.rejected s.Validate.Admit.rejected_replay
+          s.Validate.Admit.rejected_static s.Validate.Admit.rejected_budget
+          s.Validate.Admit.rejected_differential s.Validate.Admit.seconds;
+        if s.Validate.Admit.distilled > 0 then
+          Format.printf "admission: %d counterexample(s) distilled into the corpus@."
+            s.Validate.Admit.distilled
+    | None -> ());
+    (match corpus_stats with
+    | Some cs ->
+        Format.printf
+          "corpus: %d entries (%d added this run), replay checked %d, matched %d, executed \
+           %d, rejected %d@."
+          cs.Validate.Corpus.st_entries cs.Validate.Corpus.st_added
+          cs.Validate.Corpus.st_checked cs.Validate.Corpus.st_matched
+          cs.Validate.Corpus.st_executed cs.Validate.Corpus.st_rejected
     | None -> ());
     Format.printf "@.";
     print_candidates ~top ~save candidates;
@@ -391,6 +430,28 @@ let search_cmd =
                    immediately instead of stopping at the next iteration boundary and \
                    flushing a final checkpoint.")
   in
+  let corpus_args =
+    let corpus =
+      Arg.(value & opt (some string) None
+           & info [ "corpus" ] ~docv:"FILE"
+               ~doc:"Persist distilled counterexamples to $(docv) and replay them against \
+                     every candidate ahead of the other admission stages (default: \
+                     <checkpoint>.corpus when --checkpoint is set and any admission gate is \
+                     configured).")
+    in
+    let corpus_readonly =
+      Arg.(value & flag
+           & info [ "corpus-readonly" ]
+               ~doc:"Replay the corpus but never add to it (shared or frozen corpora).")
+    in
+    let no_corpus =
+      Arg.(value & flag
+           & info [ "no-corpus" ]
+               ~doc:"Disable the counterexample corpus entirely, including the default \
+                     derived from --checkpoint.")
+    in
+    Term.(const (fun a b c -> (a, b, c)) $ corpus $ corpus_readonly $ no_corpus)
+  in
   let shard_args =
     let shards =
       Arg.(value & opt (bounded_int ~what:"--shards" ~min:1) 1
@@ -452,7 +513,7 @@ let search_cmd =
     Term.(const run $ iterations $ max_prims $ budget $ top $ save $ seed $ domains_arg
           $ trees $ retries $ timeout $ fault_rate $ fault_seed $ checkpoint $ checkpoint_every
           $ resume $ resume_ignore_corrupt $ max_bytes $ max_flops $ validate $ no_static_gate
-          $ no_graceful $ shard_args)
+          $ no_graceful $ corpus_args $ shard_args)
 
 (* --- lint ------------------------------------------------------------------ *)
 

@@ -7,6 +7,7 @@ type kind =
   | Backend_mismatch of string
   | Diverged of string
   | Static_violation of string
+  | Counterexample of string
 
 let kind_label = function
   | Eval_error _ -> "eval_error"
@@ -17,6 +18,7 @@ let kind_label = function
   | Backend_mismatch _ -> "backend_mismatch"
   | Diverged _ -> "diverged"
   | Static_violation _ -> "static_violation"
+  | Counterexample _ -> "counterexample"
 
 (* Failures that are a deterministic function of the candidate itself:
    a candidate over its resource budget, a miscompiling backend, a
@@ -24,7 +26,8 @@ let kind_label = function
    fails identically on every attempt, so retrying only burns the
    evaluation budget. *)
 let permanent = function
-  | Over_budget _ | Backend_mismatch _ | Diverged _ | Static_violation _ -> true
+  | Over_budget _ | Backend_mismatch _ | Diverged _ | Static_violation _ | Counterexample _ ->
+      true
   | Eval_error _ | Non_finite | Timeout | Injected -> false
 
 exception Reject of kind

@@ -29,17 +29,23 @@ type kind =
       (** the static IR verifier ({!Analysis.Verify}) disproved a
           bounds obligation or the lint pass found a structural error —
           rejected before any tensor allocation *)
+  | Counterexample of string
+      (** the candidate failed replay against a persisted
+          counterexample from the corpus (a previously distilled
+          differential or static failure) — the cheapest permanent
+          rejection of all *)
 
 val kind_label : kind -> string
 (** Stable short name ([eval_error], [non_finite], [timeout],
     [injected], [over_budget], [backend_mismatch], [diverged],
-    [static_violation]) for aggregation and serialization. *)
+    [static_violation], [counterexample]) for aggregation and
+    serialization. *)
 
 val permanent : kind -> bool
 (** Whether the failure is a deterministic property of the candidate
-    ([Over_budget], [Backend_mismatch], [Diverged],
-    [Static_violation]): such failures are never retried — every
-    attempt would fail identically. *)
+    ([Over_budget], [Backend_mismatch], [Diverged], [Static_violation],
+    [Counterexample]): such failures are never retried — every attempt
+    would fail identically. *)
 
 exception Reject of kind
 (** Raise from inside an evaluation thunk to classify the failure

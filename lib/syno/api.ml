@@ -134,6 +134,7 @@ type search_run = {
   candidates : candidate list;
   failures : Search.Mcts.failure_stats;
   admission : Validate.Admit.stats option;
+  corpus_stats : Validate.Corpus.stats option;
 }
 
 (* A small shape at which differential validation is cheap: three tiny
@@ -204,25 +205,38 @@ let conv_search_space ~max_prims ~flops_budget_ratio ~valuations =
   in
   (cfg, reward)
 
-let conv_gate ~validate ~validate_config ~validation_valuations ~static_gate ~max_bytes
-    ~max_flops ~valuations =
+let conv_gate ?corpus ~validate ~validate_config ~validation_valuations ~static_gate
+    ~max_bytes ~max_flops ~valuations () =
   let differential = if validate then Some validate_config else None in
   (* The static verifier is free of tensor work, so it defaults on —
      but only bother building a gate when something else asked for
-     admission, keeping gate-less runs gate-less. *)
-  if max_bytes = None && max_flops = None && differential = None then None
+     admission, keeping gate-less runs gate-less.  An attached corpus
+     counts: replay can reject on its own. *)
+  if max_bytes = None && max_flops = None && differential = None && corpus = None then None
   else
     let static = if static_gate then validation_valuations else [] in
     Some
-      (Validate.Admit.create ~static ?max_bytes ?max_flops ~valuations ?differential
+      (Validate.Admit.create ?corpus ~static ?max_bytes ?max_flops ~valuations ?differential
          ~check_valuations:validation_valuations ())
+
+(* Open (or skip) the counterexample corpus for one search process.  A
+   damaged file is quarantined by {!Validate.Corpus.open_file}; surface
+   that on stderr — the run itself must never die for it. *)
+let open_corpus ?(readonly = false) path =
+  let t, report = Validate.Corpus.open_file ~readonly path in
+  (match report.Validate.Corpus.or_quarantined with
+  | Some (qpath, err) ->
+      Printf.eprintf "syno: warning: damaged corpus %s quarantined to %s (%s)\n%!" path qpath
+        (Validate.Corpus.string_of_error err)
+  | None -> ());
+  t
 
 let search_conv_operators_run ?(iterations = 2000) ?(max_prims = 9)
     ?(flops_budget_ratio = 1.0) ?(domains = 1) ?trees ?guard ?inject ?quarantine_reward
     ?checkpoint ?(checkpoint_every = 50) ?resume ?(on_corrupt = `Fail) ?max_bytes ?max_flops
     ?(validate = false) ?(validate_config = Validate.Differential.default_config)
-    ?(validation_valuations = default_validation_valuations) ?(static_gate = true) ?cancel
-    ~rng ~valuations () =
+    ?(validation_valuations = default_validation_valuations) ?(static_gate = true) ?corpus
+    ?(corpus_readonly = false) ?cancel ~rng ~valuations () =
   let cfg, reward = conv_search_space ~max_prims ~flops_budget_ratio ~valuations in
   let sink =
     Option.map (fun path -> Search.Checkpoint.sink ~path ~every:checkpoint_every ()) checkpoint
@@ -232,9 +246,10 @@ let search_conv_operators_run ?(iterations = 2000) ?(max_prims = 9)
      resumed run writes still carries the full history — without this, a
      second kill/resume cycle would silently shrink the memo. *)
   (match sink with Some s -> Search.Checkpoint.preload s resume | None -> ());
+  let corpus_t = Option.map (open_corpus ~readonly:corpus_readonly) corpus in
   let gate =
-    conv_gate ~validate ~validate_config ~validation_valuations ~static_gate ~max_bytes
-      ~max_flops ~valuations
+    conv_gate ?corpus:corpus_t ~validate ~validate_config ~validation_valuations ~static_gate
+      ~max_bytes ~max_flops ~valuations ()
   in
   let admit = Option.map (fun g op -> Validate.Admit.gate g op) gate in
   let run =
@@ -283,20 +298,24 @@ let search_conv_operators_run ?(iterations = 2000) ?(max_prims = 9)
         })
       run.Search.Mcts.results
   in
+  (* Flush so short runs that never hit the add cadence still persist
+     their distilled counterexamples. *)
+  Option.iter Validate.Corpus.flush corpus_t;
   {
     candidates;
     failures = run.Search.Mcts.stats;
     admission = Option.map Validate.Admit.stats gate;
+    corpus_stats = Option.map Validate.Corpus.stats corpus_t;
   }
 
 let search_conv_operators ?iterations ?max_prims ?flops_budget_ratio ?domains ?trees ?guard
     ?inject ?quarantine_reward ?checkpoint ?checkpoint_every ?resume ?on_corrupt ?max_bytes
-    ?max_flops ?validate ?validate_config ?validation_valuations ?static_gate ?cancel ~rng
-    ~valuations () =
+    ?max_flops ?validate ?validate_config ?validation_valuations ?static_gate ?corpus
+    ?corpus_readonly ?cancel ~rng ~valuations () =
   (search_conv_operators_run ?iterations ?max_prims ?flops_budget_ratio ?domains ?trees
      ?guard ?inject ?quarantine_reward ?checkpoint ?checkpoint_every ?resume ?on_corrupt
      ?max_bytes ?max_flops ?validate ?validate_config ?validation_valuations ?static_gate
-     ?cancel ~rng ~valuations ())
+     ?corpus ?corpus_readonly ?cancel ~rng ~valuations ())
     .candidates
 
 (* --- Sharded multi-process search ----------------------------------------- *)
@@ -304,6 +323,7 @@ let search_conv_operators ?iterations ?max_prims ?flops_budget_ratio ?domains ?t
 type sharded_run = {
   sh_candidates : candidate list;
   sh_report : Search.Coordinator.report;
+  sh_corpus : Validate.Corpus.merge_report option;
 }
 
 let search_conv_operators_sharded_run ?(iterations = 2000) ?(max_prims = 9)
@@ -311,8 +331,9 @@ let search_conv_operators_sharded_run ?(iterations = 2000) ?(max_prims = 9)
     ?heartbeat_timeout ?shard_deadline ?grace ?guard ?inject ?quarantine_reward
     ?(checkpoint_every = 1) ?max_bytes ?max_flops ?(validate = false)
     ?(validate_config = Validate.Differential.default_config)
-    ?(validation_valuations = default_validation_valuations) ?(static_gate = true)
-    ?kill_after ?(inline = false) ?cancel ~checkpoint_base ~seed ~valuations () =
+    ?(validation_valuations = default_validation_valuations) ?(static_gate = true) ?corpus
+    ?(corpus_readonly = false) ?kill_after ?(inline = false) ?cancel ~checkpoint_base ~seed
+    ~valuations () =
   let cfg, space_reward = conv_search_space ~max_prims ~flops_budget_ratio ~valuations in
   let shards = max 1 shards in
   let per_shard_iterations = max 1 (iterations / shards) in
@@ -344,9 +365,28 @@ let search_conv_operators_sharded_run ?(iterations = 2000) ?(max_prims = 9)
        coordinator-side merge separately quarantines damaged files. *)
     let resume = load_resume ~on_corrupt:`Restart a.Search.Shard.path in
     Search.Checkpoint.preload sink resume;
+    (* Each shard owns a private corpus file (resumed across restarts,
+       merged by the parent afterwards, exactly like checkpoints); a
+       readonly corpus is shared verbatim since nobody writes it.
+       Pre-existing main-corpus entries seed every shard so the fleet
+       starts as hard as the last run ended. *)
+    let corpus_t =
+      match corpus with
+      | None -> None
+      | Some base when corpus_readonly -> Some (open_corpus ~readonly:true base)
+      | Some base ->
+          let t =
+            open_corpus
+              (Validate.Corpus.shard_path ~base ~shard_id:a.Search.Shard.shard_id)
+          in
+          (match Validate.Corpus.load_result ~path:base with
+          | Ok entries -> Validate.Corpus.preload t entries
+          | Error _ -> ());
+          Some t
+    in
     let gate =
-      conv_gate ~validate ~validate_config ~validation_valuations ~static_gate ~max_bytes
-        ~max_flops ~valuations
+      conv_gate ?corpus:corpus_t ~validate ~validate_config ~validation_valuations
+        ~static_gate ~max_bytes ~max_flops ~valuations ()
     in
     let admit = Option.map (fun g op -> Validate.Admit.gate g op) gate in
     let evals = ref 0 in
@@ -365,10 +405,27 @@ let search_conv_operators_sharded_run ?(iterations = 2000) ?(max_prims = 9)
         ~checkpoint:sink ~resume ?admit ~cancel:ctx.Search.Coordinator.cancel
         ~root_filter:(Search.Shard.root_filter a) cfg ~reward ~rng ()
     in
-    ()
+    Option.iter Validate.Corpus.flush corpus_t
   in
   let runner = if inline then Search.Coordinator.run_inline else Search.Coordinator.run in
   let report = runner ~config:coord_config ?cancel ~base:checkpoint_base ~seed ~body () in
+  (* Merge the per-shard corpora into the main corpus file: dedup by
+     entry identity, damaged shard files quarantined — the same recipe
+     as the checkpoint merge.  Pre-existing main entries survive. *)
+  let corpus_merge =
+    match corpus with
+    | Some base when not corpus_readonly ->
+        let mr = Validate.Corpus.load_and_merge ~base ~shards in
+        let acc = Validate.Corpus.in_memory () in
+        (match Validate.Corpus.load_result ~path:base with
+        | Ok entries -> Validate.Corpus.preload acc entries
+        | Error _ -> ());
+        ignore (Validate.Corpus.merge_into acc mr.Validate.Corpus.mr_entries : int);
+        let merged = Validate.Corpus.entries acc in
+        Validate.Corpus.save ~path:base merged;
+        Some { mr with Validate.Corpus.mr_entries = merged }
+    | Some _ | None -> None
+  in
   let v0 = List.hd valuations in
   let candidates =
     List.map
@@ -383,16 +440,16 @@ let search_conv_operators_sharded_run ?(iterations = 2000) ?(max_prims = 9)
         })
       (Search.Shard.rank report.Search.Coordinator.rp_merge.Search.Shard.mr_entries)
   in
-  { sh_candidates = candidates; sh_report = report }
+  { sh_candidates = candidates; sh_report = report; sh_corpus = corpus_merge }
 
 let search_conv_operators_sharded ?iterations ?max_prims ?flops_budget_ratio ?shards
     ?workers ?max_restarts ?backoff ?heartbeat_timeout ?shard_deadline ?grace ?guard ?inject
     ?quarantine_reward ?checkpoint_every ?max_bytes ?max_flops ?validate ?validate_config
-    ?validation_valuations ?static_gate ?kill_after ?inline ?cancel ~checkpoint_base ~seed
-    ~valuations () =
+    ?validation_valuations ?static_gate ?corpus ?corpus_readonly ?kill_after ?inline ?cancel
+    ~checkpoint_base ~seed ~valuations () =
   (search_conv_operators_sharded_run ?iterations ?max_prims ?flops_budget_ratio ?shards
      ?workers ?max_restarts ?backoff ?heartbeat_timeout ?shard_deadline ?grace ?guard
      ?inject ?quarantine_reward ?checkpoint_every ?max_bytes ?max_flops ?validate
-     ?validate_config ?validation_valuations ?static_gate ?kill_after ?inline ?cancel
-     ~checkpoint_base ~seed ~valuations ())
+     ?validate_config ?validation_valuations ?static_gate ?corpus ?corpus_readonly
+     ?kill_after ?inline ?cancel ~checkpoint_base ~seed ~valuations ())
     .sh_candidates

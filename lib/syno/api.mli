@@ -68,6 +68,9 @@ type search_run = {
   failures : Search.Mcts.failure_stats;
   admission : Validate.Admit.stats option;
       (** admission-gate statistics; [None] when no gate was configured *)
+  corpus_stats : Validate.Corpus.stats option;
+      (** counterexample-corpus statistics; [None] when no corpus was
+          attached *)
 }
 
 val default_validation_valuations : Shape.Valuation.t list
@@ -94,6 +97,8 @@ val search_conv_operators_run :
   ?validate_config:Validate.Differential.config ->
   ?validation_valuations:Shape.Valuation.t list ->
   ?static_gate:bool ->
+  ?corpus:string ->
+  ?corpus_readonly:bool ->
   ?cancel:Robust.Cancel.t ->
   rng:Nd.Rng.t ->
   valuations:Shape.Valuation.t list ->
@@ -143,6 +148,15 @@ val search_conv_operators_run :
     Admission rejections appear in [failures.failed_attempts]; gate
     cost and per-stage rejection counts in [admission].
 
+    [corpus] names a persistent counterexample corpus
+    ({!Validate.Corpus}): candidates are replayed against its recorded
+    failures {e before} any other stage (rejections surface as
+    [counterexample]), and every static/differential failure is
+    distilled back into it — the CEGIS loop.  A missing file is an
+    empty corpus; a damaged one is quarantined aside with a warning,
+    never fatal.  [corpus_readonly] replays without recording new
+    entries.  Replay/distillation counts are in [corpus_stats].
+
     [cancel] is the shutdown token (the CLI's signal handlers trip it):
     the search stops at the next iteration boundary and {e returns} the
     candidates found so far — partial top-k plus stats — after flushing
@@ -164,6 +178,9 @@ type sharded_run = {
           {!search_conv_operators_run} output *)
   sh_report : Search.Coordinator.report;
       (** per-shard statuses, restart counts, merge provenance *)
+  sh_corpus : Validate.Corpus.merge_report option;
+      (** the per-shard corpus merge (entry dedup, damaged-file
+          quarantine); [None] without a writable corpus *)
 }
 
 val search_conv_operators_sharded_run :
@@ -187,6 +204,8 @@ val search_conv_operators_sharded_run :
   ?validate_config:Validate.Differential.config ->
   ?validation_valuations:Shape.Valuation.t list ->
   ?static_gate:bool ->
+  ?corpus:string ->
+  ?corpus_readonly:bool ->
   ?kill_after:int ->
   ?inline:bool ->
   ?cancel:Robust.Cancel.t ->
@@ -250,6 +269,8 @@ val search_conv_operators_sharded :
   ?validate_config:Validate.Differential.config ->
   ?validation_valuations:Shape.Valuation.t list ->
   ?static_gate:bool ->
+  ?corpus:string ->
+  ?corpus_readonly:bool ->
   ?kill_after:int ->
   ?inline:bool ->
   ?cancel:Robust.Cancel.t ->
@@ -279,6 +300,8 @@ val search_conv_operators :
   ?validate_config:Validate.Differential.config ->
   ?validation_valuations:Shape.Valuation.t list ->
   ?static_gate:bool ->
+  ?corpus:string ->
+  ?corpus_readonly:bool ->
   ?cancel:Robust.Cancel.t ->
   rng:Nd.Rng.t ->
   valuations:Shape.Valuation.t list ->

@@ -5,13 +5,20 @@ module Guard = Robust.Guard
 type stats = {
   calls : int;
   rejected : int;
+  rejected_replay : int;
   rejected_static : int;
   rejected_budget : int;
   rejected_differential : int;
+  distilled : int;
   seconds : float;
+  replay_seconds : float;
+  static_seconds : float;
+  budget_seconds : float;
+  differential_seconds : float;
 }
 
 type t = {
+  corpus : Corpus.t option;
   static_valuations : Valuation.t list;
   max_bytes : int option;
   max_flops : int option;
@@ -20,15 +27,22 @@ type t = {
   check_valuations : Valuation.t list;
   mutex : Mutex.t;
   mutable calls : int;
+  mutable rejected_replay : int;
   mutable rejected_static : int;
   mutable rejected_budget : int;
   mutable rejected_differential : int;
+  mutable distilled : int;
   mutable seconds : float;
+  mutable replay_seconds : float;
+  mutable static_seconds : float;
+  mutable budget_seconds : float;
+  mutable differential_seconds : float;
 }
 
-let create ?(static = []) ?max_bytes ?max_flops ?(valuations = []) ?differential
+let create ?corpus ?(static = []) ?max_bytes ?max_flops ?(valuations = []) ?differential
     ?check_valuations () =
   {
+    corpus;
     static_valuations = static;
     max_bytes;
     max_flops;
@@ -37,49 +51,110 @@ let create ?(static = []) ?max_bytes ?max_flops ?(valuations = []) ?differential
     check_valuations = Option.value check_valuations ~default:valuations;
     mutex = Mutex.create ();
     calls = 0;
+    rejected_replay = 0;
     rejected_static = 0;
     rejected_budget = 0;
     rejected_differential = 0;
+    distilled = 0;
     seconds = 0.0;
+    replay_seconds = 0.0;
+    static_seconds = 0.0;
+    budget_seconds = 0.0;
+    differential_seconds = 0.0;
   }
 
+let corpus t = t.corpus
+
 let active t =
-  t.static_valuations <> []
+  t.corpus <> None || t.static_valuations <> []
   || ((t.max_bytes <> None || t.max_flops <> None) && t.budget_valuations <> [])
   || (t.differential <> None && t.check_valuations <> [])
 
-(* Stage order is load-bearing: static verification allocates nothing,
-   budgets are pure arithmetic, and only then does differential
-   validation compile and run the candidate on real tensors. *)
-let decide t op =
-  match
-    if t.static_valuations = [] then Ok ()
-    else Analysis.Verify.admit op t.static_valuations
-  with
-  | Error _ as e -> (e, `Static)
-  | Ok () -> (
-      match
-        Budget.admit ?max_bytes:t.max_bytes ?max_flops:t.max_flops op t.budget_valuations
-      with
-      | Error _ as e -> (e, `Budget)
-      | Ok () -> (
-          match t.differential with
-          | None -> (Ok (), `Differential)
-          | Some config ->
-              (Differential.admit ~config op t.check_valuations, `Differential)))
+(* The static stage inlined (rather than [Analysis.Verify.admit]) so a
+   violation surfaces with the valuation it was proven at — exactly
+   what a distilled counterexample must record. *)
+let static_check t op =
+  let rec go = function
+    | [] -> Ok ()
+    | v :: rest -> (
+        match Analysis.Verify.program_opt op v with
+        | None | Some Analysis.Verify.Proved | Some (Analysis.Verify.Padded _) -> go rest
+        | Some (Analysis.Verify.Violation d) -> Error (v, d))
+  in
+  go t.static_valuations
 
+(* Stage order is load-bearing: corpus replay touches a tensor only
+   for family siblings (and nothing at all on the exact-signature fast
+   path), static verification allocates nothing, budgets are pure
+   arithmetic, and only then does differential validation compile and
+   run the candidate on real tensors.  Failures the two expensive
+   provers find are distilled back into the corpus, so the cheapest
+   stage hardens as the search runs. *)
 let gate t op =
   let t0 = Unix.gettimeofday () in
-  let result, stage = decide t op in
+  let replay_dt = ref 0.0 in
+  let static_dt = ref 0.0 in
+  let budget_dt = ref 0.0 in
+  let diff_dt = ref 0.0 in
+  let distilled = ref 0 in
+  let timed acc f =
+    let s = Unix.gettimeofday () in
+    let r = f () in
+    acc := !acc +. (Unix.gettimeofday () -. s);
+    r
+  in
+  let distill entry =
+    match t.corpus with
+    | Some c -> if Corpus.add c entry then incr distilled
+    | None -> ()
+  in
+  let result, stage =
+    match
+      timed replay_dt (fun () ->
+          match t.corpus with None -> Ok () | Some c -> Corpus.replay c op)
+    with
+    | Error _ as e -> (e, `Replay)
+    | Ok () -> (
+        match timed static_dt (fun () -> static_check t op) with
+        | Error (v, d) ->
+            distill (Corpus.of_static op v d);
+            ( Error (Guard.Static_violation (Analysis.Verify.diagnostic_to_string d)),
+              `Static )
+        | Ok () -> (
+            match
+              timed budget_dt (fun () ->
+                  Budget.admit ?max_bytes:t.max_bytes ?max_flops:t.max_flops op
+                    t.budget_valuations)
+            with
+            | Error _ as e -> (e, `Budget)
+            | Ok () -> (
+                match t.differential with
+                | None -> (Ok (), `Differential)
+                | Some config -> (
+                    match
+                      timed diff_dt (fun () ->
+                          Differential.check_full ~config op t.check_valuations)
+                    with
+                    | Ok _ -> (Ok (), `Differential)
+                    | Error f ->
+                        distill (Corpus.of_differential ~tolerance:config.tolerance op f);
+                        (Error f.Differential.fl_kind, `Differential)))))
+  in
   let dt = Unix.gettimeofday () -. t0 in
   Mutex.lock t.mutex;
   t.calls <- t.calls + 1;
   (match (result, stage) with
   | Ok (), _ -> ()
+  | Error _, `Replay -> t.rejected_replay <- t.rejected_replay + 1
   | Error _, `Static -> t.rejected_static <- t.rejected_static + 1
   | Error _, `Budget -> t.rejected_budget <- t.rejected_budget + 1
   | Error _, `Differential -> t.rejected_differential <- t.rejected_differential + 1);
+  t.distilled <- t.distilled + !distilled;
   t.seconds <- t.seconds +. dt;
+  t.replay_seconds <- t.replay_seconds +. !replay_dt;
+  t.static_seconds <- t.static_seconds +. !static_dt;
+  t.budget_seconds <- t.budget_seconds +. !budget_dt;
+  t.differential_seconds <- t.differential_seconds +. !diff_dt;
   Mutex.unlock t.mutex;
   result
 
@@ -88,11 +163,18 @@ let stats t =
   let s =
     {
       calls = t.calls;
-      rejected = t.rejected_static + t.rejected_budget + t.rejected_differential;
+      rejected =
+        t.rejected_replay + t.rejected_static + t.rejected_budget + t.rejected_differential;
+      rejected_replay = t.rejected_replay;
       rejected_static = t.rejected_static;
       rejected_budget = t.rejected_budget;
       rejected_differential = t.rejected_differential;
+      distilled = t.distilled;
       seconds = t.seconds;
+      replay_seconds = t.replay_seconds;
+      static_seconds = t.static_seconds;
+      budget_seconds = t.budget_seconds;
+      differential_seconds = t.differential_seconds;
     }
   in
   Mutex.unlock t.mutex;

@@ -20,6 +20,10 @@
 type backend = Reference | Einsum | Staged
 
 val backend_label : backend -> string
+
+val backend_of_label : string -> backend option
+(** Inverse of {!backend_label} (used by the corpus parser). *)
+
 val backends : backend list
 
 type fault_mode =
@@ -59,24 +63,65 @@ val default_config : config
 val config : ?tolerance:float -> ?seed:int -> ?fault:fault -> unit -> config
 (** Raises [Invalid_argument] unless [tolerance > 0]. *)
 
+val derive_seed : seed:int -> string -> int
+(** The RNG seed inputs/weights are drawn from for one operator
+    signature: a pure function of [(seed, signature)].  Distilled
+    counterexamples record this derived value so {!replay_pair} can
+    regenerate the exact failing tensors. *)
+
+type pair_stats = {
+  ps_backend : backend;  (** the backend compared against the reference *)
+  ps_max_abs_err : float;  (** worst [|a - r|] over the pair *)
+  ps_max_rel_err : float;  (** worst [|a - r| / (1 + |r|)] *)
+  ps_first_fail : (int * float * float) option;
+      (** first element beyond tolerance as [(flat index, reference,
+          got)] — always [None] in a successful report *)
+}
+
 type report = {
   rep_valuations : int;  (** valuations cross-checked *)
   rep_elements : int;  (** output elements compared (per backend pair) *)
   rep_max_rel_err : float;  (** worst observed [|a - r| / (1 + |r|)] *)
+  rep_pairs : pair_stats list;
+      (** per-backend-pair worst-case statistics, folded over all
+          checked valuations *)
 }
+
+type failure = {
+  fl_kind : Robust.Guard.kind;  (** what {!check} would have returned *)
+  fl_valuation : Shape.Valuation.t;  (** the valuation the failure occurred at *)
+  fl_seed : int;  (** the derived RNG seed the failing tensors came from *)
+  fl_backend : backend option;
+      (** the diverging backend; [None] when the failure predates any
+          backend comparison *)
+  fl_index : int option;  (** first failing flat output index *)
+  fl_expected : float option;  (** reference value at that index *)
+  fl_got : float option;  (** diverging value at that index *)
+  fl_abs_err : float;  (** worst absolute error over the failing pair *)
+}
+(** Everything a distilled counterexample needs to re-create the exact
+    failing execution: shape of the failure plus the concrete seeded
+    input it happened on. *)
+
+val check_full :
+  ?config:config ->
+  Pgraph.Graph.operator ->
+  Shape.Valuation.t list ->
+  (report, failure) result
+(** Cross-check the operator under every valuation.  Valuations where
+    the operator is not instantiable are skipped (not counted in
+    [rep_valuations]) — the gate must never quarantine a candidate the
+    un-validated search would have scored.  Failure kinds:
+    [Backend_mismatch] for disagreement, shape drift, or non-finite
+    outputs on finite inputs; [Eval_error] when a backend fails to run
+    at a valuation where the operator does instantiate. *)
 
 val check :
   ?config:config ->
   Pgraph.Graph.operator ->
   Shape.Valuation.t list ->
   (report, Robust.Guard.kind) result
-(** Cross-check the operator under every valuation.  Valuations where
-    the operator is not instantiable are skipped (not counted in
-    [rep_valuations]) — the gate must never quarantine a candidate the
-    un-validated search would have scored.  Failures: [Backend_mismatch]
-    for disagreement, shape drift, or non-finite outputs on finite
-    inputs; [Eval_error] when a backend fails to run at a valuation
-    where the operator does instantiate. *)
+(** {!check_full} with the failure collapsed to its kind. *)
 
 val admit :
   ?config:config ->
@@ -84,3 +129,20 @@ val admit :
   Shape.Valuation.t list ->
   (unit, Robust.Guard.kind) result
 (** {!check} with the report dropped — the admission-gate shape. *)
+
+val replay_pair :
+  tolerance:float ->
+  seed:int ->
+  backend:backend ->
+  Pgraph.Graph.operator ->
+  Shape.Valuation.t ->
+  (unit, Robust.Guard.kind) result
+(** Re-execute one recorded counterexample against a candidate: the
+    reference backend and the single recorded [backend] are run on the
+    exact tensors regenerated from the {e derived} [seed]
+    ({!derive_seed} output, used verbatim) at the recorded valuation
+    and compared under [tolerance] — roughly half the tensor work of a
+    full three-backend cross-check at one valuation.  [backend =
+    Reference] checks only reference finiteness (the recorded failure
+    was on the reference side).  A candidate that is not instantiable
+    at the valuation passes vacuously. *)

@@ -72,6 +72,84 @@ let test_exit_codes () =
       Alcotest.(check bool) "error names the file" true
         (Astring.String.is_infix ~affix:"bad.ckpt" err))
 
+(* Every sharding flag parses through a validated converter: a
+   non-positive count, a negative restart budget, or a non-finite
+   timeout must die at parse time with a one-line error naming the flag
+   and the constraint — never reach the coordinator as nonsense. *)
+let test_sharding_flag_validation () =
+  let rejects flag value constraint_hint =
+    let code, _, err = run_cli [ "search"; "--iterations"; "1"; flag ^ "=" ^ value ] in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s=%s exits non-zero" flag value)
+      true (code <> 0);
+    Alcotest.(check bool)
+      (Printf.sprintf "%s=%s error names the flag" flag value)
+      true
+      (Astring.String.is_infix ~affix:flag err);
+    Alcotest.(check bool)
+      (Printf.sprintf "%s=%s error states the constraint" flag value)
+      true
+      (Astring.String.is_infix ~affix:constraint_hint err)
+  in
+  rejects "--shards" "0" "must be >= 1";
+  rejects "--shards" "junk" "expected an integer";
+  rejects "--shard-workers" "0" "must be >= 1";
+  rejects "--max-restarts" "-1" "must be >= 0";
+  rejects "--heartbeat-timeout" "0" "must be > 0";
+  rejects "--heartbeat-timeout" "nan" "must be > 0";
+  rejects "--heartbeat-timeout" "junk" "expected a number";
+  rejects "--shard-deadline" "-2.5" "must be > 0"
+
+(* --corpus end to end.  Distillation needs a real differential
+   failure, which the CLI cannot fabricate, so the corpus is seeded by
+   an in-process faulted search configured exactly like the CLI run
+   (same seed, domains, guard); the CLI then re-encounters the same
+   family and must reject it by replay — the exact per-stage counts
+   appear in the admission and corpus stats lines — without adding
+   anything new to the file. *)
+let test_corpus_flag_roundtrip () =
+  with_temp_dir (fun dir ->
+      let corpus = Filename.concat dir "bugs.corpus" in
+      let fault =
+        Validate.Differential.fault ~seed:3 ~rate:0.5 Validate.Differential.Einsum
+      in
+      let seeded =
+        Syno.Api.search_conv_operators_run ~iterations:150 ~max_prims:6 ~domains:1
+          ~guard:(Robust.Guard.policy ~retries:2 ()) ~validate:true
+          ~validate_config:(Validate.Differential.config ~fault ())
+          ~corpus ~rng:(Nd.Rng.create ~seed:2024)
+          ~valuations:Syno.Api.default_search_valuations ()
+      in
+      let d =
+        match seeded.Syno.Api.admission with
+        | Some s -> s.Validate.Admit.rejected_differential
+        | None -> 0
+      in
+      Alcotest.(check bool) "seeding run distilled counterexamples" true (d > 0);
+      let n =
+        match Validate.Corpus.load_result ~path:corpus with
+        | Ok entries -> List.length entries
+        | Error e -> Alcotest.fail (Validate.Corpus.string_of_error e)
+      in
+      let code, out, err =
+        run_cli
+          [ "search"; "--iterations"; "150"; "--max-prims"; "6"; "--seed"; "2024";
+            "--validate"; "--corpus"; corpus; "--top"; "5" ]
+      in
+      Alcotest.(check int) ("corpus CLI run exits 0: " ^ err) 0 code;
+      Alcotest.(check bool)
+        (Printf.sprintf "admission line reports replay %d" d)
+        true
+        (Astring.String.is_infix ~affix:(Printf.sprintf "replay %d," d) out);
+      Alcotest.(check bool)
+        (Printf.sprintf "corpus line reports %d replay rejections" d)
+        true
+        (Astring.String.is_infix ~affix:(Printf.sprintf "rejected %d" d) out);
+      match Validate.Corpus.load_result ~path:corpus with
+      | Ok entries2 ->
+          Alcotest.(check int) "re-encounter adds no new entries" n (List.length entries2)
+      | Error e -> Alcotest.fail (Validate.Corpus.string_of_error e))
+
 (* The "#k reward ... <signature>" result lines, the part of the output
    that must replay identically. *)
 let result_lines out =
@@ -144,5 +222,15 @@ let () =
           Alcotest.test_case "0 / 1 / 2" `Quick test_exit_codes;
           Alcotest.test_case "SIGINT: flush, 130, resume replays" `Quick
             test_sigint_graceful_shutdown;
+        ] );
+      ( "flag-validation",
+        [
+          Alcotest.test_case "sharding flags reject nonsense at parse time" `Quick
+            test_sharding_flag_validation;
+        ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "--corpus: replay on re-encounter, no re-adds" `Quick
+            test_corpus_flag_roundtrip;
         ] );
     ]
