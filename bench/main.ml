@@ -1610,6 +1610,353 @@ let cegis_bench ~smoke () =
     exit 1
   end
 
+(* --- serve: the operator daemon under load ------------------------------------- *)
+
+(* The syno-as-a-service contract (lib/serve), measured end to end over
+   the real CLI binary and Unix-domain socket: cached hits must
+   amortize the lower+verify+validate pipeline by >= 10x; a 2x
+   open-loop overload must be shed with typed [overloaded] responses
+   while accepted requests hold their deadlines and queue gauges stay
+   within their bounds; a SIGKILLed daemon must restart warm from its
+   persisted cache; a poisoned operator must produce a typed error,
+   then a replay rejection on re-encounter, with the daemon still
+   serving; and SIGTERM must drain to exit 0 with every in-flight
+   request answered before EOF.  Emits BENCH_serve.json; the smoke
+   variant runs inside `dune runtest` via the serve-smoke alias. *)
+
+let serve_bench ~smoke () =
+  section (Printf.sprintf "Operator daemon (Serve)%s" (if smoke then " [smoke]" else ""));
+  let module P = Serve.Protocol in
+  let module C = Serve.Client in
+  (* The daemon is the *real* binary, spawned fork+exec (never a bare
+     fork: this bench process may hold live domains from earlier
+     experiments, which do not survive a fork). *)
+  let cli =
+    Filename.concat
+      (Filename.concat (Filename.dirname Sys.executable_name) Filename.parent_dir_name)
+      (Filename.concat "bin" "syno_cli.exe")
+  in
+  let dir = Filename.temp_file "syno_serve" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let sock = Filename.concat dir "sock" in
+  let cache_path = Filename.concat dir "cache.snap" in
+  let corpus_path = Filename.concat dir "bugs.corpus" in
+  let workers = 2 in
+  let max_depth = 8 in
+  let max_inflight_bytes = 4 * 1024 * 1024 in
+  (* Any daemon we spawn is tracked until reaped, and force-killed on
+     every exit path — a gate failure must not leave an orphan serving
+     on a stale temp socket. *)
+  let live = ref [] in
+  let spawn_daemon () =
+    let args =
+      [ cli; "serve"; "--socket"; sock; "--cache"; cache_path; "--cache-every"; "1";
+        "--corpus"; corpus_path; "--max-queue"; string_of_int max_depth; "--workers";
+        string_of_int workers; "--drain-grace"; "30" ]
+    in
+    let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+    let pid = Unix.create_process cli (Array.of_list args) Unix.stdin devnull Unix.stderr in
+    Unix.close devnull;
+    live := pid :: !live;
+    pid
+  in
+  let reaped pid = live := List.filter (fun p -> p <> pid) !live in
+  let kill_live () =
+    List.iter
+      (fun p ->
+        (try Unix.kill p Sys.sigkill with Unix.Unix_error _ -> ());
+        try ignore (Unix.waitpid [] p) with Unix.Unix_error _ -> ())
+      !live;
+    live := []
+  in
+  let fail fmt = Printf.ksprintf (fun m -> failwith ("serve bench: " ^ m)) fmt in
+  let must = function Ok v -> v | Error e -> fail "%s" e in
+  let connect () = must (C.connect ~timeout:10.0 sock) in
+  let ids = ref 0 in
+  let request ?(params = []) verb =
+    incr ids;
+    { P.rq_id = Printf.sprintf "r%d" !ids; rq_verb = verb; rq_params = params }
+  in
+  let call c ?params verb = must (C.call ~timeout:60.0 c (request ?params verb)) in
+  let ok_param resp key =
+    match resp with
+    | P.Resp_ok ps -> List.assoc_opt key ps
+    | P.Resp_error { err_kind; err_detail; _ } ->
+        fail "unexpected error %s (%s)" err_kind err_detail
+  in
+  let err_kind = function P.Resp_error { err_kind; _ } -> err_kind | P.Resp_ok _ -> "ok" in
+  Fun.protect ~finally:kill_live @@ fun () ->
+  (* --- Phase 1: cold vs cached zoo pass -------------------------------- *)
+  let pid_a = spawn_daemon () in
+  let conn = ref (connect ()) in
+  let zoo_ops =
+    let names = List.map (fun e -> e.Zoo.name) Zoo.conv_like in
+    if smoke then List.filteri (fun i _ -> i < 3) names else names
+  in
+  let micros_of resp =
+    match ok_param resp "micros" with
+    | Some m -> float_of_string m
+    | None -> fail "response without micros"
+  in
+  (* Distinct zoo names can canonicalize to the same operator signature
+     (the cache key), so a later entry may warm-hit on the cold pass;
+     measure the speedup only over the genuinely-cold set. *)
+  let zoo_ops, cold_micros =
+    List.fold_left
+      (fun (cold_ops, acc) op ->
+        let resp = call !conn ~params:[ ("op", op) ] P.Eval in
+        match ok_param resp "cached" with
+        | Some "0" -> (op :: cold_ops, acc +. micros_of resp)
+        | _ -> (cold_ops, acc))
+      ([], 0.0) zoo_ops
+    |> fun (ops, acc) -> (List.rev ops, acc)
+  in
+  let warm_micros =
+    List.fold_left
+      (fun acc op ->
+        let resp = call !conn ~params:[ ("op", op) ] P.Eval in
+        (match ok_param resp "cached" with
+        | Some "1" -> ()
+        | _ -> fail "warm pass: %s was not a cache hit" op);
+        acc +. micros_of resp)
+      0.0 zoo_ops
+  in
+  let speedup = cold_micros /. Float.max 1.0 warm_micros in
+  let cache_gate = speedup >= 10.0 in
+  note "cache: %d operators, cold %.0fus, warm %.0fus, speedup %.0fx (gate >= 10x: %s)"
+    (List.length zoo_ops) cold_micros warm_micros speedup (if cache_gate then "ok" else "FAIL");
+  (* --- Phase 2: 2x open-loop overload ----------------------------------- *)
+  (* Size the offered rate from the measured cold service time: 2x the
+     daemon's worker capacity, uncacheable requests only (cache=0), so
+     every accepted request costs the full pipeline. *)
+  let service =
+    let reps = 3 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (call !conn ~params:[ ("op", "conv2d"); ("cache", "0") ] P.Eval)
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps
+  in
+  let duration = if smoke then 1.5 else 5.0 in
+  let rate = 2.0 *. float_of_int workers /. Float.max 1e-4 service in
+  let total = max 30 (min (if smoke then 150 else 600) (int_of_float (rate *. duration))) in
+  let interval = 1.0 /. rate in
+  let deadline = 2.0 in
+  let statc = connect () in
+  let send_times : (string, float) Hashtbl.t = Hashtbl.create 256 in
+  let ok_lat = ref [] in
+  let shed = ref 0 and timeouts = ref 0 and others = ref 0 and received = ref 0 in
+  let max_depth_seen = ref 0 and max_bytes_seen = ref 0 in
+  let record line =
+    incr received;
+    match P.parse_response line with
+    | Error e -> fail "bad response: %s" e
+    | Ok (id, resp) -> (
+        match resp with
+        | P.Resp_ok _ -> (
+            match Hashtbl.find_opt send_times id with
+            | Some t -> ok_lat := (Unix.gettimeofday () -. t) :: !ok_lat
+            | None -> ())
+        | P.Resp_error { err_kind = "overloaded"; _ } -> incr shed
+        | P.Resp_error { err_kind = "timeout"; _ } -> incr timeouts
+        | P.Resp_error _ -> incr others)
+  in
+  let poll_status () =
+    let resp = call statc P.Status in
+    let gauge key cell =
+      match ok_param resp key with
+      | Some v -> cell := max !cell (int_of_string v)
+      | None -> ()
+    in
+    gauge "queue_depth" max_depth_seen;
+    gauge "inflight_bytes" max_bytes_seen
+  in
+  let sent = ref 0 in
+  let start = Unix.gettimeofday () in
+  let next_send = ref start and next_status = ref start in
+  while !sent < total do
+    let now = Unix.gettimeofday () in
+    if now >= !next_status then begin
+      next_status := now +. 0.25;
+      poll_status ()
+    end;
+    if now >= !next_send then begin
+      let id = Printf.sprintf "o%d" !sent in
+      let rq =
+        {
+          P.rq_id = id;
+          rq_verb = P.Eval;
+          rq_params =
+            [ ("op", "conv2d"); ("cache", "0"); ("deadline", Printf.sprintf "%g" deadline) ];
+        }
+      in
+      Hashtbl.replace send_times id now;
+      must (C.send_line !conn (P.render_request rq));
+      incr sent;
+      next_send := !next_send +. interval
+    end
+    else
+      match C.recv_line ~timeout:(Float.max 0.0005 (Float.min 0.002 (!next_send -. now))) !conn with
+      | Ok line -> record line
+      | Error "timeout" -> ()
+      | Error e -> fail "overload recv: %s" e
+  done;
+  let tail_deadline = Unix.gettimeofday () +. deadline +. 20.0 in
+  while !received < total && Unix.gettimeofday () < tail_deadline do
+    match C.recv_line ~timeout:0.2 !conn with
+    | Ok line -> record line
+    | Error "timeout" -> ()
+    | Error e -> fail "overload tail recv: %s" e
+  done;
+  poll_status ();
+  let lats = Array.of_list !ok_lat in
+  Array.sort compare lats;
+  let pct p =
+    if Array.length lats = 0 then 0.0
+    else lats.(min (Array.length lats - 1) (int_of_float (p *. float_of_int (Array.length lats - 1))))
+  in
+  let p50 = pct 0.5 and p99 = pct 0.99 in
+  let ok_count = Array.length lats in
+  let all_answered = !received = total in
+  let overload_gate =
+    !shed > 0 && ok_count > 0 && all_answered
+    && p99 <= deadline +. 1.0
+    && !max_depth_seen <= max_depth
+    && !max_bytes_seen <= max_inflight_bytes
+  in
+  note
+    "overload: offered %d at %.0f req/s (2x capacity), ok %d, shed %d, timeout %d, other %d"
+    total rate ok_count !shed !timeouts !others;
+  note "overload: ok p50 %.3fs, p99 %.3fs (deadline %.1fs), depth<=%d, bytes<=%d (gate: %s)"
+    p50 p99 deadline !max_depth_seen !max_bytes_seen
+    (if overload_gate then "ok" else "FAIL");
+  (* --- Phase 3: SIGKILL mid-load, warm restart --------------------------- *)
+  for i = 1 to 8 do
+    let rq =
+      {
+        P.rq_id = Printf.sprintf "k%d" i;
+        rq_verb = P.Eval;
+        rq_params = [ ("op", "conv2d"); ("cache", "0") ];
+      }
+    in
+    must (C.send_line !conn (P.render_request rq))
+  done;
+  Unix.sleepf 0.1;
+  Unix.kill pid_a Sys.sigkill;
+  (match Unix.waitpid [] pid_a with
+  | _, Unix.WSIGNALED s when s = Sys.sigkill -> reaped pid_a
+  | _, _ -> fail "daemon did not die of SIGKILL");
+  C.close !conn;
+  C.close statc;
+  let t_restart = Unix.gettimeofday () in
+  let pid_b = spawn_daemon () in
+  conn := connect ();
+  let first_pass_hits =
+    List.fold_left
+      (fun acc op ->
+        let resp = call !conn ~params:[ ("op", op) ] P.Eval in
+        match ok_param resp "cached" with Some "1" -> acc + 1 | _ -> acc)
+      0 zoo_ops
+  in
+  let recovery = Unix.gettimeofday () -. t_restart in
+  let restart_gate = first_pass_hits > 0 in
+  note "restart: SIGKILL mid-load, warm in %.2fs, %d/%d first-pass cache hits (gate: %s)"
+    recovery first_pass_hits (List.length zoo_ops)
+    (if restart_gate then "ok" else "FAIL");
+  (* --- Phase 4: poisoned operator --------------------------------------- *)
+  let poison_kind =
+    err_kind
+      (call !conn
+         ~params:
+           [ ("op", "conv1x1"); ("cache", "0"); ("fault_backend", "einsum");
+             ("fault_rate", "1"); ("fault_seed", "3") ]
+         P.Eval)
+  in
+  let alive = match call !conn P.Ping with P.Resp_ok _ -> true | P.Resp_error _ -> false in
+  let replay_kind = err_kind (call !conn ~params:[ ("op", "conv1x1"); ("cache", "0") ] P.Eval) in
+  let poison_gate =
+    poison_kind = "backend_mismatch" && alive && replay_kind = "counterexample"
+  in
+  note "poison: typed %s, daemon alive %b, re-encounter rejected as %s (gate: %s)" poison_kind
+    alive replay_kind
+    (if poison_gate then "ok" else "FAIL");
+  (* --- Phase 5: SIGTERM graceful drain ----------------------------------- *)
+  let k_drain = if smoke then 4 else 10 in
+  let drain_ids = List.init k_drain (fun i -> Printf.sprintf "d%d" i) in
+  List.iter
+    (fun id ->
+      let rq =
+        { P.rq_id = id; rq_verb = P.Eval; rq_params = [ ("op", "conv2d"); ("cache", "0") ] }
+      in
+      must (C.send_line !conn (P.render_request rq)))
+    drain_ids;
+  Unix.sleepf 0.15;
+  Unix.kill pid_b Sys.sigterm;
+  let answered = ref [] in
+  let clean_eof = ref false in
+  let rec read_all () =
+    match C.recv_line ~timeout:60.0 !conn with
+    | Ok line -> (
+        match P.parse_response line with
+        | Ok (id, _) ->
+            answered := id :: !answered;
+            read_all ()
+        | Error e -> fail "drain response: %s" e)
+    | Error "eof" -> clean_eof := true
+    | Error e -> note "drain: connection ended uncleanly (%s)" e
+  in
+  read_all ();
+  C.close !conn;
+  let drain_exit =
+    match Unix.waitpid [] pid_b with
+    | _, Unix.WEXITED c ->
+        reaped pid_b;
+        c
+    | _, Unix.WSIGNALED s -> -s
+    | _, Unix.WSTOPPED s -> -s
+  in
+  let drain_answered = List.for_all (fun id -> List.mem id !answered) drain_ids in
+  let drain_gate = drain_answered && !clean_eof && drain_exit = 0 in
+  note "drain: %d in flight at SIGTERM, %d answered, clean EOF %b, exit %d (gate: %s)" k_drain
+    (List.length !answered) !clean_eof drain_exit
+    (if drain_gate then "ok" else "FAIL");
+  (* Cleanup. *)
+  Array.iter
+    (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (Sys.readdir dir);
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  (* Trajectory file. *)
+  let oc = open_out "BENCH_serve.json" in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"smoke\": %b,\n" smoke;
+  out "  \"cache\": {\"operators\": %d, \"cold_micros\": %.0f, \"warm_micros\": %.0f, \
+       \"speedup\": %.1f, \"gate\": %b},\n"
+    (List.length zoo_ops) cold_micros warm_micros speedup cache_gate;
+  out "  \"overload\": {\"offered\": %d, \"rate_per_s\": %.1f, \"ok\": %d, \"overloaded\": \
+       %d, \"timeout\": %d, \"other\": %d, \"all_answered\": %b, \"p50_ok_s\": %.4f, \
+       \"p99_ok_s\": %.4f, \"deadline_s\": %.1f, \"max_queue_depth\": %d, \
+       \"max_inflight_bytes\": %d, \"gate\": %b},\n"
+    total rate ok_count !shed !timeouts !others all_answered p50 p99 deadline !max_depth_seen
+    !max_bytes_seen overload_gate;
+  out "  \"restart\": {\"recovery_seconds\": %.3f, \"first_pass_hits\": %d, \
+       \"first_pass_ops\": %d, \"gate\": %b},\n"
+    recovery first_pass_hits (List.length zoo_ops) restart_gate;
+  out "  \"poison\": {\"poison_kind\": %S, \"alive\": %b, \"replay_kind\": %S, \"gate\": \
+       %b},\n"
+    poison_kind alive replay_kind poison_gate;
+  out "  \"drain\": {\"in_flight\": %d, \"answered\": %d, \"clean_eof\": %b, \"exit_code\": \
+       %d, \"gate\": %b}\n"
+    k_drain (List.length !answered) !clean_eof drain_exit drain_gate;
+  out "}\n";
+  close_out oc;
+  note "wrote BENCH_serve.json";
+  if not (cache_gate && overload_gate && restart_gate && poison_gate && drain_gate) then begin
+    prerr_endline "serve daemon cache/overload/restart/poison/drain assertions failed";
+    exit 1
+  end
+
 (* --- bench check: trajectory-file validation ----------------------------------- *)
 
 (* `bench check` re-parses every BENCH_*.json in the working directory
@@ -1759,6 +2106,7 @@ let bench_required_keys =
     ("BENCH_cancel.json", [ "smoke"; "poll"; "preempt"; "shutdown" ]);
     ("BENCH_shard.json", [ "smoke"; "determinism"; "corrupt"; "scaling" ]);
     ("BENCH_cegis.json", [ "smoke"; "hardening"; "replay_cost"; "shard" ]);
+    ("BENCH_serve.json", [ "smoke"; "cache"; "overload"; "restart"; "poison"; "drain" ]);
   ]
 
 let bench_check () =
@@ -1829,6 +2177,8 @@ let experiments =
     ("shard-smoke", shard_bench ~smoke:true);
     ("cegis", cegis_bench ~smoke:false);
     ("cegis-smoke", cegis_bench ~smoke:true);
+    ("serve", serve_bench ~smoke:false);
+    ("serve-smoke", serve_bench ~smoke:true);
     ("check", bench_check);
   ]
 
@@ -1841,7 +2191,7 @@ let () =
           (fun n ->
             n <> "par-smoke" && n <> "robust-smoke" && n <> "validate-smoke"
             && n <> "analysis-smoke" && n <> "cancel-smoke" && n <> "shard-smoke"
-            && n <> "cegis-smoke" && n <> "check")
+            && n <> "cegis-smoke" && n <> "serve-smoke" && n <> "check")
           (List.map fst experiments)
   in
   let t0 = Unix.gettimeofday () in

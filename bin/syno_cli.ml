@@ -55,6 +55,42 @@ let positive_float ~what =
         | Some v -> Ok v),
       (fun ppf v -> Format.fprintf ppf "%g" v) )
 
+(* A rate/probability: finite and within [0, 1] — "nan", "inf" and 1.5
+   are all parse-time errors, not searches that silently never (or
+   always) fault. *)
+let unit_float ~what =
+  Arg.conv
+    ( (fun s ->
+        match float_of_string_opt s with
+        | None -> Error (`Msg (Printf.sprintf "%s: expected a number, got %S" what s))
+        | Some v when not (Float.is_finite v && v >= 0.0 && v <= 1.0) ->
+            Error (`Msg (Printf.sprintf "%s must be in [0, 1] (got %s)" what s))
+        | Some v -> Ok v),
+      (fun ppf v -> Format.fprintf ppf "%g" v) )
+
+(* A plain integer, but the error names the flag (cmdliner's stock int
+   converter reports only the value). *)
+let any_int ~what =
+  Arg.conv
+    ( (fun s ->
+        match int_of_string_opt s with
+        | None -> Error (`Msg (Printf.sprintf "%s: expected an integer, got %S" what s))
+        | Some n -> Ok n),
+      Format.pp_print_int )
+
+(* A path we will create or read as a *file*: empty strings and
+   existing directories die at parse time, instead of as an ENOENT /
+   EISDIR exception after minutes of search. *)
+let file_path ~what =
+  Arg.conv
+    ( (fun s ->
+        if String.trim s = "" then
+          Error (`Msg (Printf.sprintf "%s: path must not be empty" what))
+        else if Sys.file_exists s && Sys.is_directory s then
+          Error (`Msg (Printf.sprintf "%s: %s is a directory, expected a file path" what s))
+        else Ok s),
+      Format.pp_print_string )
+
 (* Shared --domains flag: sizes the search's worker pool and the
    default pool used by the einsum/staged executors (0 = auto-detect). *)
 let domains_arg =
@@ -372,15 +408,17 @@ let search_cmd =
          & info [ "eval-timeout" ] ~doc:"Per-candidate wall-clock budget in seconds (> 0).")
   in
   let fault_rate =
-    Arg.(value & opt float 0.0
+    Arg.(value & opt (unit_float ~what:"--fault-rate") 0.0
          & info [ "fault-rate" ]
-             ~doc:"Inject deterministic transient faults into this fraction of candidates.")
+             ~doc:"Inject deterministic transient faults into this fraction of candidates \
+                   (0 to 1).")
   in
   let fault_seed =
-    Arg.(value & opt int 0 & info [ "fault-seed" ] ~doc:"Fault injection seed.")
+    Arg.(value & opt (any_int ~what:"--fault-seed") 0
+         & info [ "fault-seed" ] ~doc:"Fault injection seed.")
   in
   let checkpoint =
-    Arg.(value & opt (some string) None
+    Arg.(value & opt (some (file_path ~what:"--checkpoint")) None
          & info [ "checkpoint" ] ~docv:"FILE"
              ~doc:"Serialize the reward memo to $(docv) during the search.")
   in
@@ -389,7 +427,7 @@ let search_cmd =
          & info [ "checkpoint-every" ] ~doc:"New evaluations between checkpoint writes (>= 1).")
   in
   let resume =
-    Arg.(value & opt (some string) None
+    Arg.(value & opt (some (file_path ~what:"--resume")) None
          & info [ "resume" ] ~docv:"FILE"
              ~doc:"Preload a checkpoint written by --checkpoint; a missing file starts fresh.")
   in
@@ -432,7 +470,7 @@ let search_cmd =
   in
   let corpus_args =
     let corpus =
-      Arg.(value & opt (some string) None
+      Arg.(value & opt (some (file_path ~what:"--corpus")) None
            & info [ "corpus" ] ~docv:"FILE"
                ~doc:"Persist distilled counterexamples to $(docv) and replay them against \
                      every candidate ahead of the other admission stages (default: \
@@ -707,6 +745,186 @@ let train_cmd =
     (Cmd.info "train" ~doc:"Train a proxy model with the operator substituted.")
     Term.(const run $ name_arg $ epochs_arg $ lr_arg $ seed_arg $ domains_arg $ clip_arg)
 
+(* --- serve --------------------------------------------------------------------- *)
+
+let serve_cmd =
+  let run socket cache cache_capacity cache_every corpus max_queue max_inflight_bytes
+      deadline max_deadline retry_after workers max_connections drain_grace retries =
+    let cfg =
+      {
+        (Serve.Server.default_config ~socket) with
+        Serve.Server.cache_path = cache;
+        cache_capacity;
+        cache_every;
+        corpus_path = corpus;
+        max_depth = max_queue;
+        max_inflight_bytes;
+        default_deadline = deadline;
+        max_deadline = Float.max deadline max_deadline;
+        retry_after;
+        workers;
+        max_connections;
+        drain_grace;
+        guard = Robust.Guard.policy ~retries ~backoff:0.005 ~jitter:0.5 ();
+      }
+    in
+    Serve.Server.run
+      ~on_ready:(fun () -> Format.printf "serving on %s@." socket)
+      cfg
+  in
+  let socket =
+    Arg.(required & opt (some (file_path ~what:"--socket")) None
+         & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path to serve on.")
+  in
+  let cache =
+    Arg.(value & opt (some (file_path ~what:"--cache")) None
+         & info [ "cache" ] ~docv:"FILE"
+             ~doc:"Persist the result cache to $(docv) (atomic, fsynced): a killed daemon \
+                   restarts warm.")
+  in
+  let cache_capacity =
+    Arg.(value & opt (bounded_int ~what:"--cache-capacity" ~min:1) 1024
+         & info [ "cache-capacity" ] ~doc:"LRU cache entries (>= 1).")
+  in
+  let cache_every =
+    Arg.(value & opt (bounded_int ~what:"--cache-every" ~min:1) 16
+         & info [ "cache-every" ] ~doc:"Cache insertions between snapshot writes (>= 1).")
+  in
+  let corpus =
+    Arg.(value & opt (some (file_path ~what:"--corpus")) None
+         & info [ "corpus" ] ~docv:"FILE"
+             ~doc:"Counterexample corpus to replay against every eval and extend with newly \
+                   poisoned operators.")
+  in
+  let max_queue =
+    Arg.(value & opt (bounded_int ~what:"--max-queue" ~min:1) 64
+         & info [ "max-queue" ]
+             ~doc:"Admission bound on queued requests; beyond it the server sheds with an \
+                   overloaded response (>= 1).")
+  in
+  let max_inflight_bytes =
+    Arg.(value & opt (bounded_int ~what:"--max-inflight-bytes" ~min:1) (4 * 1024 * 1024)
+         & info [ "max-inflight-bytes" ]
+             ~doc:"Admission bound on in-flight request payload bytes (>= 1).")
+  in
+  let deadline =
+    Arg.(value & opt (positive_float ~what:"--deadline") 10.0
+         & info [ "deadline" ] ~doc:"Default per-request deadline in seconds (> 0).")
+  in
+  let max_deadline =
+    Arg.(value & opt (positive_float ~what:"--max-deadline") 60.0
+         & info [ "max-deadline" ] ~doc:"Clamp on client-requested deadlines (> 0).")
+  in
+  let retry_after =
+    Arg.(value & opt (positive_float ~what:"--retry-after") 0.05
+         & info [ "retry-after" ] ~doc:"Retry hint attached to shed responses, seconds (> 0).")
+  in
+  let workers =
+    Arg.(value & opt (bounded_int ~what:"--workers" ~min:1) 2
+         & info [ "workers" ] ~doc:"Evaluation worker domains (>= 1).")
+  in
+  let max_connections =
+    Arg.(value & opt (bounded_int ~what:"--max-connections" ~min:1) 64
+         & info [ "max-connections" ] ~doc:"Concurrent client connections (>= 1).")
+  in
+  let drain_grace =
+    Arg.(value & opt (positive_float ~what:"--drain-grace") 5.0
+         & info [ "drain-grace" ]
+             ~doc:"Seconds a drain waits for in-flight work before force-cancelling it (> 0).")
+  in
+  let retries =
+    Arg.(value & opt (bounded_int ~what:"--retries" ~min:0) 1
+         & info [ "retries" ] ~doc:"Retries per failed request evaluation (>= 0).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent operator daemon on a Unix-domain socket: cached \
+          lower+verify+validate evals with per-request deadlines, overload shedding, and \
+          graceful drain."
+       ~exits:
+         (Cmd.Exit.info ~doc:"after a graceful drain (SIGTERM or the drain verb)." 0
+         :: Cmd.Exit.info ~doc:"on a startup failure (socket already served, bind error)." 2
+         :: Cmd.Exit.info ~doc:"when interrupted by SIGINT (cache flushed first)."
+              exit_interrupted
+         :: Cmd.Exit.defaults))
+    Term.(const run $ socket $ cache $ cache_capacity $ cache_every $ corpus $ max_queue
+          $ max_inflight_bytes $ deadline $ max_deadline $ retry_after $ workers
+          $ max_connections $ drain_grace $ retries)
+
+(* --- client -------------------------------------------------------------------- *)
+
+let client_cmd =
+  let run socket timeout verb params =
+    match Serve.Protocol.verb_of_label verb with
+    | None ->
+        prerr_endline ("client: unknown verb " ^ verb);
+        1
+    | Some v -> (
+        let parse_param s =
+          match String.index_opt s '=' with
+          | Some i ->
+              Ok (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+          | None -> Error (Printf.sprintf "client: bad parameter %S (expected key=value)" s)
+        in
+        let rec parse_all acc = function
+          | [] -> Ok (List.rev acc)
+          | p :: rest -> (
+              match parse_param p with
+              | Ok kv -> parse_all (kv :: acc) rest
+              | Error e -> Error e)
+        in
+        match parse_all [] params with
+        | Error e ->
+            prerr_endline e;
+            1
+        | Ok params -> (
+            let request =
+              { Serve.Protocol.rq_id = "1"; rq_verb = v; rq_params = params }
+            in
+            match Serve.Client.connect ~timeout socket with
+            | Error e ->
+                prerr_endline ("client: " ^ e);
+                2
+            | Ok conn ->
+                let result = Serve.Client.call ~timeout conn request in
+                Serve.Client.close conn;
+                (match result with
+                | Error e ->
+                    prerr_endline ("client: " ^ e);
+                    2
+                | Ok resp ->
+                    print_endline (Serve.Protocol.render_response ~id:"1" resp);
+                    (match resp with
+                    | Serve.Protocol.Resp_ok _ -> 0
+                    | Serve.Protocol.Resp_error _ -> 1))))
+  in
+  let socket =
+    Arg.(required & opt (some (file_path ~what:"--socket")) None
+         & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket of a running daemon.")
+  in
+  let timeout =
+    Arg.(value & opt (positive_float ~what:"--timeout") 10.0
+         & info [ "timeout" ] ~doc:"Connect/response timeout in seconds (> 0).")
+  in
+  let verb =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"VERB" ~doc:"eval | lint | search | status | ping | drain")
+  in
+  let params =
+    Arg.(value & pos_right 0 string []
+         & info [] ~docv:"KEY=VALUE" ~doc:"Request parameters, e.g. op=conv2d deadline=2.")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Send one request to a running syno serve daemon and print the response."
+       ~exits:
+         (Cmd.Exit.info ~doc:"on an ok response." 0
+         :: Cmd.Exit.info ~doc:"on a typed error response (printed on stdout)." 1
+         :: Cmd.Exit.info ~doc:"on a transport failure (connect/timeout)." 2
+         :: Cmd.Exit.defaults))
+    Term.(const run $ socket $ timeout $ verb $ params)
+
 let () =
   let info =
     Cmd.info "syno" ~version:"1.0"
@@ -714,4 +932,8 @@ let () =
   in
   exit
     (Cmd.eval'
-       (Cmd.group info [ list_cmd; describe_cmd; search_cmd; lint_cmd; latency_cmd; train_cmd ]))
+       (Cmd.group info
+          [
+            list_cmd; describe_cmd; search_cmd; lint_cmd; latency_cmd; train_cmd; serve_cmd;
+            client_cmd;
+          ]))

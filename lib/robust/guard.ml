@@ -37,22 +37,76 @@ type policy = {
   backoff : float;
   backoff_factor : float;
   max_backoff : float;
+  jitter : float;
+  jitter_seed : int;
   timeout : float option;
 }
 
 let default_policy =
-  { retries = 2; backoff = 0.0; backoff_factor = 2.0; max_backoff = 1.0; timeout = None }
+  {
+    retries = 2;
+    backoff = 0.0;
+    backoff_factor = 2.0;
+    max_backoff = 1.0;
+    jitter = 0.0;
+    jitter_seed = 0;
+    timeout = None;
+  }
 
 let policy ?(retries = default_policy.retries) ?(backoff = default_policy.backoff)
     ?(backoff_factor = default_policy.backoff_factor)
-    ?(max_backoff = default_policy.max_backoff) ?timeout () =
-  { retries = max 0 retries; backoff; backoff_factor; max_backoff; timeout }
+    ?(max_backoff = default_policy.max_backoff) ?(jitter = default_policy.jitter)
+    ?(jitter_seed = default_policy.jitter_seed) ?timeout () =
+  if not (jitter >= 0.0 && jitter <= 1.0) then
+    invalid_arg "Guard.policy: jitter must be in [0, 1]";
+  {
+    retries = max 0 retries;
+    backoff;
+    backoff_factor;
+    max_backoff;
+    jitter;
+    jitter_seed;
+    timeout;
+  }
 
-let delay p ~retry =
+(* splitmix64 finalizer (same mixer as {!Inject} and the nd PRNG),
+   re-implemented locally so the jitter stream stays a pure function of
+   (jitter_seed, key, retry) with no shared state. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Uniform in [0, 1) from the top 53 bits. *)
+let unit_float h =
+  Int64.to_float (Int64.shift_right_logical h 11) *. (1.0 /. 9007199254740992.0)
+
+let jitter_unit ~seed ~key ~retry =
+  let h = ref (mix64 (Int64.of_int ((seed * 0x9e3779b9) lxor 0x6a09e667))) in
+  String.iter
+    (fun c ->
+      h := mix64 (Int64.add (Int64.mul !h 0x100000001b3L) (Int64.of_int (Char.code c))))
+    key;
+  unit_float (mix64 (Int64.add !h (Int64.of_int retry)))
+
+(* Deterministic seeded jitter: without it, N callers that failed on
+   the same shared resource at the same moment all sleep the *same*
+   schedule and stampede back in lockstep — exactly what a serving
+   queue sees.  The per-key hash decorrelates the schedules while
+   keeping every run bit-for-bit reproducible under a fixed seed. *)
+let delay ?(key = "") p ~retry =
   if p.backoff <= 0.0 || retry < 1 then 0.0
-  else Float.min p.max_backoff (p.backoff *. (p.backoff_factor ** float_of_int (retry - 1)))
+  else
+    let base =
+      Float.min p.max_backoff (p.backoff *. (p.backoff_factor ** float_of_int (retry - 1)))
+    in
+    if p.jitter <= 0.0 then base
+    else
+      let u = jitter_unit ~seed:p.jitter_seed ~key ~retry in
+      let scaled = base *. (1.0 +. (p.jitter *. (u -. 0.5))) in
+      Float.min p.max_backoff scaled
 
-let delays p = List.init (max 0 p.retries) (fun i -> delay p ~retry:(i + 1))
+let delays ?key p = List.init (max 0 p.retries) (fun i -> delay ?key p ~retry:(i + 1))
 
 type outcome = {
   result : (float, kind) Stdlib.result;
@@ -116,7 +170,7 @@ let run ?(policy = default_policy) ?(inject = Inject.none) ?(sleep = Unix.sleepf
     let slept =
       if attempt = 0 then slept
       else begin
-        let d = delay policy ~retry:attempt in
+        let d = delay ~key policy ~retry:attempt in
         if d > 0.0 then sleep d;
         slept +. d
       end

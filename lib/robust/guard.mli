@@ -58,28 +58,45 @@ type policy = {
   backoff : float;  (** seconds before the first retry; 0 = no waiting *)
   backoff_factor : float;  (** multiplier between consecutive retries *)
   max_backoff : float;  (** cap on any single delay, seconds *)
+  jitter : float;
+      (** relative spread of seeded jitter in [0, 1]: each delay is
+          scaled by a deterministic factor in [1 - jitter/2,
+          1 + jitter/2].  0 = the exact exponential schedule. *)
+  jitter_seed : int;  (** seed of the jitter stream *)
   timeout : float option;  (** per-attempt wall-clock budget, seconds *)
 }
 
 val default_policy : policy
-(** 2 retries, no backoff delay, no timeout. *)
+(** 2 retries, no backoff delay, no jitter, no timeout. *)
 
 val policy :
   ?retries:int ->
   ?backoff:float ->
   ?backoff_factor:float ->
   ?max_backoff:float ->
+  ?jitter:float ->
+  ?jitter_seed:int ->
   ?timeout:float ->
   unit ->
   policy
-(** {!default_policy} with fields overridden. *)
+(** {!default_policy} with fields overridden.
+    @raise Invalid_argument if [jitter] is outside [0, 1]. *)
 
-val delay : policy -> retry:int -> float
-(** Seconds slept before retry number [retry] (numbered from 1):
-    [min max_backoff (backoff *. backoff_factor ^ (retry - 1))].
-    Pure, so the whole backoff schedule is deterministic. *)
+val delay : ?key:string -> policy -> retry:int -> float
+(** Seconds slept before retry number [retry] (numbered from 1): the
+    base schedule [min max_backoff (backoff *. backoff_factor ^ (retry
+    - 1))], scaled by seeded jitter when [policy.jitter > 0] (and
+    re-capped at [max_backoff]).
 
-val delays : policy -> float list
+    The jitter factor is a pure splitmix64 hash of [(jitter_seed, key,
+    retry)], so the whole schedule is still deterministic and
+    bit-for-bit reproducible under a fixed seed — but {e decorrelated}
+    across keys: concurrent callers that fail together no longer retry
+    in lockstep and stampede the shared resource they just overloaded.
+    [key] (default the empty string) should identify the caller, e.g. the
+    candidate signature or request id. *)
+
+val delays : ?key:string -> policy -> float list
 (** The full schedule: [delay] for retries [1 .. retries]. *)
 
 type outcome = {

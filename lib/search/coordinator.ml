@@ -119,7 +119,17 @@ let run ?(config = default_config ()) ?cancel ~base ~seed ~body () =
 
   let spawn task =
     let rfd, wfd = Unix.pipe () in
-    match Unix.fork () with
+    (* A failed fork must not leak the pipe: over enough restart cycles
+       (EAGAIN under fork pressure) the coordinator would exhaust its fd
+       table and take every future spawn down with it. *)
+    let fork () =
+      try Unix.fork ()
+      with e ->
+        (try Unix.close rfd with Unix.Unix_error _ -> ());
+        (try Unix.close wfd with Unix.Unix_error _ -> ());
+        raise e
+    in
+    match fork () with
     | 0 ->
         (* Child: drop every coordinator-side fd we inherited — the read
            end of our own pipe and the read ends of every sibling. *)

@@ -1,0 +1,98 @@
+type config = { max_depth : int; max_bytes : int; retry_after : float }
+
+let default_config = { max_depth = 64; max_bytes = 4 * 1024 * 1024; retry_after = 0.05 }
+
+type 'a t = {
+  cfg : config;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  queue : 'a Queue.t;
+  mutable bytes : int;  (* admitted, not yet completed *)
+  mutable live : int;  (* admitted, not yet completed (count) *)
+  mutable shed : int;
+  mutable admitted : int;
+  mutable closed : bool;
+  mutable discarded : bool;
+}
+
+let create cfg =
+  {
+    cfg;
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+    queue = Queue.create ();
+    bytes = 0;
+    live = 0;
+    shed = 0;
+    admitted = 0;
+    closed = false;
+    discarded = false;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+type shed = { sh_retry_after : float; sh_depth : int; sh_bytes : int }
+
+let offer t ~bytes item =
+  locked t (fun () ->
+      if
+        t.closed
+        || Queue.length t.queue >= t.cfg.max_depth
+        || t.bytes + bytes > t.cfg.max_bytes
+      then begin
+        t.shed <- t.shed + 1;
+        Error
+          {
+            sh_retry_after = t.cfg.retry_after;
+            sh_depth = Queue.length t.queue;
+            sh_bytes = t.bytes;
+          }
+      end
+      else begin
+        t.admitted <- t.admitted + 1;
+        t.bytes <- t.bytes + bytes;
+        t.live <- t.live + 1;
+        Queue.push item t.queue;
+        Condition.signal t.nonempty;
+        Ok ()
+      end)
+
+let take t =
+  locked t (fun () ->
+      let rec wait () =
+        if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+        else if t.closed then None
+        else begin
+          Condition.wait t.nonempty t.mutex;
+          wait ()
+        end
+      in
+      wait ())
+
+let complete t ~bytes =
+  locked t (fun () ->
+      t.bytes <- max 0 (t.bytes - bytes);
+      t.live <- max 0 (t.live - 1))
+
+let close ?(discard = false) t =
+  locked t (fun () ->
+      t.closed <- true;
+      if discard && not t.discarded then begin
+        t.discarded <- true;
+        (* Dropped items keep their byte accounting releasable by the
+           server's own cleanup; at hard stop nobody reads the gauges
+           again, so zero them outright. *)
+        Queue.clear t.queue;
+        t.bytes <- 0;
+        t.live <- 0
+      end;
+      Condition.broadcast t.nonempty)
+
+let depth t = locked t (fun () -> Queue.length t.queue)
+let in_flight t = locked t (fun () -> t.live)
+let inflight_bytes t = locked t (fun () -> t.bytes)
+let shed_count t = locked t (fun () -> t.shed)
+let admitted_count t = locked t (fun () -> t.admitted)
+let idle t = locked t (fun () -> Queue.is_empty t.queue && t.live = 0)

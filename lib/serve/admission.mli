@@ -1,0 +1,60 @@
+(** Bounded admission for the daemon's work queue.
+
+    Backpressure instead of OOM: an open-loop client population does
+    not slow down when the daemon does, so an unbounded queue grows
+    until the process dies.  Admission bounds two resources — queue
+    depth (requests waiting) and in-flight bytes (request payload
+    admitted but not yet answered, covering both queued and executing
+    work) — and {e sheds} anything beyond them with an explicit
+    retry-after, which is a response the daemon can produce in
+    microseconds no matter how far behind its workers are.
+
+    The queue is a plain mutex/condition MPSC handoff between the I/O
+    loop (producer) and worker domains (consumers). *)
+
+type config = {
+  max_depth : int;  (** queued (not yet executing) request bound *)
+  max_bytes : int;  (** in-flight request payload bound, bytes *)
+  retry_after : float;  (** seconds suggested to shed clients *)
+}
+
+val default_config : config
+(** depth 64, 4 MiB in flight, retry after 0.05 s. *)
+
+type 'a t
+
+val create : config -> 'a t
+
+type shed = { sh_retry_after : float; sh_depth : int; sh_bytes : int }
+
+val offer : 'a t -> bytes:int -> 'a -> (unit, shed) result
+(** Admit iff depth < [max_depth] and in-flight bytes + [bytes] <=
+    [max_bytes]; otherwise shed, reporting the pressure observed.
+    Admitted work holds its byte accounting until {!complete}. *)
+
+val take : 'a t -> 'a option
+(** Block until work is available; [None] once the queue is closed and
+    (unless it was discarded) drained — the worker's signal to exit. *)
+
+val complete : 'a t -> bytes:int -> unit
+(** Release the byte accounting of one admitted item.  Must be called
+    exactly once per admitted item, whether it succeeded, failed or
+    timed out. *)
+
+val close : ?discard:bool -> 'a t -> unit
+(** Stop admitting.  With [discard] (hard stop), queued items are
+    dropped; otherwise (drain) workers keep taking until the queue is
+    empty.  Idempotent. *)
+
+val depth : 'a t -> int
+(** Items queued, not yet taken by a worker. *)
+
+val in_flight : 'a t -> int
+(** Items admitted, not yet {!complete}d (queued + executing). *)
+
+val inflight_bytes : 'a t -> int
+val shed_count : 'a t -> int
+val admitted_count : 'a t -> int
+
+val idle : 'a t -> bool
+(** No queued and no executing work — the drain condition. *)

@@ -1,0 +1,87 @@
+(** The daemon's LRU result cache, persisted crash-tolerantly.
+
+    The paper's economics are synthesize-once/reuse-forever: lowering,
+    static verification, differential validation and a reference
+    forward pass cost milliseconds to seconds per operator, while a
+    cache hit is a hash lookup.  The cache memoizes the {e outcome} of
+    that pipeline — verdict, cost accounting, output checksum — keyed
+    by [(operator signature, valuation)], so a repeated request never
+    re-runs tensor work.
+
+    Persistence follows the Checkpoint/Corpus durability recipe: a
+    text snapshot with a declared entry count, hex-float exact values,
+    written atomically (temp file, fsync, rename, best-effort
+    directory fsync) on a write cadence and at flush.  Load errors are
+    typed; a damaged file is quarantined to [path ^ ".corrupt"] and
+    the cache starts empty — {e never fatal}.  A SIGKILLed daemon
+    restarts warm from its last snapshot.
+
+    All operations are thread-safe (one mutex); worker domains hit the
+    cache concurrently. *)
+
+type entry = {
+  e_key : string;  (** [signature ^ "@" ^ valuation-token] *)
+  e_verdict : string;  (** ["proved"] or ["padded"] (static bounds) *)
+  e_flops : int;
+  e_params : int;
+  e_elements : int;  (** output elements differentially compared *)
+  e_checksum : float;  (** reference forward-pass output sum *)
+  e_cold_seconds : float;  (** wall time of the original cold evaluation *)
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** In-memory only (no backing file).  [capacity] (default 1024) is
+    the entry bound; inserting past it evicts the least recently used
+    entry. *)
+
+val find : t -> string -> entry option
+(** Bumps the entry's recency. *)
+
+val put : t -> entry -> unit
+(** Insert or refresh; counts toward the write cadence when the cache
+    is file-backed. *)
+
+val size : t -> int
+val capacity : t -> int
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int
+
+(** {1 Persistence} *)
+
+type error =
+  | Io of string
+  | Bad_header of string
+  | Truncated of { expected : int; found : int }
+  | Corrupt of string
+
+val string_of_error : error -> string
+
+val to_string : t -> string
+(** Snapshot in least-recent-first order, so replaying [put]s at load
+    time reconstructs the recency order exactly. *)
+
+val of_string_result : ?capacity:int -> string -> (t, error) result
+
+val save : path:string -> t -> unit
+(** Atomic + durable (temp, fsync, rename, directory fsync). *)
+
+type open_report = {
+  or_loaded : int;  (** entries restored from an existing snapshot *)
+  or_quarantined : (string * error) option;
+      (** where a damaged snapshot was moved and why it failed *)
+}
+
+val open_file : ?capacity:int -> ?every:int -> string -> t * open_report
+(** Bind the cache to [path].  A missing file is an empty cache; a
+    damaged one is quarantined aside.  [every] (default 16) is the
+    number of [put]s between automatic atomic snapshots. *)
+
+val flush : t -> unit
+(** Write pending entries now (and an initial snapshot for a fresh
+    file-backed cache).  No-op for in-memory caches. *)
+
+val writes : t -> int
+val path : t -> string option

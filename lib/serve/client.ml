@@ -1,0 +1,88 @@
+type t = { fd : Unix.file_descr; buf : Buffer.t }
+
+let connect ?(timeout = 5.0) path =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec attempt () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> Ok { fd; buf = Buffer.create 256 }
+    | exception Unix.Unix_error (e, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        (* The daemon may not have bound yet (ENOENT) or may still be
+           calling listen (ECONNREFUSED): retry until the deadline. *)
+        if Unix.gettimeofday () >= deadline then
+          Error (Printf.sprintf "connect %s: %s" path (Unix.error_message e))
+        else begin
+          Unix.sleepf 0.02;
+          attempt ()
+        end
+  in
+  attempt ()
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let send_line t line =
+  let data = Bytes.of_string (line ^ "\n") in
+  let n = Bytes.length data in
+  let rec go written =
+    if written >= n then Ok ()
+    else
+      match Unix.write t.fd data written (n - written) with
+      | w -> go (written + w)
+      | exception Unix.Unix_error (EINTR, _, _) -> go written
+      | exception Unix.Unix_error (e, _, _) ->
+          Error (Printf.sprintf "send: %s" (Unix.error_message e))
+  in
+  go 0
+
+(* Pull the first complete line out of the receive buffer, if any. *)
+let buffered_line t =
+  let s = Buffer.contents t.buf in
+  match String.index_opt s '\n' with
+  | None -> None
+  | Some i ->
+      let line = String.sub s 0 i in
+      Buffer.clear t.buf;
+      Buffer.add_string t.buf (String.sub s (i + 1) (String.length s - i - 1));
+      Some line
+
+let recv_line ?(timeout = 10.0) t =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match buffered_line t with
+    | Some line -> Ok line
+    | None ->
+        let remaining = deadline -. Unix.gettimeofday () in
+        if remaining <= 0.0 then Error "timeout"
+        else if Buffer.length t.buf > Protocol.max_line then Error "line too long"
+        else (
+          match Unix.select [ t.fd ] [] [] remaining with
+          | exception Unix.Unix_error (EINTR, _, _) -> go ()
+          | [], _, _ -> go ()
+          | _ -> (
+              match Unix.read t.fd chunk 0 (Bytes.length chunk) with
+              | exception Unix.Unix_error (EINTR, _, _) -> go ()
+              | exception Unix.Unix_error (e, _, _) ->
+                  Error (Printf.sprintf "recv: %s" (Unix.error_message e))
+              | 0 -> if Buffer.length t.buf > 0 then Error "eof mid-line" else Error "eof"
+              | n ->
+                  Buffer.add_subbytes t.buf chunk 0 n;
+                  go ()))
+  in
+  go ()
+
+let ( let* ) r f = Result.bind r f
+
+let call ?(timeout = 10.0) t request =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let* () = send_line t (Protocol.render_request request) in
+  let rec await () =
+    let remaining = deadline -. Unix.gettimeofday () in
+    if remaining <= 0.0 then Error "timeout"
+    else
+      let* line = recv_line ~timeout:remaining t in
+      let* id, response = Protocol.parse_response line in
+      if id = request.Protocol.rq_id then Ok response else await ()
+  in
+  await ()

@@ -1,0 +1,28 @@
+(** Line-oriented client for the daemon's Unix-domain socket.
+
+    Two layers: {!send_line}/{!recv_line} for pipelined use (the bench
+    load generator keeps many requests in flight on one connection and
+    matches responses by id), and {!call} for the common
+    one-request/one-response case.  All waiting is bounded by explicit
+    timeouts — a hung daemon yields an error, never a hung client. *)
+
+type t
+
+val connect : ?timeout:float -> string -> (t, string) result
+(** Connect to the socket at the given path, retrying (the daemon may
+    still be binding) until [timeout] (default 5 s) elapses. *)
+
+val close : t -> unit
+
+val send_line : t -> string -> (unit, string) result
+(** Write one frame (the newline is appended). *)
+
+val recv_line : ?timeout:float -> t -> (string, string) result
+(** Next complete line (without the newline), waiting up to [timeout]
+    (default 10 s).  [Error "eof"] once the daemon closed the
+    connection with no buffered line left. *)
+
+val call :
+  ?timeout:float -> t -> Protocol.request -> (Protocol.response, string) result
+(** Send one request and wait for the response matching its id
+    (skipping any stale interleaved responses). *)

@@ -100,6 +100,48 @@ let test_sharding_flag_validation () =
   rejects "--heartbeat-timeout" "junk" "expected a number";
   rejects "--shard-deadline" "-2.5" "must be > 0"
 
+(* The remaining search flags are validated the same way: the fault
+   rate is a probability, the fault seed an integer, and every path
+   flag must name a writable file — not the empty string and not a
+   directory.  cmdliner reports parse errors with exit 124. *)
+let test_fault_and_path_flag_validation () =
+  (* cmdliner wraps its error output, so a hint with spaces can be
+     split across lines; compare against a whitespace-flattened view. *)
+  let flatten s = String.concat " " (Astring.String.fields ~empty:false s) in
+  let rejects flag value constraint_hint =
+    let code, _, err = run_cli [ "search"; "--iterations"; "1"; flag ^ "=" ^ value ] in
+    let err = flatten err in
+    Alcotest.(check int) (Printf.sprintf "%s=%S exits 124" flag value) 124 code;
+    Alcotest.(check bool)
+      (Printf.sprintf "%s=%S error names the flag" flag value)
+      true
+      (Astring.String.is_infix ~affix:flag err);
+    Alcotest.(check bool)
+      (Printf.sprintf "%s=%S error states the constraint" flag value)
+      true
+      (Astring.String.is_infix ~affix:constraint_hint err)
+  in
+  rejects "--fault-rate" "nan" "must be in [0, 1]";
+  rejects "--fault-rate" "1.5" "must be in [0, 1]";
+  rejects "--fault-rate" "junk" "expected a number";
+  rejects "--fault-seed" "junk" "expected an integer";
+  rejects "--checkpoint" "" "must not be empty";
+  rejects "--checkpoint" "   " "must not be empty";
+  rejects "--resume" "" "must not be empty";
+  rejects "--corpus" "" "must not be empty";
+  with_temp_dir (fun dir ->
+      List.iter
+        (fun flag ->
+          let code, _, err =
+            run_cli [ "search"; "--iterations"; "1"; flag ^ "=" ^ dir ]
+          in
+          Alcotest.(check int) (Printf.sprintf "%s=<dir> exits 124" flag) 124 code;
+          Alcotest.(check bool)
+            (Printf.sprintf "%s=<dir> error says directory" flag)
+            true
+            (Astring.String.is_infix ~affix:"is a directory" (flatten err)))
+        [ "--checkpoint"; "--resume"; "--corpus" ])
+
 (* --corpus end to end.  Distillation needs a real differential
    failure, which the CLI cannot fabricate, so the corpus is seeded by
    an in-process faulted search configured exactly like the CLI run
@@ -227,6 +269,8 @@ let () =
         [
           Alcotest.test_case "sharding flags reject nonsense at parse time" `Quick
             test_sharding_flag_validation;
+          Alcotest.test_case "fault + path flags reject nonsense at parse time" `Quick
+            test_fault_and_path_flag_validation;
         ] );
       ( "corpus",
         [

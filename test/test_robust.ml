@@ -85,6 +85,67 @@ let test_cancel_first_reason_wins () =
   | Some (Cancel.Cancelled_by "first") -> ()
   | _ -> Alcotest.fail "first explicit reason must win"
 
+(* The serving daemon mints a child token per accepted request
+   (request deadline under the server's work root); these three pin the
+   edge cases that path depends on. *)
+
+let test_cancel_already_expired_deadline () =
+  (* A request whose deadline has already passed by dispatch time
+     (queueing, clock skew): the token is born tripped and [check]
+     raises before any work runs. *)
+  let t = ref 7.0 in
+  let clock () = !t in
+  let tok = Cancel.of_deadline ~clock 5.0 in
+  Alcotest.(check bool) "born tripped" true (Cancel.is_cancelled tok);
+  (match Cancel.status tok with
+  | Some (Cancel.Deadline_exceeded d) -> Alcotest.(check (float 0.0)) "which deadline" 5.0 d
+  | _ -> Alcotest.fail "expected Deadline_exceeded");
+  Alcotest.check_raises "check raises immediately"
+    (Cancel.Cancelled (Cancel.Deadline_exceeded 5.0))
+    (fun () -> Cancel.check tok)
+
+let test_cancel_parent_between_accept_and_dispatch () =
+  (* A request is admitted (child minted from the work root), then the
+     root is cancelled before a worker picks the job up: the child must
+     observe the parent's reason even though its own deadline is far
+     away. *)
+  let t = ref 0.0 in
+  let clock () = !t in
+  let parent = Cancel.create () in
+  let child = Cancel.of_deadline ~parent ~clock 100.0 in
+  Alcotest.(check bool) "admitted untripped" false (Cancel.is_cancelled child);
+  Cancel.cancel ~reason:"shutdown" parent;
+  Alcotest.(check bool) "dispatch observes the shutdown" true (Cancel.is_cancelled child);
+  (match Cancel.status child with
+  | Some (Cancel.Cancelled_by "shutdown") -> ()
+  | _ -> Alcotest.fail "child must report the parent's reason");
+  Alcotest.check_raises "check raises the parent's reason"
+    (Cancel.Cancelled (Cancel.Cancelled_by "shutdown"))
+    (fun () -> Cancel.check child)
+
+let test_cancel_child_deadline_after_parents () =
+  (* A request asks for a deadline *later* than the server's own: the
+     parent's earlier deadline wins, and the child reports the parent's
+     deadline, not its own. *)
+  let t = ref 0.0 in
+  let clock () = !t in
+  let parent = Cancel.of_deadline ~clock 5.0 in
+  let child = Cancel.of_deadline ~parent ~clock 10.0 in
+  t := 4.9;
+  Alcotest.(check bool) "both live before the parent trips" false (Cancel.is_cancelled child);
+  t := 6.0;
+  Alcotest.(check bool) "parent deadline trips the child" true (Cancel.is_cancelled child);
+  (match Cancel.status child with
+  | Some (Cancel.Deadline_exceeded d) ->
+      Alcotest.(check (float 0.0)) "parent's deadline" 5.0 d
+  | _ -> Alcotest.fail "expected the parent's Deadline_exceeded");
+  (* Past the child's own deadline too, the first-observed reason is
+     stable. *)
+  t := 20.0;
+  match Cancel.status child with
+  | Some (Cancel.Deadline_exceeded d) -> Alcotest.(check (float 0.0)) "reason stable" 5.0 d
+  | _ -> Alcotest.fail "expected the cached parent reason"
+
 (* --- Guard ---------------------------------------------------------------- *)
 
 let test_guard_success_passthrough () =
@@ -116,6 +177,79 @@ let test_guard_retry_backoff_schedule () =
     (fun k ->
       Alcotest.(check string) "classified eval_error" "eval_error" (Guard.kind_label k))
     out.Guard.failures
+
+(* --- Seeded jitter ---------------------------------------------------------- *)
+
+let jittered ?(seed = 7) () =
+  Guard.policy ~retries:4 ~backoff:0.5 ~backoff_factor:2.0 ~max_backoff:4.0 ~jitter:0.5
+    ~jitter_seed:seed ()
+
+let test_jitter_reproducible () =
+  (* The jitter stream is a pure function of (seed, key, retry): the
+     same inputs give a bit-for-bit identical schedule, and changing
+     either the seed or the key changes it. *)
+  let p = jittered () in
+  let a = Guard.delays ~key:"op-a" p in
+  Alcotest.(check (list (float 0.0))) "bit-for-bit reproducible" a (Guard.delays ~key:"op-a" p);
+  Alcotest.(check bool) "seed changes the schedule" true
+    (Guard.delays ~key:"op-a" (jittered ~seed:8 ()) <> a);
+  Alcotest.(check bool) "key decorrelates callers" true (Guard.delays ~key:"op-b" p <> a)
+
+let test_jitter_bounds () =
+  (* Every jittered delay stays within +-(jitter/2) of the exponential
+     base and never exceeds max_backoff. *)
+  let p =
+    Guard.policy ~retries:6 ~backoff:0.3 ~backoff_factor:2.0 ~max_backoff:2.0 ~jitter:1.0
+      ~jitter_seed:42 ()
+  in
+  List.iteri
+    (fun i d ->
+      let base = Float.min 2.0 (0.3 *. (2.0 ** float_of_int i)) in
+      Alcotest.(check bool)
+        (Printf.sprintf "retry %d delay %g within [%g, %g]" (i + 1) d (base *. 0.5)
+           (Float.min 2.0 (base *. 1.5)))
+        true
+        (d >= (base *. 0.5) -. 1e-12 && d <= Float.min 2.0 (base *. 1.5) +. 1e-12))
+    (Guard.delays ~key:"k" p)
+
+let test_jitter_zero_is_legacy_schedule () =
+  (* jitter = 0 (the default) must reproduce the historical
+     deterministic schedule exactly, for any key. *)
+  let p = Guard.policy ~retries:3 ~backoff:0.5 ~backoff_factor:2.0 ~max_backoff:1.0 () in
+  List.iter
+    (fun key ->
+      Alcotest.(check (list (float 0.0))) ("key " ^ key) [ 0.5; 1.0; 1.0 ]
+        (Guard.delays ~key p))
+    [ ""; "a"; "some/operator@sig" ]
+
+let test_jitter_validation () =
+  let rejects j =
+    Alcotest.check_raises
+      (Printf.sprintf "jitter %g rejected" j)
+      (Invalid_argument "Guard.policy: jitter must be in [0, 1]")
+      (fun () -> ignore (Guard.policy ~jitter:j ()))
+  in
+  rejects 1.5;
+  rejects (-0.1);
+  rejects Float.nan
+
+let test_jitter_run_sleeps_keyed_schedule () =
+  (* Guard.run's actual sleeps are exactly the keyed schedule that
+     [delays] predicts — the jitter is observable, not advisory. *)
+  let p = jittered () in
+  let slept = ref [] in
+  let out =
+    Guard.run ~policy:p
+      ~sleep:(fun d -> slept := d :: !slept)
+      ~key:"shared/resource"
+      (fun _ -> raise Not_found)
+  in
+  (match out.Guard.result with
+  | Error (Guard.Eval_error _) -> ()
+  | _ -> Alcotest.fail "expected exhaustion");
+  Alcotest.(check (list (float 0.0))) "sleeps follow the keyed schedule"
+    (Guard.delays ~key:"shared/resource" p)
+    (List.rev !slept)
 
 let test_guard_exhausts_retries () =
   let policy = Guard.policy ~retries:2 () in
@@ -720,6 +854,24 @@ let () =
           Alcotest.test_case "deadline (fake clock)" `Quick test_cancel_deadline_fake_clock;
           Alcotest.test_case "child inherits parent" `Quick test_cancel_child_inherits_parent;
           Alcotest.test_case "first reason wins" `Quick test_cancel_first_reason_wins;
+          Alcotest.test_case "already-expired deadline" `Quick
+            test_cancel_already_expired_deadline;
+          Alcotest.test_case "parent cancelled between accept and dispatch" `Quick
+            test_cancel_parent_between_accept_and_dispatch;
+          Alcotest.test_case "child deadline later than parent's" `Quick
+            test_cancel_child_deadline_after_parents;
+        ] );
+      ( "jitter",
+        [
+          Alcotest.test_case "reproducible, seed- and key-sensitive" `Quick
+            test_jitter_reproducible;
+          Alcotest.test_case "bounded by half-width and max_backoff" `Quick
+            test_jitter_bounds;
+          Alcotest.test_case "jitter=0 is the legacy schedule" `Quick
+            test_jitter_zero_is_legacy_schedule;
+          Alcotest.test_case "out-of-range jitter rejected" `Quick test_jitter_validation;
+          Alcotest.test_case "run sleeps the keyed schedule" `Quick
+            test_jitter_run_sleeps_keyed_schedule;
         ] );
       ( "guard",
         [

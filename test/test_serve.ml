@@ -1,0 +1,415 @@
+(* Tests for the serving subsystem: wire-protocol round-trips, the LRU
+   result cache and its crash-tolerant snapshots, bounded admission,
+   and an embedded end-to-end daemon (in-process, signals disabled)
+   covering cold/cached eval, deadline timeouts, poison containment
+   with corpus replay, warm restart from a persisted cache, and
+   graceful drain. *)
+
+module P = Serve.Protocol
+module Cache = Serve.Cache
+module Admission = Serve.Admission
+module Server = Serve.Server
+module Client = Serve.Client
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "syno_serve_test" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun name -> try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+(* --- Protocol --------------------------------------------------------------- *)
+
+let test_protocol_request_roundtrip () =
+  (* Every byte a value can carry must survive render -> parse,
+     including the separators the framing itself uses. *)
+  let nasty = "a b%=\n\tc\x01\x7f\xffend" in
+  let rq =
+    { P.rq_id = "req-42"; rq_verb = P.Eval; rq_params = [ ("trace", nasty); ("n", "4") ] }
+  in
+  (match P.parse_request (P.render_request rq) with
+  | Ok back ->
+      Alcotest.(check string) "id" rq.P.rq_id back.P.rq_id;
+      Alcotest.(check bool) "verb" true (back.P.rq_verb = P.Eval);
+      Alcotest.(check (option string)) "nasty value intact" (Some nasty)
+        (P.param back "trace");
+      Alcotest.(check (option string)) "second param" (Some "4") (P.param back "n")
+  | Error e -> Alcotest.failf "round-trip failed: %s" e);
+  (* Last occurrence wins: clients override defaults by appending. *)
+  let dup =
+    { P.rq_id = "d"; rq_verb = P.Eval; rq_params = [ ("k", "old"); ("k", "new") ] }
+  in
+  match P.parse_request (P.render_request dup) with
+  | Ok back -> Alcotest.(check (option string)) "last wins" (Some "new") (P.param back "k")
+  | Error e -> Alcotest.failf "dup round-trip failed: %s" e
+
+let test_protocol_response_roundtrip () =
+  let ok = P.Resp_ok [ ("verdict", "proved"); ("detail", "has spaces") ] in
+  (match P.parse_response (P.render_response ~id:"r1" ok) with
+  | Ok ("r1", P.Resp_ok ps) ->
+      Alcotest.(check (option string)) "param" (Some "has spaces") (List.assoc_opt "detail" ps)
+  | Ok _ -> Alcotest.fail "wrong shape"
+  | Error e -> Alcotest.failf "ok round-trip: %s" e);
+  let err =
+    P.Resp_error
+      {
+        err_kind = "overloaded";
+        err_detail = "queue depth 64";
+        err_retry_after = Some 0.05;
+      }
+  in
+  (match P.parse_response (P.render_response ~id:"r2" err) with
+  | Ok ("r2", P.Resp_error { err_kind; err_detail; err_retry_after }) ->
+      Alcotest.(check string) "kind" "overloaded" err_kind;
+      Alcotest.(check string) "detail" "queue depth 64" err_detail;
+      Alcotest.(check (option (float 1e-9))) "retry-after" (Some 0.05) err_retry_after
+  | Ok _ -> Alcotest.fail "wrong shape"
+  | Error e -> Alcotest.failf "error round-trip: %s" e);
+  let no_retry =
+    P.Resp_error { err_kind = "timeout"; err_detail = "x"; err_retry_after = None }
+  in
+  match P.parse_response (P.render_response ~id:"r3" no_retry) with
+  | Ok ("r3", P.Resp_error { err_retry_after; _ }) ->
+      Alcotest.(check (option (float 0.0))) "no retry-after" None err_retry_after
+  | _ -> Alcotest.fail "no-retry round-trip failed"
+
+let test_protocol_rejects_junk () =
+  let bad s =
+    match P.parse_request s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "parsed junk %S" s
+  in
+  bad "";
+  bad "only-an-id";
+  bad "id not-a-verb";
+  bad "id eval naked-no-equals";
+  (match P.decode "%zz" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "decoded bad escape");
+  Alcotest.(check bool) "empty not a token" false (P.is_token "");
+  Alcotest.(check bool) "space not a token" false (P.is_token "a b");
+  Alcotest.(check bool) "= not a token" false (P.is_token "k=v");
+  Alcotest.(check bool) "plain token ok" true (P.is_token "req-42");
+  let rq = { P.rq_id = "i"; rq_verb = P.Eval; rq_params = [ ("n", "junk"); ("d", "nan") ] } in
+  (match P.int_param rq "n" ~default:1 with
+  | Error msg ->
+      Alcotest.(check bool) "int error names key" true
+        (Astring.String.is_infix ~affix:"n" msg)
+  | Ok _ -> Alcotest.fail "accepted junk int");
+  (match P.float_param rq "d" ~default:1.0 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted non-finite float");
+  match P.int_param rq "absent" ~default:7 with
+  | Ok 7 -> ()
+  | _ -> Alcotest.fail "default not applied"
+
+(* --- Cache ------------------------------------------------------------------ *)
+
+let entry ?(checksum = 1.5) key =
+  {
+    Cache.e_key = key;
+    e_verdict = "proved";
+    e_flops = 1000;
+    e_params = 10;
+    e_elements = 64;
+    e_checksum = checksum;
+    e_cold_seconds = 0.25;
+  }
+
+let test_cache_lru_eviction () =
+  let c = Cache.create ~capacity:2 () in
+  Cache.put c (entry "a");
+  Cache.put c (entry "b");
+  (* Touch "a" so "b" is the least recently used when "c" arrives. *)
+  Alcotest.(check bool) "hit a" true (Cache.find c "a" <> None);
+  Cache.put c (entry "c");
+  Alcotest.(check bool) "b evicted" true (Cache.find c "b" = None);
+  Alcotest.(check bool) "a retained" true (Cache.find c "a" <> None);
+  Alcotest.(check bool) "c present" true (Cache.find c "c" <> None);
+  Alcotest.(check int) "one eviction" 1 (Cache.evictions c);
+  Alcotest.(check int) "size bounded" 2 (Cache.size c)
+
+let test_cache_persistence_roundtrip () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "cache.snap" in
+      let c, report = Cache.open_file ~capacity:8 ~every:1 path in
+      Alcotest.(check int) "fresh file loads nothing" 0 report.Cache.or_loaded;
+      (* A checksum with no short decimal form must survive the %h
+         round-trip bit-for-bit. *)
+      Cache.put c (entry ~checksum:(1.0 /. 3.0) "op-a@v1");
+      Cache.put c (entry "op-b@v1");
+      Cache.flush c;
+      let c2, report2 = Cache.open_file ~capacity:8 path in
+      Alcotest.(check int) "both entries load" 2 report2.Cache.or_loaded;
+      Alcotest.(check bool) "no quarantine" true (report2.Cache.or_quarantined = None);
+      match Cache.find c2 "op-a@v1" with
+      | Some e ->
+          Alcotest.(check (float 0.0)) "checksum bit-exact" (1.0 /. 3.0) e.Cache.e_checksum;
+          Alcotest.(check string) "verdict" "proved" e.Cache.e_verdict
+      | None -> Alcotest.fail "persisted entry missing")
+
+let test_cache_quarantines_garbage () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "cache.snap" in
+      let oc = open_out path in
+      output_string oc "this is not a cache snapshot\n";
+      close_out oc;
+      let c, report = Cache.open_file path in
+      Alcotest.(check int) "nothing loaded" 0 report.Cache.or_loaded;
+      (match report.Cache.or_quarantined with
+      | Some (_, Cache.Bad_header _) -> ()
+      | Some (_, e) -> Alcotest.failf "wrong error: %s" (Cache.string_of_error e)
+      | None -> Alcotest.fail "garbage not quarantined");
+      Alcotest.(check bool) "moved aside" true (Sys.file_exists (path ^ ".corrupt"));
+      (* The daemon keeps serving with a fresh cache on the same path. *)
+      Cache.put c (entry "fresh");
+      Cache.flush c;
+      let _, report3 = Cache.open_file path in
+      Alcotest.(check int) "fresh snapshot readable" 1 report3.Cache.or_loaded)
+
+let test_cache_detects_truncation () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "cache.snap" in
+      let c, _ = Cache.open_file path in
+      Cache.put c (entry "a");
+      Cache.put c (entry "b");
+      Cache.flush c;
+      let ic = open_in_bin path in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      (* Claim more entries than the file carries, as a crash that lost
+         the tail would. *)
+      let lying =
+        match Astring.String.cut ~sep:"entries: 2" text with
+        | Some (before, after) -> before ^ "entries: 5" ^ after
+        | None -> Alcotest.fail "snapshot missing its count line"
+      in
+      let oc = open_out_bin path in
+      output_string oc lying;
+      close_out oc;
+      let _, report = Cache.open_file path in
+      match report.Cache.or_quarantined with
+      | Some (_, Cache.Truncated { expected = 5; found = 2 }) -> ()
+      | Some (_, e) -> Alcotest.failf "wrong error: %s" (Cache.string_of_error e)
+      | None -> Alcotest.fail "truncation not detected")
+
+(* --- Admission -------------------------------------------------------------- *)
+
+let test_admission_sheds_on_depth_and_bytes () =
+  let q = Admission.create { Admission.max_depth = 2; max_bytes = 100; retry_after = 0.25 } in
+  Alcotest.(check bool) "first admitted" true (Admission.offer q ~bytes:10 1 = Ok ());
+  Alcotest.(check bool) "second admitted" true (Admission.offer q ~bytes:10 2 = Ok ());
+  (match Admission.offer q ~bytes:10 3 with
+  | Error shed ->
+      Alcotest.(check int) "reports depth" 2 shed.Admission.sh_depth;
+      Alcotest.(check (float 0.0)) "echoes retry-after" 0.25 shed.Admission.sh_retry_after
+  | Ok () -> Alcotest.fail "third must shed on depth");
+  (* A worker taking one frees a depth slot, but bytes stay in flight
+     until completion. *)
+  Alcotest.(check bool) "take" true (Admission.take q = Some 1);
+  (match Admission.offer q ~bytes:95 4 with
+  | Error shed -> Alcotest.(check int) "bytes pressure reported" 20 shed.Admission.sh_bytes
+  | Ok () -> Alcotest.fail "must shed on bytes");
+  Alcotest.(check bool) "small one fits" true (Admission.offer q ~bytes:5 5 = Ok ());
+  Admission.complete q ~bytes:10;
+  Alcotest.(check int) "completion releases bytes" 15 (Admission.inflight_bytes q);
+  Alcotest.(check int) "sheds counted" 2 (Admission.shed_count q);
+  Alcotest.(check int) "admissions counted" 3 (Admission.admitted_count q)
+
+let test_admission_close_drains () =
+  let q = Admission.create { Admission.max_depth = 8; max_bytes = 100; retry_after = 0.1 } in
+  Alcotest.(check bool) "admitted" true (Admission.offer q ~bytes:1 1 = Ok ());
+  Alcotest.(check bool) "admitted" true (Admission.offer q ~bytes:1 2 = Ok ());
+  Admission.close q;
+  (match Admission.offer q ~bytes:1 3 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "closed queue must shed");
+  Alcotest.(check bool) "drains first" true (Admission.take q = Some 1);
+  Alcotest.(check bool) "drains second" true (Admission.take q = Some 2);
+  Alcotest.(check bool) "then signals exit" true (Admission.take q = None);
+  let q2 = Admission.create Admission.default_config in
+  Alcotest.(check bool) "admitted" true (Admission.offer q2 ~bytes:1 1 = Ok ());
+  Admission.close ~discard:true q2;
+  Alcotest.(check bool) "discard drops queued work" true (Admission.take q2 = None)
+
+(* --- End-to-end daemon ------------------------------------------------------ *)
+
+let daemon_config dir =
+  {
+    (Server.default_config ~socket:(Filename.concat dir "sock")) with
+    Server.cache_path = Some (Filename.concat dir "cache.snap");
+    cache_every = 1;
+    corpus_path = Some (Filename.concat dir "bugs.corpus");
+    workers = 1;
+    guard = Robust.Guard.policy ~retries:0 ~backoff:0.0 ();
+  }
+
+let with_daemon cfg f =
+  let d = Domain.spawn (fun () -> Server.run ~signals:false cfg) in
+  let conn =
+    match Client.connect ~timeout:10.0 cfg.Server.socket_path with
+    | Ok c -> c
+    | Error e ->
+        ignore (Domain.join d);
+        Alcotest.failf "connect: %s" e
+  in
+  let finish () =
+    (match Client.call ~timeout:10.0 conn { P.rq_id = "drain"; rq_verb = P.Drain; rq_params = [] } with
+    | Ok (P.Resp_ok _) -> ()
+    | Ok (P.Resp_error { err_kind; _ }) -> Alcotest.failf "drain refused: %s" err_kind
+    | Error e -> Alcotest.failf "drain: %s" e);
+    Client.close conn;
+    Domain.join d
+  in
+  let result =
+    try f conn
+    with e ->
+      (try ignore (finish ()) with _ -> ());
+      raise e
+  in
+  let code = finish () in
+  Alcotest.(check int) "daemon drains to exit 0" 0 code;
+  result
+
+let call conn ?(params = []) id verb =
+  match Client.call ~timeout:30.0 conn { P.rq_id = id; rq_verb = verb; rq_params = params } with
+  | Ok resp -> resp
+  | Error e -> Alcotest.failf "call %s: %s" id e
+
+let ok_param resp key =
+  match resp with
+  | P.Resp_ok ps -> List.assoc_opt key ps
+  | P.Resp_error { err_kind; err_detail; _ } ->
+      Alcotest.failf "unexpected error %s (%s)" err_kind err_detail
+
+let err_kind = function
+  | P.Resp_error { err_kind; _ } -> err_kind
+  | P.Resp_ok _ -> Alcotest.fail "expected a typed error"
+
+let test_daemon_eval_cache_and_errors () =
+  with_temp_dir (fun dir ->
+      with_daemon (daemon_config dir) (fun conn ->
+          (* Cold, then cached. *)
+          let cold = call conn ~params:[ ("op", "conv1x1") ] "e1" P.Eval in
+          Alcotest.(check (option string)) "cold" (Some "0") (ok_param cold "cached");
+          Alcotest.(check bool) "verdict present" true (ok_param cold "verdict" <> None);
+          let warm = call conn ~params:[ ("op", "conv1x1") ] "e2" P.Eval in
+          Alcotest.(check (option string)) "cached" (Some "1") (ok_param warm "cached");
+          Alcotest.(check (option string)) "same checksum" (ok_param cold "checksum")
+            (ok_param warm "checksum");
+          (* Unknown operator and junk parameters die as bad_request. *)
+          Alcotest.(check string) "unknown op" "bad_request"
+            (err_kind (call conn ~params:[ ("op", "no-such-op") ] "e3" P.Eval));
+          Alcotest.(check string) "junk valuation" "bad_request"
+            (err_kind (call conn ~params:[ ("op", "conv1x1"); ("n", "junk") ] "e4" P.Eval));
+          (* An unmeetable deadline is a typed timeout, not a hang. *)
+          Alcotest.(check string) "timeout"
+            "timeout"
+            (err_kind
+               (call conn
+                  ~params:[ ("op", "conv2d"); ("cache", "0"); ("deadline", "0.000001") ]
+                  "e5" P.Eval));
+          (* Daemon still serving afterwards. *)
+          (match call conn "p1" P.Ping with
+          | P.Resp_ok _ -> ()
+          | P.Resp_error _ -> Alcotest.fail "ping after timeout");
+          (* Status reflects the traffic. *)
+          let st = call conn "s1" P.Status in
+          (match ok_param st "cache_hits" with
+          | Some h -> Alcotest.(check bool) "hits counted" true (int_of_string h >= 1)
+          | None -> Alcotest.fail "status missing cache_hits");
+          Alcotest.(check (option string)) "not draining" (Some "0") (ok_param st "draining")))
+
+let test_daemon_poison_and_replay () =
+  with_temp_dir (fun dir ->
+      with_daemon (daemon_config dir) (fun conn ->
+          let poisoned =
+            call conn
+              ~params:
+                [ ("op", "conv1x1"); ("cache", "0"); ("fault_backend", "einsum");
+                  ("fault_rate", "1"); ("fault_seed", "3") ]
+              "p1" P.Eval
+          in
+          Alcotest.(check string) "typed poison" "backend_mismatch" (err_kind poisoned);
+          (match call conn "p2" P.Ping with
+          | P.Resp_ok _ -> ()
+          | P.Resp_error _ -> Alcotest.fail "daemon died with the request");
+          (* The poisoned operator was distilled: a fault-free
+             re-encounter is rejected by corpus replay before any
+             evaluation. *)
+          let replay = call conn ~params:[ ("op", "conv1x1"); ("cache", "0") ] "p3" P.Eval in
+          Alcotest.(check string) "replay rejects" "counterexample" (err_kind replay)))
+
+let test_daemon_warm_restart () =
+  with_temp_dir (fun dir ->
+      let cfg = daemon_config dir in
+      with_daemon cfg (fun conn ->
+          let cold = call conn ~params:[ ("op", "conv1x1") ] "w1" P.Eval in
+          Alcotest.(check (option string)) "first life: cold" (Some "0")
+            (ok_param cold "cached"));
+      (* Second life, same cache file: the first request is already
+         warm. *)
+      with_daemon cfg (fun conn ->
+          let st = call conn "w2" P.Status in
+          (match ok_param st "cache_loaded" with
+          | Some n -> Alcotest.(check bool) "snapshot loaded" true (int_of_string n >= 1)
+          | None -> Alcotest.fail "status missing cache_loaded");
+          let warm = call conn ~params:[ ("op", "conv1x1") ] "w3" P.Eval in
+          Alcotest.(check (option string)) "second life: warm" (Some "1")
+            (ok_param warm "cached")))
+
+let test_daemon_external_cancel_drains () =
+  with_temp_dir (fun dir ->
+      let cfg = { (daemon_config dir) with Server.cache_path = None; corpus_path = None } in
+      let cancel = Robust.Cancel.create () in
+      let d = Domain.spawn (fun () -> Server.run ~signals:false ~cancel cfg) in
+      (match Client.connect ~timeout:10.0 cfg.Server.socket_path with
+      | Ok conn ->
+          (match call conn "c1" P.Ping with
+          | P.Resp_ok _ -> ()
+          | P.Resp_error _ -> Alcotest.fail "ping");
+          Robust.Cancel.cancel ~reason:"test shutdown" cancel;
+          Client.close conn
+      | Error e ->
+          ignore (Domain.join d);
+          Alcotest.failf "connect: %s" e);
+      Alcotest.(check int) "external cancel drains to 0" 0 (Domain.join d))
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "request round-trip" `Quick test_protocol_request_roundtrip;
+          Alcotest.test_case "response round-trip" `Quick test_protocol_response_roundtrip;
+          Alcotest.test_case "junk rejected" `Quick test_protocol_rejects_junk;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "LRU eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "persistence round-trip" `Quick test_cache_persistence_roundtrip;
+          Alcotest.test_case "garbage quarantined" `Quick test_cache_quarantines_garbage;
+          Alcotest.test_case "truncation detected" `Quick test_cache_detects_truncation;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "sheds on depth and bytes" `Quick
+            test_admission_sheds_on_depth_and_bytes;
+          Alcotest.test_case "close drains, discard drops" `Quick test_admission_close_drains;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "eval, cache, typed errors" `Quick
+            test_daemon_eval_cache_and_errors;
+          Alcotest.test_case "poison containment + replay" `Quick
+            test_daemon_poison_and_replay;
+          Alcotest.test_case "warm restart from snapshot" `Quick test_daemon_warm_restart;
+          Alcotest.test_case "external cancel drains" `Quick
+            test_daemon_external_cancel_drains;
+        ] );
+    ]

@@ -300,6 +300,39 @@ let test_coordinator_crash_restart () =
         (List.length r.Coordinator.rp_merge.Shard.mr_entries);
       Alcotest.(check bool) "not interrupted" false r.Coordinator.rp_interrupted)
 
+(* The coordinator opens a heartbeat pipe per forked attempt; across
+   crash/restart cycles every descriptor must be reclaimed (parent
+   closes the read end on retire, children close sibling read ends, and
+   a failed fork closes both).  A leak here is invisible in a single
+   run and fatal in a long-lived daemon, so pin the process-wide fd
+   count across repeated cycles. *)
+let count_fds () = Array.length (Sys.readdir "/proc/self/fd")
+
+let test_coordinator_fd_hygiene () =
+  if not (Sys.file_exists "/proc/self/fd") then ()
+  else
+    with_tmp_base (fun base ->
+        let body (ctx : Coordinator.ctx) =
+          if ctx.Coordinator.attempt = 0 then failwith "injected crash"
+          else save_shard ctx.Coordinator.assignment 0.5
+        in
+        let cycle () =
+          let r = Coordinator.run ~config:(quick_config ()) ~base ~seed:3 ~body () in
+          List.iter
+            (fun s ->
+              Alcotest.(check bool) "shard done" true (is_done s.Coordinator.sh_status))
+            r.Coordinator.rp_shards
+        in
+        (* Warm-up cycle first so one-time lazy allocations don't count
+           against the comparison. *)
+        cycle ();
+        let before = count_fds () in
+        for _ = 1 to 5 do
+          cycle ()
+        done;
+        Alcotest.(check int) "fd count unchanged after 5 crash/restart cycles" before
+          (count_fds ()))
+
 let test_coordinator_heartbeat_kill () =
   with_tmp_base (fun base ->
       (* First attempt hangs without heartbeating; the supervisor must
@@ -469,6 +502,8 @@ let () =
         [
           Alcotest.test_case "crash restarts and resumes" `Quick
             test_coordinator_crash_restart;
+          Alcotest.test_case "fd hygiene across restart cycles" `Quick
+            test_coordinator_fd_hygiene;
           Alcotest.test_case "heartbeat silence kills" `Quick test_coordinator_heartbeat_kill;
           Alcotest.test_case "deadline kills" `Quick test_coordinator_deadline_kill;
           Alcotest.test_case "restart budget exhausts to Failed" `Quick
