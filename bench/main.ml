@@ -5,7 +5,8 @@
      dune exec bench/main.exe fig5      -- one experiment
      dune exec bench/main.exe check    -- validate every BENCH_*.json
      (experiments: fig5 fig6 fig8 fig9 fig10 tab3 ablation micro par robust
-      validate analysis cancel shard cegis, plus *-smoke variants for CI)
+      validate analysis cancel shard cegis serve kernel, plus *-smoke
+      variants for CI)
 
    Paper-reported numbers are printed alongside the measured ones; the
    hardware/datasets are simulated (see DESIGN.md), so the comparison
@@ -1957,6 +1958,227 @@ let serve_bench ~smoke () =
     exit 1
   end
 
+(* --- Proof-guided kernel specialization ---------------------------------------- *)
+
+(* Gates the specializing compiler end to end: over the whole catalog,
+   the certified specialized executor must compute bit-identical
+   outputs to the staged interpreter while beating the best interpreter
+   (einsum program or staged) by >= 1.5x geomean in the full run (the
+   smoke gate is no-regression, >= 1.0x — CI machines are noisy);
+   certificate construction plus translation validation allocates zero
+   tensors; and 100% of seeded plan corruptions are rejected by
+   Certify, including the three execution-invisible ones that still
+   compute bit-identical outputs when run.  Emits BENCH_kernel.json;
+   the smoke variant runs inside `dune runtest` via the kernel-smoke
+   alias. *)
+
+let kernel_bench ~smoke () =
+  section
+    (Printf.sprintf "Proof-guided kernel specialization (Lower.Specialize)%s"
+       (if smoke then " [smoke]" else ""));
+  let module Verify = Analysis.Verify in
+  let module Regions = Analysis.Regions in
+  let module Certify = Analysis.Certify in
+  let module Staged = Lower.Staged_exec in
+  let module Specialize = Lower.Specialize in
+  let conv_v =
+    if smoke then Zoo.Vars.conv_valuation ~n:1 ~c_in:8 ~c_out:8 ~hw:10 ~k:3 ~g:2 ~s:2 ()
+    else Zoo.Vars.conv_valuation ~n:1 ~c_in:32 ~c_out:32 ~hw:28 ~k:3 ~g:2 ~s:2 ()
+  in
+  let matmul_v =
+    if smoke then Zoo.Vars.matmul_valuation ~m:6 ~n:5 ~k:7
+    else Zoo.Vars.matmul_valuation ~m:64 ~n:64 ~k:64
+  in
+  let repeats = if smoke then 3 else 10 in
+  let bits t =
+    Array.map Int64.bits_of_float (Nd.Tensor.unsafe_data (Nd.Tensor.copy t))
+  in
+  (* The warm-up run also sizes the repeat count: slow interpreter
+     baselines (full-shape einsum materializes the whole gather) get
+     fewer repeats so the full run stays in minutes, fast kernels get
+     the full count for a stable mean. *)
+  let mean_seconds f =
+    let _, t_warm = time (fun () -> ignore (f ())) in
+    let reps =
+      max 1 (min repeats (int_of_float (0.6 /. Float.max 1e-9 t_warm)))
+    in
+    let (), t = time (fun () -> for _ = 1 to reps do ignore (f ()) done) in
+    t /. float_of_int reps
+  in
+  (* 1) Per-operator: compile all three executors, certify the plan,
+     time each forward, and require bit-identity spec vs staged. *)
+  let cases =
+    List.filter_map
+      (fun (e : Zoo.entry) ->
+        let op = e.Zoo.operator in
+        let v =
+          if Option.is_some (Verify.program_opt op conv_v) then conv_v else matmul_v
+        in
+        let staged = Staged.compile op v in
+        let cert = Regions.of_staged staged in
+        match Certify.compile staged cert.Regions.rc_plan with
+        | Error k ->
+            note "%-28s certification REJECTED: %s" e.Zoo.name (Robust.Guard.kind_label k);
+            Some (e.Zoo.name, staged, cert, None)
+        | Ok sp -> Some (e.Zoo.name, staged, cert, Some sp))
+      Zoo.all
+  in
+  let results =
+    List.map
+      (fun (name, staged, cert, sp) ->
+        let op = Staged.operator staged and v = Staged.valuation staged in
+        let compiled = Staged.reference staged in
+        let rng = Nd.Rng.create ~seed:17 in
+        let input =
+          Nd.Tensor.rand_uniform rng ~lo:(-1.0) ~hi:1.0
+            (Lower.Reference.input_shape compiled)
+        in
+        let weights = Lower.Reference.init_weights compiled rng in
+        let ep = Lower.Einsum_program.compile op v in
+        let t_einsum =
+          mean_seconds (fun () -> Lower.Einsum_program.forward ep ~input ~weights)
+        in
+        let t_staged = mean_seconds (fun () -> Staged.forward staged ~input ~weights) in
+        match sp with
+        | None -> (name, cert, t_einsum, t_staged, None, false)
+        | Some sp ->
+            let t_spec = mean_seconds (fun () -> Specialize.forward sp ~input ~weights) in
+            let identical =
+              bits (Staged.forward staged ~input ~weights)
+              = bits (Specialize.forward sp ~input ~weights)
+            in
+            (name, cert, t_einsum, t_staged, Some t_spec, identical))
+      cases
+  in
+  let speedups =
+    List.filter_map
+      (fun (name, cert, t_einsum, t_staged, t_spec, identical) ->
+        match t_spec with
+        | None -> None
+        | Some t_spec ->
+            let best = Float.min t_einsum t_staged in
+            let s = best /. Float.max 1e-12 t_spec in
+            note "%-28s einsum %8.3f ms  staged %8.3f ms  spec %8.3f ms  %5.2fx  \
+                  interior %.3f%s"
+              name (1000.0 *. t_einsum) (1000.0 *. t_staged) (1000.0 *. t_spec) s
+              cert.Regions.rc_interior_fraction
+              (if identical then "" else "  NOT BIT-IDENTICAL");
+            Some s)
+      results
+  in
+  let all_identical =
+    List.for_all (fun (_, _, _, _, sp, id) -> sp = None || id) results
+  in
+  let all_specialized = List.for_all (fun (_, _, _, _, sp, _) -> sp <> None) results in
+  let geomean =
+    exp (List.fold_left (fun a s -> a +. log s) 0.0 speedups
+         /. float_of_int (max 1 (List.length speedups)))
+  in
+  let speedup_gate = if smoke then 1.0 else 1.5 in
+  let speedup_ok = geomean >= speedup_gate in
+  note "geomean speedup vs best interpreter over %d operators: %.2fx (gate >= %.1fx, %s)"
+    (List.length speedups) geomean speedup_gate
+    (if speedup_ok then "pass" else "FAIL");
+  (* 2) Certification is pure arithmetic: certificate construction plus
+     translation validation allocates zero tensors. *)
+  let alloc0 = Nd.Tensor.allocations () in
+  List.iter
+    (fun (_, staged, _, _) ->
+      let cert = Regions.of_staged staged in
+      ignore (Certify.validate staged cert.Regions.rc_plan))
+    cases;
+  let certify_allocs = Nd.Tensor.allocations () - alloc0 in
+  note "certificate + validation over the catalog: %d tensor allocations" certify_allocs;
+  (* 3) Seeded plan corruption: every applicable fault on every
+     operator must be rejected by translation validation; the
+     execution-invisible ones must also run bit-identically, proving
+     Certify is the only line of defense. *)
+  let faults =
+    [
+      Specialize.Overlap_strip; Specialize.Duplicate_strip; Specialize.Spurious_clip;
+      Specialize.Cover_gap;
+    ]
+  in
+  let seeded = ref 0 and rejected = ref 0 in
+  let invisible_checked = ref 0 and invisible_identical = ref 0 in
+  List.iter
+    (fun (_, staged, cert, sp) ->
+      List.iter
+        (fun fault ->
+          match Specialize.corrupt fault staged cert.Regions.rc_plan with
+          | None -> ()
+          | Some bad ->
+              incr seeded;
+              (match Certify.validate staged bad with
+              | Error (Robust.Guard.Static_violation _) -> incr rejected
+              | Error _ | Ok _ -> ());
+              if sp <> None && fault <> Specialize.Cover_gap then begin
+                incr invisible_checked;
+                let compiled = Staged.reference staged in
+                let rng = Nd.Rng.create ~seed:23 in
+                let input =
+                  Nd.Tensor.rand_uniform rng ~lo:(-1.0) ~hi:1.0
+                    (Lower.Reference.input_shape compiled)
+                in
+                let weights = Lower.Reference.init_weights compiled rng in
+                let corrupted = Specialize.compile staged bad in
+                if
+                  bits (Specialize.forward corrupted ~input ~weights)
+                  = bits (Staged.forward staged ~input ~weights)
+                then incr invisible_identical
+              end)
+        faults)
+    cases;
+  let faults_ok = !seeded > 0 && !rejected = !seeded in
+  let invisible_ok = !invisible_identical = !invisible_checked in
+  note "seeded plan corruptions: %d/%d rejected by Certify; %d/%d invisible faults \
+        executed bit-identically"
+    !rejected !seeded !invisible_identical !invisible_checked;
+  (* Trajectory file. *)
+  let oc = open_out "BENCH_kernel.json" in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"smoke\": %b,\n" smoke;
+  out "  \"zoo\": {\"operators\": %d, \"specialized\": %d, \"repeats\": %d, \"cases\": [\n"
+    (List.length results)
+    (List.length speedups)
+    repeats;
+  List.iteri
+    (fun i (name, cert, t_einsum, t_staged, t_spec, identical) ->
+      out
+        "    {\"name\": %S, \"einsum_ms\": %.4f, \"staged_ms\": %.4f, \"spec_ms\": %.4f, \
+         \"interior\": %.4f, \"strips\": %d, \"identical\": %b}%s\n"
+        name (1000.0 *. t_einsum) (1000.0 *. t_staged)
+        (match t_spec with Some t -> 1000.0 *. t | None -> -1.0)
+        cert.Regions.rc_interior_fraction (Regions.strips cert) identical
+        (if i = List.length results - 1 then "" else ",")
+    )
+    results;
+  out "  ]},\n";
+  out "  \"speedup\": {\"geomean\": %.4f, \"gate\": %.2f, \"pass\": %b, \"identical\": %b},\n"
+    geomean speedup_gate speedup_ok all_identical;
+  out "  \"certify\": {\"allocations\": %d, \"all_specialized\": %b},\n" certify_allocs
+    all_specialized;
+  out "  \"faults\": {\"seeded\": %d, \"rejected\": %d, \"invisible_checked\": %d, \
+       \"invisible_identical\": %d}\n"
+    !seeded !rejected !invisible_checked !invisible_identical;
+  out "}\n";
+  close_out oc;
+  note "wrote BENCH_kernel.json";
+  if not all_identical then
+    prerr_endline "a specialized kernel diverged bit-wise from the staged interpreter";
+  if not all_specialized then prerr_endline "a catalog operator failed certification";
+  if certify_allocs <> 0 then prerr_endline "certification allocated a tensor";
+  if not speedup_ok then prerr_endline "specialized kernels missed the speedup gate";
+  if not faults_ok then prerr_endline "a seeded plan corruption escaped Certify";
+  if not invisible_ok then
+    prerr_endline "an invisible fault was not actually execution-invisible";
+  if
+    not
+      (all_identical && all_specialized && certify_allocs = 0 && speedup_ok && faults_ok
+     && invisible_ok)
+  then exit 1
+
 (* --- bench check: trajectory-file validation ----------------------------------- *)
 
 (* `bench check` re-parses every BENCH_*.json in the working directory
@@ -2107,6 +2329,7 @@ let bench_required_keys =
     ("BENCH_shard.json", [ "smoke"; "determinism"; "corrupt"; "scaling" ]);
     ("BENCH_cegis.json", [ "smoke"; "hardening"; "replay_cost"; "shard" ]);
     ("BENCH_serve.json", [ "smoke"; "cache"; "overload"; "restart"; "poison"; "drain" ]);
+    ("BENCH_kernel.json", [ "smoke"; "zoo"; "speedup"; "certify"; "faults" ]);
   ]
 
 let bench_check () =
@@ -2179,6 +2402,8 @@ let experiments =
     ("cegis-smoke", cegis_bench ~smoke:true);
     ("serve", serve_bench ~smoke:false);
     ("serve-smoke", serve_bench ~smoke:true);
+    ("kernel", kernel_bench ~smoke:false);
+    ("kernel-smoke", kernel_bench ~smoke:true);
     ("check", bench_check);
   ]
 
@@ -2191,7 +2416,8 @@ let () =
           (fun n ->
             n <> "par-smoke" && n <> "robust-smoke" && n <> "validate-smoke"
             && n <> "analysis-smoke" && n <> "cancel-smoke" && n <> "shard-smoke"
-            && n <> "cegis-smoke" && n <> "serve-smoke" && n <> "check")
+            && n <> "cegis-smoke" && n <> "serve-smoke" && n <> "kernel-smoke"
+            && n <> "check")
           (List.map fst experiments)
   in
   let t0 = Unix.gettimeofday () in

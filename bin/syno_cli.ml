@@ -91,6 +91,17 @@ let file_path ~what =
         else Ok s),
       Format.pp_print_string )
 
+(* The --specialize mode: exactly the three values the proof-guided
+   specialization pipeline accepts; junk fails at parse time. *)
+let specialize_conv ~what =
+  Arg.conv
+    ( (fun s ->
+        match Api.specialize_mode_of_string s with
+        | Some m -> Ok m
+        | None ->
+            Error (`Msg (Printf.sprintf "%s: expected on, off or auto, got %S" what s))),
+      fun ppf m -> Format.pp_print_string ppf (Api.specialize_mode_to_string m) )
+
 (* Shared --domains flag: sizes the search's worker pool and the
    default pool used by the einsum/staged executors (0 = auto-detect). *)
 let domains_arg =
@@ -557,6 +568,7 @@ let search_cmd =
 
 (* One diagnostic per line, machine-readable:
      <operator> bounds proved | padded regions=N | violation: <detail>
+     <operator> regions verdict=... interior=... strips=N nests=N   (--regions)
      <operator> lint <rule> <severity>: <detail>
      <operator> rewrites checked=N approx=N unsound=N
      <operator> rewrite unsound: <detail>
@@ -567,7 +579,8 @@ let lint_cmd =
   let module Verify = Analysis.Verify in
   let module Lint = Analysis.Lint in
   let module Rewrite = Analysis.Rewrite in
-  let run name all valuation =
+  let module Regions = Analysis.Regions in
+  let run name all regions valuation =
     let targets =
       if all then Ok (List.map (fun e -> (e.Zoo.name, e.Zoo.operator)) Zoo.all)
       else
@@ -609,6 +622,12 @@ let lint_cmd =
                     failed := true;
                     Format.printf "%s bounds violation: %s@." name
                       (Verify.diagnostic_to_string d));
+                if regions then
+                  (match Regions.of_staged (Lower.Staged_exec.compile op v) with
+                  | exception _ -> Format.printf "%s regions skip@." name
+                  | cert ->
+                      Format.printf "%s regions %s@." name
+                        (Regions.summary_to_string cert));
                 List.iter
                   (fun f ->
                     if f.Lint.lint_severity = Lint.Error then failed := true;
@@ -630,6 +649,13 @@ let lint_cmd =
   let all_arg =
     Arg.(value & flag & info [ "all" ] ~doc:"Lint every operator in the built-in catalog.")
   in
+  let regions_arg =
+    Arg.(value & flag
+         & info [ "regions" ]
+             ~doc:"Also print each operator's iteration-space partition certificate — \
+                   verdict, interior fraction, border-strip count — one machine-readable \
+                   line per operator.")
+  in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
@@ -642,7 +668,7 @@ let lint_cmd =
                     rewrite is reported."
               1
          :: Cmd.Exit.defaults))
-    Term.(const run $ name_arg $ all_arg $ shape_args)
+    Term.(const run $ name_arg $ all_arg $ regions_arg $ shape_args)
 
 (* --- latency ------------------------------------------------------------------ *)
 
@@ -692,7 +718,7 @@ let latency_cmd =
 (* --- train ---------------------------------------------------------------------- *)
 
 let train_cmd =
-  let run name epochs lr seed domains clip_norm =
+  let run name epochs lr seed domains clip_norm specialize =
     match resolve name with
     | Error e ->
         prerr_endline e;
@@ -707,8 +733,8 @@ let train_cmd =
         in
         Format.printf "training %s on the synthetic vision task...@." name;
         let h =
-          Api.train_entry ~epochs ~lr ?clip_norm ~rng:(Nd.Rng.create ~seed:(seed + 1)) entry
-            data
+          Api.train_entry ~epochs ~lr ?clip_norm ~specialize
+            ~rng:(Nd.Rng.create ~seed:(seed + 1)) entry data
         in
         List.iteri
           (fun i (loss, acc) ->
@@ -741,15 +767,24 @@ let train_cmd =
          & info [ "clip-norm" ]
              ~doc:"Clip the global gradient norm to this value each step (> 0).")
   in
+  let specialize_arg =
+    Arg.(value & opt (specialize_conv ~what:"--specialize") `Off
+         & info [ "specialize" ] ~docv:"MODE"
+             ~doc:"Run the proxy forward pass through the certified specialized kernel: \
+                   $(b,on), $(b,off), or $(b,auto).  The interpreter is the fallback \
+                   whenever certification declines the operator.")
+  in
   Cmd.v
     (Cmd.info "train" ~doc:"Train a proxy model with the operator substituted.")
-    Term.(const run $ name_arg $ epochs_arg $ lr_arg $ seed_arg $ domains_arg $ clip_arg)
+    Term.(const run $ name_arg $ epochs_arg $ lr_arg $ seed_arg $ domains_arg $ clip_arg
+          $ specialize_arg)
 
 (* --- serve --------------------------------------------------------------------- *)
 
 let serve_cmd =
   let run socket cache cache_capacity cache_every corpus max_queue max_inflight_bytes
-      deadline max_deadline retry_after workers max_connections drain_grace retries =
+      deadline max_deadline retry_after workers max_connections drain_grace retries
+      specialize =
     let cfg =
       {
         (Serve.Server.default_config ~socket) with
@@ -766,6 +801,7 @@ let serve_cmd =
         max_connections;
         drain_grace;
         guard = Robust.Guard.policy ~retries ~backoff:0.005 ~jitter:0.5 ();
+        specialize;
       }
     in
     Serve.Server.run
@@ -836,6 +872,14 @@ let serve_cmd =
     Arg.(value & opt (bounded_int ~what:"--retries" ~min:0) 1
          & info [ "retries" ] ~doc:"Retries per failed request evaluation (>= 0).")
   in
+  let specialize_arg =
+    Arg.(value & opt (specialize_conv ~what:"--specialize") `Auto
+         & info [ "specialize" ] ~docv:"MODE"
+             ~doc:"Whether cold evaluations also time the certified specialized kernel: \
+                   $(b,on) (a certification failure is a typed reject), $(b,off), or \
+                   $(b,auto) (skip silently when certification declines).  The measured \
+                   time lands in the cache and the $(b,spec) response parameter.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -850,7 +894,7 @@ let serve_cmd =
          :: Cmd.Exit.defaults))
     Term.(const run $ socket $ cache $ cache_capacity $ cache_every $ corpus $ max_queue
           $ max_inflight_bytes $ deadline $ max_deadline $ retry_after $ workers
-          $ max_connections $ drain_grace $ retries)
+          $ max_connections $ drain_grace $ retries $ specialize_arg)
 
 (* --- client -------------------------------------------------------------------- *)
 

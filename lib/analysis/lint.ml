@@ -224,6 +224,26 @@ let check_degenerate_reductions ~valuations (op : Graph.operator) =
       else None)
     op.Graph.op_reductions
 
+(* A certificate whose interior fraction is 0 means the specializer
+   has no checkless region at all: every element of every loop nest
+   runs the guarded border path, so specialization degenerates to the
+   interpreter plus partitioning overhead.  Legal, but a sign the
+   candidate is all padding (or that the interval analysis lost it). *)
+let check_all_border ~valuations (op : Graph.operator) =
+  List.filter_map
+    (fun v ->
+      match Regions.of_staged (Lower.Staged_exec.compile op v) with
+      | exception _ -> None
+      | cert ->
+          if cert.Regions.rc_interior_fraction = 0.0 then
+            Some
+              (finding "all-border" Warning
+                 (Printf.sprintf
+                    "certificate has interior fraction 0 (%s): every element takes the guarded border path; specialization cannot help"
+                    (Regions.summary_to_string cert)))
+          else None)
+    valuations
+
 let check_cost_drift ~valuations (op : Graph.operator) =
   List.concat_map
     (fun v ->
@@ -251,4 +271,5 @@ let check ?(valuations = []) (op : Graph.operator) =
   check_unknown_iterators op @ check_dead_axes op @ check_futile_reductions op
   @ check_trace ~valuations op
   @ check_degenerate_reductions ~valuations op
+  @ check_all_border ~valuations op
   @ check_cost_drift ~valuations op

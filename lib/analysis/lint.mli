@@ -19,6 +19,10 @@
     - [unreduced-expand]: an [Expand] deleted a dimension whose
       iterators then never reach a weight (spatial) or a second tensor
       (reduction), so the expansion only replicates or scales;
+    - [all-border]: the {!Regions} certificate has interior fraction 0
+      under some valuation — every element of every loop nest takes
+      the guarded border path, so proof-guided specialization
+      degenerates to the interpreter plus partitioning overhead;
     - [trace-mismatch]: the recorded trace does not replay;
     - [cost-drift]: the lint pass's own independent FLOPs/elements
       recomputation disagrees with [Pgraph.Flops] (cross-checking the

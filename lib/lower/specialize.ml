@@ -1,0 +1,705 @@
+module Ast = Coord.Ast
+module Tensor = Nd.Tensor
+module Staged = Staged_exec
+
+(* A partition certificate piece: an axis-aligned sub-box of one loop
+   nest's enumerable position space ([pc_lo]/[pc_hi] inclusive, one
+   entry per positional axis), plus the set of accesses that may clip
+   inside it.  An interior piece carries an empty clip set and runs the
+   checkless fast path; a border piece guards exactly the listed
+   accesses and nothing else. *)
+type piece = {
+  pc_lo : int array;
+  pc_hi : int array;
+  pc_interior : bool;
+  pc_clips : int list;
+}
+
+type partition = piece list
+type plan = partition array
+
+type fault = Overlap_strip | Duplicate_strip | Spurious_clip | Cover_gap
+
+let fault_to_string = function
+  | Overlap_strip -> "overlap-strip"
+  | Duplicate_strip -> "duplicate-strip"
+  | Spurious_clip -> "spurious-clip"
+  | Cover_gap -> "cover-gap"
+
+let piece_volume p =
+  let v = ref 1 in
+  Array.iteri (fun i lo -> v := !v * (p.pc_hi.(i) - lo + 1)) p.pc_lo;
+  !v
+
+(* --- Compiled form -------------------------------------------------------- *)
+
+(* Row-major strides for a dims array. *)
+let strides_of extents =
+  let n = Array.length extents in
+  let s = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    s.(i) <- s.(i + 1) * extents.(i + 1)
+  done;
+  s
+
+type stage_meta = {
+  sm_sym : Staged.stage_sym;
+  sm_total : int;
+  sm_wstrides : int array;
+  sm_consts : int array;  (* per participating factor: constant offset part *)
+  sm_axis_coefs : int array array;  (* per factor, per axis: offset per unit position *)
+  sm_rcoefs : int array;  (* per factor: offset per unit reduction step *)
+  sm_pieces : piece array;
+  sm_checks : bool array array array;  (* per piece, per factor, per use *)
+}
+
+type ffac = {
+  ff_const : int;  (* affine dims: constant offset part *)
+  ff_out : int array;  (* affine dims: offset per unit of each output axis *)
+  ff_red : int array;  (* affine dims: offset per unit of each reduction axis *)
+  ff_red_step : int;  (* offset per unit of the innermost reduction axis *)
+  ff_dyn : ((int array -> int) * int * int) array;
+      (* non-affine dims over output iterators only: (eval, lo, stride) *)
+  ff_red_dyn : bool;  (* some non-affine dim mentions a reduction iterator *)
+  ff_dims : ((int array -> int) * int * int * int) array;
+      (* every dim, staged order: (eval, window lo, window extent, stride) *)
+}
+
+type final_meta = {
+  fm_sym : Staged.final_sym;
+  fm_red_total : int;
+  fm_wstrides : int array;
+  fm_pieces : piece array;
+  fm_checks : bool array array array;
+  fm_factors : ffac array;
+  fm_dyn : bool;
+}
+
+type t = {
+  sp_staged : Staged.t;
+  sp_plan : plan;
+  sp_stages : stage_meta array;
+  sp_final : final_meta;
+}
+
+let staged t = t.sp_staged
+let plan t = t.sp_plan
+
+(* Translate a piece's flat clip set into per-(factor, use) check
+   flags, given the per-factor use counts. *)
+let checks_of_clips counts clips =
+  let flags = Array.map (fun n -> Array.make n false) counts in
+  List.iter
+    (fun idx ->
+      let rec place f idx =
+        if f < Array.length counts then
+          if idx < counts.(f) then flags.(f).(idx) <- true else place (f + 1) (idx - counts.(f))
+      in
+      place 0 idx)
+    clips;
+  flags
+
+let validate_partition ~what ~axes pieces =
+  List.iter
+    (fun p ->
+      if Array.length p.pc_lo <> Array.length axes || Array.length p.pc_hi <> Array.length axes
+      then invalid_arg (Printf.sprintf "Specialize.compile: %s: piece rank mismatch" what);
+      Array.iteri
+        (fun i lo ->
+          if lo < 0 || p.pc_hi.(i) >= axes.(i) || lo > p.pc_hi.(i) then
+            invalid_arg (Printf.sprintf "Specialize.compile: %s: piece out of box" what))
+        p.pc_lo)
+    pieces
+
+let rec affine = function
+  | Ast.Div _ | Ast.Mod _ -> false
+  | Ast.Add (a, b) | Ast.Sub (a, b) -> affine a && affine b
+  | Ast.Mul (_, e) -> affine e
+  | Ast.Iter _ | Ast.Const _ | Ast.Size_const _ -> true
+
+let compile staged plan =
+  let syms, fsym = Staged.symbolic_plan staged in
+  let n_nests = List.length syms + 1 in
+  if Array.length plan <> n_nests then
+    invalid_arg
+      (Printf.sprintf "Specialize.compile: plan has %d partitions, executor has %d nests"
+         (Array.length plan) n_nests);
+  let lookup = Shape.Valuation.lookup (Staged.valuation staged) in
+  let stage_metas =
+    List.mapi
+      (fun k sym ->
+        let pieces = plan.(k) in
+        validate_partition ~what:(Printf.sprintf "stage %d" k) ~axes:sym.Staged.ss_extents
+          pieces;
+        let counts = Array.map Array.length sym.Staged.ss_uses in
+        let n_axes = Array.length sym.Staged.ss_extents in
+        let consts = Array.map (fun _ -> 0) sym.Staged.ss_uses in
+        let axis_coefs = Array.map (fun _ -> Array.make n_axes 0) sym.Staged.ss_uses in
+        let rcoefs = Array.map (fun _ -> 0) sym.Staged.ss_uses in
+        Array.iteri
+          (fun fi uses ->
+            let fstrides = strides_of (Array.map (fun u -> u.Staged.u_extent) uses) in
+            Array.iteri
+              (fun j u ->
+                let s = fstrides.(j) in
+                let base =
+                  if u.Staged.u_slot >= 0 then sym.Staged.ss_lows.(u.Staged.u_slot)
+                  else u.Staged.u_base
+                in
+                consts.(fi) <- consts.(fi) + ((base - u.Staged.u_lo) * s);
+                if u.Staged.u_slot >= 0 then
+                  axis_coefs.(fi).(u.Staged.u_slot) <- axis_coefs.(fi).(u.Staged.u_slot) + s;
+                rcoefs.(fi) <- rcoefs.(fi) + (u.Staged.u_coef * s))
+              uses)
+          sym.Staged.ss_uses;
+        {
+          sm_sym = sym;
+          sm_total = Array.fold_left ( * ) 1 sym.Staged.ss_extents;
+          sm_wstrides = strides_of sym.Staged.ss_extents;
+          sm_consts = consts;
+          sm_axis_coefs = axis_coefs;
+          sm_rcoefs = rcoefs;
+          sm_pieces = Array.of_list pieces;
+          sm_checks =
+            Array.of_list (List.map (fun p -> checks_of_clips counts p.pc_clips) pieces);
+        })
+      syms
+  in
+  let fpieces = plan.(n_nests - 1) in
+  validate_partition ~what:"final" ~axes:fsym.Staged.fs_out_doms fpieces;
+  let out_ids = fsym.Staged.fs_out_ids and red_ids = fsym.Staged.fs_red_ids in
+  let m = Array.length out_ids and k = Array.length red_ids in
+  let env_size = fsym.Staged.fs_env_size in
+  let probe = Array.make env_size 0 in
+  let factors =
+    Array.map
+      (fun dims ->
+        let fstrides = strides_of (Array.map (fun (_, _, extent) -> extent) dims) in
+        let ff_const = ref 0 in
+        let ff_out = Array.make m 0 in
+        let ff_red = Array.make k 0 in
+        let ff_dyn = ref [] in
+        let ff_red_dyn = ref false in
+        let ff_dims =
+          Array.mapi
+            (fun j (expr, lo, extent) ->
+              let eval = Reference.compile_expr lookup expr in
+              let s = fstrides.(j) in
+              if affine expr then begin
+                Array.fill probe 0 env_size 0;
+                let c0 = eval probe in
+                ff_const := !ff_const + ((c0 - lo) * s);
+                List.iter
+                  (fun (it : Ast.iter) ->
+                    probe.(it.Ast.id) <- 1;
+                    let c = eval probe - c0 in
+                    probe.(it.Ast.id) <- 0;
+                    Array.iteri (fun a id -> if id = it.Ast.id then ff_out.(a) <- ff_out.(a) + (c * s)) out_ids;
+                    Array.iteri (fun a id -> if id = it.Ast.id then ff_red.(a) <- ff_red.(a) + (c * s)) red_ids)
+                  (List.sort_uniq
+                     (fun (a : Ast.iter) b -> compare a.Ast.id b.Ast.id)
+                     (Ast.iters expr))
+              end
+              else begin
+                let mentions_red =
+                  List.exists
+                    (fun (it : Ast.iter) -> Array.exists (fun id -> id = it.Ast.id) red_ids)
+                    (Ast.iters expr)
+                in
+                if mentions_red then ff_red_dyn := true
+                else ff_dyn := (eval, lo, s) :: !ff_dyn
+              end;
+              (eval, lo, extent, s))
+            dims
+        in
+        {
+          ff_const = !ff_const;
+          ff_out;
+          ff_red;
+          ff_red_step = (if k = 0 then 0 else ff_red.(k - 1));
+          ff_dyn = Array.of_list (List.rev !ff_dyn);
+          ff_red_dyn = !ff_red_dyn;
+          ff_dims;
+        })
+      fsym.Staged.fs_factors
+  in
+  let counts = Array.map Array.length fsym.Staged.fs_factors in
+  {
+    sp_staged = staged;
+    sp_plan = plan;
+    sp_stages = Array.of_list stage_metas;
+    sp_final =
+      {
+        fm_sym = fsym;
+        fm_red_total = Array.fold_left ( * ) 1 fsym.Staged.fs_red_doms;
+        fm_wstrides = strides_of fsym.Staged.fs_out_doms;
+        fm_pieces = Array.of_list fpieces;
+        fm_checks =
+          Array.of_list (List.map (fun p -> checks_of_clips counts p.pc_clips) fpieces);
+        fm_factors = factors;
+        fm_dyn = Array.exists (fun f -> f.ff_red_dyn) factors;
+      };
+  }
+
+(* --- Execution ------------------------------------------------------------ *)
+
+let poll_mask = Staged.poll_mask
+let par_threshold = Staged.par_threshold
+
+let run_flat ?cancel ~work ~n body seq =
+  let pool = Par.Pool.get_default () in
+  if work >= par_threshold && Par.Pool.size pool > 1 && n > 1 then
+    Par.Pool.parallel_for pool ?cancel ~n body
+  else seq ()
+
+(* The checkless reduction loop: [n] steps of multiply-accumulate with
+   constant per-factor strides.  Accumulation is [acc +. product] with
+   the product formed in factor order, exactly like the interpreter —
+   so the result is bit-identical element by element. *)
+let inner1 acc0 n d0 o0 s0 =
+  let acc = ref acc0 and o0 = ref o0 in
+  for _ = 1 to n do
+    acc := !acc +. Array.unsafe_get d0 !o0;
+    o0 := !o0 + s0
+  done;
+  !acc
+
+let inner2 acc0 n d0 o0 s0 d1 o1 s1 =
+  let acc = ref acc0 and o0 = ref o0 and o1 = ref o1 in
+  for _ = 1 to n do
+    acc := !acc +. (Array.unsafe_get d0 !o0 *. Array.unsafe_get d1 !o1);
+    o0 := !o0 + s0;
+    o1 := !o1 + s1
+  done;
+  !acc
+
+let inner3 acc0 n d0 o0 s0 d1 o1 s1 d2 o2 s2 =
+  let acc = ref acc0 and o0 = ref o0 and o1 = ref o1 and o2 = ref o2 in
+  for _ = 1 to n do
+    acc :=
+      !acc
+      +. (Array.unsafe_get d0 !o0 *. Array.unsafe_get d1 !o1 *. Array.unsafe_get d2 !o2);
+    o0 := !o0 + s0;
+    o1 := !o1 + s1;
+    o2 := !o2 + s2
+  done;
+  !acc
+
+let inner_n acc0 n (datas : float array array) (offs : int array) (steps : int array) =
+  let acc = ref acc0 in
+  let nf = Array.length datas in
+  for _ = 1 to n do
+    let p = ref (Array.unsafe_get (Array.unsafe_get datas 0) (Array.unsafe_get offs 0)) in
+    Array.unsafe_set offs 0 (Array.unsafe_get offs 0 + Array.unsafe_get steps 0);
+    for f = 1 to nf - 1 do
+      p := !p *. Array.unsafe_get (Array.unsafe_get datas f) (Array.unsafe_get offs f);
+      Array.unsafe_set offs f (Array.unsafe_get offs f + Array.unsafe_get steps f)
+    done;
+    acc := !acc +. !p
+  done;
+  !acc
+
+(* One materialization stage over its certified partition. *)
+let run_stage ~poll ?cancel meta factors =
+  let sym = meta.sm_sym in
+  let arr = Array.of_list factors in
+  let others = List.map (fun i -> arr.(i)) (Array.to_list sym.Staged.ss_others) in
+  let datas =
+    Array.map
+      (fun i -> Tensor.unsafe_data arr.(i).Staged.data)
+      sym.Staged.ss_participating
+  in
+  let nf = Array.length datas in
+  let extents = sym.Staged.ss_extents in
+  let lows = sym.Staged.ss_lows in
+  let dom = sym.Staged.ss_dom in
+  let n_axes = Array.length extents in
+  let tensor = Tensor.create (Array.copy extents) in
+  let data = Tensor.unsafe_data tensor in
+  Array.iteri
+    (fun pi piece ->
+      poll ();
+      let pdims = Array.init n_axes (fun i -> piece.pc_hi.(i) - piece.pc_lo.(i) + 1) in
+      let volume = Array.fold_left ( * ) 1 pdims in
+      let checks = meta.sm_checks.(pi) in
+      let interior_element pos flat =
+        let rem = ref flat in
+        for i = n_axes - 1 downto 0 do
+          pos.(i) <- piece.pc_lo.(i) + (!rem mod pdims.(i));
+          rem := !rem / pdims.(i)
+        done;
+        let w = ref 0 in
+        for i = 0 to n_axes - 1 do
+          w := !w + (pos.(i) * meta.sm_wstrides.(i))
+        done;
+        let base fi =
+          let b = ref meta.sm_consts.(fi) in
+          let coefs = meta.sm_axis_coefs.(fi) in
+          for i = 0 to n_axes - 1 do
+            b := !b + (coefs.(i) * pos.(i))
+          done;
+          !b
+        in
+        let acc =
+          match nf with
+          | 1 -> inner1 0.0 dom datas.(0) (base 0) meta.sm_rcoefs.(0)
+          | 2 ->
+              inner2 0.0 dom datas.(0) (base 0) meta.sm_rcoefs.(0) datas.(1) (base 1)
+                meta.sm_rcoefs.(1)
+          | 3 ->
+              inner3 0.0 dom datas.(0) (base 0) meta.sm_rcoefs.(0) datas.(1) (base 1)
+                meta.sm_rcoefs.(1) datas.(2) (base 2) meta.sm_rcoefs.(2)
+          | _ ->
+              let offs = Array.init nf base in
+              inner_n 0.0 dom datas offs meta.sm_rcoefs
+        in
+        data.(!w) <- acc
+      in
+      (* Border: the interpreter's loop restricted to the strip, with a
+         window test on exactly the accesses the certificate says may
+         clip; everything else indexes unchecked. *)
+      let border_element pos flat =
+        let rem = ref flat in
+        for i = n_axes - 1 downto 0 do
+          pos.(i) <- piece.pc_lo.(i) + (!rem mod pdims.(i));
+          rem := !rem / pdims.(i)
+        done;
+        let w = ref 0 in
+        for i = 0 to n_axes - 1 do
+          w := !w + (pos.(i) * meta.sm_wstrides.(i))
+        done;
+        let acc = ref 0.0 in
+        for r = 0 to dom - 1 do
+          let product = ref 1.0 in
+          (try
+             for fi = 0 to nf - 1 do
+               let fdata = datas.(fi) in
+               let fuses = sym.Staged.ss_uses.(fi) in
+               let fchecks = checks.(fi) in
+               let off = ref 0 in
+               for j = 0 to Array.length fuses - 1 do
+                 let u = fuses.(j) in
+                 let value =
+                   (if u.Staged.u_slot >= 0 then
+                      pos.(u.Staged.u_slot) + lows.(u.Staged.u_slot)
+                    else u.Staged.u_base)
+                   + (u.Staged.u_coef * r)
+                 in
+                 let idx = value - u.Staged.u_lo in
+                 if fchecks.(j) && (idx < 0 || idx >= u.Staged.u_extent) then begin
+                   product := 0.0;
+                   raise Exit
+                 end;
+                 off := (!off * u.Staged.u_extent) + idx
+               done;
+               product := !product *. fdata.(!off)
+             done
+           with Exit -> ());
+          acc := !acc +. !product
+        done;
+        data.(!w) <- !acc
+      in
+      let element = if piece.pc_interior then interior_element else border_element in
+      let body lo hi =
+        let pos = Array.make (max 1 n_axes) 0 in
+        for flat = lo to hi - 1 do
+          element pos flat
+        done
+      in
+      let seq () =
+        let pos = Array.make (max 1 n_axes) 0 in
+        for flat = 0 to volume - 1 do
+          if flat land poll_mask = 0 then poll ();
+          element pos flat
+        done
+      in
+      run_flat ?cancel ~work:(volume * (dom + 1)) ~n:volume body seq)
+    meta.sm_pieces;
+  { Staged.dims = sym.Staged.ss_new_dims; data = tensor } :: others
+
+(* The final contraction over its certified partition. *)
+let run_final ~poll ?cancel meta factors out =
+  let sym = meta.fm_sym in
+  let out_data = Tensor.unsafe_data out in
+  let datas =
+    Array.of_list (List.map (fun f -> Tensor.unsafe_data f.Staged.data) factors)
+  in
+  let nf = Array.length datas in
+  let m = Array.length sym.Staged.fs_out_doms in
+  let k = Array.length sym.Staged.fs_red_doms in
+  let red_total = meta.fm_red_total in
+  let red_last = if k = 0 then 1 else sym.Staged.fs_red_doms.(k - 1) in
+  let red_outer = red_total / red_last in
+  Array.iteri
+    (fun pi piece ->
+      poll ();
+      let pdims = Array.init m (fun i -> piece.pc_hi.(i) - piece.pc_lo.(i) + 1) in
+      let volume = Array.fold_left ( * ) 1 pdims in
+      let checks = meta.fm_checks.(pi) in
+      (* Checkless path: per output point, per-factor base offsets from
+         the affine decomposition (plus any output-only non-affine dims
+         evaluated once), then nested reduction loops with constant
+         strides. *)
+      let interior_element env pos flat =
+        let rem = ref flat in
+        for i = m - 1 downto 0 do
+          pos.(i) <- piece.pc_lo.(i) + (!rem mod pdims.(i));
+          rem := !rem / pdims.(i)
+        done;
+        let w = ref 0 in
+        for i = 0 to m - 1 do
+          env.(sym.Staged.fs_out_ids.(i)) <- pos.(i);
+          w := !w + (pos.(i) * meta.fm_wstrides.(i))
+        done;
+        let base fi =
+          let f = meta.fm_factors.(fi) in
+          let b = ref f.ff_const in
+          for i = 0 to m - 1 do
+            b := !b + (f.ff_out.(i) * pos.(i))
+          done;
+          Array.iter (fun (eval, lo, s) -> b := !b + ((eval env - lo) * s)) f.ff_dyn;
+          !b
+        in
+        let acc = ref 0.0 in
+        if k <= 1 then
+          acc :=
+            (match nf with
+            | 1 -> inner1 0.0 red_last datas.(0) (base 0) meta.fm_factors.(0).ff_red_step
+            | 2 ->
+                inner2 0.0 red_last datas.(0) (base 0) meta.fm_factors.(0).ff_red_step
+                  datas.(1) (base 1) meta.fm_factors.(1).ff_red_step
+            | 3 ->
+                inner3 0.0 red_last datas.(0) (base 0) meta.fm_factors.(0).ff_red_step
+                  datas.(1) (base 1) meta.fm_factors.(1).ff_red_step datas.(2) (base 2)
+                  meta.fm_factors.(2).ff_red_step
+            | _ ->
+                let offs = Array.init nf base in
+                inner_n 0.0 red_last datas offs
+                  (Array.map (fun f -> f.ff_red_step) meta.fm_factors))
+        else begin
+          let bases = Array.init nf base in
+          let rsteps = Array.map (fun f -> f.ff_red_step) meta.fm_factors in
+          let rv = Array.make (k - 1) 0 in
+          for outer = 0 to red_outer - 1 do
+            let rem = ref outer in
+            for i = k - 2 downto 0 do
+              rv.(i) <- !rem mod sym.Staged.fs_red_doms.(i);
+              rem := !rem / sym.Staged.fs_red_doms.(i)
+            done;
+            let off fi =
+              let f = meta.fm_factors.(fi) in
+              let o = ref bases.(fi) in
+              for i = 0 to k - 2 do
+                o := !o + (f.ff_red.(i) * rv.(i))
+              done;
+              !o
+            in
+            acc :=
+              (match nf with
+              | 1 -> inner1 !acc red_last datas.(0) (off 0) rsteps.(0)
+              | 2 ->
+                  inner2 !acc red_last datas.(0) (off 0) rsteps.(0) datas.(1) (off 1)
+                    rsteps.(1)
+              | 3 ->
+                  inner3 !acc red_last datas.(0) (off 0) rsteps.(0) datas.(1) (off 1)
+                    rsteps.(1) datas.(2) (off 2) rsteps.(2)
+              | _ ->
+                  let offs = Array.init nf off in
+                  inner_n !acc red_last datas offs rsteps)
+          done
+        end;
+        out_data.(!w) <- !acc
+      in
+      (* Guarded path (border strips, and every piece when some access
+         is non-affine in a remaining reduction iterator): the
+         interpreter's evaluation loop, with window tests on exactly
+         the certified may-clip accesses. *)
+      let guarded_element env pos flat =
+        let rem = ref flat in
+        for i = m - 1 downto 0 do
+          pos.(i) <- piece.pc_lo.(i) + (!rem mod pdims.(i));
+          rem := !rem / pdims.(i)
+        done;
+        let w = ref 0 in
+        for i = 0 to m - 1 do
+          env.(sym.Staged.fs_out_ids.(i)) <- pos.(i);
+          w := !w + (pos.(i) * meta.fm_wstrides.(i))
+        done;
+        let acc = ref 0.0 in
+        for flat_red = 0 to red_total - 1 do
+          let rem = ref flat_red in
+          for i = k - 1 downto 0 do
+            env.(sym.Staged.fs_red_ids.(i)) <- !rem mod sym.Staged.fs_red_doms.(i);
+            rem := !rem / sym.Staged.fs_red_doms.(i)
+          done;
+          let product = ref 1.0 in
+          for fi = 0 to nf - 1 do
+            let f = meta.fm_factors.(fi) in
+            let fchecks = checks.(fi) in
+            let off = ref 0 in
+            let ok = ref true in
+            (try
+               Array.iteri
+                 (fun j (eval, lo, extent, _) ->
+                   let idx = eval env - lo in
+                   if fchecks.(j) && (idx < 0 || idx >= extent) then begin
+                     ok := false;
+                     raise Exit
+                   end;
+                   off := (!off * extent) + idx)
+                 f.ff_dims
+             with Exit -> ());
+            product := !product *. (if !ok then datas.(fi).(!off) else 0.0)
+          done;
+          acc := !acc +. !product
+        done;
+        out_data.(!w) <- !acc
+      in
+      let element =
+        if piece.pc_interior && not meta.fm_dyn then interior_element else guarded_element
+      in
+      let body lo hi =
+        let env = Array.make sym.Staged.fs_env_size 0 in
+        let pos = Array.make (max 1 m) 0 in
+        for flat = lo to hi - 1 do
+          element env pos flat
+        done
+      in
+      let seq () =
+        let env = Array.make sym.Staged.fs_env_size 0 in
+        let pos = Array.make (max 1 m) 0 in
+        for flat = 0 to volume - 1 do
+          if flat land poll_mask = 0 then poll ();
+          element env pos flat
+        done
+      in
+      run_flat ?cancel ~work:(volume * (red_total + 1)) ~n:volume body seq)
+    meta.fm_pieces
+
+let forward ?cancel t ~input ~weights =
+  let staged = t.sp_staged in
+  if Tensor.shape input <> Reference.input_shape (Staged.reference staged) then
+    invalid_arg "Specialize.forward: input shape";
+  let poll =
+    match cancel with
+    | None -> fun () -> ()
+    | Some c -> fun () -> Robust.Cancel.check c
+  in
+  let factors =
+    Array.fold_left
+      (fun factors meta -> run_stage ~poll ?cancel meta factors)
+      (Staged.initial_factors staged ~input ~weights)
+      t.sp_stages
+  in
+  let out = Tensor.create (Reference.output_shape (Staged.reference staged)) in
+  run_final ~poll ?cancel t.sp_final factors out;
+  out
+
+(* --- Seeded plan corruption ----------------------------------------------- *)
+
+let nest_access_counts staged =
+  let syms, fsym = Staged.symbolic_plan staged in
+  Array.of_list
+    (List.map
+       (fun s -> Array.fold_left (fun n u -> n + Array.length u) 0 s.Staged.ss_uses)
+       syms
+    @ [ Array.fold_left (fun n d -> n + Array.length d) 0 fsym.Staged.fs_factors ])
+
+(* Apply [fault] to the first nest that can host it.  Every fault except
+   [Cover_gap] is execution-invisible by construction: the corrupted
+   plan computes bit-identical outputs (overlapping and duplicated
+   pieces recompute the same values into the same cells; a spurious
+   clip adds a guard that can never fire) — only {!Analysis.Certify}
+   can tell it from a sound plan. *)
+let corrupt fault staged plan =
+  let plan = Array.map (fun pieces -> pieces) plan in
+  let replace nest pieces = plan.(nest) <- pieces in
+  let find f =
+    let rec go nest = if nest >= Array.length plan then None else
+      match f nest plan.(nest) with Some pieces -> Some (nest, pieces) | None -> go (nest + 1)
+    in
+    go 0
+  in
+  let splittable pieces =
+    List.find_opt
+      (fun p -> Array.exists (fun i -> p.pc_hi.(i) - p.pc_lo.(i) >= 1) (Array.init (Array.length p.pc_lo) (fun i -> i)))
+      pieces
+  in
+  let applied =
+    match fault with
+    | Overlap_strip ->
+        (* Split a piece into two halves that both contain the middle
+           plane: the overlap cells are computed twice, identically. *)
+        find (fun _ pieces ->
+            match splittable pieces with
+            | None -> None
+            | Some p ->
+                let a =
+                  let rec go i = if p.pc_hi.(i) - p.pc_lo.(i) >= 1 then i else go (i + 1) in
+                  go 0
+                in
+                let mid = (p.pc_lo.(a) + p.pc_hi.(a)) / 2 in
+                let lo_half = { p with pc_hi = Array.mapi (fun i v -> if i = a then mid else v) p.pc_hi } in
+                let hi_half = { p with pc_lo = Array.mapi (fun i v -> if i = a then mid else v) p.pc_lo } in
+                Some
+                  (List.concat_map
+                     (fun q -> if q == p then [ lo_half; hi_half ] else [ q ])
+                     pieces))
+    | Duplicate_strip ->
+        find (fun _ pieces ->
+            match
+              List.find_opt (fun p -> not p.pc_interior) pieces
+              |> fun b -> (match b with Some _ -> b | None -> (match pieces with p :: _ -> Some p | [] -> None))
+            with
+            | None -> None
+            | Some p -> Some (pieces @ [ p ]))
+    | Spurious_clip ->
+        let counts = nest_access_counts staged in
+        find (fun nest pieces ->
+            if counts.(nest) = 0 then None
+            else
+              let rec pick = function
+                | [] -> None
+                | p :: rest -> (
+                    let unlisted =
+                      let rec go i =
+                        if i >= counts.(nest) then None
+                        else if List.mem i p.pc_clips then go (i + 1)
+                        else Some i
+                      in
+                      go 0
+                    in
+                    match unlisted with
+                    | None -> pick rest
+                    | Some idx ->
+                        Some
+                          (List.map
+                             (fun q ->
+                               if q == p then
+                                 { q with pc_interior = false; pc_clips = q.pc_clips @ [ idx ] }
+                               else q)
+                             pieces))
+              in
+              pick pieces)
+    | Cover_gap ->
+        find (fun _ pieces ->
+            match splittable pieces with
+            | Some p ->
+                let a =
+                  let rec go i = if p.pc_hi.(i) - p.pc_lo.(i) >= 1 then i else go (i + 1) in
+                  go 0
+                in
+                Some
+                  (List.map
+                     (fun q ->
+                       if q == p then
+                         { q with pc_hi = Array.mapi (fun i v -> if i = a then v - 1 else v) p.pc_hi }
+                       else q)
+                     pieces)
+            | None -> ( match pieces with _ :: (_ :: _ as rest) -> Some rest | _ -> None))
+  in
+  match applied with
+  | None -> None
+  | Some (nest, pieces) ->
+      replace nest pieces;
+      Some plan

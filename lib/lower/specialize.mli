@@ -1,0 +1,90 @@
+(** Proof-guided kernel specialization.
+
+    {!Staged_exec} and {!Reference} window-test every tensor access and
+    clip out-of-bounds reads to zero.  When the static layer has proved
+    where clipping can actually happen, those tests are pure overhead
+    over most of the iteration space.  This module compiles a staged
+    program together with an iteration-space {e partition certificate}
+    into a specialized executor:
+
+    - {e interior} pieces — where every access is proved in-bounds —
+      run checkless inner loops with constant-stride offset arithmetic
+      and unchecked array reads;
+    - {e border} pieces run the interpreter's loop restricted to the
+      strip, window-testing exactly the accesses the certificate lists
+      as may-clip and nothing else.
+
+    The output is bit-identical to {!Staged_exec.forward}: pieces
+    partition only positional axes, so every output element is computed
+    whole by exactly one piece, with products formed in factor order
+    and reductions accumulated in the interpreter's order.
+
+    Certificates are produced by [Analysis.Regions] and validated by
+    [Analysis.Certify]; {!compile} itself only shape-checks the plan.
+    Running a plan that neither came from [Regions] nor passed
+    [Certify] is unsound (interior pieces index unchecked). *)
+
+type piece = {
+  pc_lo : int array;  (** inclusive lower corner, one entry per axis *)
+  pc_hi : int array;  (** inclusive upper corner *)
+  pc_interior : bool;  (** checkless fast path when [true] *)
+  pc_clips : int list;
+      (** flat indices of the accesses that may clip inside this piece,
+          numbering the nest's accesses factor-major in executor order
+          (the same order {!Staged_exec.access_plan} lists them) *)
+}
+
+type partition = piece list
+
+type plan = partition array
+(** One partition per materialization stage in plan order, then one for
+    the final contraction: [Array.length plan = num_stages + 1].  A
+    stage's axes are the dims of its materialized tensor
+    ({!Staged_exec.stage_sym.ss_extents}); the final nest's axes are
+    the output iterators ({!Staged_exec.final_sym.fs_out_doms}).
+    Reduction iterators are never partitioned. *)
+
+val piece_volume : piece -> int
+
+type t
+
+val compile : Staged_exec.t -> plan -> t
+(** Precomputes the per-piece offset algebra.  Raises [Invalid_argument]
+    if the plan's shape does not match the executor (wrong number of
+    partitions, piece rank mismatch, piece outside its nest's box) —
+    semantic soundness is [Analysis.Certify]'s job. *)
+
+val staged : t -> Staged_exec.t
+val plan : t -> plan
+
+val forward :
+  ?cancel:Robust.Cancel.t -> t -> input:Nd.Tensor.t -> weights:Nd.Tensor.t list -> Nd.Tensor.t
+(** Bit-identical to {!Staged_exec.forward} on the same operator.
+    Pieces whose estimated work clears {!Staged_exec.par_threshold} run
+    on the default pool; [cancel] is polled at piece boundaries, every
+    few thousand elements sequentially, and at every pool range claim,
+    exactly like the interpreter. *)
+
+(** {2 Seeded plan corruption}
+
+    Mirrors the [Corrupt_expr] pattern of the bounds verifier: faults
+    injected downstream of certification, used to demonstrate that
+    translation validation is load-bearing. *)
+
+type fault =
+  | Overlap_strip  (** split a piece into two halves sharing a plane *)
+  | Duplicate_strip  (** append a copy of an existing piece *)
+  | Spurious_clip  (** guard an access the certificate proved in-bounds *)
+  | Cover_gap  (** shrink a piece, leaving cells uncovered *)
+
+val fault_to_string : fault -> string
+
+val corrupt : fault -> Staged_exec.t -> plan -> plan option
+(** Applies the fault to the first nest that can host it; [None] if no
+    nest can.  [Overlap_strip], [Duplicate_strip] and [Spurious_clip]
+    are execution-invisible: the corrupted plan still computes
+    bit-identical outputs (overlapped and duplicated cells recompute
+    the same values; a spurious guard never fires), so only
+    [Analysis.Certify] can reject them.  [Cover_gap] leaves stale
+    zeros and is visible — it checks that Certify agrees with
+    execution where execution {e can} tell. *)

@@ -30,9 +30,11 @@ let compile op valuation =
 
 let plan t = t.plan
 let num_stages t = List.length t.plan.Staging.stages
+let operator t = t.op
+let valuation t = t.valuation
+let reference t = t.reference
 
 let iter_in it e = List.exists (fun j -> j.Ast.id = it.Ast.id) (Ast.iters e)
-let factor_has it f = List.exists (fun d -> iter_in it d.expr) f.dims
 
 let residual it e =
   let rec strip e =
@@ -52,6 +54,114 @@ let coefficient lookup it e =
   let env0 _ = 0 in
   Ast.eval ~env:env1 ~lookup e - Ast.eval ~env:env1 ~lookup res
   - (Ast.eval ~env:env0 ~lookup e - Ast.eval ~env:env0 ~lookup res)
+
+(* --- Symbolic plan ------------------------------------------------------ *)
+
+(* One factor-dimension access of a materialization stage: the window
+   it must hit, the slot of the new tensor that carries its residual
+   (or [-1] with the residual constant in [u_base] when the reduction
+   alone indexes it), and the linear coefficient of the reduced
+   iterator.  The executor's value for this access at position [pos]
+   and reduction step [r] is
+   [(if u_slot >= 0 then pos.(u_slot) + lows.(u_slot) else u_base) + u_coef * r]. *)
+type use = {
+  u_expr : Ast.t;
+  u_lo : int;
+  u_extent : int;
+  u_slot : int;
+  u_base : int;
+  u_coef : int;
+}
+
+type stage_sym = {
+  ss_dom : int;
+  ss_extents : int array;
+  ss_lows : int array;
+  ss_uses : use array array;
+  ss_participating : int array;
+  ss_others : int array;
+  ss_new_dims : fdim list;
+}
+
+type final_sym = {
+  fs_out_ids : int array;
+  fs_out_doms : int array;
+  fs_red_ids : int array;
+  fs_red_doms : int array;
+  fs_env_size : int;
+  fs_factors : (Ast.t * int * int) array array;
+}
+
+(* The complete symbolic bookkeeping of one materialization stage.
+   [materialize] below consumes this for the numeric loop and
+   [access_plan] derives the verifier's access lists from it, so the
+   three views (execution, verification, specialization) cannot
+   drift. *)
+let stage_sym lookup it dom (dims_list : fdim list list) =
+  let tagged = List.mapi (fun i dims -> (i, dims)) dims_list in
+  let participating, others =
+    List.partition
+      (fun (_, dims) -> List.exists (fun d -> iter_in it d.expr) dims)
+      tagged
+  in
+  let new_dims : fdim list ref = ref [] in
+  let slot_of dim =
+    let rec find i = function
+      | [] -> None
+      | d :: _ when Ast.equal d.expr dim.expr -> Some i
+      | _ :: tl -> find (i + 1) tl
+    in
+    find 0 (List.rev !new_dims)
+  in
+  let uses =
+    List.map
+      (fun (_, dims) ->
+        Array.of_list
+          (List.map
+             (fun d ->
+               let affected = iter_in it d.expr in
+               let c = if affected then coefficient lookup it d.expr else 0 in
+               let target =
+                 if affected then
+                   let res = residual it d.expr in
+                   match res with
+                   | Ast.Const base -> `Consumed base
+                   | res ->
+                       (* The executor indexes materialized dims by VALUE,
+                          so the extent is the dense range — unlike the
+                          cost model, which counts distinct values for
+                          strided residuals. *)
+                       let lo, hi = Ast.bounds ~lookup res in
+                       `Dim { expr = res; extent = hi - lo + 1; lo }
+                 else `Dim d
+               in
+               match target with
+               | `Consumed base ->
+                   { u_expr = d.expr; u_lo = d.lo; u_extent = d.extent;
+                     u_slot = -1; u_base = base; u_coef = c }
+               | `Dim nd -> (
+                   let slot =
+                     match slot_of nd with
+                     | Some slot -> slot
+                     | None ->
+                         new_dims := nd :: !new_dims;
+                         List.length !new_dims - 1
+                   in
+                   { u_expr = d.expr; u_lo = d.lo; u_extent = d.extent;
+                     u_slot = slot; u_base = 0; u_coef = c }))
+             dims))
+      participating
+  in
+  let dims = List.rev !new_dims in
+  {
+    ss_dom = dom;
+    ss_extents = Array.of_list (List.map (fun d -> d.extent) dims);
+    ss_lows = Array.of_list (List.map (fun d -> d.lo) dims);
+    ss_uses = Array.of_list uses;
+    ss_participating = Array.of_list (List.map fst participating);
+    ss_others = Array.of_list (List.map fst others);
+    ss_new_dims = dims;
+  }
 
 (* Cancellation poll cadence in the flat element loops: coarse enough
    to stay off the per-element profile, fine enough to bound preemption
@@ -79,65 +189,28 @@ let run_flat ?cancel ~work ~n body seq =
     Par.Pool.parallel_for pool ?cancel ~n body
   else seq ()
 
-(* Materialize the sum over [it] of the product of the participating
-   factors into a new tensor factor.  [poll] is called every
+(* Materialize the sum over the stage's reduced iterator of the product
+   of the participating factors into a new tensor factor, driven by the
+   stage's symbolic bookkeeping.  [poll] is called every
    [poll_mask + 1] output elements on the sequential path; the parallel
    path polls [cancel] at every range claim inside the pool. *)
-let materialize ~poll ?cancel lookup it dom factors =
-  let participating, others = List.partition (factor_has it) factors in
-  (* Build the new dim list with, per participating-factor dim, its slot
-     in the new tensor and its c coefficient. *)
-  let new_dims : fdim list ref = ref [] in
-  let slot_of dim =
-    let rec find i = function
-      | [] -> None
-      | d :: _ when Ast.equal d.expr dim.expr -> Some i
-      | _ :: tl -> find (i + 1) tl
-    in
-    find 0 (List.rev !new_dims)
-  in
+let materialize ~poll ?cancel sym factors =
+  let arr = Array.of_list factors in
+  let others = List.map (fun i -> arr.(i)) (Array.to_list sym.ss_others) in
   let mapped =
-    List.map
-      (fun f ->
-        let dims_with_slots =
-          List.filter_map
-            (fun d ->
-              let affected = iter_in it d.expr in
-              let c = if affected then coefficient lookup it d.expr else 0 in
-              let target =
-                if affected then
-                  let res = residual it d.expr in
-                  match res with
-                  | Ast.Const base -> `Consumed base (* only the reduction indexes it *)
-                  | res ->
-                      (* The executor indexes materialized dims by VALUE,
-                         so the extent is the dense range — unlike the
-                         cost model, which counts distinct values for
-                         strided residuals. *)
-                      let lo, hi = Ast.bounds ~lookup res in
-                      `Dim { expr = res; extent = hi - lo + 1; lo }
-                else `Dim d
-              in
-              match target with
-              | `Consumed base -> Some (d, -1, c, base)
-              | `Dim nd -> (
-                  match slot_of nd with
-                  | Some slot -> Some (d, slot, c, 0)
-                  | None ->
-                      new_dims := nd :: !new_dims;
-                      Some (d, List.length !new_dims - 1, c, 0)))
-            f.dims
-        in
-        (f, dims_with_slots))
-      participating
+    Array.map
+      (fun i -> Tensor.unsafe_data arr.(i).data)
+      sym.ss_participating
   in
-  let dims = List.rev !new_dims in
-  let extents = Array.of_list (List.map (fun d -> d.extent) dims) in
-  let tensor = Tensor.create (if extents = [||] then [||] else extents) in
+  let uses = sym.ss_uses in
+  let dom = sym.ss_dom in
+  let extents = sym.ss_extents in
+  let lows = sym.ss_lows in
+  let tensor = Tensor.create (if extents = [||] then [||] else Array.copy extents) in
   let data = Tensor.unsafe_data tensor in
   let n_dims = Array.length extents in
   let total = Array.fold_left ( * ) 1 extents in
-  let lows = Array.of_list (List.map (fun d -> d.lo) dims) in
+  let nf = Array.length mapped in
   let element pos flat =
     let rem = ref flat in
     for i = n_dims - 1 downto 0 do
@@ -148,25 +221,25 @@ let materialize ~poll ?cancel lookup it dom factors =
     for r = 0 to dom - 1 do
       let product = ref 1.0 in
       (try
-         List.iter
-           (fun (f, dims_with_slots) ->
-             let fdata = Tensor.unsafe_data f.data in
-             let fextents = List.map (fun d -> d.extent) f.dims in
-             let off = ref 0 in
-             List.iter2
-               (fun (d, slot, c, base) fext ->
-                 let value =
-                   (if slot >= 0 then pos.(slot) + lows.(slot) else base) + (c * r)
-                 in
-                 let idx = value - d.lo in
-                 if idx < 0 || idx >= fext then begin
-                   product := 0.0;
-                   raise Exit
-                 end;
-                 off := (!off * fext) + idx)
-               dims_with_slots fextents;
-             product := !product *. fdata.(!off))
-           mapped
+         for fi = 0 to nf - 1 do
+           let fdata = mapped.(fi) in
+           let fuses = uses.(fi) in
+           let off = ref 0 in
+           for j = 0 to Array.length fuses - 1 do
+             let u = fuses.(j) in
+             let value =
+               (if u.u_slot >= 0 then pos.(u.u_slot) + lows.(u.u_slot) else u.u_base)
+               + (u.u_coef * r)
+             in
+             let idx = value - u.u_lo in
+             if idx < 0 || idx >= u.u_extent then begin
+               product := 0.0;
+               raise Exit
+             end;
+             off := (!off * u.u_extent) + idx
+           done;
+           product := !product *. fdata.(!off)
+         done
        with Exit -> ());
       acc := !acc +. !product
     done;
@@ -186,7 +259,7 @@ let materialize ~poll ?cancel lookup it dom factors =
     done
   in
   run_flat ?cancel ~work:(total * (dom + 1)) ~n:total body seq;
-  ({ dims; data = tensor }, others)
+  ({ dims = sym.ss_new_dims; data = tensor }, others)
 
 (* --- Static access structure ------------------------------------------ *)
 
@@ -212,76 +285,98 @@ let initial_dims op lookup =
            grp)
        op.Graph.op_weights
 
-(* One stage of [materialize], dims only.  The value range of an
-   affected dim's accesses is positional: the dense residual window
-   (every position of the materialized tensor is enumerated) shifted by
-   [c * r] over the reduction — exactly what the executor's
-   [(pos + lo) + c*r] produces.  Unaffected dims of participating
-   factors are enumerated over their own window and so stay in bounds
-   by construction. *)
-let stage_accesses lookup it dom factors =
-  let participating, others = List.partition (List.exists (fun d -> iter_in it d.expr)) factors in
-  let new_dims : fdim list ref = ref [] in
-  let push nd =
-    if not (List.exists (fun d -> Ast.equal d.expr nd.expr) !new_dims) then
-      new_dims := nd :: !new_dims
-  in
-  let accesses =
-    List.concat_map
-      (List.map (fun d ->
-           if iter_in it d.expr then begin
-             let c = coefficient lookup it d.expr in
-             let vlo, vhi =
-               match residual it d.expr with
-               | Ast.Const base -> (base, base)
-               | res ->
-                   let lo, hi = Ast.bounds ~lookup res in
-                   push { expr = res; extent = hi - lo + 1; lo };
-                   (lo, hi)
-             in
-             let step = c * (dom - 1) in
-             let vlo, vhi = (vlo + min 0 step, vhi + max 0 step) in
-             {
-               acc_expr = d.expr;
-               acc_lo = d.lo;
-               acc_extent = d.extent;
-               acc_values = Some (vlo, vhi);
-             }
-           end
-           else begin
-             push d;
-             {
-               acc_expr = d.expr;
-               acc_lo = d.lo;
-               acc_extent = d.extent;
-               acc_values = Some (d.lo, d.lo + d.extent - 1);
-             }
-           end))
-      participating
-  in
-  (accesses, List.rev !new_dims :: others)
+(* The value range of an affected dim's accesses is positional: the
+   dense residual window (every position of the materialized tensor is
+   enumerated) shifted by [c * r] over the reduction — exactly what the
+   executor's [(pos + lo) + c*r] produces.  Unaffected dims of
+   participating factors carry [u_coef = 0] and a slot over their own
+   window, so the same formula covers them. *)
+let stage_sym_accesses sym =
+  List.concat_map
+    (fun fuses ->
+      List.map
+        (fun u ->
+          let vlo, vhi =
+            if u.u_slot >= 0 then
+              ( sym.ss_lows.(u.u_slot),
+                sym.ss_lows.(u.u_slot) + sym.ss_extents.(u.u_slot) - 1 )
+            else (u.u_base, u.u_base)
+          in
+          let step = u.u_coef * (sym.ss_dom - 1) in
+          {
+            acc_expr = u.u_expr;
+            acc_lo = u.u_lo;
+            acc_extent = u.u_extent;
+            acc_values = Some (vlo + min 0 step, vhi + max 0 step);
+          })
+        (Array.to_list fuses))
+    (Array.to_list sym.ss_uses)
 
-let access_plan t =
+(* The per-stage symbolic plans, folded over the evolving factor dim
+   lists (new tensor first, then the untouched factors in order —
+   exactly the factor-list evolution of [forward]), plus the final
+   contraction's iteration/access structure. *)
+let symbolic_plan t =
   let lookup = Valuation.lookup t.valuation in
-  let stages_rev, factors =
+  let syms_rev, dims_list =
     List.fold_left
-      (fun (acc, factors) stage ->
+      (fun (acc, dims_list) stage ->
         let it = stage.Staging.reduced in
         let dom = Size.eval it.Ast.dom lookup in
-        let accesses, factors' = stage_accesses lookup it dom factors in
-        (accesses :: acc, factors'))
+        let sym = stage_sym lookup it dom dims_list in
+        let arr = Array.of_list dims_list in
+        let dims_list' =
+          sym.ss_new_dims :: List.map (fun i -> arr.(i)) (Array.to_list sym.ss_others)
+        in
+        (sym :: acc, dims_list'))
       ([], initial_dims t.op lookup)
       t.plan.Staging.stages
   in
+  let reduced_ids =
+    List.map (fun s -> s.Staging.reduced.Ast.id) t.plan.Staging.stages
+  in
+  let remaining =
+    List.filter (fun it -> not (List.mem it.Ast.id reduced_ids)) t.op.Graph.op_reductions
+  in
+  let spatial = t.op.Graph.op_output_iters in
+  let n_env =
+    1
+    + List.fold_left max (-1)
+        (List.map (fun it -> it.Ast.id) (spatial @ t.op.Graph.op_reductions))
+  in
+  let final =
+    {
+      fs_out_ids = Array.of_list (List.map (fun it -> it.Ast.id) spatial);
+      fs_out_doms =
+        Array.of_list (List.map (fun it -> Size.eval it.Ast.dom lookup) spatial);
+      fs_red_ids = Array.of_list (List.map (fun it -> it.Ast.id) remaining);
+      fs_red_doms =
+        Array.of_list (List.map (fun it -> Size.eval it.Ast.dom lookup) remaining);
+      fs_env_size = max 1 n_env;
+      fs_factors =
+        Array.of_list
+          (List.map
+             (fun dims ->
+               Array.of_list (List.map (fun d -> (d.expr, d.lo, d.extent)) dims))
+             dims_list);
+    }
+  in
+  (List.rev syms_rev, final)
+
+let access_plan t =
+  let syms, final = symbolic_plan t in
   (* Final stage: every remaining factor dim is indexed by evaluating
      its expression over the output / remaining-reduction loops. *)
-  let final =
+  let final_accesses =
     List.concat_map
-      (List.map (fun d ->
-           { acc_expr = d.expr; acc_lo = d.lo; acc_extent = d.extent; acc_values = None }))
-      factors
+      (fun dims ->
+        List.map
+          (fun (expr, lo, extent) ->
+            { acc_expr = expr; acc_lo = lo; acc_extent = extent; acc_values = None })
+          (Array.to_list dims))
+      (Array.to_list final.fs_factors)
   in
-  List.rev (final :: stages_rev)
+  List.map stage_sym_accesses syms @ [ final_accesses ]
 
 let initial_factors t ~input ~weights =
   let lookup = Valuation.lookup t.valuation in
@@ -317,19 +412,21 @@ let forward ?cancel t ~input ~weights =
     | Some c -> fun () -> Robust.Cancel.check c
   in
   let lookup = Valuation.lookup t.valuation in
+  let syms, _final = symbolic_plan t in
   (* Early stages in plan order; each stage boundary is a safe point. *)
-  let factors, reduced_ids =
+  let factors =
     List.fold_left
-      (fun (factors, done_ids) stage ->
+      (fun factors sym ->
         poll ();
-        let it = stage.Staging.reduced in
-        let dom = Size.eval it.Ast.dom lookup in
-        let t', others = materialize ~poll ?cancel lookup it dom factors in
-        (t' :: others, it.Ast.id :: done_ids))
-      (initial_factors t ~input ~weights, [])
-      t.plan.Staging.stages
+        let t', others = materialize ~poll ?cancel sym factors in
+        t' :: others)
+      (initial_factors t ~input ~weights)
+      syms
   in
   (* Final stage: loop over outputs and the remaining reductions. *)
+  let reduced_ids =
+    List.map (fun s -> s.Staging.reduced.Ast.id) t.plan.Staging.stages
+  in
   let remaining =
     List.filter (fun it -> not (List.mem it.Ast.id reduced_ids)) t.op.Graph.op_reductions
   in

@@ -20,6 +20,76 @@ val plan : t -> Staging.plan
 val num_stages : t -> int
 (** Materialized stages (0 = plain loop nest). *)
 
+val operator : t -> Pgraph.Graph.operator
+val valuation : t -> Shape.Valuation.t
+val reference : t -> Reference.t
+(** The reference lowering used for shapes and the iterator layout. *)
+
+type fdim = { expr : Coord.Ast.t; extent : int; lo : int }
+(** A runtime factor dimension: the coordinate expression that indexes
+    it, its extent, and the value corresponding to index 0.  Accesses
+    outside [lo, lo + extent) clip to zero. *)
+
+type factor = { dims : fdim list; data : Nd.Tensor.t }
+
+val initial_factors : t -> input:Nd.Tensor.t -> weights:Nd.Tensor.t list -> factor list
+(** The factor list the first stage starts from: the input gather
+    followed by one factor per weight group, in operator order. *)
+
+(** {2 Symbolic plan}
+
+    The complete loop-nest structure of {!forward}, exported so the
+    static layer ([Analysis.Regions], [Analysis.Certify]) and the
+    specializing compiler ({!Specialize}) consume the very same
+    bookkeeping the executor runs — they cannot drift. *)
+
+type use = {
+  u_expr : Coord.Ast.t;  (** the original indexing expression *)
+  u_lo : int;  (** start of the in-bounds window *)
+  u_extent : int;  (** window length; indices outside clip to zero *)
+  u_slot : int;  (** slot of the new tensor carrying the residual; -1 if consumed *)
+  u_base : int;  (** residual constant when consumed ([u_slot = -1]) *)
+  u_coef : int;  (** linear coefficient of the reduced iterator *)
+}
+(** One factor-dimension access of a materialization stage.  The value
+    the executor produces at position [pos] and reduction step [r] is
+    [(if u_slot >= 0 then pos.(u_slot) + lows.(u_slot) else u_base) +
+    u_coef * r]. *)
+
+type stage_sym = {
+  ss_dom : int;  (** extent of the reduced iterator *)
+  ss_extents : int array;  (** dims of the materialized tensor *)
+  ss_lows : int array;  (** value of position 0 per materialized dim *)
+  ss_uses : use array array;  (** per participating factor, per dim *)
+  ss_participating : int array;  (** indices into the incoming factor list *)
+  ss_others : int array;  (** indices of untouched factors, order preserved *)
+  ss_new_dims : fdim list;  (** the materialized factor's dim list *)
+}
+
+type final_sym = {
+  fs_out_ids : int array;  (** output iterator ids, loop order *)
+  fs_out_doms : int array;  (** output iterator extents *)
+  fs_red_ids : int array;  (** remaining reduction iterator ids, loop order *)
+  fs_red_doms : int array;  (** remaining reduction extents *)
+  fs_env_size : int;  (** size of the iterator environment array *)
+  fs_factors : (Coord.Ast.t * int * int) array array;
+      (** per remaining factor, per dim: (expr, window lo, window extent) *)
+}
+
+val symbolic_plan : t -> stage_sym list * final_sym
+(** One {!stage_sym} per materialization stage in plan order (the next
+    stage's factor list is the materialized tensor followed by the
+    [ss_others] factors in order), then the final contraction.  Pure
+    arithmetic: allocates no tensor. *)
+
+val poll_mask : int
+(** Cancellation poll cadence of the flat element loops (poll every
+    [poll_mask + 1] elements); shared with {!Specialize}. *)
+
+val par_threshold : int
+(** Minimum estimated scalar work before a flat loop is offered to the
+    default pool; shared with {!Specialize}. *)
+
 type access = {
   acc_expr : Coord.Ast.t;  (** the indexing expression *)
   acc_lo : int;  (** start of the in-bounds window *)

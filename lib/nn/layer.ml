@@ -106,8 +106,13 @@ let channel_affine rng ~channels =
         | _ -> invalid_arg "channel_affine: params");
   }
 
-let of_operator rng ~name compiled =
+let of_operator ?forward rng ~name compiled =
   let weights = Lower.Reference.init_weights compiled rng in
+  let forward =
+    match forward with
+    | Some f -> f
+    | None -> fun ~input ~weights -> Lower.Reference.forward compiled ~input ~weights
+  in
   {
     name;
     params = weights;
@@ -115,7 +120,7 @@ let of_operator rng ~name compiled =
       (fun tape params x ->
         let input = Tape.data x in
         let weight_tensors = List.map Tape.data params in
-        let output = Lower.Reference.forward compiled ~input ~weights:weight_tensors in
+        let output = forward ~input ~weights:weight_tensors in
         Tape.custom tape ~inputs:(x :: params) ~output ~vjp:(fun ~grad_out ->
             let gi, gws =
               Lower.Reference.backward compiled ~input ~weights:weight_tensors ~grad_out

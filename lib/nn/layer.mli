@@ -30,9 +30,18 @@ val channel_affine : Nd.Rng.t -> channels:int -> t
 (** Per-channel scale and shift on axis 1 (a lightweight stand-in for
     batch normalization). *)
 
-val of_operator : Nd.Rng.t -> name:string -> Lower.Reference.t -> t
+val of_operator :
+  ?forward:(input:Nd.Tensor.t -> weights:Nd.Tensor.t list -> Nd.Tensor.t) ->
+  Nd.Rng.t ->
+  name:string ->
+  Lower.Reference.t ->
+  t
 (** A synthesized (or standard, e.g. convolution) operator layer with
-    its weight tensors, trained via the reference backward pass. *)
+    its weight tensors, trained via the reference backward pass.
+    [forward] substitutes a faster forward executor (e.g. a certified
+    specialized kernel) for the same operator — it must be numerically
+    equivalent to [Lower.Reference.forward] up to float association;
+    the backward pass stays the reference one. *)
 
 val sequential : string -> t list -> t
 val residual : string -> t list -> t

@@ -6,6 +6,9 @@ type entry = {
   e_elements : int;
   e_checksum : float;
   e_cold_seconds : float;
+  e_spec_seconds : float;
+      (* specialized-kernel cold time; negative when the evaluation did
+         not run a specialized kernel *)
 }
 
 (* LRU bookkeeping: a monotonically increasing use-stamp per entry;
@@ -99,9 +102,16 @@ let header = "syno-serve-cache v1"
 let entry_line e =
   (* The key travels percent-encoded: signatures contain characters the
      space-separated line format cannot carry raw. *)
-  Printf.sprintf "entry: key %s verdict %s flops %d params %d elements %d checksum %h cold %h"
-    (Protocol.encode e.e_key) e.e_verdict e.e_flops e.e_params e.e_elements e.e_checksum
-    e.e_cold_seconds
+  if e.e_spec_seconds < 0.0 then
+    Printf.sprintf
+      "entry: key %s verdict %s flops %d params %d elements %d checksum %h cold %h"
+      (Protocol.encode e.e_key) e.e_verdict e.e_flops e.e_params e.e_elements e.e_checksum
+      e.e_cold_seconds
+  else
+    Printf.sprintf
+      "entry: key %s verdict %s flops %d params %d elements %d checksum %h cold %h spec %h"
+      (Protocol.encode e.e_key) e.e_verdict e.e_flops e.e_params e.e_elements e.e_checksum
+      e.e_cold_seconds e.e_spec_seconds
 
 let render entries =
   let buf = Buffer.create 1024 in
@@ -162,29 +172,41 @@ let ( let* ) r f = Result.bind r f
 
 let parse_entry line =
   let bad () = Error (Corrupt (Printf.sprintf "bad entry line %S" line)) in
+  (* [spec] is optional for backward compatibility: snapshots written
+     before specialization existed parse with [e_spec_seconds = -1.0]
+     (not specialized). *)
+  let build k v f p el c cold spec =
+    match
+      ( Protocol.decode k,
+        int_of_string_opt f,
+        int_of_string_opt p,
+        int_of_string_opt el,
+        float_of_string_opt c,
+        float_of_string_opt cold,
+        spec )
+    with
+    | Ok key, Some flops, Some params, Some elements, Some checksum, Some cold_s, Some spec_s
+      ->
+        Ok
+          {
+            e_key = key;
+            e_verdict = v;
+            e_flops = flops;
+            e_params = params;
+            e_elements = elements;
+            e_checksum = checksum;
+            e_cold_seconds = cold_s;
+            e_spec_seconds = spec_s;
+          }
+    | _ -> bad ()
+  in
   match String.split_on_char ' ' (String.trim line) with
   | [ "entry:"; "key"; k; "verdict"; v; "flops"; f; "params"; p; "elements"; el;
-      "checksum"; c; "cold"; cold ] -> (
-      match
-        ( Protocol.decode k,
-          int_of_string_opt f,
-          int_of_string_opt p,
-          int_of_string_opt el,
-          float_of_string_opt c,
-          float_of_string_opt cold )
-      with
-      | Ok key, Some flops, Some params, Some elements, Some checksum, Some cold_s ->
-          Ok
-            {
-              e_key = key;
-              e_verdict = v;
-              e_flops = flops;
-              e_params = params;
-              e_elements = elements;
-              e_checksum = checksum;
-              e_cold_seconds = cold_s;
-            }
-      | _ -> bad ())
+      "checksum"; c; "cold"; cold ] ->
+      build k v f p el c cold (Some (-1.0))
+  | [ "entry:"; "key"; k; "verdict"; v; "flops"; f; "params"; p; "elements"; el;
+      "checksum"; c; "cold"; cold; "spec"; spec ] ->
+      build k v f p el c cold (float_of_string_opt spec)
   | _ -> bad ()
 
 let put_locked t e =

@@ -27,6 +27,11 @@ type entry = {
   e_elements : int;  (** output elements differentially compared *)
   e_checksum : float;  (** reference forward-pass output sum *)
   e_cold_seconds : float;  (** wall time of the original cold evaluation *)
+  e_spec_seconds : float;
+      (** wall time of the certified specialized kernel's forward pass
+          during that cold evaluation; negative when specialization was
+          off or declined.  Snapshots written before this field existed
+          load with [-1.0]. *)
 }
 
 type t

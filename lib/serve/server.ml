@@ -20,6 +20,7 @@ type config = {
   max_connections : int;
   drain_grace : float;
   guard : Robust.Guard.policy;
+  specialize : Syno.Api.specialize_mode;
 }
 
 let default_config ~socket =
@@ -40,11 +41,17 @@ let default_config ~socket =
     (* One quick retry with seeded-jittered backoff: transient failures
        get a second chance without workers retrying in lockstep. *)
     guard = Guard.policy ~retries:1 ~backoff:0.005 ~jitter:0.5 ();
+    specialize = `Auto;
   }
 
 (* --- Request handling (runs on worker domains) ----------------------------- *)
 
-type deps = { d_cache : Cache.t; d_corpus : Corpus.t option; d_guard : Guard.policy }
+type deps = {
+  d_cache : Cache.t;
+  d_corpus : Corpus.t option;
+  d_guard : Guard.policy;
+  d_specialize : Syno.Api.specialize_mode;
+}
 
 type job = {
   j_conn : int;
@@ -168,13 +175,33 @@ let eval_cold deps op valuation ~signature ~fault ~token ~remaining =
         in
         let out = Lower.Reference.forward compiled ~input ~weights in
         let checksum = Nd.Tensor.sum out in
+        Cancel.check gtoken;
+        (* The proof-to-speed pipeline: certificate, translation
+           validation, one timed specialized forward pass on the same
+           data.  [`Auto] declines quietly; [`On] turns a certification
+           failure into a typed rejection. *)
+        let spec_seconds =
+          match deps.d_specialize with
+          | `Off -> -1.0
+          | (`Auto | `On) as mode -> (
+              match Syno.Api.specialize_operator ~mode op valuation with
+              | Ok None -> -1.0
+              | Error k -> raise (Guard.Reject k)
+              | Ok (Some sp) ->
+                  let t0 = Unix.gettimeofday () in
+                  let _specialized =
+                    Lower.Specialize.forward ~cancel:gtoken sp ~input ~weights
+                  in
+                  Unix.gettimeofday () -. t0)
+        in
         stash :=
           Some
             ( verdict,
               Pgraph.Flops.naive_flops op valuation,
               Pgraph.Flops.params op valuation,
               elements,
-              checksum );
+              checksum,
+              spec_seconds );
         checksum)
   in
   match (outcome.Guard.result, !stash) with
@@ -210,6 +237,7 @@ let handle_eval deps job =
           ("elements", string_of_int e.Cache.e_elements);
           ("checksum", float_value e.Cache.e_checksum);
           ("cold", float_value e.Cache.e_cold_seconds);
+          ("spec", float_value e.Cache.e_spec_seconds);
           ("cached", if cached then "1" else "0");
         ]
       in
@@ -233,7 +261,7 @@ let handle_eval deps job =
                   eval_cold deps op valuation ~signature ~fault ~token:job.j_token ~remaining
                 with
                 | Error k -> kind_error k
-                | Ok (verdict, flops, params, elements, checksum) ->
+                | Ok (verdict, flops, params, elements, checksum, spec_seconds) ->
                     let entry =
                       {
                         Cache.e_key = key;
@@ -243,6 +271,7 @@ let handle_eval deps job =
                         e_elements = elements;
                         e_checksum = checksum;
                         e_cold_seconds = Unix.gettimeofday () -. started;
+                        e_spec_seconds = spec_seconds;
                       }
                     in
                     if use_cache then Cache.put deps.d_cache entry;
@@ -389,7 +418,14 @@ let run ?cancel ?(signals = true) ?on_ready cfg =
       let corpus =
         Option.map (fun path -> fst (Corpus.open_file ~every:1 path)) cfg.corpus_path
       in
-      let deps = { d_cache = cache; d_corpus = corpus; d_guard = cfg.guard } in
+      let deps =
+        {
+          d_cache = cache;
+          d_corpus = corpus;
+          d_guard = cfg.guard;
+          d_specialize = cfg.specialize;
+        }
+      in
       (* Three trip-wires: [work_root] preempts in-flight evaluation,
          [draining] stops admission, [stop] aborts everything (SIGINT). *)
       let work_root = Cancel.create () in

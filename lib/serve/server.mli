@@ -43,6 +43,11 @@ type config = {
       (** seconds after drain starts before in-flight work is
           force-cancelled (it still gets a typed response) *)
   guard : Robust.Guard.policy;  (** per-request containment policy *)
+  specialize : Syno.Api.specialize_mode;
+      (** whether cold evaluations also time a certified specialized
+          kernel ({!Syno.Api.specialize_operator}); default [`Auto].
+          The measured time lands in [Cache.entry.e_spec_seconds] and
+          the [spec] response parameter (negative = not specialized). *)
 }
 
 val default_config : socket:string -> config

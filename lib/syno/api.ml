@@ -88,23 +88,63 @@ let speedup entry model compiler platform =
   model_latency_ms model compiler platform
   /. model_latency_ms ~substitute:entry model compiler platform
 
+(* --- Proof-guided specialization ------------------------------------------ *)
+
+type specialize_mode = [ `Auto | `Off | `On ]
+
+let specialize_mode_to_string = function `Auto -> "auto" | `Off -> "off" | `On -> "on"
+
+let specialize_mode_of_string = function
+  | "auto" -> Some `Auto
+  | "off" -> Some `Off
+  | "on" -> Some `On
+  | _ -> None
+
+let specialize_operator ?(mode = `Auto) op valuation =
+  match mode with
+  | `Off -> Ok None
+  | (`Auto | `On) as mode -> (
+      let staged = Lower.Staged_exec.compile op valuation in
+      let cert = Analysis.Regions.of_staged staged in
+      let auto_skip =
+        mode = `Auto
+        && (cert.Analysis.Regions.rc_interior_fraction = 0.0
+           ||
+           match cert.Analysis.Regions.rc_verdict with
+           | Analysis.Verify.Violation _ -> true
+           | Analysis.Verify.Proved | Analysis.Verify.Padded _ -> false)
+      in
+      if auto_skip then Ok None
+      else
+        match Analysis.Certify.compile staged cert.Analysis.Regions.rc_plan with
+        | Ok sp -> Ok (Some sp)
+        | Error _ when mode = `Auto -> Ok None
+        | Error e -> Error e)
+
+let specialized_forward ?mode op valuation =
+  match specialize_operator ?mode op valuation with
+  | Ok (Some sp) ->
+      Some (fun ~input ~weights -> Lower.Specialize.forward sp ~input ~weights)
+  | Ok None | Error _ -> None
+
 (* --- Proxy training ------------------------------------------------------ *)
 
 let proxy_batch_size = 16
 
-let proxy_layer entry rng (stage : Backbones.Proxy.stage_shape) =
+let proxy_layer ?(specialize = `Off) entry rng (stage : Backbones.Proxy.stage_shape) =
   let valuation =
     Zoo.Vars.conv_valuation ~n:proxy_batch_size ~c_in:stage.Backbones.Proxy.in_ch
       ~c_out:stage.Backbones.Proxy.out_ch ~hw:stage.Backbones.Proxy.hw ~k:3 ~g:2 ~s:2 ()
   in
   let compiled = Lower.Reference.compile entry.Zoo.operator valuation in
-  Nn.Layer.of_operator rng ~name:entry.Zoo.name compiled
+  let forward = specialized_forward ~mode:specialize entry.Zoo.operator valuation in
+  Nn.Layer.of_operator ?forward rng ~name:entry.Zoo.name compiled
 
-let train_entry ?(epochs = 8) ?(lr = 0.1) ?clip_norm ?sentinel ~rng entry
+let train_entry ?(epochs = 8) ?(lr = 0.1) ?clip_norm ?sentinel ?specialize ~rng entry
     (data : Dataset.Synth_vision.t) =
   let model =
     Backbones.Proxy.vision_model rng
-      ~make_op:(fun rng stage -> proxy_layer entry rng stage)
+      ~make_op:(fun rng stage -> proxy_layer ?specialize entry rng stage)
       ~in_channels:data.Dataset.Synth_vision.channels ~channels:8
       ~classes:data.Dataset.Synth_vision.classes
       ~size:data.Dataset.Synth_vision.size ()
@@ -235,8 +275,9 @@ let search_conv_operators_run ?(iterations = 2000) ?(max_prims = 9)
     ?(flops_budget_ratio = 1.0) ?(domains = 1) ?trees ?guard ?inject ?quarantine_reward
     ?checkpoint ?(checkpoint_every = 50) ?resume ?(on_corrupt = `Fail) ?max_bytes ?max_flops
     ?(validate = false) ?(validate_config = Validate.Differential.default_config)
-    ?(validation_valuations = default_validation_valuations) ?(static_gate = true) ?corpus
-    ?(corpus_readonly = false) ?cancel ~rng ~valuations () =
+    ?(validation_valuations = default_validation_valuations) ?(static_gate = true)
+    ?(specialize_gate = false) ?corpus ?(corpus_readonly = false) ?cancel ~rng ~valuations
+    () =
   let cfg, reward = conv_search_space ~max_prims ~flops_budget_ratio ~valuations in
   let sink =
     Option.map (fun path -> Search.Checkpoint.sink ~path ~every:checkpoint_every ()) checkpoint
@@ -298,6 +339,23 @@ let search_conv_operators_run ?(iterations = 2000) ?(max_prims = 9)
         })
       run.Search.Mcts.results
   in
+  (* With the specialize gate on, every returned candidate must also
+     yield a certified kernel plan (pure arithmetic — no tensor work):
+     a candidate whose certificate fails translation validation is
+     quarantined rather than handed to a consumer that would specialize
+     it later. *)
+  let candidates =
+    if not specialize_gate then candidates
+    else
+      List.map
+        (fun c ->
+          if c.quarantined then c
+          else
+            match specialize_operator ~mode:`On c.operator v0 with
+            | Ok _ -> c
+            | Error _ | (exception Failure _) -> { c with quarantined = true })
+        candidates
+  in
   (* Flush so short runs that never hit the add cadence still persist
      their distilled counterexamples. *)
   Option.iter Validate.Corpus.flush corpus_t;
@@ -310,12 +368,12 @@ let search_conv_operators_run ?(iterations = 2000) ?(max_prims = 9)
 
 let search_conv_operators ?iterations ?max_prims ?flops_budget_ratio ?domains ?trees ?guard
     ?inject ?quarantine_reward ?checkpoint ?checkpoint_every ?resume ?on_corrupt ?max_bytes
-    ?max_flops ?validate ?validate_config ?validation_valuations ?static_gate ?corpus
-    ?corpus_readonly ?cancel ~rng ~valuations () =
+    ?max_flops ?validate ?validate_config ?validation_valuations ?static_gate
+    ?specialize_gate ?corpus ?corpus_readonly ?cancel ~rng ~valuations () =
   (search_conv_operators_run ?iterations ?max_prims ?flops_budget_ratio ?domains ?trees
      ?guard ?inject ?quarantine_reward ?checkpoint ?checkpoint_every ?resume ?on_corrupt
      ?max_bytes ?max_flops ?validate ?validate_config ?validation_valuations ?static_gate
-     ?corpus ?corpus_readonly ?cancel ~rng ~valuations ())
+     ?specialize_gate ?corpus ?corpus_readonly ?cancel ~rng ~valuations ())
     .candidates
 
 (* --- Sharded multi-process search ----------------------------------------- *)

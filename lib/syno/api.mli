@@ -31,17 +31,59 @@ val speedup :
   Zoo.entry -> Backbones.Models.t -> Perf.Compiler_model.t -> Perf.Platform.t -> float
 (** Baseline latency / substituted latency. *)
 
+(** {1 Proof-guided specialization} *)
+
+type specialize_mode = [ `Auto | `Off | `On ]
+(** Whether eval paths run the certified specialized kernel
+    ({!Lower.Specialize}) instead of the interpreters: [`On] always
+    (certification failure is an error), [`Off] never, [`Auto]
+    specializes when a certificate exists, its verdict is not a
+    violation, and its interior fraction is positive — falling back to
+    the interpreters otherwise. *)
+
+val specialize_mode_to_string : specialize_mode -> string
+val specialize_mode_of_string : string -> specialize_mode option
+
+val specialize_operator :
+  ?mode:specialize_mode ->
+  Pgraph.Graph.operator ->
+  Shape.Valuation.t ->
+  (Lower.Specialize.t option, Robust.Guard.kind) result
+(** The full proof-to-speed pipeline for one operator: compile the
+    staged program, build the {!Analysis.Regions} certificate, validate
+    it with {!Analysis.Certify}, and compile the specialized executor.
+    [Ok None] means specialization was declined (mode [`Off], or
+    [`Auto] and not profitable); [Error] carries the typed
+    certification rejection (mode [`On] only — [`Auto] falls back). *)
+
+val specialized_forward :
+  ?mode:specialize_mode ->
+  Pgraph.Graph.operator ->
+  Shape.Valuation.t ->
+  (input:Nd.Tensor.t -> weights:Nd.Tensor.t list -> Nd.Tensor.t) option
+(** {!specialize_operator} as a forward closure, for
+    {!Nn.Layer.of_operator}'s [?forward]; [None] whenever no
+    specialized kernel is available. *)
+
 (** {1 Accuracy evaluation on the synthetic proxy task} *)
 
 val proxy_layer :
-  Zoo.entry -> Nd.Rng.t -> Backbones.Proxy.stage_shape -> Nn.Layer.t
-(** Compile the entry at a proxy stage shape as a trainable layer. *)
+  ?specialize:specialize_mode ->
+  Zoo.entry ->
+  Nd.Rng.t ->
+  Backbones.Proxy.stage_shape ->
+  Nn.Layer.t
+(** Compile the entry at a proxy stage shape as a trainable layer.
+    [specialize] (default [`Off]) swaps the forward pass for the
+    certified specialized kernel; the backward pass stays the
+    reference one. *)
 
 val train_entry :
   ?epochs:int ->
   ?lr:float ->
   ?clip_norm:float ->
   ?sentinel:Nn.Train.sentinel ->
+  ?specialize:specialize_mode ->
   rng:Nd.Rng.t ->
   Zoo.entry ->
   Dataset.Synth_vision.t ->
@@ -97,6 +139,7 @@ val search_conv_operators_run :
   ?validate_config:Validate.Differential.config ->
   ?validation_valuations:Shape.Valuation.t list ->
   ?static_gate:bool ->
+  ?specialize_gate:bool ->
   ?corpus:string ->
   ?corpus_readonly:bool ->
   ?cancel:Robust.Cancel.t ->
@@ -145,6 +188,11 @@ val search_conv_operators_run :
     ({!Analysis.Verify}) runs first — interval arithmetic only, no
     tensor allocation — quarantining provably out-of-bounds gathers as
     [static_violation]; [static_gate:false] disables that stage.
+    [specialize_gate] (default false) additionally requires every
+    returned candidate to yield a certified specialized kernel plan
+    ({!specialize_operator} with mode [`On] — pure arithmetic, no
+    tensor work); candidates whose certificates fail translation
+    validation are quarantined.
     Admission rejections appear in [failures.failed_attempts]; gate
     cost and per-stage rejection counts in [admission].
 
@@ -300,6 +348,7 @@ val search_conv_operators :
   ?validate_config:Validate.Differential.config ->
   ?validation_valuations:Shape.Valuation.t list ->
   ?static_gate:bool ->
+  ?specialize_gate:bool ->
   ?corpus:string ->
   ?corpus_readonly:bool ->
   ?cancel:Robust.Cancel.t ->

@@ -142,6 +142,60 @@ let test_fault_and_path_flag_validation () =
             (Astring.String.is_infix ~affix:"is a directory" (flatten err)))
         [ "--checkpoint"; "--resume"; "--corpus" ])
 
+(* --specialize parses through the same validated-converter discipline
+   on both commands that take it: junk dies at parse time with a
+   one-line error naming the flag and the accepted values (exit 124),
+   and every accepted value parses. *)
+let test_specialize_flag_validation () =
+  let flatten s = String.concat " " (Astring.String.fields ~empty:false s) in
+  List.iter
+    (fun prefix ->
+      let code, _, err = run_cli (prefix @ [ "--specialize"; "junk" ]) in
+      let err = flatten err in
+      Alcotest.(check int) "--specialize=junk exits 124" 124 code;
+      Alcotest.(check bool) "error names the flag" true
+        (Astring.String.is_infix ~affix:"--specialize" err);
+      Alcotest.(check bool) "error lists the accepted values" true
+        (Astring.String.is_infix ~affix:"expected on, off or auto" err))
+    [
+      [ "train"; "conv2d"; "--epochs"; "1" ];
+      [ "serve"; "--socket"; "/tmp/syno-test.sock" ];
+    ];
+  (* The accepted values get past argument parsing: "serve" with a
+     socket path inside an unwritable directory fails at startup (exit
+     2), not at parse time (124). *)
+  List.iter
+    (fun mode ->
+      let code, _, _ =
+        run_cli
+          [ "serve"; "--socket"; "/nonexistent-dir/s.sock"; "--specialize"; mode ]
+      in
+      Alcotest.(check int) (Printf.sprintf "--specialize=%s parses" mode) 2 code)
+    [ "on"; "off"; "auto" ]
+
+(* syno lint --regions: one machine-readable certificate line per
+   operator, and the degenerate-free zoo keeps the all-border lint rule
+   quiet. *)
+let test_lint_regions () =
+  let code, out, _ = run_cli [ "lint"; "conv2d"; "--regions"; "--hw"; "10" ] in
+  Alcotest.(check int) "lint --regions exits 0" 0 code;
+  Alcotest.(check bool) "certificate line printed" true
+    (Astring.String.is_infix ~affix:"conv2d regions verdict=padded interior=" out);
+  Alcotest.(check bool) "strip count printed" true
+    (Astring.String.is_infix ~affix:"strips=" out);
+  (* Without the flag the line is absent. *)
+  let code, out, _ = run_cli [ "lint"; "conv2d"; "--hw"; "10" ] in
+  Alcotest.(check int) "plain lint exits 0" 0 code;
+  Alcotest.(check bool) "no certificate line without --regions" false
+    (Astring.String.is_infix ~affix:" regions " out);
+  (* --all prints a certificate per catalog operator, including the
+     fully-interior proved ones. *)
+  let code, out, _ = run_cli [ "lint"; "--all"; "--regions"; "--hw"; "10" ] in
+  Alcotest.(check int) "lint --all --regions exits 0" 0 code;
+  Alcotest.(check bool) "proved operators report interior fraction 1" true
+    (Astring.String.is_infix ~affix:"conv1x1 regions verdict=proved interior=1.000 strips=0"
+       out)
+
 (* --corpus end to end.  Distillation needs a real differential
    failure, which the CLI cannot fabricate, so the corpus is seeded by
    an in-process faulted search configured exactly like the CLI run
@@ -271,7 +325,12 @@ let () =
             test_sharding_flag_validation;
           Alcotest.test_case "fault + path flags reject nonsense at parse time" `Quick
             test_fault_and_path_flag_validation;
+          Alcotest.test_case "--specialize rejects junk at parse time" `Quick
+            test_specialize_flag_validation;
         ] );
+      ( "regions",
+        [ Alcotest.test_case "lint --regions certificate lines" `Quick test_lint_regions ]
+      );
       ( "corpus",
         [
           Alcotest.test_case "--corpus: replay on re-encounter, no re-adds" `Quick

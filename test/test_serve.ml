@@ -110,7 +110,7 @@ let test_protocol_rejects_junk () =
 
 (* --- Cache ------------------------------------------------------------------ *)
 
-let entry ?(checksum = 1.5) key =
+let entry ?(checksum = 1.5) ?(spec = -1.0) key =
   {
     Cache.e_key = key;
     e_verdict = "proved";
@@ -119,6 +119,7 @@ let entry ?(checksum = 1.5) key =
     e_elements = 64;
     e_checksum = checksum;
     e_cold_seconds = 0.25;
+    e_spec_seconds = spec;
   }
 
 let test_cache_lru_eviction () =
@@ -152,6 +153,37 @@ let test_cache_persistence_roundtrip () =
           Alcotest.(check (float 0.0)) "checksum bit-exact" (1.0 /. 3.0) e.Cache.e_checksum;
           Alcotest.(check string) "verdict" "proved" e.Cache.e_verdict
       | None -> Alcotest.fail "persisted entry missing")
+
+let test_cache_spec_seconds_compat () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "cache.snap" in
+      let c, _ = Cache.open_file ~capacity:8 ~every:1 path in
+      Cache.put c (entry ~spec:(1.0 /. 7.0) "op-spec@v1");
+      Cache.put c (entry "op-plain@v1");
+      Cache.flush c;
+      let c2, report = Cache.open_file ~capacity:8 path in
+      Alcotest.(check int) "both load" 2 report.Cache.or_loaded;
+      (match Cache.find c2 "op-spec@v1" with
+      | Some e ->
+          Alcotest.(check (float 0.0)) "spec bit-exact" (1.0 /. 7.0) e.Cache.e_spec_seconds
+      | None -> Alcotest.fail "spec entry missing");
+      (match Cache.find c2 "op-plain@v1" with
+      | Some e ->
+          Alcotest.(check bool) "unspecialized negative" true (e.Cache.e_spec_seconds < 0.0)
+      | None -> Alcotest.fail "plain entry missing");
+      (* Snapshots written before the spec field existed still load. *)
+      let legacy =
+        "syno-serve-cache v1\nentries: 1\n\
+         entry: key legacy@v1 verdict proved flops 1 params 1 elements 1 checksum 0x1p-1 \
+         cold 0x1p-3\n"
+      in
+      match Cache.of_string_result legacy with
+      | Error _ -> Alcotest.fail "legacy snapshot rejected"
+      | Ok c3 -> (
+          match Cache.find c3 "legacy@v1" with
+          | Some e ->
+              Alcotest.(check (float 0.0)) "legacy spec default" (-1.0) e.Cache.e_spec_seconds
+          | None -> Alcotest.fail "legacy entry missing"))
 
 let test_cache_quarantines_garbage () =
   with_temp_dir (fun dir ->
@@ -393,6 +425,7 @@ let () =
         [
           Alcotest.test_case "LRU eviction" `Quick test_cache_lru_eviction;
           Alcotest.test_case "persistence round-trip" `Quick test_cache_persistence_roundtrip;
+          Alcotest.test_case "spec seconds compat" `Quick test_cache_spec_seconds_compat;
           Alcotest.test_case "garbage quarantined" `Quick test_cache_quarantines_garbage;
           Alcotest.test_case "truncation detected" `Quick test_cache_detects_truncation;
         ] );
